@@ -1,0 +1,138 @@
+(* The full benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Section 7) against the MiniC kernel running on the
+   SVM, and cross-checks the deterministic cycle model against wall-clock
+   measurements taken with Bechamel.
+
+   Usage:
+     dune exec bench/main.exe            -- everything (a few minutes)
+     dune exec bench/main.exe -- --quick -- reduced repetition counts
+     dune exec bench/main.exe -- table7  -- a single experiment by name *)
+
+module Tables = Harness.Tables
+module Pipeline = Sva_pipeline.Pipeline
+module Boot = Ukern.Boot
+
+let quick = ref false
+let only : string list ref = ref []
+
+let () =
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--quick" -> quick := true
+        | s when String.length s > 0 && s.[0] <> '-' -> only := s :: !only
+        | _ -> ())
+    Sys.argv
+
+let wanted name = !only = [] || List.mem name !only
+
+let section name f =
+  if wanted name then begin
+    Printf.printf "\n";
+    (try print_string (f ())
+     with e -> Printf.printf "!! %s failed: %s\n" name (Printexc.to_string e));
+    flush stdout
+  end
+
+(* ---------- Bechamel wall-clock cross-check ----------
+
+   One Bechamel test per performance table: the representative operation
+   of that table, on the native and fully-checked kernels.  The cycle
+   model drives the tables; this verifies real elapsed time moves in the
+   same direction. *)
+
+let bechamel_crosscheck () =
+  let open Bechamel in
+  let mk_kernel conf =
+    let b = Ukern.Kbuild.build ~conf Ukern.Kbuild.as_tested in
+    let t = Boot.boot_built b ~variant:Ukern.Kbuild.as_tested in
+    let ctx = Harness.Workloads.prepare t in
+    Harness.Workloads.http_setup ctx;
+    ctx
+  in
+  let native = mk_kernel Pipeline.Native in
+  let safe = mk_kernel Pipeline.Sva_safe in
+  let tests =
+    [
+      (* Table 7 representative: the open/close latency pair. *)
+      Test.make ~name:"table7/open-close/native"
+        (Staged.stage (fun () -> Harness.Workloads.op_open_close native));
+      Test.make ~name:"table7/open-close/sva-safe"
+        (Staged.stage (fun () -> Harness.Workloads.op_open_close safe));
+      (* Table 8 representative: 32k pipe streaming. *)
+      Test.make ~name:"table8/pipe-32k/native"
+        (Staged.stage (fun () -> Harness.Workloads.op_pipe_stream native 32768));
+      Test.make ~name:"table8/pipe-32k/sva-safe"
+        (Staged.stage (fun () -> Harness.Workloads.op_pipe_stream safe 32768));
+      (* Tables 5/6 representative: one small-file HTTP request. *)
+      Test.make ~name:"table5-6/thttpd-311B/native"
+        (Staged.stage (fun () ->
+             ignore
+               (Harness.Workloads.serve_http_request native ~file:"www.311"
+                  ~cgi:false)));
+      Test.make ~name:"table5-6/thttpd-311B/sva-safe"
+        (Staged.stage (fun () ->
+             ignore
+               (Harness.Workloads.serve_http_request safe ~file:"www.311"
+                  ~cgi:false)));
+    ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:200
+      ~quota:(Time.second (if !quick then 0.25 else 0.75))
+      ~stabilize:false ()
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let analyze = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |] in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "== Wall-clock cross-check (Bechamel, monotonic clock) ==\n\
+     The tables above use the deterministic cycle model; these are real\n\
+     elapsed-time estimates for one representative operation per table.\n";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let ols = Analyze.all analyze Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name o ->
+          match Analyze.OLS.estimates o with
+          | Some (est :: _) ->
+              Buffer.add_string buf
+                (Printf.sprintf "  %-32s %12.0f ns/op (OLS)\n" name est)
+          | _ ->
+              Buffer.add_string buf
+                (Printf.sprintf "  %-32s (no estimate)\n" name))
+        ols)
+    tests;
+  (* independent median-of-batches measurement of the same headline pair *)
+  let med name f =
+    let s = Harness.Timing.measure ~batches:5 ~reps:(if !quick then 20 else 60) f in
+    Buffer.add_string buf
+      (Printf.sprintf "  %-32s %12.0f ns/op (median)\n" name
+         s.Harness.Timing.s_per_op_ns)
+  in
+  med "open-close/native" (fun () -> Harness.Workloads.op_open_close native);
+  med "open-close/sva-safe" (fun () -> Harness.Workloads.op_open_close safe);
+  Buffer.contents buf
+
+let () =
+  Printf.printf
+    "Secure Virtual Architecture (SOSP 2007) - evaluation reproduction\n";
+  Printf.printf "================================================================\n";
+  Printf.printf "Four kernels: %s.\n%s\n"
+    (String.concat ", " (List.map Pipeline.conf_name Pipeline.all_confs))
+    (if !quick then "(quick mode: reduced repetitions)" else "");
+  section "table4" (fun () -> Tables.table4 ());
+  section "figure2" (fun () -> Tables.figure2 ());
+  section "checks" (fun () -> Tables.check_summary ());
+  section "table7" (fun () -> Tables.table7 ~quick:!quick ());
+  section "table8" (fun () -> Tables.table8 ~quick:!quick ());
+  section "table5" (fun () -> Tables.table5 ~quick:!quick ());
+  section "table6" (fun () -> Tables.table6 ~quick:!quick ());
+  section "table9" (fun () -> Tables.table9 ());
+  section "ablation" (fun () -> Tables.ablation ~quick:!quick ());
+  section "exploits" (fun () -> Tables.exploits_table ());
+  section "verifier" (fun () -> Tables.verifier_experiment ());
+  section "bechamel" (fun () -> bechamel_crosscheck ());
+  Printf.printf "\nDone.\n"

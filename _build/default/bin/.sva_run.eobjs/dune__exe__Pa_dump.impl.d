@@ -1,0 +1,1 @@
+bin/pa_dump.ml: Filename In_channel Minic Printf Sva_analysis Sva_ir Sva_safety Sys

@@ -1,0 +1,1 @@
+bin/pa_dump.mli:

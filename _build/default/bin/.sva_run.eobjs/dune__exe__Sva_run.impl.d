@@ -1,0 +1,1 @@
+bin/sva_run.ml: Arg Cmd Cmdliner Filename In_channel Int64 List Minic Out_channel Printf String Sva_bytecode Sva_interp Sva_ir Sva_pipeline Sva_rt Term

@@ -1,0 +1,1 @@
+bin/sva_verify.ml: In_channel List Printf Sva_bytecode Sva_ir Sys

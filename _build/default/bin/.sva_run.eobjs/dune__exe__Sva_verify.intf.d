@@ -1,0 +1,1 @@
+bin/sva_verify.mli:

@@ -1,0 +1,1 @@
+bin/ukern_boot.ml: Array Bytes Int64 Printf Sva_pipeline Sva_rt Sys Ukern

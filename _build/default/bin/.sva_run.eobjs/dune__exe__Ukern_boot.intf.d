@@ -1,0 +1,1 @@
+bin/ukern_boot.mli:

@@ -1,0 +1,85 @@
+(* sva-run: compile a MiniC source file through the SVA pipeline and
+   execute a function on the SVM.
+
+     sva_run FILE [-f FUNC] [-a INT]... [--conf native|gcc|llvm|safe]
+             [--dump-ir] [--emit-bytecode OUT]
+
+   The default entry point is `main`.  Under `--conf safe` (the default)
+   the full safety-checking pipeline runs: points-to analysis, metapool
+   inference, metapool type checking, and run-time check insertion; a
+   safety violation terminates with a diagnostic and exit code 2. *)
+
+open Cmdliner
+module Pipeline = Sva_pipeline.Pipeline
+
+let conf_of_string = function
+  | "native" -> Pipeline.Native
+  | "gcc" -> Pipeline.Sva_gcc
+  | "llvm" -> Pipeline.Sva_llvm
+  | "safe" -> Pipeline.Sva_safe
+  | s -> failwith ("unknown configuration " ^ s)
+
+let run file func args conf_name dump_ir emit_bytecode =
+  let source = In_channel.with_open_text file In_channel.input_all in
+  let conf = conf_of_string conf_name in
+  match Pipeline.build ~conf ~name:(Filename.basename file) [ source ] with
+  | exception Minic.Parser.Parse_error (msg, loc) ->
+      Printf.eprintf "%s:%d:%d: parse error: %s\n" file loc.Minic.Token.line
+        loc.Minic.Token.col msg;
+      exit 1
+  | exception Minic.Lower.Lower_error msg ->
+      Printf.eprintf "%s: error: %s\n" file msg;
+      exit 1
+  | built -> (
+      if dump_ir then print_string (Sva_ir.Pp.string_of_module built.Pipeline.bl_mod);
+      (match emit_bytecode with
+      | Some out ->
+          let entry = Sva_bytecode.Signing.sign built.Pipeline.bl_mod in
+          Out_channel.with_open_bin out (fun oc ->
+              Out_channel.output_string oc entry.Sva_bytecode.Signing.ce_bytecode);
+          Printf.printf "bytecode: %s (%d bytes, sha256 %s)\n" out
+            (String.length entry.Sva_bytecode.Signing.ce_bytecode)
+            (Sva_bytecode.Sha256.hex entry.Sva_bytecode.Signing.ce_bytecode)
+      | None -> ());
+      let vm = Pipeline.instantiate built in
+      match Sva_interp.Interp.call vm func (List.map Int64.of_int args) with
+      | Some v ->
+          Printf.printf "%s(%s) = %Ld   [%d instructions, %d cycles]\n" func
+            (String.concat ", " (List.map string_of_int args))
+            v
+            (Sva_interp.Interp.steps vm)
+            (Sva_interp.Interp.cycles vm);
+          exit 0
+      | None ->
+          Printf.printf "%s returned void\n" func;
+          exit 0
+      | exception Sva_rt.Violation.Safety_violation v ->
+          Printf.eprintf "%s\n" (Sva_rt.Violation.to_string v);
+          exit 2
+      | exception Sva_interp.Interp.Vm_error msg ->
+          Printf.eprintf "vm error: %s\n" msg;
+          exit 3)
+
+let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+
+let func =
+  Arg.(value & opt string "main" & info [ "f"; "function" ] ~docv:"FUNC")
+
+let args = Arg.(value & opt_all int [] & info [ "a"; "arg" ] ~docv:"INT")
+
+let conf =
+  Arg.(value & opt string "safe" & info [ "conf" ] ~docv:"CONF"
+         ~doc:"Pipeline configuration: native, gcc, llvm or safe.")
+
+let dump_ir = Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print the final IR.")
+
+let emit_bytecode =
+  Arg.(value & opt (some string) None & info [ "emit-bytecode" ] ~docv:"OUT")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "sva_run"
+       ~doc:"Compile MiniC through the SVA safety pipeline and execute it")
+    Term.(const run $ file $ func $ args $ conf $ dump_ir $ emit_bytecode)
+
+let () = exit (Cmd.eval cmd)

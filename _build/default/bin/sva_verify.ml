@@ -1,0 +1,38 @@
+(* sva-verify: the load-time half of the SVM (Section 3.4).
+
+     sva_verify BYTECODE-FILE
+
+   Decodes an SVA bytecode file, runs the IR well-formedness verifier,
+   and reports module statistics.  Exit code 0 = the module may be
+   translated and executed; 1 = rejected. *)
+
+let () =
+  match Sys.argv with
+  | [| _; path |] -> (
+      let data = In_channel.with_open_bin path In_channel.input_all in
+      match Sva_bytecode.Codec.decode data with
+      | exception Sva_bytecode.Codec.Decode_error msg ->
+          Printf.eprintf "%s: undecodable bytecode: %s\n" path msg;
+          exit 1
+      | m -> (
+          match Sva_ir.Verify.verify_module m with
+          | [] ->
+              Printf.printf
+                "%s: OK\n  module %s: %d functions, %d globals, %d externs, \
+                 %d instructions\n  sha256 %s\n"
+                path m.Sva_ir.Irmod.m_name
+                (List.length m.Sva_ir.Irmod.m_funcs)
+                (List.length m.Sva_ir.Irmod.m_globals)
+                (List.length m.Sva_ir.Irmod.m_externs)
+                (Sva_ir.Irmod.instr_count m)
+                (Sva_bytecode.Sha256.hex data)
+          | errs ->
+              Printf.eprintf "%s: REJECTED (%d errors)\n" path (List.length errs);
+              List.iter
+                (fun e ->
+                  Printf.eprintf "  %s\n" (Sva_ir.Verify.string_of_error e))
+                errs;
+              exit 1))
+  | _ ->
+      prerr_endline "usage: sva_verify BYTECODE-FILE";
+      exit 2

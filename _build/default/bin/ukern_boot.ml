@@ -1,0 +1,50 @@
+(* ukern-boot: boot the MiniC kernel on the SVM and run a smoke workload.
+
+     ukern_boot [native|gcc|llvm|safe]   (default: safe)
+
+   Prints the boot transcript, runs a small syscall workload, and reports
+   instruction/cycle counts plus run-time check statistics. *)
+
+module Boot = Ukern.Boot
+module Pipeline = Sva_pipeline.Pipeline
+
+let conf_of_string = function
+  | "native" -> Pipeline.Native
+  | "gcc" -> Pipeline.Sva_gcc
+  | "llvm" -> Pipeline.Sva_llvm
+  | _ -> Pipeline.Sva_safe
+
+let () =
+  let conf =
+    if Array.length Sys.argv > 1 then conf_of_string Sys.argv.(1)
+    else Pipeline.Sva_safe
+  in
+  Printf.printf "building %s kernel...\n%!" (Pipeline.conf_name conf);
+  let t = Boot.boot ~conf () in
+  Printf.printf "booted: kernel_booted=%Ld (%d instructions)\n"
+    (Boot.kernel_global t "kernel_booted")
+    (Boot.steps t);
+  Sva_rt.Stats.reset ();
+  Boot.reset_cycles t;
+  (* smoke workload: files, pipes, fork, sockets *)
+  Printf.printf "getpid -> %Ld\n" (Boot.syscall t 1 []);
+  Boot.write_user t 0 "smoke.txt\000";
+  let fd = Boot.syscall t 4 [ Boot.user_addr t 0; 1L ] in
+  Boot.write_user t 1024 "secure virtual architecture";
+  Printf.printf "open -> %Ld, write -> %Ld\n" fd
+    (Boot.syscall t 7 [ fd; Boot.user_addr t 1024; 27L ]);
+  ignore (Boot.syscall t 20 [ fd; 0L; 0L ]);
+  let r = Boot.syscall t 6 [ fd; Boot.user_addr t 2048; 64L ] in
+  Printf.printf "read -> %Ld: %S\n" r (Boot.read_user t 2048 (Int64.to_int r));
+  Printf.printf "fork -> %Ld\n" (Boot.syscall t 9 []);
+  let sd = Boot.syscall t 14 [ 17L ] in
+  ignore (Boot.syscall t 15 [ sd; 4242L ]);
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_le hdr 0 4242l;
+  Boot.inject_frame t ~proto:17 (Bytes.to_string hdr ^ "hello");
+  ignore (Boot.syscall t 22 []);
+  let n = Boot.syscall t 17 [ sd; Boot.user_addr t 4096; 64L ] in
+  Printf.printf "socket roundtrip -> %Ld: %S\n" n
+    (Boot.read_user t 4096 (Int64.to_int n));
+  Printf.printf "workload: %d cycles\n" (Boot.cycles t);
+  Printf.printf "checks:   %s\n" (Sva_rt.Stats.to_string (Sva_rt.Stats.read ()))

@@ -1,0 +1,1 @@
+examples/custom_allocator.ml: Printf Sva_analysis Sva_interp Sva_pipeline Sva_rt Sva_safety

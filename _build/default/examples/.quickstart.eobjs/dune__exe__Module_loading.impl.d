@@ -1,0 +1,1 @@
+examples/module_loading.ml: Minic Printf String Sva_bytecode Sva_interp Sva_ir Sva_pipeline Sva_rt Ukern

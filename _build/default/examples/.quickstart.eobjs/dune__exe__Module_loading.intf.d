@@ -1,0 +1,1 @@
+examples/module_loading.mli:

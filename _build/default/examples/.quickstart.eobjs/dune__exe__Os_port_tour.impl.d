@@ -1,0 +1,1 @@
+examples/os_port_tour.ml: Array Int64 Printf Sva_hw Sva_interp Sva_os Sva_pipeline Ukern

@@ -1,0 +1,1 @@
+examples/os_port_tour.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Int64 List Printf Sva_analysis Sva_interp Sva_ir Sva_pipeline Sva_rt Sva_safety

@@ -1,0 +1,1 @@
+examples/verifier_demo.ml: List Minic Printf String Sva_analysis Sva_bytecode Sva_ir Sva_safety Sva_tyck

@@ -1,0 +1,1 @@
+examples/verifier_demo.mli:

@@ -1,0 +1,115 @@
+(* Custom allocators: the heart of the SVA approach (Section 4.3).
+
+     dune exec examples/custom_allocator.exe
+
+   Kernels manage memory with their own pool allocators; SVA does NOT
+   replace them.  Instead the porting step declares them to the compiler,
+   which correlates each kernel pool with a points-to partition
+   (metapool), inserts object registration at the allocation sites, and
+   exploits type-homogeneity: objects from a single-type pool need no
+   load/store checks, and dangling pointers into such pools are harmless
+   because the allocator (a) spaces objects at type-size multiples and
+   (b) never releases pool pages while the metapool lives. *)
+
+module Pipeline = Sva_pipeline.Pipeline
+module Pointsto = Sva_analysis.Pointsto
+module Allocdecl = Sva_analysis.Allocdecl
+
+(* A slab-style pool allocator plus two typed pools, in MiniC.  The
+   allocator itself is "trusted allocator code" (declared, not analyzed),
+   exactly like kmem_cache_alloc in the kernel port. *)
+let program =
+  {|
+    extern long sva_heap_base(void);
+
+    struct pool { long objsize; long cursor; long free_head; };
+
+    long pool_objsize(struct pool *p) { return p->objsize; }
+
+    __noanalyze char *pool_alloc(struct pool *p) {
+      if (p->free_head != 0) {
+        long obj = p->free_head;
+        p->free_head = *(long*)(char*)obj;
+        return (char*)obj;
+      }
+      long obj = p->cursor;
+      p->cursor = p->cursor + p->objsize;   /* type-size spacing */
+      return (char*)obj;
+    }
+
+    __noanalyze void pool_free(struct pool *p, char *obj) {
+      *(long*)obj = p->free_head;           /* reuse stays in-pool */
+      p->free_head = (long)obj;
+    }
+
+    struct request { long id; long state; long deadline; };
+    struct reply   { long id; long status; };
+
+    struct pool req_pool;
+    struct pool rep_pool;
+
+    void pools_init(void) {
+      req_pool.objsize = sizeof(struct request);
+      req_pool.cursor = sva_heap_base();
+      req_pool.free_head = 0;
+      rep_pool.objsize = sizeof(struct reply);
+      rep_pool.cursor = sva_heap_base() + 1048576;
+      rep_pool.free_head = 0;
+    }
+
+    long use_after_free_is_harmless(void) {
+      struct request *r = (struct request*)pool_alloc(&req_pool);
+      r->id = 7; r->state = 1; r->deadline = 99;
+      pool_free(&req_pool, (char*)r);
+      /* dangling read: the slot can only ever hold another request, so
+         type safety survives (Section 4.1) */
+      struct request *r2 = (struct request*)pool_alloc(&req_pool);
+      r2->id = 8;
+      return r->id;   /* dangling, harmless: sees the reused request */
+    }
+
+    long overrun_is_caught(void) {
+      struct reply *rep = (struct reply*)pool_alloc(&rep_pool);
+      long *words = (long*)rep;
+      long acc = 0;
+      for (int i = 0; i < 8; i++) acc += words[i];  /* 8 > 2 words! */
+      return acc;
+    }
+  |}
+
+let aconfig =
+  {
+    Pointsto.default_config with
+    Pointsto.allocators =
+      [
+        Allocdecl.pool ~free:"pool_free" ~size_fn:"pool_objsize" ~pool_arg:0
+          "pool_alloc";
+      ];
+  }
+
+let () =
+  let built = Pipeline.build ~conf:Pipeline.Sva_safe ~aconfig ~name:"pools" [ program ] in
+  let vm = Pipeline.instantiate built in
+  ignore (Sva_interp.Interp.call vm "pools_init" []);
+
+  print_endline "== metapool inference over the declared pool allocator ==";
+  (match built.Pipeline.bl_mps with
+  | Some mps -> print_endline (Sva_safety.Metapool.to_string mps)
+  | None -> ());
+
+  print_endline "";
+  print_endline "== dangling pointers into a type-homogeneous pool are harmless ==";
+  (match Sva_interp.Interp.call vm "use_after_free_is_harmless" [] with
+  | Some v ->
+      Printf.printf
+        "  returned %Ld: the dangling read saw the reused (same-typed) \
+         object - a logical bug, but never a safety violation\n" v
+  | None -> ());
+
+  print_endline "";
+  print_endline "== an overrun out of a pool object is still caught ==";
+  (match Sva_interp.Interp.call vm "overrun_is_caught" [] with
+  | Some v -> Printf.printf "  UNEXPECTED: returned %Ld\n" v
+  | None -> ()
+  | exception Sva_rt.Violation.Safety_violation v ->
+      Printf.printf "  TRAPPED: %s\n" (Sva_rt.Violation.to_string v))

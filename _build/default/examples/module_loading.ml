@@ -1,0 +1,86 @@
+(* Module loading (Section 3.4): kernel modules ship as signed bytecode
+   and link into a running kernel — "kernel modules and device drivers can
+   be dynamically loaded ... because both the bytecode verifier and
+   translator are intraprocedural and hence modular."
+
+     dune exec examples/module_loading.exe
+
+   The demo loads a tiny protocol-statistics module three ways:
+   1. into the native kernel (works, unchecked);
+   2. into the checked kernel as unknown code (the dispatcher's
+      control-flow-integrity check refuses to jump to a handler that was
+      not in the compile-time call graph);
+   3. compiled together with the kernel by the safety-checking compiler
+      (works, fully checked). *)
+
+module Boot = Ukern.Boot
+module Pipeline = Sva_pipeline.Pipeline
+
+let module_source =
+  {|
+    extern void sva_register_syscall(long num, ...);
+    extern void register_syscall_handler(long num, long handler);
+    extern char *kmalloc(long n);
+    extern void kfree(char *p);
+
+    struct pstat { long packets; long bytes; };
+    struct pstat modstats;
+
+    long sys_modstats(long what, long a1, long a2, long a3) {
+      modstats.packets = modstats.packets + 1;
+      modstats.bytes = modstats.bytes + what;
+      if (what == 0) return modstats.packets;
+      return modstats.bytes;
+    }
+
+    long mod_init(void) {
+      sva_register_syscall(41, sys_modstats);
+      register_syscall_handler(41, (long)sys_modstats);
+      return 0;
+    }
+  |}
+
+let ship_and_link t =
+  (* compile -> sign -> (simulated shipping) -> verify -> link *)
+  let m = Minic.Lower.compile_string ~name:"protostats" module_source in
+  Sva_ir.Passes.run Sva_ir.Passes.Llvm_like m;
+  let entry = Sva_bytecode.Signing.sign m in
+  Printf.printf "  module signed: %d bytes of bytecode, signature %s...\n"
+    (String.length entry.Sva_bytecode.Signing.ce_bytecode)
+    (String.sub (Sva_bytecode.Sha256.hex entry.Sva_bytecode.Signing.ce_signature) 0 12);
+  let verified = Sva_bytecode.Signing.verify entry in
+  Sva_interp.Interp.link_module t.Boot.vm verified;
+  ignore (Sva_interp.Interp.call t.Boot.vm "mod_init" []);
+  print_endline "  linked and initialized"
+
+let () =
+  print_endline "== 1. load into the native kernel ==";
+  let tn = Boot.boot ~conf:Pipeline.Native () in
+  ship_and_link tn;
+  Printf.printf "  syscall 41 -> %Ld (packets counted: %Ld)\n"
+    (Boot.syscall tn 41 [ 100L ])
+    (Boot.syscall tn 41 [ 0L ]);
+
+  print_endline "";
+  print_endline "== 2. load into the checked kernel as unknown code ==";
+  let ts = Boot.boot ~conf:Pipeline.Sva_safe () in
+  ship_and_link ts;
+  (match Boot.syscall ts 41 [ 100L ] with
+  | v -> Printf.printf "  !! unexpected success: %Ld\n" v
+  | exception Sva_rt.Violation.Safety_violation v ->
+      Printf.printf "  CFI refused the unknown handler: %s\n"
+        (Sva_rt.Violation.to_string v));
+  Printf.printf "  kernel still serving: getpid -> %Ld\n" (Boot.syscall ts 1 []);
+
+  print_endline "";
+  print_endline "== 3. compile the module with the kernel (the blessed path) ==";
+  let v = Ukern.Kbuild.as_tested in
+  let built =
+    Pipeline.build ~conf:Pipeline.Sva_safe ~aconfig:(Ukern.Kbuild.aconfig v)
+      ~name:"ukern+protostats"
+      (Ukern.Kbuild.sources v @ [ module_source ])
+  in
+  let tc = Boot.boot_built built ~variant:v in
+  ignore (Sva_interp.Interp.call tc.Boot.vm "mod_init" []);
+  Printf.printf "  checked syscall 41 -> %Ld (fully instrumented module)\n"
+    (Boot.syscall tc 41 [ 100L ])

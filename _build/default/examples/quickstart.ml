@@ -1,0 +1,93 @@
+(* Quickstart: compile a small C-like program through the complete SVA
+   pipeline and watch the safety checks catch a memory error that the
+   native build silently tolerates.
+
+     dune exec examples/quickstart.exe
+
+   The pipeline is: MiniC front end -> SVA-Core IR -> mem2reg/optimizer ->
+   points-to analysis -> metapool inference -> metapool type checking ->
+   run-time check insertion -> execution on the SVM. *)
+
+module Pipeline = Sva_pipeline.Pipeline
+
+let program =
+  {|
+    extern char *malloc(long n);
+    extern void free(char *p);
+
+    struct account { long id; long balance; };
+
+    /* transfer with a subtle bug: `to` may be out of range */
+    long transfer(int from_idx, int to_idx, long amount) {
+      struct account *table =
+        (struct account*)malloc(4 * sizeof(struct account));
+      for (int i = 0; i < 4; i++) {
+        table[i].id = i;
+        table[i].balance = 1000;
+      }
+      table[from_idx].balance -= amount;
+      table[to_idx].balance += amount;   /* no bounds validation! */
+      long result = table[from_idx].balance;
+      free((char*)table);
+      return result;
+    }
+  |}
+
+let run conf from_idx to_idx =
+  let built = Pipeline.build ~conf ~name:"quickstart" [ program ] in
+  let vm = Pipeline.instantiate built in
+  match
+    Sva_interp.Interp.call vm "transfer"
+      [ Int64.of_int from_idx; Int64.of_int to_idx; 250L ]
+  with
+  | Some v -> Printf.printf "  transfer(%d, %d, 250) = %Ld\n" from_idx to_idx v
+  | None -> print_endline "  (void)"
+  | exception Sva_rt.Violation.Safety_violation v ->
+      Printf.printf "  TRAPPED: %s\n" (Sva_rt.Violation.to_string v)
+
+let () =
+  print_endline "== 1. a correct call runs identically under every kernel ==";
+  List.iter
+    (fun conf ->
+      Printf.printf "%s:\n" (Pipeline.conf_name conf);
+      run conf 0 3)
+    Pipeline.all_confs;
+
+  print_endline "";
+  print_endline "== 2. an out-of-bounds index: native corrupts, SVA traps ==";
+  Printf.printf "%s:\n" (Pipeline.conf_name Pipeline.Native);
+  run Pipeline.Native 0 7;
+  Printf.printf "%s:\n" (Pipeline.conf_name Pipeline.Sva_safe);
+  run Pipeline.Sva_safe 0 7;
+
+  print_endline "";
+  print_endline "== 3. what the safety-checking compiler did ==";
+  let built = Pipeline.build ~conf:Pipeline.Sva_safe ~name:"quickstart" [ program ] in
+  (match built.Pipeline.bl_summary with
+  | Some s ->
+      Printf.printf
+        "  inserted %d bounds checks (%d geps proven safe statically),\n\
+        \  %d object registrations, %d drops; %d load/store checks elided\n\
+        \  because their pools are type-homogeneous.\n"
+        s.Sva_safety.Checkinsert.bounds_inserted
+        s.Sva_safety.Checkinsert.bounds_static
+        s.Sva_safety.Checkinsert.regs_inserted
+        s.Sva_safety.Checkinsert.drops_inserted
+        s.Sva_safety.Checkinsert.ls_elided_th
+  | None -> ());
+  (match built.Pipeline.bl_pa with
+  | Some pa ->
+      print_endline "  points-to partitions:";
+      List.iter
+        (fun n ->
+          if Sva_analysis.Pointsto.has_flag n Sva_analysis.Pointsto.Heap then
+            Printf.printf "    heap node %d [%s]%s: %s\n"
+              (Sva_analysis.Pointsto.node_id n)
+              (Sva_analysis.Pointsto.flags_to_string n)
+              (if Sva_analysis.Pointsto.is_type_homog n then " type-homogeneous"
+               else "")
+              (match Sva_analysis.Pointsto.node_ty n with
+              | Some t -> Sva_ir.Ty.to_string t
+              | None -> "<no single type>"))
+        (Sva_analysis.Pointsto.nodes pa)
+  | None -> ())

@@ -1,0 +1,1 @@
+lib/analysis/allocdecl.mli:

@@ -1,0 +1,1 @@
+lib/analysis/callgraph.ml: Func Hashtbl Instr Irmod List Pointsto Sva_ir Value

@@ -1,0 +1,1 @@
+lib/analysis/callgraph.mli: Irmod Pointsto Sva_ir

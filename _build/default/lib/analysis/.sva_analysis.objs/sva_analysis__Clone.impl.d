@@ -1,0 +1,1 @@
+lib/analysis/clone.ml: Func Instr Irmod List Printf Sva_ir Ty Value Verify

@@ -1,0 +1,1 @@
+lib/analysis/clone.mli: Func Irmod Sva_ir

@@ -1,0 +1,1 @@
+lib/analysis/pointsto.ml: Allocdecl Buffer Func Hashtbl Instr Int64 Irmod List Option Printf String Sva_ir Ty Value

@@ -1,0 +1,1 @@
+lib/analysis/pointsto.mli: Allocdecl Irmod Sva_ir Ty Value

@@ -1,0 +1,41 @@
+type kind = Pool | Ordinary
+
+type t = {
+  a_alloc : string;
+  a_free : string option;
+  a_kind : kind;
+  a_size_arg : int option;
+  a_pool_arg : int option;
+  a_size_fn : string option;
+  a_size_classes : int list;
+}
+
+let pool ?free ?size_fn ~pool_arg name =
+  {
+    a_alloc = name;
+    a_free = free;
+    a_kind = Pool;
+    a_size_arg = None;
+    a_pool_arg = Some pool_arg;
+    a_size_fn = size_fn;
+    a_size_classes = [];
+  }
+
+let ordinary ?free ?(size_classes = []) ~size_arg name =
+  {
+    a_alloc = name;
+    a_free = free;
+    a_kind = Ordinary;
+    a_size_arg = Some size_arg;
+    a_pool_arg = None;
+    a_size_fn = None;
+    a_size_classes = List.sort compare size_classes;
+  }
+
+let find decls name = List.find_opt (fun d -> d.a_alloc = name) decls
+
+let find_free decls name =
+  List.find_opt (fun d -> d.a_free = Some name) decls
+
+let size_class d size =
+  List.find_opt (fun c -> size <= c) d.a_size_classes

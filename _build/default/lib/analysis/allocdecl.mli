@@ -1,0 +1,57 @@
+(** Kernel allocator declarations (Section 4.4).
+
+    Porting a kernel to SVA requires identifying its allocation routines to
+    the compiler and specifying which ones are {e pool allocators}
+    (e.g. Linux's [kmem_cache_alloc]) versus {e ordinary allocators}
+    ([kmalloc], [vmalloc], [_alloc_bootmem]).  The existing allocator
+    interfaces are not modified; the declarations only tell the
+    safety-checking compiler where to insert [pchk.reg.obj] /
+    [pchk.drop.obj] and how to correlate kernel pools with points-to
+    partitions. *)
+
+type kind =
+  | Pool
+      (** a pool allocator: one argument designates the kernel pool
+          (cache); objects from one pool must live in one metapool *)
+  | Ordinary
+      (** an ordinary allocator with full internal reuse: all its memory
+          must be treated as a single metapool — unless size classes are
+          exposed (Section 6.2 exposes [kmalloc]'s caches) *)
+
+type t = {
+  a_alloc : string;  (** allocation function name *)
+  a_free : string option;  (** matching deallocation function *)
+  a_kind : kind;
+  a_size_arg : int option;
+      (** argument index carrying the object size in bytes; [None] when
+          the size is the pool's fixed object size *)
+  a_pool_arg : int option;  (** argument index of the pool descriptor *)
+  a_size_fn : string option;
+      (** name of a kernel function that, given the same arguments as the
+          allocation function, returns the allocation size in bytes
+          (Section 4.4: "Each allocator must provide a function that
+          returns the size of an allocation given the arguments").  Used
+          when the size is not directly an argument. *)
+  a_size_classes : int list;
+      (** for an [Ordinary] allocator whose internal implementation is a
+          set of per-size caches (Section 6.2): the exposed class sizes.
+          Allocation sites are grouped by the class their (constant) size
+          falls into, reducing unnecessary metapool merging.  Empty list =
+          no classes exposed. *)
+}
+
+val pool : ?free:string -> ?size_fn:string -> pool_arg:int -> string -> t
+(** Declare a pool allocator. *)
+
+val ordinary : ?free:string -> ?size_classes:int list -> size_arg:int -> string -> t
+(** Declare an ordinary allocator. *)
+
+val find : t list -> string -> t option
+(** Look up a declaration by allocation-function name. *)
+
+val find_free : t list -> string -> t option
+(** Look up the declaration whose deallocation function is [name]. *)
+
+val size_class : t -> int -> int option
+(** [size_class decl size] is the exposed size class that [size] falls
+    into ([None] when no classes are exposed or size exceeds them all). *)

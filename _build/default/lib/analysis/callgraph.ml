@@ -1,0 +1,90 @@
+open Sva_ir
+
+type callsite = {
+  cs_func : string;
+  cs_instr : int;
+  cs_direct : string option;
+  cs_targets : string list;
+}
+
+type t = {
+  sites : callsite list;
+  by_caller : (string, callsite list) Hashtbl.t;
+  caller_of : (string, string list) Hashtbl.t;
+}
+
+let build (m : Irmod.t) (pa : Pointsto.result) =
+  let sites = ref [] in
+  List.iter
+    (fun (f : Func.t) ->
+      if not (Func.has_attr f Func.Noanalyze) then
+        Func.iter_instrs f (fun _ (i : Instr.t) ->
+            match i.Instr.kind with
+            | Instr.Call (Value.Fn (name, _), _) ->
+                sites :=
+                  {
+                    cs_func = f.Func.f_name;
+                    cs_instr = i.Instr.id;
+                    cs_direct = Some name;
+                    cs_targets = [ name ];
+                  }
+                  :: !sites
+            | Instr.Call (_, _) ->
+                let targets =
+                  Pointsto.callsite_targets pa ~fname:f.Func.f_name i.Instr.id
+                in
+                sites :=
+                  {
+                    cs_func = f.Func.f_name;
+                    cs_instr = i.Instr.id;
+                    cs_direct = None;
+                    cs_targets = targets;
+                  }
+                  :: !sites
+            | _ -> ()))
+    m.Irmod.m_funcs;
+  let sites = List.rev !sites in
+  let by_caller = Hashtbl.create 64 and caller_of = Hashtbl.create 64 in
+  List.iter
+    (fun cs ->
+      let cur = try Hashtbl.find by_caller cs.cs_func with Not_found -> [] in
+      Hashtbl.replace by_caller cs.cs_func (cur @ [ cs ]);
+      List.iter
+        (fun callee ->
+          let cur = try Hashtbl.find caller_of callee with Not_found -> [] in
+          if not (List.mem cs.cs_func cur) then
+            Hashtbl.replace caller_of callee (cs.cs_func :: cur))
+        cs.cs_targets)
+    sites;
+  { sites; by_caller; caller_of }
+
+let callsites t = t.sites
+
+let callsites_of t fname =
+  try Hashtbl.find t.by_caller fname with Not_found -> []
+
+let callees t fname =
+  callsites_of t fname
+  |> List.concat_map (fun cs -> cs.cs_targets)
+  |> List.sort_uniq compare
+
+let callers t fname = try Hashtbl.find t.caller_of fname with Not_found -> []
+
+let indirect_fanout t =
+  List.filter_map
+    (fun cs ->
+      match cs.cs_direct with
+      | None -> Some (cs, List.length cs.cs_targets)
+      | Some _ -> None)
+    t.sites
+
+let reachable_from t roots =
+  let seen = Hashtbl.create 64 in
+  let rec go fn =
+    if not (Hashtbl.mem seen fn) then begin
+      Hashtbl.replace seen fn ();
+      List.iter go (callees t fn)
+    end
+  in
+  List.iter go roots;
+  Hashtbl.fold (fun k () acc -> k :: acc) seen [] |> List.sort compare

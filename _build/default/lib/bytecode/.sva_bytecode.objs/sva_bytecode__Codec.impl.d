@@ -1,0 +1,1 @@
+lib/bytecode/codec.ml: Buffer Char Func Instr Int64 Irmod List Printf String Sva_ir Ty Value

@@ -1,0 +1,1 @@
+lib/bytecode/codec.mli: Irmod Sva_ir

@@ -1,0 +1,1 @@
+lib/bytecode/sha256.ml: Array Bytes Char List Printf String

@@ -1,0 +1,1 @@
+lib/bytecode/sha256.mli:

@@ -1,0 +1,1 @@
+lib/bytecode/signing.ml: Bytes Char Codec Irmod Printf Sha256 String Sva_ir

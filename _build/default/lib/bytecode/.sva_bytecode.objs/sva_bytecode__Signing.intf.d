@@ -1,0 +1,1 @@
+lib/bytecode/signing.mli: Irmod Sva_ir

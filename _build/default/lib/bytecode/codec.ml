@@ -1,0 +1,544 @@
+open Sva_ir
+
+exception Decode_error of string
+
+let magic = "SVABC01\n"
+
+(* ---------- writer ---------- *)
+
+
+let w_u8 b n = Buffer.add_char b (Char.chr (n land 0xff))
+
+let w_u32 b n =
+  w_u8 b n;
+  w_u8 b (n lsr 8);
+  w_u8 b (n lsr 16);
+  w_u8 b (n lsr 24)
+
+let w_i64 b (n : int64) =
+  for i = 0 to 7 do
+    w_u8 b (Int64.to_int (Int64.shift_right_logical n (8 * i)) land 0xff)
+  done
+
+let w_str b s =
+  w_u32 b (String.length s);
+  Buffer.add_string b s
+
+let w_list b f items =
+  w_u32 b (List.length items);
+  List.iter (f b) items
+
+let w_bool b v = w_u8 b (if v then 1 else 0)
+
+let rec w_ty b (t : Ty.t) =
+  match t with
+  | Ty.Void -> w_u8 b 0
+  | Ty.Int w ->
+      w_u8 b 1;
+      w_u8 b w
+  | Ty.Float -> w_u8 b 2
+  | Ty.Ptr p ->
+      w_u8 b 3;
+      w_ty b p
+  | Ty.Array (e, n) ->
+      w_u8 b 4;
+      w_ty b e;
+      w_u32 b n
+  | Ty.Struct s ->
+      w_u8 b 5;
+      w_str b s
+  | Ty.Func (r, ps, va) ->
+      w_u8 b 6;
+      w_ty b r;
+      w_list b w_ty ps;
+      w_bool b va
+
+let w_value b (v : Value.t) =
+  match v with
+  | Value.Imm (t, n) ->
+      w_u8 b 0;
+      w_ty b t;
+      w_i64 b n
+  | Value.Fimm f ->
+      w_u8 b 1;
+      w_i64 b (Int64.bits_of_float f)
+  | Value.Null t ->
+      w_u8 b 2;
+      w_ty b t
+  | Value.Undef t ->
+      w_u8 b 3;
+      w_ty b t
+  | Value.Global (g, t) ->
+      w_u8 b 4;
+      w_str b g;
+      w_ty b t
+  | Value.Fn (f, t) ->
+      w_u8 b 5;
+      w_str b f;
+      w_ty b t
+  | Value.Reg (id, t, nm) ->
+      w_u8 b 6;
+      w_u32 b id;
+      w_ty b t;
+      w_str b nm
+
+let binop_code : Instr.binop -> int = function
+  | Add -> 0 | Sub -> 1 | Mul -> 2 | Sdiv -> 3 | Udiv -> 4 | Srem -> 5
+  | Urem -> 6 | And -> 7 | Or -> 8 | Xor -> 9 | Shl -> 10 | Lshr -> 11
+  | Ashr -> 12 | Fadd -> 13 | Fsub -> 14 | Fmul -> 15 | Fdiv -> 16
+
+let binop_of_code = function
+  | 0 -> Instr.Add | 1 -> Instr.Sub | 2 -> Instr.Mul | 3 -> Instr.Sdiv
+  | 4 -> Instr.Udiv | 5 -> Instr.Srem | 6 -> Instr.Urem | 7 -> Instr.And
+  | 8 -> Instr.Or | 9 -> Instr.Xor | 10 -> Instr.Shl | 11 -> Instr.Lshr
+  | 12 -> Instr.Ashr | 13 -> Instr.Fadd | 14 -> Instr.Fsub | 15 -> Instr.Fmul
+  | 16 -> Instr.Fdiv
+  | c -> raise (Decode_error (Printf.sprintf "bad binop code %d" c))
+
+let icmp_code : Instr.icmp -> int = function
+  | Eq -> 0 | Ne -> 1 | Slt -> 2 | Sle -> 3 | Sgt -> 4 | Sge -> 5
+  | Ult -> 6 | Ule -> 7 | Ugt -> 8 | Uge -> 9
+
+let icmp_of_code = function
+  | 0 -> Instr.Eq | 1 -> Instr.Ne | 2 -> Instr.Slt | 3 -> Instr.Sle
+  | 4 -> Instr.Sgt | 5 -> Instr.Sge | 6 -> Instr.Ult | 7 -> Instr.Ule
+  | 8 -> Instr.Ugt | 9 -> Instr.Uge
+  | c -> raise (Decode_error (Printf.sprintf "bad icmp code %d" c))
+
+let cast_code : Instr.cast -> int = function
+  | Bitcast -> 0 | Inttoptr -> 1 | Ptrtoint -> 2 | Trunc -> 3 | Zext -> 4
+  | Sext -> 5 | Fptosi -> 6 | Sitofp -> 7
+
+let cast_of_code = function
+  | 0 -> Instr.Bitcast | 1 -> Instr.Inttoptr | 2 -> Instr.Ptrtoint
+  | 3 -> Instr.Trunc | 4 -> Instr.Zext | 5 -> Instr.Sext | 6 -> Instr.Fptosi
+  | 7 -> Instr.Sitofp
+  | c -> raise (Decode_error (Printf.sprintf "bad cast code %d" c))
+
+let w_kind b (k : Instr.kind) =
+  match k with
+  | Instr.Binop (op, x, y) ->
+      w_u8 b 0;
+      w_u8 b (binop_code op);
+      w_value b x;
+      w_value b y
+  | Instr.Icmp (op, x, y) ->
+      w_u8 b 1;
+      w_u8 b (icmp_code op);
+      w_value b x;
+      w_value b y
+  | Instr.Alloca (t, n) ->
+      w_u8 b 2;
+      w_ty b t;
+      w_value b n
+  | Instr.Load p ->
+      w_u8 b 3;
+      w_value b p
+  | Instr.Store (v, p) ->
+      w_u8 b 4;
+      w_value b v;
+      w_value b p
+  | Instr.Gep (base, idxs) ->
+      w_u8 b 5;
+      w_value b base;
+      w_list b w_value idxs
+  | Instr.Cast (op, v, t) ->
+      w_u8 b 6;
+      w_u8 b (cast_code op);
+      w_value b v;
+      w_ty b t
+  | Instr.Select (c, x, y) ->
+      w_u8 b 7;
+      w_value b c;
+      w_value b x;
+      w_value b y
+  | Instr.Call (f, args) ->
+      w_u8 b 8;
+      w_value b f;
+      w_list b w_value args
+  | Instr.Phi incoming ->
+      w_u8 b 9;
+      w_list b
+        (fun b (l, v) ->
+          w_str b l;
+          w_value b v)
+        incoming
+  | Instr.Malloc (t, n) ->
+      w_u8 b 10;
+      w_ty b t;
+      w_value b n
+  | Instr.Free p ->
+      w_u8 b 11;
+      w_value b p
+  | Instr.Atomic_cas (p, e, r) ->
+      w_u8 b 12;
+      w_value b p;
+      w_value b e;
+      w_value b r
+  | Instr.Atomic_add (p, d) ->
+      w_u8 b 13;
+      w_value b p;
+      w_value b d
+  | Instr.Membar -> w_u8 b 14
+  | Instr.Intrinsic (name, args) ->
+      w_u8 b 15;
+      w_str b name;
+      w_list b w_value args
+
+let w_term b (t : Instr.term) =
+  match t with
+  | Instr.Ret None -> w_u8 b 0
+  | Instr.Ret (Some v) ->
+      w_u8 b 1;
+      w_value b v
+  | Instr.Br (c, th, el) ->
+      w_u8 b 2;
+      w_value b c;
+      w_str b th;
+      w_str b el
+  | Instr.Jmp l ->
+      w_u8 b 3;
+      w_str b l
+  | Instr.Switch (v, cases, d) ->
+      w_u8 b 4;
+      w_value b v;
+      w_list b
+        (fun b (n, l) ->
+          w_i64 b n;
+          w_str b l)
+        cases;
+      w_str b d
+  | Instr.Unreachable -> w_u8 b 5
+
+let w_instr b (i : Instr.t) =
+  w_u32 b i.Instr.id;
+  w_str b i.Instr.nm;
+  w_ty b i.Instr.ty;
+  w_kind b i.Instr.kind
+
+let attr_code : Func.attr -> int = function
+  | Func.Noanalyze -> 0
+  | Func.Callsig_assert -> 1
+  | Func.Kernel_entry -> 2
+
+let attr_of_code = function
+  | 0 -> Func.Noanalyze
+  | 1 -> Func.Callsig_assert
+  | 2 -> Func.Kernel_entry
+  | c -> raise (Decode_error (Printf.sprintf "bad attr code %d" c))
+
+let w_func b (f : Func.t) =
+  w_str b f.Func.f_name;
+  w_ty b f.Func.f_ret;
+  w_list b
+    (fun b (n, t) ->
+      w_str b n;
+      w_ty b t)
+    f.Func.f_params;
+  w_bool b f.Func.f_varargs;
+  w_u32 b f.Func.f_next_reg;
+  w_list b (fun b a -> w_u8 b (attr_code a)) f.Func.f_attrs;
+  w_list b
+    (fun b (blk : Func.block) ->
+      w_str b blk.Func.label;
+      w_list b w_instr blk.Func.insns;
+      w_term b blk.Func.term)
+    f.Func.f_blocks
+
+let w_ginit b (g : Irmod.ginit) =
+  match g with
+  | Irmod.Zero -> w_u8 b 0
+  | Irmod.Str s ->
+      w_u8 b 1;
+      w_str b s
+  | Irmod.Ints (t, ns) ->
+      w_u8 b 2;
+      w_ty b t;
+      w_list b w_i64 ns
+  | Irmod.Ptrs syms ->
+      w_u8 b 3;
+      w_list b w_str syms
+
+let encode (m : Irmod.t) : string =
+  let b = Buffer.create 65536 in
+  Buffer.add_string b magic;
+  w_str b m.Irmod.m_name;
+  w_list b
+    (fun b name ->
+      let def = Ty.find_struct m.Irmod.m_ctx name in
+      w_str b name;
+      w_list b
+        (fun b (fn, ft) ->
+          w_str b fn;
+          w_ty b ft)
+        def.Ty.s_fields)
+    (Ty.struct_names m.Irmod.m_ctx);
+  w_list b
+    (fun b (g : Irmod.global) ->
+      w_str b g.Irmod.g_name;
+      w_ty b g.Irmod.g_ty;
+      w_ginit b g.Irmod.g_init;
+      w_bool b g.Irmod.g_const)
+    m.Irmod.m_globals;
+  w_list b
+    (fun b (n, t) ->
+      w_str b n;
+      w_ty b t)
+    m.Irmod.m_externs;
+  w_list b w_func m.Irmod.m_funcs;
+  Buffer.contents b
+
+(* ---------- reader ---------- *)
+
+type reader = { src : string; mutable pos : int }
+
+let fail_at r msg =
+  raise (Decode_error (Printf.sprintf "%s at offset %d" msg r.pos))
+
+let r_u8 r =
+  if r.pos >= String.length r.src then fail_at r "truncated";
+  let c = Char.code r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let r_u32 r =
+  let a = r_u8 r in
+  let b = r_u8 r in
+  let c = r_u8 r in
+  let d = r_u8 r in
+  a lor (b lsl 8) lor (c lsl 16) lor (d lsl 24)
+
+let r_i64 r =
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor !v (Int64.shift_left (Int64.of_int (r_u8 r)) (8 * i))
+  done;
+  !v
+
+let r_str r =
+  let n = r_u32 r in
+  if r.pos + n > String.length r.src then fail_at r "truncated string";
+  let s = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let r_list r f =
+  let n = r_u32 r in
+  List.init n (fun _ -> f r)
+
+let r_bool r = r_u8 r <> 0
+
+let rec r_ty r : Ty.t =
+  match r_u8 r with
+  | 0 -> Ty.Void
+  | 1 -> Ty.Int (r_u8 r)
+  | 2 -> Ty.Float
+  | 3 -> Ty.Ptr (r_ty r)
+  | 4 ->
+      let e = r_ty r in
+      let n = r_u32 r in
+      Ty.Array (e, n)
+  | 5 -> Ty.Struct (r_str r)
+  | 6 ->
+      let ret = r_ty r in
+      let ps = r_list r r_ty in
+      let va = r_bool r in
+      Ty.Func (ret, ps, va)
+  | c -> fail_at r (Printf.sprintf "bad type tag %d" c)
+
+let r_value r : Value.t =
+  match r_u8 r with
+  | 0 ->
+      let t = r_ty r in
+      let n = r_i64 r in
+      Value.Imm (t, n)
+  | 1 -> Value.Fimm (Int64.float_of_bits (r_i64 r))
+  | 2 -> Value.Null (r_ty r)
+  | 3 -> Value.Undef (r_ty r)
+  | 4 ->
+      let g = r_str r in
+      let t = r_ty r in
+      Value.Global (g, t)
+  | 5 ->
+      let f = r_str r in
+      let t = r_ty r in
+      Value.Fn (f, t)
+  | 6 ->
+      let id = r_u32 r in
+      let t = r_ty r in
+      let nm = r_str r in
+      Value.Reg (id, t, nm)
+  | c -> fail_at r (Printf.sprintf "bad value tag %d" c)
+
+let r_kind r : Instr.kind =
+  match r_u8 r with
+  | 0 ->
+      let op = binop_of_code (r_u8 r) in
+      let x = r_value r in
+      let y = r_value r in
+      Instr.Binop (op, x, y)
+  | 1 ->
+      let op = icmp_of_code (r_u8 r) in
+      let x = r_value r in
+      let y = r_value r in
+      Instr.Icmp (op, x, y)
+  | 2 ->
+      let t = r_ty r in
+      let n = r_value r in
+      Instr.Alloca (t, n)
+  | 3 -> Instr.Load (r_value r)
+  | 4 ->
+      let v = r_value r in
+      let p = r_value r in
+      Instr.Store (v, p)
+  | 5 ->
+      let base = r_value r in
+      let idxs = r_list r r_value in
+      Instr.Gep (base, idxs)
+  | 6 ->
+      let op = cast_of_code (r_u8 r) in
+      let v = r_value r in
+      let t = r_ty r in
+      Instr.Cast (op, v, t)
+  | 7 ->
+      let c = r_value r in
+      let x = r_value r in
+      let y = r_value r in
+      Instr.Select (c, x, y)
+  | 8 ->
+      let f = r_value r in
+      let args = r_list r r_value in
+      Instr.Call (f, args)
+  | 9 ->
+      Instr.Phi
+        (r_list r (fun r ->
+             let l = r_str r in
+             let v = r_value r in
+             (l, v)))
+  | 10 ->
+      let t = r_ty r in
+      let n = r_value r in
+      Instr.Malloc (t, n)
+  | 11 -> Instr.Free (r_value r)
+  | 12 ->
+      let p = r_value r in
+      let e = r_value r in
+      let rr = r_value r in
+      Instr.Atomic_cas (p, e, rr)
+  | 13 ->
+      let p = r_value r in
+      let d = r_value r in
+      Instr.Atomic_add (p, d)
+  | 14 -> Instr.Membar
+  | 15 ->
+      let name = r_str r in
+      let args = r_list r r_value in
+      Instr.Intrinsic (name, args)
+  | c -> fail_at r (Printf.sprintf "bad instruction tag %d" c)
+
+let r_term r : Instr.term =
+  match r_u8 r with
+  | 0 -> Instr.Ret None
+  | 1 -> Instr.Ret (Some (r_value r))
+  | 2 ->
+      let c = r_value r in
+      let th = r_str r in
+      let el = r_str r in
+      Instr.Br (c, th, el)
+  | 3 -> Instr.Jmp (r_str r)
+  | 4 ->
+      let v = r_value r in
+      let cases =
+        r_list r (fun r ->
+            let n = r_i64 r in
+            let l = r_str r in
+            (n, l))
+      in
+      let d = r_str r in
+      Instr.Switch (v, cases, d)
+  | 5 -> Instr.Unreachable
+  | c -> fail_at r (Printf.sprintf "bad terminator tag %d" c)
+
+let r_instr r : Instr.t =
+  let id = r_u32 r in
+  let nm = r_str r in
+  let ty = r_ty r in
+  let kind = r_kind r in
+  { Instr.id; nm; ty; kind }
+
+let r_func r : Func.t =
+  let name = r_str r in
+  let ret = r_ty r in
+  let params =
+    r_list r (fun r ->
+        let n = r_str r in
+        let t = r_ty r in
+        (n, t))
+  in
+  let varargs = r_bool r in
+  let next_reg = r_u32 r in
+  let attrs = r_list r (fun r -> attr_of_code (r_u8 r)) in
+  let f = Func.create ~varargs ~attrs name ret params in
+  f.Func.f_next_reg <- next_reg;
+  let blocks =
+    r_list r (fun r ->
+        let label = r_str r in
+        let insns = r_list r r_instr in
+        let term = r_term r in
+        { Func.label; insns; term })
+  in
+  f.Func.f_blocks <- blocks;
+  f
+
+let decode (s : string) : Irmod.t =
+  let r = { src = s; pos = 0 } in
+  if
+    String.length s < String.length magic
+    || String.sub s 0 (String.length magic) <> magic
+  then raise (Decode_error "bad magic");
+  r.pos <- String.length magic;
+  let name = r_str r in
+  let m = Irmod.create name in
+  List.iter
+    (fun (sname, fields) -> ignore (Ty.define_struct m.Irmod.m_ctx sname fields))
+    (r_list r (fun r ->
+         let sname = r_str r in
+         let fields =
+           r_list r (fun r ->
+               let fn = r_str r in
+               let ft = r_ty r in
+               (fn, ft))
+         in
+         (sname, fields)));
+  List.iter
+    (fun g -> Irmod.add_global m g)
+    (r_list r (fun r ->
+         let g_name = r_str r in
+         let g_ty = r_ty r in
+         let g_init =
+           match r_u8 r with
+           | 0 -> Irmod.Zero
+           | 1 -> Irmod.Str (r_str r)
+           | 2 ->
+               let t = r_ty r in
+               let ns = r_list r r_i64 in
+               Irmod.Ints (t, ns)
+           | 3 -> Irmod.Ptrs (r_list r r_str)
+           | c -> fail_at r (Printf.sprintf "bad ginit tag %d" c)
+         in
+         let g_const = r_bool r in
+         { Irmod.g_name; g_ty; g_init; g_const }));
+  List.iter
+    (fun (n, t) -> Irmod.declare_extern m n t)
+    (r_list r (fun r ->
+         let n = r_str r in
+         let t = r_ty r in
+         (n, t)));
+  List.iter (fun f -> Irmod.add_func m f) (r_list r r_func);
+  if r.pos <> String.length s then fail_at r "trailing bytes";
+  m
+
+let roundtrip_equal m =
+  let e1 = encode m in
+  let e2 = encode (decode e1) in
+  String.equal e1 e2

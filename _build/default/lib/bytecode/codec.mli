@@ -1,0 +1,23 @@
+(** The on-disk SVA bytecode format.
+
+    SVA inherits LLVM's property that the compiler IR {e is} the external
+    object-code representation (Section 3.1): this codec serializes a
+    whole module — struct definitions, globals, externs, functions with
+    attributes, blocks and instructions — and restores it bit-exactly.
+    The bytecode verifier and the translator both start from these bytes;
+    signatures ({!Signing}) cover them. *)
+
+open Sva_ir
+
+exception Decode_error of string
+
+val encode : Irmod.t -> string
+(** Serialize a module (deterministic: equal modules produce equal
+    bytes). *)
+
+val decode : string -> Irmod.t
+(** Reconstruct a module.  @raise Decode_error on malformed input. *)
+
+val roundtrip_equal : Irmod.t -> bool
+(** [encode] then [decode] then [encode] again and compare — the codec's
+    self-test. *)

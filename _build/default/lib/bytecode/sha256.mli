@@ -1,0 +1,18 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch.
+
+    Used to sign cached native-code translations together with their
+    bytecode "to ensure integrity and safety of the native code"
+    (Section 2/3.4).  No external crypto dependency is available in the
+    sealed build environment, so the hash is implemented here and
+    validated against the FIPS test vectors in the test suite. *)
+
+val digest : string -> string
+(** Raw 32-byte digest. *)
+
+val hex : string -> string
+(** Lowercase hex digest (64 characters). *)
+
+val hmac : key:string -> string -> string
+(** HMAC-SHA256 (RFC 2104), used as the SVM's signing primitive. *)
+
+val hmac_hex : key:string -> string -> string

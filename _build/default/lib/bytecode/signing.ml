@@ -1,0 +1,59 @@
+open Sva_ir
+
+type entry = {
+  ce_module_name : string;
+  ce_bytecode : string;
+  ce_native : string;
+  ce_signature : string;
+}
+
+exception Tampered of string
+
+let svm_key = ref "sva-secure-virtual-machine-key"
+
+let translate (m : Irmod.t) =
+  (* The interpreter is the translator; its deterministic input is the
+     bytecode, so the cacheable translation artifact is a fingerprint over
+     the bytecode plus the translation scheme version. *)
+  Sha256.hex ("svm-translate-v1:" ^ Codec.encode m)
+
+let payload name bytecode native =
+  Printf.sprintf "%d:%s|%d:%s|%d:%s" (String.length name) name
+    (String.length bytecode) bytecode (String.length native) native
+
+let sign m =
+  let bytecode = Codec.encode m in
+  let native = translate m in
+  let name = m.Irmod.m_name in
+  {
+    ce_module_name = name;
+    ce_bytecode = bytecode;
+    ce_native = native;
+    ce_signature = Sha256.hmac ~key:!svm_key (payload name bytecode native);
+  }
+
+let verify e =
+  let expect =
+    Sha256.hmac ~key:!svm_key (payload e.ce_module_name e.ce_bytecode e.ce_native)
+  in
+  if not (String.equal expect e.ce_signature) then
+    raise (Tampered ("signature mismatch for module " ^ e.ce_module_name));
+  let m =
+    try Codec.decode e.ce_bytecode
+    with Codec.Decode_error msg -> raise (Tampered ("undecodable bytecode: " ^ msg))
+  in
+  (* The cached native artifact must match a fresh translation. *)
+  if not (String.equal (translate m) e.ce_native) then
+    raise (Tampered ("stale native translation for module " ^ e.ce_module_name));
+  m
+
+let flip_byte s i =
+  let b = Bytes.of_string s in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+  Bytes.to_string b
+
+let tamper_bytecode e =
+  { e with ce_bytecode = flip_byte e.ce_bytecode (String.length e.ce_bytecode / 2) }
+
+let tamper_native e =
+  { e with ce_native = flip_byte e.ce_native (String.length e.ce_native / 2) }

@@ -1,0 +1,41 @@
+(** Signed translation cache (Sections 2 and 3.4).
+
+    "When translation is done offline, the translated native code is
+    cached on disk together with the bytecode, and the pair is digitally
+    signed together to ensure integrity and safety of the native code."
+    A cache entry here pairs the bytecode with the "native translation"
+    (in this implementation, the translator's deterministic image digest),
+    signed with the SVM's key.  Loading verifies the signature and the
+    bytecode hash before the module may execute. *)
+
+open Sva_ir
+
+type entry = {
+  ce_module_name : string;
+  ce_bytecode : string;  (** serialized module *)
+  ce_native : string;  (** cached translation artifact *)
+  ce_signature : string;  (** HMAC-SHA256 over name, bytecode and native *)
+}
+
+exception Tampered of string
+
+val svm_key : string ref
+(** The SVM signing key (a deployment would keep this sealed). *)
+
+val translate : Irmod.t -> string
+(** The deterministic "native code" artifact for a module.  The
+    interpreter executes bytecode directly, so the artifact is the
+    translation fingerprint the SVM caches and re-checks. *)
+
+val sign : Irmod.t -> entry
+(** Encode, translate and sign a module. *)
+
+val verify : entry -> Irmod.t
+(** Check the signature and decode the bytecode.
+    @raise Tampered if the signature, bytecode or native artifact was
+    modified. *)
+
+val tamper_bytecode : entry -> entry
+(** Flip a byte in the bytecode (for tests and demos). *)
+
+val tamper_native : entry -> entry

@@ -1,0 +1,1 @@
+lib/harness/tablefmt.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/harness/tables.ml: Array Buffer Exploits Hashtbl List Minic Option Printf String Sva_analysis Sva_ir Sva_pipeline Sva_rt Sva_safety Sva_tyck Tablefmt Ukern Workloads

@@ -1,0 +1,1 @@
+lib/harness/workloads.ml: Bytes Char Int32 Int64 List Printf String Ukern

@@ -1,0 +1,48 @@
+(** Experiment runners: one function per table/figure of the paper's
+    evaluation (Section 7), each returning a formatted report that shows
+    the paper's numbers next to the measured ones.
+
+    Absolute times differ (the substrate is a simulator, not an 800MHz
+    Pentium III), so every performance table reports {e relative
+    overheads} — the quantity the paper itself reports — and the
+    accompanying note says what shape property to look for. *)
+
+val table4 : unit -> string
+(** Lines modified porting the kernel (per section, by marker class). *)
+
+val table5 : ?quick:bool -> unit -> string
+(** Application latency overheads across the four kernels. *)
+
+val table6 : ?quick:bool -> unit -> string
+(** thttpd bandwidth reduction. *)
+
+val table7 : ?quick:bool -> unit -> string
+(** Raw kernel operation latency overheads. *)
+
+val table8 : ?quick:bool -> unit -> string
+(** File/pipe bandwidth reduction. *)
+
+val table9 : unit -> string
+(** Static metrics of the safety-checking compiler, "as tested" vs
+    "entire kernel". *)
+
+val exploits_table : unit -> string
+(** The Section 7.2 exploit experiment. *)
+
+val verifier_experiment : unit -> string
+(** The Section 5 bug-injection experiment, run on the full kernel. *)
+
+val figure2 : unit -> string
+(** The Figure 2 reproduction: the instrumented [fib_create_info] with
+    its points-to partitions. *)
+
+val check_summary : unit -> string
+(** Static check-insertion statistics for the kernel (supporting data for
+    Table 9 and the Section 7.1.3 optimization discussion). *)
+
+val ablation : ?quick:bool -> unit -> string
+(** The optimizations the paper proposes or uses, measured as ablations on
+    the checked kernel: the Section 7.1.3 check optimizations
+    (static bounds proofs, redundant-check elimination, monotonic-loop
+    hoisting), TH load/store elision, and the Section 4.8 cloning +
+    devirtualization transforms. *)

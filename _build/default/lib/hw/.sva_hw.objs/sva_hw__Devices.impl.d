@@ -1,0 +1,1 @@
+lib/hw/devices.ml: Buffer Bytes Int64 List Printf

@@ -1,0 +1,1 @@
+lib/hw/devices.mli: Buffer Bytes

@@ -1,0 +1,1 @@
+lib/hw/machine.ml: Bytes Char Fun Int64 Printf

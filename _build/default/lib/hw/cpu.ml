@@ -1,0 +1,80 @@
+type t = {
+  mutable gpr : int64 array;
+  mutable pc : int64;
+  mutable flags : int64;
+  mutable privileged : bool;
+  mutable interrupts_enabled : bool;
+  mutable fpr : float array;
+  mutable fp_dirty : bool;
+}
+
+let create () =
+  {
+    gpr = Array.make 16 0L;
+    pc = 0L;
+    flags = 0L;
+    privileged = true;
+    interrupts_enabled = true;
+    fpr = Array.make 8 0.0;
+    fp_dirty = false;
+  }
+
+let integer_state_size = (16 * 8) + 8 + 8
+let fp_state_size = 8 * 8
+
+let save_integer t mem ~addr =
+  Array.iteri
+    (fun i v -> Machine.write_int mem ~addr:(addr + (i * 8)) ~width:8 v)
+    t.gpr;
+  Machine.write_int mem ~addr:(addr + 128) ~width:8 t.pc;
+  let f =
+    Int64.logor t.flags
+      (Int64.logor
+         (if t.privileged then 0x100L else 0L)
+         (if t.interrupts_enabled then 0x200L else 0L))
+  in
+  Machine.write_int mem ~addr:(addr + 136) ~width:8 f
+
+let load_integer t mem ~addr =
+  for i = 0 to 15 do
+    t.gpr.(i) <- Machine.read_int mem ~addr:(addr + (i * 8)) ~width:8
+  done;
+  t.pc <- Machine.read_int mem ~addr:(addr + 128) ~width:8;
+  let f = Machine.read_int mem ~addr:(addr + 136) ~width:8 in
+  t.privileged <- Int64.logand f 0x100L <> 0L;
+  t.interrupts_enabled <- Int64.logand f 0x200L <> 0L;
+  t.flags <- Int64.logand f 0xffL
+
+let save_fp t mem ~addr ~always =
+  if always || t.fp_dirty then begin
+    Array.iteri
+      (fun i v ->
+        Machine.write_int mem ~addr:(addr + (i * 8)) ~width:8
+          (Int64.bits_of_float v))
+      t.fpr;
+    t.fp_dirty <- false;
+    true
+  end
+  else false
+
+let load_fp t mem ~addr =
+  for i = 0 to 7 do
+    t.fpr.(i) <-
+      Int64.float_of_bits (Machine.read_int mem ~addr:(addr + (i * 8)) ~width:8)
+  done;
+  t.fp_dirty <- false
+
+let scramble t ~seed =
+  let s = ref (Int64.of_int (seed * 2654435761)) in
+  let next () =
+    s := Int64.mul (Int64.add !s 0x9E3779B97F4A7C15L) 0xBF58476D1CE4E5B9L;
+    !s
+  in
+  Array.iteri (fun i _ -> t.gpr.(i) <- next ()) t.gpr;
+  t.pc <- next ();
+  t.flags <- Int64.logand (next ()) 0xffL
+
+let equal_integer a b =
+  a.gpr = b.gpr && a.pc = b.pc && a.flags = b.flags
+  && a.privileged = b.privileged
+  && a.interrupts_enabled = b.interrupts_enabled

@@ -1,0 +1,44 @@
+(** Simulated processor state.
+
+    SVA divides the opaque native state into {e control state} (general
+    purpose + privileged registers) and {e floating point state}
+    (Section 3.3).  The SVA-OS state-saving operations (Table 1) copy
+    these blobs to and from kernel memory; lazy FP saving is supported by
+    the dirty bit. *)
+
+type t = {
+  mutable gpr : int64 array;  (** 16 general-purpose registers *)
+  mutable pc : int64;  (** program counter cookie *)
+  mutable flags : int64;  (** condition/priv flags word *)
+  mutable privileged : bool;  (** current privilege level *)
+  mutable interrupts_enabled : bool;
+  mutable fpr : float array;  (** 8 floating point registers *)
+  mutable fp_dirty : bool;  (** FP state touched since last load *)
+}
+
+val create : unit -> t
+
+val integer_state_size : int
+(** Bytes needed by {!save_integer}: 16 GPRs + pc + flags = 144. *)
+
+val fp_state_size : int
+(** Bytes needed by {!save_fp}: 8 doubles = 64. *)
+
+val save_integer : t -> Machine.t -> addr:int -> unit
+(** Serialize the control state to memory (llva.save.integer). *)
+
+val load_integer : t -> Machine.t -> addr:int -> unit
+(** Restore the control state from memory (llva.load.integer). *)
+
+val save_fp : t -> Machine.t -> addr:int -> always:bool -> bool
+(** llva.save.fp: saves if [always] or the FP state is dirty; returns
+    whether a save actually happened (the lazy-FP optimization). *)
+
+val load_fp : t -> Machine.t -> addr:int -> unit
+
+val scramble : t -> seed:int -> unit
+(** Perturb the register state deterministically (used by tests and by
+    the interrupt machinery to model clobbered scratch registers). *)
+
+val equal_integer : t -> t -> bool
+(** Control-state equality (for save/restore round-trip tests). *)

@@ -1,0 +1,116 @@
+exception Hw_fault of int * string
+
+let page_size = 4096
+
+let bios_base = 0x000E0000
+let bios_size = 0x00020000 (* 128 KB *)
+let svm_base = 0x00010000
+let svm_size = 0x00005000 (* 20 KB, Section 3.4 *)
+let globals_base = 0x00200000
+let globals_size = 8 * 1024 * 1024
+let heap_base = 0x01000000
+let heap_size = 64 * 1024 * 1024
+let stack_base = 0x08000000
+let stack_size = 16 * 1024 * 1024
+let user_base = 0x40000000
+let user_size = 32 * 1024 * 1024
+
+type region = { r_name : string; r_base : int; r_size : int; r_bytes : Bytes.t }
+
+type t = { regions : region list; mutable svm : bool }
+
+let mk_region name base size =
+  { r_name = name; r_base = base; r_size = size; r_bytes = Bytes.make size '\000' }
+
+let create () =
+  {
+    regions =
+      [
+        mk_region "bios" bios_base bios_size;
+        mk_region "svm" svm_base svm_size;
+        mk_region "globals" globals_base globals_size;
+        mk_region "heap" heap_base heap_size;
+        mk_region "stack" stack_base stack_size;
+        mk_region "user" user_base user_size;
+      ];
+    svm = false;
+  }
+
+let find_region t addr len =
+  let rec go = function
+    | [] ->
+        raise
+          (Hw_fault (addr, Printf.sprintf "access to unmapped address 0x%x" addr))
+    | r :: rest ->
+        if addr >= r.r_base && addr + len <= r.r_base + r.r_size then r
+        else go rest
+  in
+  if len < 0 then raise (Hw_fault (addr, "negative access length"));
+  go t.regions
+
+let read t ~addr ~len =
+  let r = find_region t addr len in
+  Bytes.sub r.r_bytes (addr - r.r_base) len
+
+let write t ~addr b =
+  let len = Bytes.length b in
+  let r = find_region t addr len in
+  if r.r_name = "svm" && not t.svm then
+    raise (Hw_fault (addr, "kernel store into SVM-reserved memory"));
+  Bytes.blit b 0 r.r_bytes (addr - r.r_base) len
+
+let read_int t ~addr ~width =
+  let r = find_region t addr width in
+  let off = addr - r.r_base in
+  let v =
+    match width with
+    | 1 -> Int64.of_int (Char.code (Bytes.get r.r_bytes off))
+    | 2 -> Int64.of_int (Bytes.get_uint16_le r.r_bytes off)
+    | 4 -> Int64.of_int32 (Bytes.get_int32_le r.r_bytes off)
+    | 8 -> Bytes.get_int64_le r.r_bytes off
+    | _ -> raise (Hw_fault (addr, "bad access width"))
+  in
+  (* Canonical representation: sign-extended to 64 bits. *)
+  match width with
+  | 1 -> Int64.shift_right (Int64.shift_left v 56) 56
+  | 2 -> Int64.shift_right (Int64.shift_left v 48) 48
+  | 4 -> v (* of_int32 sign-extends *)
+  | _ -> v
+
+let write_int t ~addr ~width v =
+  let r = find_region t addr width in
+  if r.r_name = "svm" && not t.svm then
+    raise (Hw_fault (addr, "kernel store into SVM-reserved memory"));
+  let off = addr - r.r_base in
+  match width with
+  | 1 -> Bytes.set r.r_bytes off (Char.chr (Int64.to_int (Int64.logand v 0xffL)))
+  | 2 -> Bytes.set_uint16_le r.r_bytes off (Int64.to_int (Int64.logand v 0xffffL))
+  | 4 -> Bytes.set_int32_le r.r_bytes off (Int64.to_int32 v)
+  | 8 -> Bytes.set_int64_le r.r_bytes off v
+  | _ -> raise (Hw_fault (addr, "bad access width"))
+
+let blit t ~src ~dst ~len =
+  if len > 0 then begin
+    let b = read t ~addr:src ~len in
+    write t ~addr:dst b
+  end
+
+let fill t ~addr ~len c =
+  if len > 0 then begin
+    let r = find_region t addr len in
+    if r.r_name = "svm" && not t.svm then
+      raise (Hw_fault (addr, "kernel store into SVM-reserved memory"));
+    Bytes.fill r.r_bytes (addr - r.r_base) len c
+  end
+
+let in_user_range ~addr ~len =
+  addr >= user_base && addr + len <= user_base + user_size && len >= 0
+
+let in_kernel_range ~addr = addr < user_base
+
+let with_svm_mode t f =
+  let prev = t.svm in
+  t.svm <- true;
+  Fun.protect ~finally:(fun () -> t.svm <- prev) f
+
+let svm_mode t = t.svm

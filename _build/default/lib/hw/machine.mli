@@ -1,0 +1,69 @@
+(** Simulated physical machine memory.
+
+    The machine exposes a flat physical address space carved into fixed
+    regions (BIOS, SVM-reserved, kernel globals, kernel heap, kernel
+    stacks, userspace frames).  Each region is one contiguous byte buffer,
+    so an out-of-bounds write inside a region silently corrupts whatever
+    object is adjacent — exactly the behaviour memory-safety exploits rely
+    on, and what the SVA run-time checks must catch {e before} the access
+    happens.  Only access outside any region (or to a page the MMU says is
+    unmapped) raises {!Hw_fault}, modelling a hardware fault.
+
+    The SVM-reserved region models the ~20KB the virtual machine reserves
+    for its own bootstrap (Section 3.4); stores to it from kernel code are
+    refused unless performed through the SVM itself. *)
+
+exception Hw_fault of int * string
+(** Raised on access outside mapped memory: (address, reason). *)
+
+(** Fixed region layout (addresses are plain ints; the VM is 64-bit). *)
+
+val bios_base : int
+val bios_size : int
+val svm_base : int
+val svm_size : int
+val globals_base : int
+val globals_size : int
+val heap_base : int
+val heap_size : int
+val stack_base : int
+val stack_size : int
+val user_base : int
+val user_size : int
+
+val page_size : int
+(** 4096 bytes. *)
+
+type t
+
+val create : unit -> t
+
+val read : t -> addr:int -> len:int -> Bytes.t
+(** Copy [len] bytes out of memory.  @raise Hw_fault if the range is not
+    fully inside one region. *)
+
+val write : t -> addr:int -> Bytes.t -> unit
+(** @raise Hw_fault on unmapped ranges or kernel stores into the
+    SVM-reserved region (unless {!svm_mode} is on). *)
+
+val read_int : t -> addr:int -> width:int -> int64
+(** Little-endian load of [width] bytes (1, 2, 4 or 8), sign-extended to
+    the canonical 64-bit representation. *)
+
+val write_int : t -> addr:int -> width:int -> int64 -> unit
+
+val blit : t -> src:int -> dst:int -> len:int -> unit
+(** memmove semantics within/between regions. *)
+
+val fill : t -> addr:int -> len:int -> char -> unit
+
+val in_user_range : addr:int -> len:int -> bool
+(** Whether a byte range lies entirely within the userspace region. *)
+
+val in_kernel_range : addr:int -> bool
+
+val with_svm_mode : t -> (unit -> 'a) -> 'a
+(** Run [f] with SVM privileges: stores to the SVM-reserved region are
+    permitted (the virtual machine updating its own state). *)
+
+val svm_mode : t -> bool

@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Bytes Char Constfold Func Hashtbl Instr Int64 Irmod List Option Printf Sva_hw Sva_ir Sva_os Sva_rt Ty Value

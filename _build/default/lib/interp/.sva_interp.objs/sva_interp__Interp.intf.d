@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Irmod Sva_ir Sva_os Sva_rt

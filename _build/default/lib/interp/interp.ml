@@ -1,0 +1,820 @@
+open Sva_ir
+module Machine = Sva_hw.Machine
+module Mmu = Sva_hw.Mmu
+module Svaos = Sva_os.Svaos
+module Metapool_rt = Sva_rt.Metapool_rt
+module Violation = Sva_rt.Violation
+
+exception Vm_error of string
+
+let vm_err fmt = Printf.ksprintf (fun s -> raise (Vm_error s)) fmt
+
+let code_base = 0x00B00000
+let code_stride = 16
+
+type prepared_func = {
+  pf : Func.t;
+  pf_blocks : Func.block array;
+  pf_index : (string, int) Hashtbl.t;
+}
+
+type t = {
+  im_mod : Irmod.t;
+  im_sys : Svaos.t;
+  funcs : (string, prepared_func) Hashtbl.t;
+  fn_addr : (string, int) Hashtbl.t;
+  addr_fn : (int, string) Hashtbl.t;
+  g_addr : (string, int) Hashtbl.t;
+  g_size : (string, int) Hashtbl.t;
+  mps : (int, Metapool_rt.t) Hashtbl.t;
+  size_cache : (Ty.t, int) Hashtbl.t;
+  mutable g_cursor : int;
+  mutable next_code : int;
+  mutable sp : int;
+  mutable heap_ptr : int;
+  free_lists : (int, int list ref) Hashtbl.t;
+  alloc_sizes : (int, int) Hashtbl.t;
+  mutable live_heap : int;
+  mutable nsteps : int;
+  mutable ncycles : int;
+  mutable limit : int option;
+}
+
+let sizeof t ty =
+  match Hashtbl.find_opt t.size_cache ty with
+  | Some s -> s
+  | None ->
+      let s = Ty.sizeof t.im_mod.Irmod.m_ctx ty in
+      Hashtbl.replace t.size_cache ty s;
+      s
+
+(* The malloc instruction's heap lives in the upper half of the machine
+   heap region; the kernel's page allocator owns the lower half. *)
+let malloc_base = Machine.heap_base + (Machine.heap_size / 2)
+
+(* ---------- image construction ---------- *)
+
+(* Lay out globals that do not have an address yet (initial load and each
+   dynamically linked module); returns the newly placed globals. *)
+let layout_globals t =
+  let fresh = ref [] in
+  List.iter
+    (fun (g : Irmod.global) ->
+      if not (Hashtbl.mem t.g_addr g.Irmod.g_name) then begin
+        let size = max 1 (sizeof t g.Irmod.g_ty) in
+        let align = Ty.alignof t.im_mod.Irmod.m_ctx g.Irmod.g_ty in
+        t.g_cursor <- (t.g_cursor + align - 1) / align * align;
+        Hashtbl.replace t.g_addr g.Irmod.g_name t.g_cursor;
+        Hashtbl.replace t.g_size g.Irmod.g_name size;
+        t.g_cursor <- t.g_cursor + size;
+        fresh := g :: !fresh
+      end)
+    t.im_mod.Irmod.m_globals;
+  if t.g_cursor > Machine.globals_base + Machine.globals_size then
+    vm_err "globals do not fit in the globals region";
+  List.rev !fresh
+
+let write_global_inits t globals =
+  List.iter
+    (fun (g : Irmod.global) ->
+      let addr = Hashtbl.find t.g_addr g.Irmod.g_name in
+      match g.Irmod.g_init with
+      | Irmod.Zero -> ()
+      | Irmod.Str s -> Machine.write t.im_sys.Svaos.machine ~addr (Bytes.of_string s)
+      | Irmod.Ints (ty, ns) ->
+          let w = sizeof t ty in
+          List.iteri
+            (fun i n ->
+              Machine.write_int t.im_sys.Svaos.machine ~addr:(addr + (i * w))
+                ~width:w n)
+            ns
+      | Irmod.Ptrs syms ->
+          List.iteri
+            (fun i sym ->
+              let target =
+                match Hashtbl.find_opt t.fn_addr sym with
+                | Some a -> a
+                | None -> (
+                    match Hashtbl.find_opt t.g_addr sym with
+                    | Some a -> a
+                    | None -> vm_err "initializer references unknown symbol @%s" sym)
+              in
+              Machine.write_int t.im_sys.Svaos.machine ~addr:(addr + (i * 8))
+                ~width:8 (Int64.of_int target))
+            syms)
+    globals
+
+let prepare_func (f : Func.t) =
+  let blocks = Array.of_list f.Func.f_blocks in
+  let index = Hashtbl.create (Array.length blocks) in
+  Array.iteri (fun i b -> Hashtbl.replace index b.Func.label i) blocks;
+  { pf = f; pf_blocks = blocks; pf_index = index }
+
+let load ?sys ?(metapools = []) (m : Irmod.t) =
+  let sys = match sys with Some s -> s | None -> Svaos.create () in
+  let t =
+    {
+      im_mod = m;
+      im_sys = sys;
+      funcs = Hashtbl.create 64;
+      fn_addr = Hashtbl.create 64;
+      addr_fn = Hashtbl.create 64;
+      g_addr = Hashtbl.create 64;
+      g_size = Hashtbl.create 64;
+      mps = Hashtbl.create 16;
+      size_cache = Hashtbl.create 64;
+      g_cursor = Machine.globals_base;
+      next_code = 0;
+      sp = Machine.stack_base;
+      heap_ptr = malloc_base;
+      free_lists = Hashtbl.create 16;
+      alloc_sizes = Hashtbl.create 64;
+      live_heap = 0;
+      nsteps = 0;
+      ncycles = 0;
+      limit = None;
+    }
+  in
+  let install_funcs t =
+    List.iter
+      (fun (f : Func.t) ->
+        if not (Hashtbl.mem t.funcs f.Func.f_name) then begin
+          let addr = code_base + (t.next_code * code_stride) in
+          t.next_code <- t.next_code + 1;
+          Hashtbl.replace t.funcs f.Func.f_name (prepare_func f);
+          Hashtbl.replace t.fn_addr f.Func.f_name addr;
+          Hashtbl.replace t.addr_fn addr f.Func.f_name
+        end)
+      t.im_mod.Irmod.m_funcs
+  in
+  install_funcs t;
+  List.iter (fun (id, mp) -> Hashtbl.replace t.mps id mp) metapools;
+  let fresh = layout_globals t in
+  write_global_inits t fresh;
+  t
+
+(* Dynamic module loading: link, place code, lay out and initialize the
+   module's globals.  Existing code and data are not disturbed. *)
+let link_module t (m2 : Irmod.t) =
+  Irmod.merge t.im_mod m2;
+  List.iter
+    (fun (f : Func.t) ->
+      if not (Hashtbl.mem t.funcs f.Func.f_name) then begin
+        let addr = code_base + (t.next_code * code_stride) in
+        t.next_code <- t.next_code + 1;
+        Hashtbl.replace t.funcs f.Func.f_name (prepare_func f);
+        Hashtbl.replace t.fn_addr f.Func.f_name addr;
+        Hashtbl.replace t.addr_fn addr f.Func.f_name
+      end)
+    t.im_mod.Irmod.m_funcs;
+  let fresh = layout_globals t in
+  write_global_inits t fresh
+
+let sys t = t.im_sys
+let irmod t = t.im_mod
+let func_addr t name = Hashtbl.find t.fn_addr name
+let func_name t addr = Hashtbl.find_opt t.addr_fn addr
+let global_addr t name = Hashtbl.find t.g_addr name
+let global_size t name = Hashtbl.find t.g_size name
+let metapool t id = Hashtbl.find_opt t.mps id
+let steps t = t.nsteps
+let reset_steps t = t.nsteps <- 0
+let cycles t = t.ncycles
+let reset_cycles t = t.ncycles <- 0
+let add_cycles t n = t.ncycles <- t.ncycles + n
+let set_step_limit t l = t.limit <- l
+let heap_live_bytes t = t.live_heap
+
+(* ---------- memory access ---------- *)
+
+let xlate t ~write addr =
+  if Machine.in_kernel_range ~addr then addr
+  else Mmu.translate t.im_sys.Svaos.mmu ~addr ~write
+
+let mem_read_int t ~addr ~width =
+  Machine.read_int t.im_sys.Svaos.machine ~addr:(xlate t ~write:false addr) ~width
+
+let mem_write_int t ~addr ~width v =
+  Machine.write_int t.im_sys.Svaos.machine ~addr:(xlate t ~write:true addr) ~width v
+
+(* Bulk copy that translates page-by-page for user ranges. *)
+let mem_blit t ~src ~dst ~len =
+  let remaining = ref len and s = ref src and d = ref dst in
+  while !remaining > 0 do
+    let chunk_s = Machine.page_size - (!s mod Machine.page_size) in
+    let chunk_d = Machine.page_size - (!d mod Machine.page_size) in
+    let chunk = min !remaining (min chunk_s chunk_d) in
+    Machine.blit t.im_sys.Svaos.machine
+      ~src:(xlate t ~write:false !s)
+      ~dst:(xlate t ~write:true !d)
+      ~len:chunk;
+    s := !s + chunk;
+    d := !d + chunk;
+    remaining := !remaining - chunk
+  done
+
+let mem_fill t ~addr ~len c =
+  let remaining = ref len and a = ref addr in
+  while !remaining > 0 do
+    let chunk = min !remaining (Machine.page_size - (!a mod Machine.page_size)) in
+    Machine.fill t.im_sys.Svaos.machine ~addr:(xlate t ~write:true !a) ~len:chunk c;
+    a := !a + chunk;
+    remaining := !remaining - chunk
+  done
+
+(* ---------- malloc/free (the SVA-Core heap instructions) ---------- *)
+
+let heap_alloc t size =
+  let size = max 8 ((size + 7) / 8 * 8) in
+  let addr =
+    match Hashtbl.find_opt t.free_lists size with
+    | Some ({ contents = a :: rest } as l) ->
+        l := rest;
+        a
+    | _ ->
+        let a = t.heap_ptr in
+        if a + size > Machine.heap_base + Machine.heap_size then
+          vm_err "malloc heap exhausted";
+        t.heap_ptr <- a + size;
+        a
+  in
+  Hashtbl.replace t.alloc_sizes addr size;
+  t.live_heap <- t.live_heap + size;
+  addr
+
+let heap_free t addr =
+  match Hashtbl.find_opt t.alloc_sizes addr with
+  | None -> vm_err "free of unknown heap address 0x%x" addr
+  | Some size ->
+      Hashtbl.remove t.alloc_sizes addr;
+      t.live_heap <- t.live_heap - size;
+      let l =
+        match Hashtbl.find_opt t.free_lists size with
+        | Some l -> l
+        | None ->
+            let l = ref [] in
+            Hashtbl.replace t.free_lists size l;
+            l
+      in
+      l := addr :: !l
+
+(* ---------- value evaluation ---------- *)
+
+let ty_width = function
+  | Ty.Int w -> max 1 (w / 8)
+  | Ty.Float -> 8
+  | Ty.Ptr _ -> 8
+  | t -> vm_err "scalar access at non-scalar type %s" (Ty.to_string t)
+
+let eval t (regs : int64 array) (v : Value.t) : int64 =
+  match v with
+  | Value.Reg (id, _, _) -> regs.(id)
+  | Value.Imm (Ty.Int w, n) -> Constfold.truncate_to_width w n
+  | Value.Imm (_, n) -> n
+  | Value.Fimm f -> Int64.bits_of_float f
+  | Value.Null _ -> 0L
+  | Value.Undef _ -> 0L
+  | Value.Global (g, _) -> (
+      match Hashtbl.find_opt t.g_addr g with
+      | Some a -> Int64.of_int a
+      | None -> vm_err "unknown global @%s" g)
+  | Value.Fn (f, _) -> (
+      match Hashtbl.find_opt t.fn_addr f with
+      | Some a -> Int64.of_int a
+      | None -> vm_err "unknown function @%s" f)
+
+let to_addr v = Int64.to_int v
+
+let width_of_value (v : Value.t) =
+  match Value.ty v with
+  | Ty.Int w -> w
+  | Ty.Ptr _ -> 64
+  | Ty.Float -> 64
+  | t -> vm_err "no integer width for %s" (Ty.to_string t)
+
+(* ---------- gep ---------- *)
+
+let gep_offset t (base_pointee : Ty.t) regs idxs =
+  let off = ref 0L in
+  let add n = off := Int64.add !off n in
+  (match idxs with
+  | first :: rest ->
+      add (Int64.mul (eval t regs first) (Int64.of_int (sizeof t base_pointee)));
+      let rec descend ty = function
+        | [] -> ()
+        | idx :: more -> (
+            match ty with
+            | Ty.Array (e, _) ->
+                add (Int64.mul (eval t regs idx) (Int64.of_int (sizeof t e)));
+                descend e more
+            | Ty.Struct sname ->
+                let i = Int64.to_int (eval t regs idx) in
+                let foff, fty = Ty.field_at t.im_mod.Irmod.m_ctx sname i in
+                add (Int64.of_int foff);
+                descend fty more
+            | _ -> vm_err "gep descends into scalar")
+      in
+      descend base_pointee rest
+  | [] -> vm_err "gep with no indices");
+  !off
+
+(* ---------- builtins (external C library functions) ---------- *)
+
+let strlen_limit = 1 lsl 20
+
+let builtin t name (args : int64 array) : int64 option =
+  let a n = args.(n) in
+  (match name with
+  | "memcpy" | "memmove" | "memset" | "memcmp" ->
+      t.ncycles <- t.ncycles + 4 + (to_addr args.(2) / 8)
+  | "strlen" | "strcmp" | "strcpy" -> t.ncycles <- t.ncycles + 8
+  | _ -> ());
+  match name with
+  | "memcpy" | "memmove" ->
+      mem_blit t ~src:(to_addr (a 1)) ~dst:(to_addr (a 0)) ~len:(to_addr (a 2));
+      Some (a 0)
+  | "memset" ->
+      mem_fill t
+        ~addr:(to_addr (a 0))
+        ~len:(to_addr (a 2))
+        (Char.chr (Int64.to_int (Int64.logand (a 1) 0xffL)));
+      Some (a 0)
+  | "memcmp" ->
+      let x = to_addr (a 0) and y = to_addr (a 1) and n = to_addr (a 2) in
+      let rec go i =
+        if i >= n then 0L
+        else
+          let cx = mem_read_int t ~addr:(x + i) ~width:1
+          and cy = mem_read_int t ~addr:(y + i) ~width:1 in
+          if cx = cy then go (i + 1)
+          else if Int64.compare cx cy < 0 then -1L
+          else 1L
+      in
+      Some (go 0)
+  | "strlen" ->
+      let p = to_addr (a 0) in
+      let rec go i =
+        if i > strlen_limit then vm_err "strlen: unterminated string"
+        else if mem_read_int t ~addr:(p + i) ~width:1 = 0L then i
+        else go (i + 1)
+      in
+      Some (Int64.of_int (go 0))
+  | "strcmp" ->
+      let x = to_addr (a 0) and y = to_addr (a 1) in
+      let rec go i =
+        let cx = mem_read_int t ~addr:(x + i) ~width:1
+        and cy = mem_read_int t ~addr:(y + i) ~width:1 in
+        if cx <> cy then if Int64.compare cx cy < 0 then -1L else 1L
+        else if cx = 0L then 0L
+        else go (i + 1)
+      in
+      Some (go 0)
+  | "strcpy" ->
+      let d = to_addr (a 0) and s = to_addr (a 1) in
+      let rec go i =
+        let c = mem_read_int t ~addr:(s + i) ~width:1 in
+        mem_write_int t ~addr:(d + i) ~width:1 c;
+        if c <> 0L then go (i + 1)
+      in
+      go 0;
+      Some (a 0)
+  | _ -> vm_err "call to unknown external function @%s" name
+
+let is_builtin name =
+  match name with
+  | "memcpy" | "memmove" | "memset" | "memcmp" | "strlen" | "strcmp" | "strcpy" ->
+      true
+  | _ -> false
+
+(* ---------- intrinsics ---------- *)
+
+let get_mp t id =
+  match Hashtbl.find_opt t.mps id with
+  | Some mp -> mp
+  | None -> vm_err "reference to unknown metapool %d" id
+
+let cls_of_code = function
+  | 0 -> Metapool_rt.Heap
+  | 1 -> Metapool_rt.Stack
+  | 2 -> Metapool_rt.Global
+  | 3 -> Metapool_rt.Userspace
+  | 4 -> Metapool_rt.Bios
+  | c -> vm_err "bad memory class code %d" c
+
+(* The cycle-model charge for an SVA-OS operation or run-time check.
+   Mediated mode pays the privilege-boundary premium (validation, full
+   state spills, integrity tags) over the native inline sequences. *)
+let intrinsic_base_cost ~mediated name nargs =
+  match name with
+  | "pchk_reg_obj" | "pchk_drop_obj" | "pchk_pseudo_alloc" -> 22
+  | "pchk_bounds" -> 18
+  | "pchk_bounds_known" -> 4
+  | "pchk_lscheck" -> 14
+  | "pchk_getbounds_start" | "pchk_getbounds_len" -> 14
+  | "pchk_funccheck" -> 6 + (nargs / 6)
+  | "llva_save_integer" | "llva_load_integer" -> if mediated then 54 else 22
+  | "llva_save_fp" | "llva_load_fp" -> if mediated then 22 else 10
+  | "llva_icontext_save" | "llva_icontext_load" -> if mediated then 48 else 16
+  | "llva_icontext_commit" -> if mediated then 40 else 14
+  | "llva_ipush_function" -> if mediated then 18 else 8
+  | "llva_was_privileged" -> 4
+  | "sva_register_syscall" | "sva_register_interrupt" -> 10
+  | "sva_syscall" -> if mediated then 16 else 8
+  | "sva_mmu_map_page" | "sva_mmu_unmap_page" -> if mediated then 16 else 8
+  | "sva_mmu_new_space" | "sva_mmu_destroy_space" | "sva_mmu_activate" ->
+      if mediated then 12 else 6
+  | "sva_mmu_clone_space" -> if mediated then 24 else 12
+  | "sva_mmu_page_count" -> 6
+  | "sva_io_console_write" | "sva_io_disk_read" | "sva_io_disk_write" -> 30
+  | "sva_io_nic_send" | "sva_io_nic_recv" -> 30
+  | "sva_timer_read" -> if mediated then 10 else 4
+  | "sva_cli" | "sva_sti" -> 2
+  | _ -> 2
+
+let rec run_intrinsic t regs name (arg_vals : Value.t list) : int64 option =
+  let mediated = t.im_sys.Svaos.mode = Svaos.Sva_mediated in
+  let splay0 = Sva_rt.Splay.comparisons () in
+  let r = run_intrinsic_inner t regs name arg_vals in
+  let splay_work = Sva_rt.Splay.comparisons () - splay0 in
+  t.ncycles <-
+    t.ncycles
+    + intrinsic_base_cost ~mediated name (List.length arg_vals)
+    + (3 * splay_work);
+  (* MMU space duplication costs a page-table walk. *)
+  (match name with
+  | "sva_mmu_clone_space" -> (
+      match r with
+      | Some sid ->
+          t.ncycles <-
+            t.ncycles + (2 * Svaos.mmu_page_count t.im_sys ~sid:(Int64.to_int sid))
+      | None -> ())
+  | _ -> ());
+  r
+
+and run_intrinsic_inner t regs name (arg_vals : Value.t list) : int64 option =
+  let args = Array.of_list (List.map (eval t regs) arg_vals) in
+  let a n = args.(n) in
+  let addr n = to_addr (a n) in
+  let sys = t.im_sys in
+  match name with
+  (* --- run-time checks --- *)
+  | "pchk_reg_obj" ->
+      let mp = get_mp t (to_addr (a 0)) in
+      Metapool_rt.register mp ~cls:(cls_of_code (to_addr (a 3))) ~start:(addr 1)
+        ~len:(to_addr (a 2));
+      None
+  | "pchk_drop_obj" ->
+      Metapool_rt.drop (get_mp t (to_addr (a 0))) ~start:(addr 1);
+      None
+  | "pchk_drop_obj_opt" ->
+      ignore (Metapool_rt.drop_if_present (get_mp t (to_addr (a 0))) ~start:(addr 1));
+      None
+  | "pchk_bounds" ->
+      Metapool_rt.boundscheck
+        (get_mp t (to_addr (a 0)))
+        ~src:(addr 1) ~dst:(addr 2)
+        ~access_len:(to_addr (a 3));
+      None
+  | "pchk_bounds_known" ->
+      Metapool_rt.boundscheck_known ~start:(addr 0) ~len:(to_addr (a 1))
+        ~dst:(addr 2) ~access_len:(to_addr (a 3)) ~pool:"<static>";
+      None
+  | "pchk_lscheck" ->
+      Metapool_rt.lscheck
+        (get_mp t (to_addr (a 0)))
+        ~addr:(addr 1) ~access_len:(to_addr (a 2));
+      None
+  | "pchk_funccheck" ->
+      let target = addr 0 in
+      let allowed =
+        List.filteri (fun i _ -> i > 0) arg_vals
+        |> List.map (fun v ->
+               match v with
+               | Value.Fn (fn, _) -> (to_addr (eval t regs v), fn)
+               | _ -> (to_addr (eval t regs v), "<addr>"))
+      in
+      Metapool_rt.funccheck ~allowed ~target;
+      None
+  | "pchk_getbounds_start" ->
+      (* Returns the base of the object containing the pointer, 0 if
+         unknown. *)
+      Some
+        (match Metapool_rt.getbounds (get_mp t (to_addr (a 0))) (addr 1) with
+        | Some (s, _) -> Int64.of_int s
+        | None -> 0L)
+  | "pchk_getbounds_len" ->
+      Some
+        (match Metapool_rt.getbounds (get_mp t (to_addr (a 0))) (addr 1) with
+        | Some (_, l) -> Int64.of_int l
+        | None -> 0L)
+  | "sva_pseudo_alloc" ->
+      (* Unchecked build: just manufacture the pointer. *)
+      Some (a 0)
+  | "pchk_pseudo_alloc" ->
+      let mp = get_mp t (to_addr (a 0)) in
+      let start = addr 1 and len = to_addr (a 2) in
+      (match Metapool_rt.getbounds mp start with
+      | Some _ -> () (* already registered *)
+      | None -> Metapool_rt.register mp ~cls:Metapool_rt.Bios ~start ~len);
+      Some (a 1)
+  (* --- Table 1: state save/restore --- *)
+  | "llva_save_integer" ->
+      Svaos.save_integer sys ~buffer:(addr 0);
+      None
+  | "llva_load_integer" ->
+      Svaos.load_integer sys ~buffer:(addr 0);
+      None
+  | "llva_save_fp" ->
+      Some (if Svaos.save_fp sys ~buffer:(addr 0) ~always:(a 1 <> 0L) then 1L else 0L)
+  | "llva_load_fp" ->
+      Svaos.load_fp sys ~buffer:(addr 0);
+      None
+  (* --- Table 2: interrupt contexts --- *)
+  | "llva_icontext_save" ->
+      Svaos.icontext_save sys ~icp:(addr 0) ~isp:(addr 1);
+      None
+  | "llva_icontext_load" ->
+      Svaos.icontext_load sys ~icp:(addr 0) ~isp:(addr 1);
+      None
+  | "llva_icontext_commit" ->
+      Svaos.icontext_commit sys ~icp:(addr 0);
+      None
+  | "llva_ipush_function" ->
+      Svaos.ipush_function sys ~icp:(addr 0) ~fn:(addr 1) ~arg:(a 2);
+      None
+  | "llva_was_privileged" ->
+      Some (if Svaos.was_privileged sys ~icp:(addr 0) then 1L else 0L)
+  (* --- registration and dispatch --- *)
+  | "sva_register_syscall" ->
+      let handler =
+        match func_name t (addr 1) with
+        | Some fn -> fn
+        | None -> vm_err "sva_register_syscall: bad handler address"
+      in
+      Svaos.register_syscall sys ~num:(to_addr (a 0)) ~handler;
+      None
+  | "sva_register_interrupt" ->
+      let handler =
+        match func_name t (addr 1) with
+        | Some fn -> fn
+        | None -> vm_err "sva_register_interrupt: bad handler address"
+      in
+      Svaos.register_interrupt sys ~vector:(to_addr (a 0)) ~handler;
+      None
+  | "sva_syscall" -> (
+      (* Internal system call: dispatch through the registered handler
+         using the same mechanism as a userspace trap, minus the privilege
+         transition. *)
+      match Svaos.syscall_handler sys ~num:(to_addr (a 0)) with
+      | Some handler ->
+          let rest = Array.to_list (Array.sub args 1 (Array.length args - 1)) in
+          let res = call t handler rest in
+          Some (Option.value res ~default:0L)
+      | None -> Some (-38L) (* -ENOSYS *))
+  (* --- MMU --- *)
+  | "sva_mmu_new_space" -> Some (Int64.of_int (Svaos.mmu_new_space sys))
+  | "sva_mmu_clone_space" ->
+      Some (Int64.of_int (Svaos.mmu_clone_space sys ~sid:(to_addr (a 0))))
+  | "sva_mmu_destroy_space" ->
+      Svaos.mmu_destroy_space sys ~sid:(to_addr (a 0));
+      None
+  | "sva_mmu_activate" ->
+      Svaos.mmu_activate sys ~sid:(to_addr (a 0));
+      None
+  | "sva_mmu_map_page" ->
+      Svaos.mmu_map_page sys ~sid:(to_addr (a 0)) ~vpn:(to_addr (a 1))
+        ~ppn:(to_addr (a 2))
+        ~writable:(a 3 <> 0L);
+      None
+  | "sva_mmu_unmap_page" ->
+      Svaos.mmu_unmap_page sys ~sid:(to_addr (a 0)) ~vpn:(to_addr (a 1));
+      None
+  | "sva_mmu_page_count" ->
+      Some (Int64.of_int (Svaos.mmu_page_count sys ~sid:(to_addr (a 0))))
+  (* --- I/O --- *)
+  | "sva_io_console_write" ->
+      Svaos.io_console_write sys ~addr:(addr 0) ~len:(to_addr (a 1));
+      None
+  | "sva_io_disk_read" ->
+      Svaos.io_disk_read sys ~block:(to_addr (a 0)) ~addr:(addr 1);
+      None
+  | "sva_io_disk_write" ->
+      Svaos.io_disk_write sys ~block:(to_addr (a 0)) ~addr:(addr 1);
+      None
+  | "sva_io_nic_send" ->
+      Svaos.io_nic_send sys ~proto:(to_addr (a 0)) ~addr:(addr 1)
+        ~len:(to_addr (a 2));
+      None
+  | "sva_io_nic_recv" ->
+      Some (Int64.of_int (Svaos.io_nic_recv sys ~addr:(addr 0) ~maxlen:(to_addr (a 1))))
+  | "sva_timer_read" -> Some (Svaos.timer_read sys)
+  | "sva_cli" ->
+      Svaos.cli sys;
+      None
+  | "sva_sti" ->
+      Svaos.sti sys;
+      None
+  (* --- constants --- *)
+  | "sva_heap_base" -> Some (Int64.of_int (Svaos.heap_base sys))
+  | "sva_heap_size" -> Some (Int64.of_int (Svaos.heap_size sys / 2))
+    (* lower half only: the upper half belongs to the malloc instruction *)
+  | "sva_user_base" -> Some (Int64.of_int (Svaos.user_base sys))
+  | "sva_user_size" -> Some (Int64.of_int (Svaos.user_size sys))
+  | "sva_panic" -> vm_err "kernel panic: code %Ld" (a 0)
+  | _ -> vm_err "unknown intrinsic @%s" name
+
+(* ---------- the main execution loop ---------- *)
+
+and exec_func t (pf : prepared_func) (args : int64 list) : int64 option =
+  let f = pf.pf in
+  let regs = Array.make (max 1 f.Func.f_next_reg) 0L in
+  List.iteri
+    (fun i v -> if i < Array.length regs then regs.(i) <- v)
+    args;
+  let sp_save = t.sp in
+  let result = ref None in
+  let running = ref true in
+  let cur = ref 0 in
+  let prev_label = ref "" in
+  let goto label =
+    match Hashtbl.find_opt pf.pf_index label with
+    | Some i ->
+        cur := i;
+        true
+    | None -> vm_err "branch to unknown label %%%s in @%s" label f.Func.f_name
+  in
+  while !running do
+    let blk = pf.pf_blocks.(!cur) in
+    (* Phase 1: evaluate all phis against the predecessor simultaneously. *)
+    let rec phi_values acc = function
+      | ({ Instr.kind = Instr.Phi incoming; _ } as i) :: rest ->
+          let v =
+            match List.assoc_opt !prev_label incoming with
+            | Some v -> eval t regs v
+            | None ->
+                vm_err "phi in %%%s has no incoming for %%%s" blk.Func.label
+                  !prev_label
+          in
+          phi_values ((i.Instr.id, v) :: acc) rest
+      | rest -> (acc, rest)
+    in
+    let phis, body = phi_values [] blk.Func.insns in
+    List.iter (fun (id, v) -> regs.(id) <- v) phis;
+    t.nsteps <- t.nsteps + List.length phis;
+    t.ncycles <- t.ncycles + List.length phis;
+    (* Phase 2: straight-line instructions. *)
+    List.iter
+      (fun (i : Instr.t) ->
+        t.nsteps <- t.nsteps + 1;
+        t.ncycles <- t.ncycles + 1;
+        (match t.limit with
+        | Some l when t.nsteps > l -> vm_err "step limit exceeded"
+        | _ -> ());
+        let set v = regs.(i.Instr.id) <- v in
+        match i.Instr.kind with
+        | Instr.Binop (op, x, y) -> (
+            match op with
+            | Instr.Fadd | Instr.Fsub | Instr.Fmul | Instr.Fdiv ->
+                let fx = Int64.float_of_bits (eval t regs x)
+                and fy = Int64.float_of_bits (eval t regs y) in
+                let r =
+                  match op with
+                  | Instr.Fadd -> fx +. fy
+                  | Instr.Fsub -> fx -. fy
+                  | Instr.Fmul -> fx *. fy
+                  | _ -> fx /. fy
+                in
+                set (Int64.bits_of_float r)
+            | _ -> (
+                let w = width_of_value x in
+                match Constfold.eval_binop op w (eval t regs x) (eval t regs y) with
+                | Some r -> set r
+                | None -> vm_err "division by zero in @%s" f.Func.f_name))
+        | Instr.Icmp (op, x, y) ->
+            let w = width_of_value x in
+            set
+              (if Constfold.eval_icmp op w (eval t regs x) (eval t regs y) then 1L
+               else 0L)
+        | Instr.Alloca (ty, count) ->
+            let n = Int64.to_int (eval t regs count) in
+            let size = max 1 (sizeof t ty * max 1 n) in
+            t.sp <- (t.sp + 15) / 16 * 16;
+            if t.sp + size > Machine.stack_base + Machine.stack_size then
+              vm_err "kernel stack overflow";
+            let addr = t.sp in
+            t.sp <- t.sp + size;
+            set (Int64.of_int addr)
+        | Instr.Load p ->
+            let w = ty_width i.Instr.ty in
+            set (mem_read_int t ~addr:(to_addr (eval t regs p)) ~width:w)
+        | Instr.Store (v, p) ->
+            let w = ty_width (Value.ty v) in
+            mem_write_int t ~addr:(to_addr (eval t regs p)) ~width:w (eval t regs v)
+        | Instr.Gep (base, idxs) ->
+            let pointee = Ty.pointee (Value.ty base) in
+            let off = gep_offset t pointee regs idxs in
+            set (Int64.add (eval t regs base) off)
+        | Instr.Cast (op, x, ty) -> (
+            let v = eval t regs x in
+            match op with
+            | Instr.Bitcast | Instr.Inttoptr | Instr.Ptrtoint -> set v
+            | Instr.Trunc -> (
+                match ty with
+                | Ty.Int w -> set (Constfold.truncate_to_width w v)
+                | _ -> vm_err "trunc to non-integer")
+            | Instr.Sext -> set v
+            | Instr.Zext ->
+                let sw = width_of_value x in
+                set (Constfold.zext_of_width sw v)
+            | Instr.Fptosi -> set (Int64.of_float (Int64.float_of_bits v))
+            | Instr.Sitofp -> set (Int64.bits_of_float (Int64.to_float v)))
+        | Instr.Select (c, x, y) ->
+            set (if eval t regs c <> 0L then eval t regs x else eval t regs y)
+        | Instr.Call (callee, cargs) -> (
+            let argv = List.map (eval t regs) cargs in
+            let res =
+              match callee with
+              | Value.Fn (name, _) -> dispatch_call t name argv
+              | _ -> (
+                  let target = to_addr (eval t regs callee) in
+                  match func_name t target with
+                  | Some name -> dispatch_call t name argv
+                  | None -> vm_err "indirect call to non-code address 0x%x" target)
+            in
+            match res with Some v -> set v | None -> ())
+        | Instr.Phi _ -> vm_err "phi after non-phi instruction"
+        | Instr.Malloc (ty, count) ->
+            let n = Int64.to_int (eval t regs count) in
+            set (Int64.of_int (heap_alloc t (sizeof t ty * max 1 n)))
+        | Instr.Free p -> heap_free t (to_addr (eval t regs p))
+        | Instr.Atomic_cas (p, e, r) ->
+            let w = ty_width (Value.ty e) in
+            let addr = to_addr (eval t regs p) in
+            let old = mem_read_int t ~addr ~width:w in
+            if old = eval t regs e then
+              mem_write_int t ~addr ~width:w (eval t regs r);
+            set old
+        | Instr.Atomic_add (p, d) ->
+            let w = ty_width (Value.ty d) in
+            let addr = to_addr (eval t regs p) in
+            let old = mem_read_int t ~addr ~width:w in
+            mem_write_int t ~addr ~width:w (Int64.add old (eval t regs d));
+            set old
+        | Instr.Membar -> ()
+        | Instr.Intrinsic (name, iargs) -> (
+            match run_intrinsic t regs name iargs with
+            | Some v -> if i.Instr.ty <> Ty.Void then set v
+            | None -> ()))
+      body;
+    (* Terminator. *)
+    t.nsteps <- t.nsteps + 1;
+    t.ncycles <- t.ncycles + 1;
+    (match t.limit with
+    | Some l when t.nsteps > l -> vm_err "step limit exceeded"
+    | _ -> ());
+    prev_label := blk.Func.label;
+    (match blk.Func.term with
+    | Instr.Ret v ->
+        result := Option.map (eval t regs) v;
+        running := false
+    | Instr.Jmp l -> ignore (goto l)
+    | Instr.Br (c, th, el) -> ignore (goto (if eval t regs c <> 0L then th else el))
+    | Instr.Switch (v, cases, default) ->
+        let x = eval t regs v in
+        let w = width_of_value v in
+        let target =
+          match
+            List.find_opt
+              (fun (n, _) -> Int64.equal (Constfold.truncate_to_width w n) x)
+              cases
+          with
+          | Some (_, l) -> l
+          | None -> default
+        in
+        ignore (goto target)
+    | Instr.Unreachable -> vm_err "reached 'unreachable' in @%s" f.Func.f_name)
+  done;
+  t.sp <- sp_save;
+  !result
+
+and dispatch_call t name argv =
+  match Hashtbl.find_opt t.funcs name with
+  | Some pf -> exec_func t pf argv
+  | None ->
+      if is_builtin name then builtin t name (Array.of_list argv)
+      else vm_err "call to undefined function @%s" name
+
+and call t name args =
+  match Hashtbl.find_opt t.funcs name with
+  | Some pf -> (
+      try exec_func t pf args
+      with e ->
+        (* A trap aborts the VM invocation; unwind the stack allocator. *)
+        t.sp <- Machine.stack_base;
+        raise e)
+  | None -> vm_err "call to unknown function @%s" name
+
+let call_addr t addr args =
+  match func_name t addr with
+  | Some name -> call t name args
+  | None -> vm_err "call_addr: 0x%x is not a function" addr

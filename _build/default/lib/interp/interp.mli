@@ -1,0 +1,97 @@
+(** The SVM executor: runs SVA bytecode on the simulated machine.
+
+    The Secure Virtual Machine may translate bytecode or interpret it
+    (Section 3.4); this implementation interprets.  Loading a module
+    "translates" it: globals are laid out in the machine's globals region
+    and written with their initializers, every function receives a
+    synthetic code address (so function pointers are first-class data that
+    can be stored, compared, and checked by [pchk.funccheck]), and
+    per-function block/instruction tables are built.
+
+    Memory accesses hit the simulated machine byte-for-byte: an overrun
+    really corrupts the adjacent object unless a run-time check catches it
+    first.  Userspace addresses are translated through the active MMU
+    space; kernel addresses are identity-mapped.
+
+    SVA-OS operations and the [pchk.*] run-time checks execute as
+    intrinsics; their SVA-OS semantics come from {!Sva_os.Svaos} and the
+    check semantics from {!Sva_rt.Metapool_rt}.  Safety violations raise
+    {!Sva_rt.Violation.Safety_violation}, modelling the run-time trap. *)
+
+open Sva_ir
+
+exception Vm_error of string
+(** Execution errors that are bugs in the executed program or the VM
+    (unknown function, struct-typed load, step-limit exceeded, ...). *)
+
+type t
+
+val load :
+  ?sys:Sva_os.Svaos.t ->
+  ?metapools:(int * Sva_rt.Metapool_rt.t) list ->
+  Irmod.t ->
+  t
+(** Translate a verified module into an executable image.  [metapools]
+    maps the metapool ids referenced by inserted [pchk.*] intrinsics to
+    their run-time pools. *)
+
+val sys : t -> Sva_os.Svaos.t
+val irmod : t -> Irmod.t
+
+val link_module : t -> Irmod.t -> unit
+(** Dynamically load a kernel module into a running image (Section 3.4:
+    "kernel modules and device drivers can be dynamically loaded ...
+    because both the bytecode verifier and translator are intraprocedural
+    and hence modular").  The module is linked symbol-by-symbol against
+    the running kernel (externs resolve to kernel definitions), its
+    functions receive code addresses, and its globals are laid out and
+    initialized; already-loaded code is not moved.  The module must
+    already be verified.  @raise Invalid_argument on symbol clashes. *)
+
+val call : t -> string -> int64 list -> int64 option
+(** Execute a function by name.  Returns its result (integers and
+    pointers in canonical sign-extended form), or [None] for void.
+    @raise Vm_error on execution errors
+    @raise Sva_rt.Violation.Safety_violation when a run-time check fires
+    @raise Sva_hw.Machine.Hw_fault on wild hardware-level accesses. *)
+
+val call_addr : t -> int -> int64 list -> int64 option
+(** Call through a code address (used for registered handlers). *)
+
+val func_addr : t -> string -> int
+(** Synthetic code address of a function.  @raise Not_found. *)
+
+val func_name : t -> int -> string option
+(** Reverse lookup of {!func_addr}. *)
+
+val global_addr : t -> string -> int
+(** Machine address where a global was laid out.  @raise Not_found. *)
+
+val global_size : t -> string -> int
+
+val metapool : t -> int -> Sva_rt.Metapool_rt.t option
+
+val steps : t -> int
+(** Instructions executed since load (or the last {!reset_steps}). *)
+
+val reset_steps : t -> unit
+
+val cycles : t -> int
+(** The deterministic cycle model: one cycle per virtual instruction plus
+    charged costs for SVA-OS operations (higher in mediated mode — the
+    privilege-boundary work of Section 3.3), run-time checks (base cost
+    plus two cycles per splay-tree comparison actually performed), bulk
+    builtins and the trap path.  The performance tables are computed from
+    this metric (deterministic and noise-free); wall-clock timing is the
+    cross-check. *)
+
+val reset_cycles : t -> unit
+
+val add_cycles : t -> int -> unit
+(** Charge external work to the cycle model (the SVM trap entry/exit). *)
+
+val set_step_limit : t -> int option -> unit
+(** Abort with [Vm_error] after this many instructions (default: none). *)
+
+val heap_live_bytes : t -> int
+(** Bytes currently allocated by the [malloc] instruction's allocator. *)

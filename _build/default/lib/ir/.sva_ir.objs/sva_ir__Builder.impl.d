@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Func Instr Int64 Irmod Ty Value

@@ -1,0 +1,1 @@
+lib/ir/cfg.ml: Func Hashtbl Instr List

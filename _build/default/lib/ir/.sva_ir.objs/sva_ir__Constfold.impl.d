@@ -1,0 +1,1 @@
+lib/ir/constfold.ml: Func Hashtbl Instr Int64 Irmod List Ty Value

@@ -1,0 +1,1 @@
+lib/ir/constfold.mli: Func Instr Irmod

@@ -1,0 +1,1 @@
+lib/ir/cse.ml: Func Hashtbl Instr Irmod List Pp Printf String Ty Value

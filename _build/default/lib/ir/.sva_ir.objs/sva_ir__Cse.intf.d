@@ -1,0 +1,1 @@
+lib/ir/cse.mli: Func Irmod

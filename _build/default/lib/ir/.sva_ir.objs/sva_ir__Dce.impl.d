@@ -1,0 +1,1 @@
+lib/ir/dce.ml: Cfg Func Hashtbl Instr Irmod List Value

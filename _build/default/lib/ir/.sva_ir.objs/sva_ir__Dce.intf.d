@@ -1,0 +1,1 @@
+lib/ir/dce.mli: Func Irmod

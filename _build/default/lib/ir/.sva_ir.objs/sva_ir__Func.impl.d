@@ -1,0 +1,1 @@
+lib/ir/func.ml: Instr List Ty Value

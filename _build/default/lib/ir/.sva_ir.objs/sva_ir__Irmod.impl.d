@@ -1,0 +1,1 @@
+lib/ir/irmod.ml: Func List Ty Value

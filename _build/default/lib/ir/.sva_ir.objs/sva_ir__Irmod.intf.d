@@ -1,0 +1,1 @@
+lib/ir/irmod.mli: Func Ty Value

@@ -1,0 +1,1 @@
+lib/ir/mem2reg.ml: Cfg Func Hashtbl Instr Irmod List Ty Value

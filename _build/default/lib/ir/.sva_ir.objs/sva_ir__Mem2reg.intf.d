@@ -1,0 +1,1 @@
+lib/ir/mem2reg.mli: Func Instr Irmod

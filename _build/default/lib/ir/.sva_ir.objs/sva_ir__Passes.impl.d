@@ -1,0 +1,1 @@
+lib/ir/passes.ml: Constfold Cse Dce Irmod Mem2reg Verify

@@ -1,0 +1,1 @@
+lib/ir/pp.ml: Buffer Format Func Instr Irmod List Printf String Ty Value

@@ -1,0 +1,1 @@
+lib/ir/pp.mli: Format Func Instr Irmod

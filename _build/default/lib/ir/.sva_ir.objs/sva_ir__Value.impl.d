@@ -1,0 +1,1 @@
+lib/ir/value.ml: Format Int64 Printf Ty

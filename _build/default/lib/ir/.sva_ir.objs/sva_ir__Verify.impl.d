@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Builder Cfg Func Hashtbl Instr Irmod List Printf String Ty Value

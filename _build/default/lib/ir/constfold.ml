@@ -1,0 +1,192 @@
+let truncate_to_width w v =
+  if w >= 64 then v
+  else if w = 1 then Int64.logand v 1L (* booleans are canonically 0/1 *)
+  else
+    let shift = 64 - w in
+    Int64.shift_right (Int64.shift_left v shift) shift
+
+let zext_of_width w v =
+  if w >= 64 then v
+  else Int64.logand v (Int64.sub (Int64.shift_left 1L w) 1L)
+
+let eval_binop (op : Instr.binop) w a b =
+  let wrap v = truncate_to_width w v in
+  let ua = zext_of_width w a and ub = zext_of_width w b in
+  match op with
+  | Add -> Some (wrap (Int64.add a b))
+  | Sub -> Some (wrap (Int64.sub a b))
+  | Mul -> Some (wrap (Int64.mul a b))
+  | Sdiv -> if b = 0L then None else Some (wrap (Int64.div a b))
+  | Udiv -> if b = 0L then None else Some (wrap (Int64.unsigned_div ua ub))
+  | Srem -> if b = 0L then None else Some (wrap (Int64.rem a b))
+  | Urem -> if b = 0L then None else Some (wrap (Int64.unsigned_rem ua ub))
+  | And -> Some (wrap (Int64.logand a b))
+  | Or -> Some (wrap (Int64.logor a b))
+  | Xor -> Some (wrap (Int64.logxor a b))
+  | Shl -> Some (wrap (Int64.shift_left a (Int64.to_int (Int64.logand b 63L))))
+  | Lshr -> Some (wrap (Int64.shift_right_logical ua (Int64.to_int (Int64.logand b 63L))))
+  | Ashr -> Some (wrap (Int64.shift_right a (Int64.to_int (Int64.logand b 63L))))
+  | Fadd | Fsub | Fmul | Fdiv -> None
+
+let eval_icmp (op : Instr.icmp) w a b =
+  let ua = zext_of_width w a and ub = zext_of_width w b in
+  match op with
+  | Eq -> Int64.equal a b
+  | Ne -> not (Int64.equal a b)
+  | Slt -> Int64.compare a b < 0
+  | Sle -> Int64.compare a b <= 0
+  | Sgt -> Int64.compare a b > 0
+  | Sge -> Int64.compare a b >= 0
+  | Ult -> Int64.unsigned_compare ua ub < 0
+  | Ule -> Int64.unsigned_compare ua ub <= 0
+  | Ugt -> Int64.unsigned_compare ua ub > 0
+  | Uge -> Int64.unsigned_compare ua ub >= 0
+
+let width = function Ty.Int w -> Some w | _ -> None
+
+(* Attempt to fold one instruction to a value. *)
+let fold_instr (i : Instr.t) : Value.t option =
+  match i.Instr.kind with
+  | Instr.Binop (op, Value.Imm (t, a), Value.Imm (_, b)) -> (
+      match width t with
+      | Some w -> (
+          match eval_binop op w a b with
+          | Some v -> Some (Value.Imm (t, v))
+          | None -> None)
+      | None -> None)
+  (* Algebraic identities. *)
+  | Instr.Binop ((Add | Or | Xor), x, Value.Imm (_, 0L))
+  | Instr.Binop (Add, Value.Imm (_, 0L), x)
+  | Instr.Binop (Sub, x, Value.Imm (_, 0L))
+  | Instr.Binop (Mul, x, Value.Imm (_, 1L))
+  | Instr.Binop (Mul, Value.Imm (_, 1L), x)
+  | Instr.Binop ((Shl | Lshr | Ashr), x, Value.Imm (_, 0L)) ->
+      Some x
+  | Instr.Binop (Mul, _, (Value.Imm (t, 0L) as z))
+  | Instr.Binop (Mul, (Value.Imm (t, 0L) as z), _)
+  | Instr.Binop (And, _, (Value.Imm (t, 0L) as z))
+  | Instr.Binop (And, (Value.Imm (t, 0L) as z), _) ->
+      ignore t;
+      Some z
+  | Instr.Binop (And, x, y) when Value.equal x y -> Some x
+  | Instr.Binop (Or, x, y) when Value.equal x y -> Some x
+  | Instr.Binop (Sub, x, y) when Value.equal x y && Ty.is_integer (Value.ty x) ->
+      Some (Value.Imm (Value.ty x, 0L))
+  | Instr.Binop (Xor, x, y) when Value.equal x y && Ty.is_integer (Value.ty x) ->
+      Some (Value.Imm (Value.ty x, 0L))
+  | Instr.Icmp (op, Value.Imm (t, a), Value.Imm (_, b)) -> (
+      match width t with
+      | Some w -> Some (Value.i1 (eval_icmp op w a b))
+      | None -> None)
+  | Instr.Icmp (Instr.Eq, Value.Null _, Value.Null _) -> Some (Value.i1 true)
+  | Instr.Icmp (Instr.Ne, Value.Null _, Value.Null _) -> Some (Value.i1 false)
+  | Instr.Cast (Instr.Trunc, Value.Imm (_, v), Ty.Int w) ->
+      Some (Value.Imm (Ty.Int w, truncate_to_width w v))
+  | Instr.Cast (Instr.Zext, Value.Imm (Ty.Int sw, v), Ty.Int w) ->
+      Some (Value.Imm (Ty.Int w, zext_of_width sw v))
+  | Instr.Cast (Instr.Sext, Value.Imm (_, v), Ty.Int w) ->
+      Some (Value.Imm (Ty.Int w, v))
+  | Instr.Cast (Instr.Bitcast, v, t) when Ty.equal (Value.ty v) t -> Some v
+  | Instr.Select (Value.Imm (_, c), a, b) -> Some (if c <> 0L then a else b)
+  | Instr.Select (_, a, b) when Value.equal a b -> Some a
+  | Instr.Phi incoming -> (
+      (* A phi whose incoming values are all equal (ignoring self-references
+         through a loop) is that value. *)
+      let is_self v =
+        match v with Value.Reg (id, _, _) -> id = i.Instr.id | _ -> false
+      in
+      let others =
+        List.filter_map
+          (fun (_, v) -> if is_self v then None else Some v)
+          incoming
+      in
+      match others with
+      | v :: rest when List.for_all (Value.equal v) rest -> Some v
+      | _ -> None)
+  | _ -> None
+
+let run_func (f : Func.t) =
+  let folded = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let replaced : (int, Value.t) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun (b : Func.block) ->
+        b.Func.insns <-
+          List.filter
+            (fun (i : Instr.t) ->
+              match fold_instr i with
+              | Some v ->
+                  Hashtbl.replace replaced i.Instr.id v;
+                  incr folded;
+                  changed := true;
+                  false
+              | None -> true)
+            b.Func.insns)
+      f.Func.f_blocks;
+    if Hashtbl.length replaced > 0 then begin
+      (* Follow replacement chains: a fold may map to a register that was
+         itself folded later in the same sweep.  Fuelled against the
+         (pathological, phi-cycle) case of mutually-referring folds. *)
+      let rec subst_fuel fuel v =
+        match v with
+        | Value.Reg (id, _, _) when fuel > 0 -> (
+            match Hashtbl.find_opt replaced id with
+            | Some v' -> subst_fuel (fuel - 1) v'
+            | None -> v)
+        | _ -> v
+      in
+      let subst v = subst_fuel (Hashtbl.length replaced + 1) v in
+      List.iter
+        (fun (b : Func.block) ->
+          b.Func.insns <-
+            List.map
+              (fun (i : Instr.t) ->
+                { i with Instr.kind = Instr.map_operands subst i.Instr.kind })
+              b.Func.insns;
+          b.Func.term <- Instr.map_term_operands subst b.Func.term)
+        f.Func.f_blocks
+    end;
+    (* Fold conditional branches on constants into unconditional jumps,
+       pruning phi incoming entries for the removed edges. *)
+    let remove_edge src dst =
+      match List.find_opt (fun b -> b.Func.label = dst) f.Func.f_blocks with
+      | None -> ()
+      | Some b ->
+          b.Func.insns <-
+            List.map
+              (fun (i : Instr.t) ->
+                match i.Instr.kind with
+                | Instr.Phi incoming ->
+                    { i with
+                      Instr.kind =
+                        Instr.Phi (List.filter (fun (l, _) -> l <> src) incoming)
+                    }
+                | _ -> i)
+              b.Func.insns
+    in
+    List.iter
+      (fun (b : Func.block) ->
+        match b.Func.term with
+        | Instr.Br (Value.Imm (_, c), t, e) ->
+            let taken, dead = if c <> 0L then (t, e) else (e, t) in
+            b.Func.term <- Instr.Jmp taken;
+            if dead <> taken then remove_edge b.Func.label dead;
+            changed := true
+        | Instr.Switch (Value.Imm (_, v), cases, d) ->
+            let target =
+              match List.assoc_opt v cases with Some l -> l | None -> d
+            in
+            b.Func.term <- Instr.Jmp target;
+            List.iter
+              (fun dst -> if dst <> target then remove_edge b.Func.label dst)
+              (List.sort_uniq compare (d :: List.map snd cases));
+            changed := true
+        | _ -> ())
+      f.Func.f_blocks
+  done;
+  !folded
+
+let run (m : Irmod.t) =
+  List.fold_left (fun n f -> n + run_func f) 0 m.Irmod.m_funcs

@@ -1,0 +1,26 @@
+(** Constant folding and algebraic simplification.
+
+    Evaluates integer arithmetic, comparisons, casts and selects whose
+    operands are constants, respecting the operand bit width (wrap-around
+    semantics as executed by the SVM), plus simple identities
+    ([x + 0], [x * 1], [x & 0], ...).  Folding is performed to a fixpoint
+    within each function. *)
+
+val eval_binop : Instr.binop -> int -> int64 -> int64 -> int64 option
+(** [eval_binop op width a b] — integer evaluation at [width] bits;
+    [None] for division by zero (which must trap at run time). *)
+
+val eval_icmp : Instr.icmp -> int -> int64 -> int64 -> bool
+(** Comparison at the given bit width (signed or unsigned per predicate). *)
+
+val truncate_to_width : int -> int64 -> int64
+(** Wrap a 64-bit value to a w-bit two's-complement value, sign-extended
+    back to 64 bits (the SVM's canonical register representation). *)
+
+val zext_of_width : int -> int64 -> int64
+(** The unsigned reading of a canonical w-bit value. *)
+
+val run_func : Func.t -> int
+(** Fold until fixpoint; returns the number of instructions folded. *)
+
+val run : Irmod.t -> int

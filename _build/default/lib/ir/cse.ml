@@ -1,0 +1,103 @@
+(* Hashable key for a pure computation.  Values are keyed structurally;
+   registers by id. *)
+let value_key (v : Value.t) =
+  match v with
+  | Value.Imm (t, n) -> Printf.sprintf "i:%s:%Ld" (Ty.to_string t) n
+  | Value.Fimm f -> Printf.sprintf "f:%h" f
+  | Value.Null t -> "n:" ^ Ty.to_string t
+  | Value.Undef t -> "u:" ^ Ty.to_string t
+  | Value.Global (n, _) -> "g:" ^ n
+  | Value.Fn (n, _) -> "fn:" ^ n
+  | Value.Reg (id, _, _) -> "r:" ^ string_of_int id
+
+let key_of (i : Instr.t) : string option =
+  let vs vals = String.concat "," (List.map value_key vals) in
+  match i.Instr.kind with
+  | Instr.Binop (op, a, b) ->
+      Some (Printf.sprintf "b:%s:%s" (Pp.string_of_binop op) (vs [ a; b ]))
+  | Instr.Icmp (op, a, b) ->
+      Some (Printf.sprintf "c:%s:%s" (Pp.string_of_icmp op) (vs [ a; b ]))
+  | Instr.Gep (base, idxs) -> Some (Printf.sprintf "g:%s" (vs (base :: idxs)))
+  | Instr.Cast (op, x, t) ->
+      Some
+        (Printf.sprintf "x:%s:%s:%s" (Pp.string_of_cast op) (value_key x)
+           (Ty.to_string t))
+  | Instr.Select (c, a, b) -> Some (Printf.sprintf "s:%s" (vs [ c; a; b ]))
+  | Instr.Load p -> Some (Printf.sprintf "l:%s" (value_key p))
+  | _ -> None
+
+
+let may_write_memory (k : Instr.kind) =
+  match k with
+  | Instr.Store _ | Instr.Call _ | Instr.Free _ | Instr.Atomic_cas _
+  | Instr.Atomic_add _ | Instr.Membar | Instr.Intrinsic _ | Instr.Malloc _
+  | Instr.Alloca _ ->
+      true
+  | _ -> false
+
+let run_func (f : Func.t) =
+  let eliminated = ref 0 in
+  let replaced : (int, Value.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Func.block) ->
+      let available : (string, Value.t) Hashtbl.t = Hashtbl.create 32 in
+      let subst v =
+        match v with
+        | Value.Reg (id, _, _) -> (
+            match Hashtbl.find_opt replaced id with Some v' -> v' | None -> v)
+        | _ -> v
+      in
+      b.Func.insns <-
+        List.filter_map
+          (fun (i : Instr.t) ->
+            let i =
+              { i with Instr.kind = Instr.map_operands subst i.Instr.kind }
+            in
+            if may_write_memory i.Instr.kind then begin
+              (* Invalidate loads: conservative, any write kills them. *)
+              Hashtbl.iter
+                (fun k _ ->
+                  if String.length k > 0 && k.[0] = 'l' then
+                    Hashtbl.remove available k)
+                (Hashtbl.copy available);
+              Some i
+            end
+            else
+              match key_of i with
+              | None -> Some i
+              | Some key -> (
+                  match Hashtbl.find_opt available key with
+                  | Some v ->
+                      Hashtbl.replace replaced i.Instr.id v;
+                      incr eliminated;
+                      None
+                  | None ->
+                      (match Instr.result i with
+                      | Some r -> Hashtbl.replace available key r
+                      | None -> ());
+                      Some i))
+          b.Func.insns;
+      b.Func.term <- Instr.map_term_operands subst b.Func.term)
+    f.Func.f_blocks;
+  (* Uses in later blocks. *)
+  if Hashtbl.length replaced > 0 then begin
+    let subst v =
+      match v with
+      | Value.Reg (id, _, _) -> (
+          match Hashtbl.find_opt replaced id with Some v' -> v' | None -> v)
+      | _ -> v
+    in
+    List.iter
+      (fun (b : Func.block) ->
+        b.Func.insns <-
+          List.map
+            (fun (i : Instr.t) ->
+              { i with Instr.kind = Instr.map_operands subst i.Instr.kind })
+            b.Func.insns;
+        b.Func.term <- Instr.map_term_operands subst b.Func.term)
+      f.Func.f_blocks
+  end;
+  !eliminated
+
+let run (m : Irmod.t) =
+  List.fold_left (fun n f -> n + run_func f) 0 m.Irmod.m_funcs

@@ -1,0 +1,14 @@
+(** Local common-subexpression elimination.
+
+    Within each basic block, pure instructions (arithmetic, comparisons,
+    [getelementptr], casts, selects) that recompute an expression already
+    available are replaced by the earlier result.  Loads participate too,
+    but the available-load set is invalidated by any instruction that may
+    write memory.  This pass is part of the "llvm-like" code generator
+    configuration (Section 7.1: the LLVM/GCC code generator difference
+    accounts for at most 13% overhead). *)
+
+val run_func : Func.t -> int
+(** Number of instructions eliminated. *)
+
+val run : Irmod.t -> int

@@ -1,0 +1,77 @@
+let remove_unreachable (f : Func.t) =
+  if f.Func.f_blocks = [] then 0
+  else begin
+    let cfg = Cfg.build f in
+    let dead, live =
+      List.partition
+        (fun (b : Func.block) -> not (Cfg.is_reachable cfg b.Func.label))
+        f.Func.f_blocks
+    in
+    if dead = [] then 0
+    else begin
+      let dead_labels = List.map (fun (b : Func.block) -> b.Func.label) dead in
+      f.Func.f_blocks <- live;
+      List.iter
+        (fun (b : Func.block) ->
+          b.Func.insns <-
+            List.map
+              (fun (i : Instr.t) ->
+                match i.Instr.kind with
+                | Instr.Phi incoming ->
+                    { i with
+                      Instr.kind =
+                        Instr.Phi
+                          (List.filter
+                             (fun (l, _) -> not (List.mem l dead_labels))
+                             incoming)
+                    }
+                | _ -> i)
+              b.Func.insns)
+        f.Func.f_blocks;
+      List.length dead
+    end
+  end
+
+let remove_dead_instrs (f : Func.t) =
+  let removed = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let used : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+    let mark v =
+      match v with
+      | Value.Reg (id, _, _) -> Hashtbl.replace used id ()
+      | _ -> ()
+    in
+    List.iter
+      (fun (b : Func.block) ->
+        List.iter
+          (fun (i : Instr.t) -> List.iter mark (Instr.operands i.Instr.kind))
+          b.Func.insns;
+        List.iter mark (Instr.term_operands b.Func.term))
+      f.Func.f_blocks;
+    List.iter
+      (fun (b : Func.block) ->
+        b.Func.insns <-
+          List.filter
+            (fun (i : Instr.t) ->
+              let dead =
+                (not (Instr.has_side_effect i.Instr.kind))
+                && (match Instr.result i with
+                   | Some (Value.Reg (id, _, _)) -> not (Hashtbl.mem used id)
+                   | _ -> true)
+              in
+              if dead then begin
+                incr removed;
+                changed := true
+              end;
+              not dead)
+            b.Func.insns)
+      f.Func.f_blocks
+  done;
+  !removed
+
+let run_func f = remove_unreachable f + remove_dead_instrs f
+
+let run (m : Irmod.t) =
+  List.fold_left (fun n f -> n + run_func f) 0 m.Irmod.m_funcs

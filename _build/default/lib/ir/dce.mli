@@ -1,0 +1,10 @@
+(** Dead code elimination.
+
+    Removes blocks unreachable from the entry (pruning phi entries for
+    deleted incoming edges) and then iteratively deletes side-effect-free
+    instructions whose results are never used. *)
+
+val run_func : Func.t -> int
+(** Returns the number of instructions and blocks removed. *)
+
+val run : Irmod.t -> int

@@ -1,0 +1,99 @@
+type binop =
+  | Add | Sub | Mul | Sdiv | Udiv | Srem | Urem
+  | And | Or | Xor | Shl | Lshr | Ashr
+  | Fadd | Fsub | Fmul | Fdiv
+
+type icmp = Eq | Ne | Slt | Sle | Sgt | Sge | Ult | Ule | Ugt | Uge
+
+type cast = Bitcast | Inttoptr | Ptrtoint | Trunc | Zext | Sext | Fptosi | Sitofp
+
+type kind =
+  | Binop of binop * Value.t * Value.t
+  | Icmp of icmp * Value.t * Value.t
+  | Alloca of Ty.t * Value.t
+  | Load of Value.t
+  | Store of Value.t * Value.t
+  | Gep of Value.t * Value.t list
+  | Cast of cast * Value.t * Ty.t
+  | Select of Value.t * Value.t * Value.t
+  | Call of Value.t * Value.t list
+  | Phi of (string * Value.t) list
+  | Malloc of Ty.t * Value.t
+  | Free of Value.t
+  | Atomic_cas of Value.t * Value.t * Value.t
+  | Atomic_add of Value.t * Value.t
+  | Membar
+  | Intrinsic of string * Value.t list
+
+type t = { id : int; nm : string; ty : Ty.t; kind : kind }
+
+type term =
+  | Ret of Value.t option
+  | Br of Value.t * string * string
+  | Jmp of string
+  | Switch of Value.t * (int64 * string) list * string
+  | Unreachable
+
+let result i =
+  match i.ty with Ty.Void -> None | t -> Some (Value.Reg (i.id, t, i.nm))
+
+let operands = function
+  | Binop (_, a, b) | Icmp (_, a, b) | Atomic_add (a, b) -> [ a; b ]
+  | Alloca (_, n) | Malloc (_, n) -> [ n ]
+  | Load p | Free p -> [ p ]
+  | Store (v, p) -> [ v; p ]
+  | Gep (base, idxs) -> base :: idxs
+  | Cast (_, v, _) -> [ v ]
+  | Select (c, a, b) | Atomic_cas (c, a, b) -> [ c; a; b ]
+  | Call (f, args) -> f :: args
+  | Phi incoming -> List.map snd incoming
+  | Membar -> []
+  | Intrinsic (_, args) -> args
+
+let map_operands f = function
+  | Binop (op, a, b) -> Binop (op, f a, f b)
+  | Icmp (op, a, b) -> Icmp (op, f a, f b)
+  | Alloca (t, n) -> Alloca (t, f n)
+  | Load p -> Load (f p)
+  | Store (v, p) -> Store (f v, f p)
+  | Gep (base, idxs) -> Gep (f base, List.map f idxs)
+  | Cast (op, v, t) -> Cast (op, f v, t)
+  | Select (c, a, b) -> Select (f c, f a, f b)
+  | Call (g, args) -> Call (f g, List.map f args)
+  | Phi incoming -> Phi (List.map (fun (l, v) -> (l, f v)) incoming)
+  | Malloc (t, n) -> Malloc (t, f n)
+  | Free p -> Free (f p)
+  | Atomic_cas (p, e, r) -> Atomic_cas (f p, f e, f r)
+  | Atomic_add (p, d) -> Atomic_add (f p, f d)
+  | Membar -> Membar
+  | Intrinsic (name, args) -> Intrinsic (name, List.map f args)
+
+let term_operands = function
+  | Ret (Some v) -> [ v ]
+  | Ret None | Jmp _ | Unreachable -> []
+  | Br (c, _, _) -> [ c ]
+  | Switch (v, _, _) -> [ v ]
+
+let map_term_operands f = function
+  | Ret (Some v) -> Ret (Some (f v))
+  | Ret None -> Ret None
+  | Br (c, t, e) -> Br (f c, t, e)
+  | Jmp l -> Jmp l
+  | Switch (v, cases, d) -> Switch (f v, cases, d)
+  | Unreachable -> Unreachable
+
+let successors = function
+  | Ret _ | Unreachable -> []
+  | Br (_, t, e) -> [ t; e ]
+  | Jmp l -> [ l ]
+  | Switch (_, cases, d) -> List.map snd cases @ [ d ]
+
+let has_side_effect = function
+  | Store _ | Call _ | Malloc _ | Free _ | Atomic_cas _ | Atomic_add _
+  | Membar | Intrinsic _ | Alloca _ ->
+      true
+  (* Division may trap on zero; keep it. *)
+  | Binop ((Sdiv | Udiv | Srem | Urem), _, _) -> true
+  | Binop _ | Icmp _ | Load _ | Gep _ | Cast _ | Select _ | Phi _ -> false
+
+let is_phi i = match i.kind with Phi _ -> true | _ -> false

@@ -1,0 +1,88 @@
+(** Instructions and terminators of the SVA-Core instruction set.
+
+    SVA-Core is the LLVM-derived computational subset (Section 3.2):
+    arithmetic and logic, comparisons, typed indexing ([getelementptr]),
+    loads and stores, calls, explicit heap and stack allocation, the atomic
+    extensions added for kernel support (compare-and-swap, atomic
+    load-increment-store, write barrier), and intrinsics.  SVA-OS operations
+    (Section 3.3) and the run-time checks inserted by the safety-checking
+    compiler appear as {!kind.Intrinsic} calls whose names start with
+    ["llva."], ["sva."] or ["pchk."]. *)
+
+(** Binary operators.  [F]-prefixed operators act on [double]. *)
+type binop =
+  | Add | Sub | Mul | Sdiv | Udiv | Srem | Urem
+  | And | Or | Xor | Shl | Lshr | Ashr
+  | Fadd | Fsub | Fmul | Fdiv
+
+(** Integer comparison predicates ([s] = signed, [u] = unsigned). *)
+type icmp = Eq | Ne | Slt | Sle | Sgt | Sge | Ult | Ule | Ugt | Uge
+
+(** Cast operators, as in LLVM.  [Inttoptr] is the "manufactured address"
+    operation of Section 4.7. *)
+type cast = Bitcast | Inttoptr | Ptrtoint | Trunc | Zext | Sext | Fptosi | Sitofp
+
+type kind =
+  | Binop of binop * Value.t * Value.t
+  | Icmp of icmp * Value.t * Value.t
+  | Alloca of Ty.t * Value.t  (** stack allocation: element type, count *)
+  | Load of Value.t  (** load through a pointer; result is the pointee *)
+  | Store of Value.t * Value.t  (** [Store (v, ptr)] writes [v] to [ptr] *)
+  | Gep of Value.t * Value.t list
+      (** typed indexing; all address arithmetic goes through here
+          (Section 4.5: "all indexing calculations are performed by the
+          getelementptr instruction") *)
+  | Cast of cast * Value.t * Ty.t
+  | Select of Value.t * Value.t * Value.t
+  | Call of Value.t * Value.t list
+      (** direct ([Fn]) or indirect (register) call *)
+  | Phi of (string * Value.t) list  (** SSA phi: (predecessor label, value) *)
+  | Malloc of Ty.t * Value.t  (** explicit heap allocation instruction *)
+  | Free of Value.t  (** explicit heap deallocation instruction *)
+  | Atomic_cas of Value.t * Value.t * Value.t
+      (** [Atomic_cas (ptr, expected, repl)] — compare-and-swap; yields the
+          previous value *)
+  | Atomic_add of Value.t * Value.t
+      (** atomic load-increment-store; yields the previous value *)
+  | Membar  (** memory write barrier *)
+  | Intrinsic of string * Value.t list
+      (** SVA-OS operation or run-time check, by name *)
+
+type t = {
+  id : int;  (** unique register id of the result (unused if [ty = Void]) *)
+  nm : string;  (** printing name hint for the result *)
+  ty : Ty.t;  (** result type; [Void] for instructions producing no value *)
+  kind : kind;
+}
+
+(** Block terminators.  Every function has an explicit control-flow graph
+    with no computed branches (Section 3.1). *)
+type term =
+  | Ret of Value.t option
+  | Br of Value.t * string * string  (** conditional: (i1 cond, then, else) *)
+  | Jmp of string
+  | Switch of Value.t * (int64 * string) list * string  (** value, cases, default *)
+  | Unreachable
+
+val result : t -> Value.t option
+(** The SSA register defined by this instruction, if any. *)
+
+val operands : kind -> Value.t list
+(** All value operands of an instruction, in order. *)
+
+val map_operands : (Value.t -> Value.t) -> kind -> kind
+(** Rebuild an instruction with each operand rewritten. *)
+
+val term_operands : term -> Value.t list
+(** Value operands of a terminator. *)
+
+val map_term_operands : (Value.t -> Value.t) -> term -> term
+
+val successors : term -> string list
+(** Labels a terminator may transfer control to. *)
+
+val has_side_effect : kind -> bool
+(** True if the instruction may write memory, trap, allocate or otherwise
+    not be safely deletable when its result is unused. *)
+
+val is_phi : t -> bool

@@ -1,0 +1,270 @@
+type error = { ve_func : string; ve_block : string; ve_msg : string }
+
+let string_of_error e =
+  Printf.sprintf "@%s/%%%s: %s" e.ve_func e.ve_block e.ve_msg
+
+(* Type-check one instruction; returns error messages. *)
+let check_instr ctx (m : Irmod.t) (i : Instr.t) : string list =
+  let vty = Value.ty in
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let expect want got what =
+    if not (Ty.equal want got) then
+      err "%s: expected %s, got %s" what (Ty.to_string want) (Ty.to_string got)
+  in
+  (match i.kind with
+  | Binop (op, a, b) ->
+      expect (vty a) (vty b) "binop operand types";
+      (match op with
+      | Fadd | Fsub | Fmul | Fdiv ->
+          expect Ty.Float (vty a) "float binop operand";
+          expect Ty.Float i.ty "float binop result"
+      | _ ->
+          if not (Ty.is_integer (vty a)) then err "integer binop on %s" (Ty.to_string (vty a));
+          expect (vty a) i.ty "binop result")
+  | Icmp (_, a, b) ->
+      expect (vty a) (vty b) "icmp operand types";
+      if not (Ty.is_integer (vty a) || Ty.is_pointer (vty a)) then
+        err "icmp on non-integer/pointer %s" (Ty.to_string (vty a));
+      expect Ty.i1 i.ty "icmp result"
+  | Alloca (t, n) ->
+      if not (Ty.is_integer (vty n)) then err "alloca count must be integer";
+      expect (Ty.Ptr t) i.ty "alloca result"
+  | Load p -> (
+      match vty p with
+      | Ty.Ptr pointee -> expect pointee i.ty "load result"
+      | t -> err "load through non-pointer %s" (Ty.to_string t))
+  | Store (x, p) -> (
+      match vty p with
+      | Ty.Ptr pointee -> expect pointee (vty x) "store value"
+      | t -> err "store through non-pointer %s" (Ty.to_string t))
+  | Gep (base, idxs) -> (
+      List.iter
+        (fun idx ->
+          if not (Ty.is_integer (vty idx)) then err "gep index must be integer")
+        idxs;
+      try expect (Builder.gep_result_ty ctx (vty base) idxs) i.ty "gep result"
+      with Invalid_argument msg -> err "%s" msg)
+  | Cast (op, x, t) -> (
+      expect t i.ty "cast result";
+      let src = vty x in
+      match op with
+      | Bitcast ->
+          if not ((Ty.is_pointer src && Ty.is_pointer t)
+                 || (Ty.is_integer src && Ty.is_integer t))
+          then err "bitcast %s to %s" (Ty.to_string src) (Ty.to_string t)
+      | Inttoptr ->
+          if not (Ty.is_integer src && Ty.is_pointer t) then
+            err "inttoptr %s to %s" (Ty.to_string src) (Ty.to_string t)
+      | Ptrtoint ->
+          if not (Ty.is_pointer src && Ty.is_integer t) then
+            err "ptrtoint %s to %s" (Ty.to_string src) (Ty.to_string t)
+      | Trunc | Zext | Sext ->
+          if not (Ty.is_integer src && Ty.is_integer t) then
+            err "int cast %s to %s" (Ty.to_string src) (Ty.to_string t)
+      | Fptosi ->
+          if not (Ty.is_float src && Ty.is_integer t) then err "fptosi misuse"
+      | Sitofp ->
+          if not (Ty.is_integer src && Ty.is_float t) then err "sitofp misuse")
+  | Select (c, a, b) ->
+      expect Ty.i1 (vty c) "select condition";
+      expect (vty a) (vty b) "select arms";
+      expect (vty a) i.ty "select result"
+  | Call (callee, args) -> (
+      match vty callee with
+      | Ty.Ptr (Ty.Func (ret, params, varargs)) ->
+          expect ret i.ty "call result";
+          let nargs = List.length args and nparams = List.length params in
+          if nargs < nparams || ((not varargs) && nargs > nparams) then
+            err "call arity: %d args for %d params" nargs nparams
+          else
+            List.iteri
+              (fun k p ->
+                match List.nth_opt args k with
+                | Some a -> expect p (vty a) (Printf.sprintf "call arg %d" k)
+                | None -> ())
+              params;
+          (* Direct calls must reference a known symbol. *)
+          (match callee with
+          | Value.Fn (name, _) ->
+              if Irmod.symbol_ty m name = None then err "call of unknown @%s" name
+          | _ -> ())
+      | t -> err "call through non-function %s" (Ty.to_string t))
+  | Phi incoming ->
+      if incoming = [] then err "empty phi";
+      List.iter
+        (fun (_, x) -> expect i.ty (vty x) "phi incoming value")
+        incoming
+  | Malloc (t, n) ->
+      if not (Ty.is_integer (vty n)) then err "malloc count must be integer";
+      expect (Ty.Ptr t) i.ty "malloc result"
+  | Free p -> if not (Ty.is_pointer (vty p)) then err "free of non-pointer"
+  | Atomic_cas (p, e, r) -> (
+      match vty p with
+      | Ty.Ptr pointee ->
+          expect pointee (vty e) "cas expected";
+          expect pointee (vty r) "cas replacement";
+          expect pointee i.ty "cas result"
+      | t -> err "cas through non-pointer %s" (Ty.to_string t))
+  | Atomic_add (p, d) -> (
+      match vty p with
+      | Ty.Ptr pointee ->
+          expect pointee (vty d) "atomicadd delta";
+          expect pointee i.ty "atomicadd result"
+      | t -> err "atomicadd through non-pointer %s" (Ty.to_string t))
+  | Membar -> ()
+  | Intrinsic (_, _) -> ());
+  !errs
+
+let verify_func ctx m (f : Func.t) : error list =
+  let errors = ref [] in
+  let add block msg =
+    errors := { ve_func = f.Func.f_name; ve_block = block; ve_msg = msg } :: !errors
+  in
+  if f.Func.f_blocks = [] then begin
+    add "" "function has no blocks";
+    List.rev !errors
+  end
+  else begin
+    let labels = Hashtbl.create 16 in
+    List.iter
+      (fun (b : Func.block) ->
+        if Hashtbl.mem labels b.Func.label then
+          add b.Func.label "duplicate block label"
+        else Hashtbl.replace labels b.Func.label ())
+      f.Func.f_blocks;
+    (* Definition map: register id -> defining block; params live at entry. *)
+    let defs = Hashtbl.create 64 in
+    List.iteri (fun idx _ -> Hashtbl.replace defs idx "") f.Func.f_params;
+    List.iter
+      (fun (b : Func.block) ->
+        List.iter
+          (fun (i : Instr.t) ->
+            match Instr.result i with
+            | Some (Value.Reg (id, _, _)) ->
+                if Hashtbl.mem defs id then
+                  add b.Func.label
+                    (Printf.sprintf "register %%r%d defined twice (SSA violation)" id)
+                else Hashtbl.replace defs id b.Func.label
+            | _ -> ())
+          b.Func.insns)
+      f.Func.f_blocks;
+    let cfg = Cfg.build f in
+    (* Per-block: instruction typing, phi placement, use-before-def. *)
+    List.iter
+      (fun (b : Func.block) ->
+        let seen_nonphi = ref false in
+        let local_defined = Hashtbl.create 16 in
+        let check_use (i : Instr.t) (v : Value.t) =
+          match v with
+          | Value.Reg (id, _, _) -> (
+              match Hashtbl.find_opt defs id with
+              | None ->
+                  add b.Func.label (Printf.sprintf "use of undefined register %%r%d" id)
+              | Some "" -> () (* parameter *)
+              | Some def_block ->
+                  if Instr.is_phi i then () (* checked against predecessor below *)
+                  else if def_block = b.Func.label then begin
+                    if not (Hashtbl.mem local_defined id) then
+                      add b.Func.label
+                        (Printf.sprintf "register %%r%d used before its definition" id)
+                  end
+                  else if
+                    Cfg.is_reachable cfg b.Func.label
+                    && Cfg.is_reachable cfg def_block
+                    && not (Cfg.dominates cfg def_block b.Func.label)
+                  then
+                    add b.Func.label
+                      (Printf.sprintf "use of %%r%d not dominated by its definition" id))
+          | Value.Global (name, _) ->
+              if Irmod.find_global m name = None then
+                add b.Func.label ("reference to unknown global @" ^ name)
+          | Value.Fn (name, _) ->
+              if Irmod.symbol_ty m name = None then
+                add b.Func.label ("reference to unknown function @" ^ name)
+          | Value.Imm _ | Value.Fimm _ | Value.Null _ | Value.Undef _ -> ()
+        in
+        List.iter
+          (fun (i : Instr.t) ->
+            if Instr.is_phi i then begin
+              if !seen_nonphi then add b.Func.label "phi after non-phi instruction";
+              (match i.kind with
+              | Instr.Phi incoming ->
+                  let preds = Cfg.predecessors cfg b.Func.label in
+                  List.iter
+                    (fun (l, _) ->
+                      if not (List.mem l preds) then
+                        add b.Func.label
+                          (Printf.sprintf "phi incoming from non-predecessor %%%s" l))
+                    incoming;
+                  List.iter
+                    (fun p ->
+                      if not (List.mem_assoc p incoming) then
+                        add b.Func.label
+                          (Printf.sprintf "phi missing incoming for predecessor %%%s" p))
+                    preds
+              | _ -> ())
+            end
+            else seen_nonphi := true;
+            List.iter (check_use i) (Instr.operands i.kind);
+            List.iter (fun msg -> add b.Func.label msg) (check_instr ctx m i);
+            (match Instr.result i with
+            | Some (Value.Reg (id, _, _)) -> Hashtbl.replace local_defined id ()
+            | _ -> ()))
+          b.Func.insns;
+        List.iter (check_use { Instr.id = -1; nm = ""; ty = Ty.Void; kind = Instr.Membar })
+          (Instr.term_operands b.Func.term);
+        (match b.Func.term with
+        | Instr.Ret None ->
+            if not (Ty.equal f.Func.f_ret Ty.Void) then
+              add b.Func.label "ret void from non-void function"
+        | Instr.Ret (Some x) ->
+            if not (Ty.equal f.Func.f_ret (Value.ty x)) then
+              add b.Func.label
+                (Printf.sprintf "ret %s from %s function"
+                   (Ty.to_string (Value.ty x))
+                   (Ty.to_string f.Func.f_ret))
+        | Instr.Br (c, _, _) ->
+            if not (Ty.equal (Value.ty c) Ty.i1) then
+              add b.Func.label "br condition is not i1"
+        | Instr.Jmp _ | Instr.Switch _ | Instr.Unreachable -> ());
+        List.iter
+          (fun target ->
+            if not (Hashtbl.mem labels target) then
+              add b.Func.label ("branch to unknown label %" ^ target))
+          (Instr.successors b.Func.term))
+      f.Func.f_blocks;
+    List.rev !errors
+  end
+
+let verify_module (m : Irmod.t) : error list =
+  let dup_errs = ref [] in
+  let seen = Hashtbl.create 64 in
+  let check_symbol kind name =
+    if Hashtbl.mem seen name then
+      dup_errs :=
+        { ve_func = name; ve_block = ""; ve_msg = "duplicate " ^ kind ^ " symbol" }
+        :: !dup_errs
+    else Hashtbl.replace seen name ()
+  in
+  List.iter (fun (g : Irmod.global) -> check_symbol "global" g.g_name) m.m_globals;
+  List.iter (fun (f : Func.t) -> check_symbol "function" f.Func.f_name) m.m_funcs;
+  List.iter
+    (fun (name, ty) ->
+      match Irmod.find_func m name with
+      | Some f when not (Ty.equal (Func.func_ty f) ty) ->
+          dup_errs :=
+            { ve_func = name; ve_block = ""; ve_msg = "extern type mismatch" }
+            :: !dup_errs
+      | _ -> ())
+    m.m_externs;
+  List.rev !dup_errs
+  @ List.concat_map (fun f -> verify_func m.m_ctx m f) m.m_funcs
+
+let check m =
+  match verify_module m with
+  | [] -> ()
+  | errs ->
+      failwith
+        ("IR verification failed:\n"
+        ^ String.concat "\n" (List.map string_of_error errs))

@@ -1,0 +1,1 @@
+lib/minic/lower.ml: Ast Builder Func Hashtbl Instr Int64 Irmod List Parser Printf String Sva_ir Ty Value Verify

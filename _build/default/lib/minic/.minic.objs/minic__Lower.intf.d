@@ -1,0 +1,1 @@
+lib/minic/lower.mli: Ast Sva_ir

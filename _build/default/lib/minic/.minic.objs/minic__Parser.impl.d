@@ -1,0 +1,1 @@
+lib/minic/parser.ml: Array Ast Char Int64 Lexer List Printf Token

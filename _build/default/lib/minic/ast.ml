@@ -1,0 +1,80 @@
+(* See ast.mli *)
+
+(** MiniC types.  Signedness is tracked here (the IR erases it into
+    operation choice: sdiv/udiv, slt/ult, sext/zext...). *)
+type mty =
+  | Mvoid
+  | Mint of int * bool  (** bit width (8/16/32/64), signed? *)
+  | Mptr of mty
+  | Marr of mty * int
+  | Mstruct of string
+  | Mfunptr of mty * mty list  (** return type, parameter types *)
+
+type binop =
+  | Badd | Bsub | Bmul | Bdiv | Bmod
+  | Band | Bor | Bxor | Bshl | Bshr
+  | Blt | Ble | Bgt | Bge | Beq | Bne
+  | Bland | Blor  (** short-circuit && and || *)
+
+type unop = Uneg | Unot | Ubnot  (** -, !, ~ *)
+
+type expr =
+  | Eint of int64
+  | Estr of string
+  | Eid of string
+  | Ebin of binop * expr * expr
+  | Eun of unop * expr
+  | Eassign of expr * expr  (** lvalue = rvalue *)
+  | Eassign_op of binop * expr * expr  (** lvalue op= rvalue *)
+  | Ecall of string * expr list
+  | Ecallptr of expr * expr list  (** call through a function pointer *)
+  | Eindex of expr * expr  (** a[i] *)
+  | Efield of expr * string  (** s.f *)
+  | Earrow of expr * string  (** p->f *)
+  | Ederef of expr  (** *p *)
+  | Eaddr of expr  (** &lv *)
+  | Ecast of mty * expr
+  | Esizeof_ty of mty
+  | Esizeof_expr of expr
+  | Econd of expr * expr * expr  (** c ? a : b *)
+  | Epreincr of int * expr  (** ++x / --x: delta is +1 or -1 *)
+  | Epostincr of int * expr  (** x++ / x-- *)
+
+type stmt =
+  | Sexpr of expr
+  | Sdecl of mty * string * expr option
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sdo of stmt list * expr
+  | Sfor of stmt option * expr option * expr option * stmt list
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of stmt list
+
+(** Function attributes, written as markers before the definition. *)
+type fattr = Anoanalyze | Acallsig | Akernel_entry
+
+type func = {
+  fn_name : string;
+  fn_ret : mty;
+  fn_params : (mty * string) list;
+  fn_body : stmt list;
+  fn_attrs : fattr list;
+  fn_static : bool;
+}
+
+type ginit_ast =
+  | Gnone  (** zero-initialized *)
+  | Gint of int64
+  | Gstr of string
+  | Gints of int64 list  (** array initializer of integers *)
+  | Gsyms of string list  (** array initializer of function/global names *)
+
+type top =
+  | Tstruct of string * (mty * string) list
+  | Tglobal of { gty : mty; gname : string; ginit : ginit_ast; gconst : bool }
+  | Textern of { ename : string; eret : mty; eparams : mty list; evarargs : bool }
+  | Tfunc of func
+
+type program = top list

@@ -1,0 +1,11 @@
+(** Hand-written MiniC lexer.
+
+    Supports decimal, hexadecimal ([0x..]) and character literals, string
+    literals with the usual escapes, [//] and [/* */] comments, and all
+    MiniC keywords and operators. *)
+
+exception Lex_error of string * Token.loc
+
+val tokenize : string -> Token.spanned list
+(** Tokenize a full source string; the last token is always [EOF].
+    @raise Lex_error on malformed input. *)

@@ -1,0 +1,660 @@
+exception Parse_error of string * Token.loc
+
+type state = { toks : Token.spanned array; mutable pos : int }
+
+let cur st = st.toks.(st.pos).Token.tok
+let cur_loc st = st.toks.(st.pos).Token.loc
+
+let peek_at st n =
+  if st.pos + n < Array.length st.toks then st.toks.(st.pos + n).Token.tok
+  else Token.EOF
+
+let err st msg =
+  raise
+    (Parse_error
+       (Printf.sprintf "%s (found '%s')" msg (Token.to_string (cur st)), cur_loc st))
+
+let advance st = if st.pos + 1 < Array.length st.toks then st.pos <- st.pos + 1
+
+let eat st tok =
+  if cur st = tok then advance st
+  else err st (Printf.sprintf "expected '%s'" (Token.to_string tok))
+
+let eat_ident st =
+  match cur st with
+  | Token.IDENT s ->
+      advance st;
+      s
+  | _ -> err st "expected identifier"
+
+(* ---------- types ---------- *)
+
+let starts_type = function
+  | Token.KW_VOID | Token.KW_CHAR | Token.KW_SHORT | Token.KW_INT
+  | Token.KW_LONG | Token.KW_UNSIGNED | Token.KW_SIGNED | Token.KW_STRUCT
+  | Token.KW_UNION | Token.KW_CONST ->
+      true
+  | _ -> false
+
+(* base-type := const? (unsigned|signed)? (void|char|short|int|long|struct id) *)
+let parse_base_type st : Ast.mty =
+  if cur st = Token.KW_CONST then advance st;
+  let signed =
+    match cur st with
+    | Token.KW_UNSIGNED ->
+        advance st;
+        false
+    | Token.KW_SIGNED ->
+        advance st;
+        true
+    | _ -> true
+  in
+  match cur st with
+  | Token.KW_VOID ->
+      advance st;
+      Ast.Mvoid
+  | Token.KW_CHAR ->
+      advance st;
+      Ast.Mint (8, signed)
+  | Token.KW_SHORT ->
+      advance st;
+      if cur st = Token.KW_INT then advance st;
+      Ast.Mint (16, signed)
+  | Token.KW_INT ->
+      advance st;
+      Ast.Mint (32, signed)
+  | Token.KW_LONG ->
+      advance st;
+      if cur st = Token.KW_LONG then advance st;
+      if cur st = Token.KW_INT then advance st;
+      Ast.Mint (64, signed)
+  | Token.KW_UNION ->
+      err st
+        "unions are not supported: rewrite as an explicit struct (the \
+         Section 6.3 porting change)"
+  | Token.KW_STRUCT ->
+      advance st;
+      let name = eat_ident st in
+      Ast.Mstruct name
+  | _ ->
+      if signed then err st "expected type"
+      else (* bare 'unsigned' means unsigned int *) Ast.Mint (32, false)
+
+let rec parse_stars st ty =
+  if cur st = Token.STAR then begin
+    advance st;
+    (* const pointers: 'const' after '*' is accepted and ignored *)
+    if cur st = Token.KW_CONST then advance st;
+    parse_stars st (Ast.Mptr ty)
+  end
+  else ty
+
+(* Type without declarator, e.g. in casts and sizeof: base stars,
+   optionally an abstract function-pointer type. *)
+let parse_type st =
+  let base = parse_base_type st in
+  let ty = parse_stars st base in
+  if cur st = Token.LPAREN && peek_at st 1 = Token.STAR && peek_at st 2 = Token.RPAREN
+  then begin
+    (* ret ( * )(params) — abstract function-pointer type *)
+    advance st;
+    advance st;
+    advance st;
+    eat st Token.LPAREN;
+    let params = ref [] in
+    if cur st <> Token.RPAREN then begin
+      let rec go () =
+        let pty = parse_base_type st in
+        let pty = parse_stars st pty in
+        params := pty :: !params;
+        if cur st = Token.COMMA then begin
+          advance st;
+          go ()
+        end
+      in
+      go ()
+    end;
+    eat st Token.RPAREN;
+    Ast.Mfunptr (ty, List.rev !params)
+  end
+  else ty
+
+(* declarator := stars (name | ( * name )(params)) array-suffix*
+   Returns (type, name). *)
+let parse_declarator st base =
+  let ty = parse_stars st base in
+  if cur st = Token.LPAREN then begin
+    (* function pointer declarator: ( * name )(param-types) *)
+    advance st;
+    eat st Token.STAR;
+    let name = eat_ident st in
+    eat st Token.RPAREN;
+    eat st Token.LPAREN;
+    let params = ref [] in
+    if cur st <> Token.RPAREN then begin
+      let rec go () =
+        let pty = parse_base_type st in
+        let pty = parse_stars st pty in
+        (* parameter name is optional in a function-pointer type *)
+        (match cur st with Token.IDENT _ -> advance st | _ -> ());
+        params := pty :: !params;
+        if cur st = Token.COMMA then begin
+          advance st;
+          go ()
+        end
+      in
+      go ()
+    end;
+    eat st Token.RPAREN;
+    (Ast.Mfunptr (ty, List.rev !params), name)
+  end
+  else begin
+    let name = eat_ident st in
+    let rec arrays ty =
+      if cur st = Token.LBRACKET then begin
+        advance st;
+        let n =
+          match cur st with
+          | Token.INT_LIT n ->
+              advance st;
+              Int64.to_int n
+          | _ -> err st "expected array size"
+        in
+        eat st Token.RBRACKET;
+        Ast.Marr (arrays ty, n)
+      end
+      else ty
+    in
+    (arrays ty, name)
+  end
+
+(* ---------- expressions ---------- *)
+
+let rec parse_expr st = parse_assign st
+
+and parse_assign st =
+  let lhs = parse_cond st in
+  match cur st with
+  | Token.ASSIGN ->
+      advance st;
+      Ast.Eassign (lhs, parse_assign st)
+  | Token.PLUSEQ ->
+      advance st;
+      Ast.Eassign_op (Ast.Badd, lhs, parse_assign st)
+  | Token.MINUSEQ ->
+      advance st;
+      Ast.Eassign_op (Ast.Bsub, lhs, parse_assign st)
+  | Token.STAREQ ->
+      advance st;
+      Ast.Eassign_op (Ast.Bmul, lhs, parse_assign st)
+  | Token.SLASHEQ ->
+      advance st;
+      Ast.Eassign_op (Ast.Bdiv, lhs, parse_assign st)
+  | Token.AMPEQ ->
+      advance st;
+      Ast.Eassign_op (Ast.Band, lhs, parse_assign st)
+  | Token.PIPEEQ ->
+      advance st;
+      Ast.Eassign_op (Ast.Bor, lhs, parse_assign st)
+  | Token.CARETEQ ->
+      advance st;
+      Ast.Eassign_op (Ast.Bxor, lhs, parse_assign st)
+  | Token.LSHIFTEQ ->
+      advance st;
+      Ast.Eassign_op (Ast.Bshl, lhs, parse_assign st)
+  | Token.RSHIFTEQ ->
+      advance st;
+      Ast.Eassign_op (Ast.Bshr, lhs, parse_assign st)
+  | _ -> lhs
+
+and parse_cond st =
+  let c = parse_binary st 0 in
+  if cur st = Token.QUESTION then begin
+    advance st;
+    let a = parse_expr st in
+    eat st Token.COLON;
+    let b = parse_cond st in
+    Ast.Econd (c, a, b)
+  end
+  else c
+
+and binop_levels : (Token.t * Ast.binop) list list =
+  [
+    [ (Token.PIPEPIPE, Ast.Blor) ];
+    [ (Token.AMPAMP, Ast.Bland) ];
+    [ (Token.PIPE, Ast.Bor) ];
+    [ (Token.CARET, Ast.Bxor) ];
+    [ (Token.AMP, Ast.Band) ];
+    [ (Token.EQEQ, Ast.Beq); (Token.NEQ, Ast.Bne) ];
+    [ (Token.LT, Ast.Blt); (Token.LE, Ast.Ble); (Token.GT, Ast.Bgt); (Token.GE, Ast.Bge) ];
+    [ (Token.LSHIFT, Ast.Bshl); (Token.RSHIFT, Ast.Bshr) ];
+    [ (Token.PLUS, Ast.Badd); (Token.MINUS, Ast.Bsub) ];
+    [ (Token.STAR, Ast.Bmul); (Token.SLASH, Ast.Bdiv); (Token.PERCENT, Ast.Bmod) ];
+  ]
+
+and parse_binary st level =
+  if level >= List.length binop_levels then parse_unary st
+  else begin
+    let ops = List.nth binop_levels level in
+    let lhs = ref (parse_binary st (level + 1)) in
+    let rec go () =
+      match List.assoc_opt (cur st) ops with
+      | Some op ->
+          advance st;
+          let rhs = parse_binary st (level + 1) in
+          lhs := Ast.Ebin (op, !lhs, rhs);
+          go ()
+      | None -> ()
+    in
+    go ();
+    !lhs
+  end
+
+and parse_unary st =
+  match cur st with
+  | Token.MINUS ->
+      advance st;
+      Ast.Eun (Ast.Uneg, parse_unary st)
+  | Token.BANG ->
+      advance st;
+      Ast.Eun (Ast.Unot, parse_unary st)
+  | Token.TILDE ->
+      advance st;
+      Ast.Eun (Ast.Ubnot, parse_unary st)
+  | Token.STAR ->
+      advance st;
+      Ast.Ederef (parse_unary st)
+  | Token.AMP ->
+      advance st;
+      Ast.Eaddr (parse_unary st)
+  | Token.PLUSPLUS ->
+      advance st;
+      Ast.Epreincr (1, parse_unary st)
+  | Token.MINUSMINUS ->
+      advance st;
+      Ast.Epreincr (-1, parse_unary st)
+  | Token.KW_SIZEOF ->
+      advance st;
+      eat st Token.LPAREN;
+      if starts_type (cur st) then begin
+        let ty = parse_type st in
+        eat st Token.RPAREN;
+        Ast.Esizeof_ty ty
+      end
+      else begin
+        let e = parse_expr st in
+        eat st Token.RPAREN;
+        Ast.Esizeof_expr e
+      end
+  | Token.LPAREN when starts_type (peek_at st 1) ->
+      advance st;
+      let ty = parse_type st in
+      eat st Token.RPAREN;
+      Ast.Ecast (ty, parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = ref (parse_primary st) in
+  let rec go () =
+    match cur st with
+    | Token.LBRACKET ->
+        advance st;
+        let idx = parse_expr st in
+        eat st Token.RBRACKET;
+        e := Ast.Eindex (!e, idx);
+        go ()
+    | Token.DOT ->
+        advance st;
+        let f = eat_ident st in
+        e := Ast.Efield (!e, f);
+        go ()
+    | Token.ARROW ->
+        advance st;
+        let f = eat_ident st in
+        e := Ast.Earrow (!e, f);
+        go ()
+    | Token.LPAREN ->
+        advance st;
+        let args = ref [] in
+        if cur st <> Token.RPAREN then begin
+          let rec args_go () =
+            args := parse_assign st :: !args;
+            if cur st = Token.COMMA then begin
+              advance st;
+              args_go ()
+            end
+          in
+          args_go ()
+        end;
+        eat st Token.RPAREN;
+        (e :=
+           match !e with
+           | Ast.Eid name -> Ast.Ecall (name, List.rev !args)
+           | callee -> Ast.Ecallptr (callee, List.rev !args));
+        go ()
+    | Token.PLUSPLUS ->
+        advance st;
+        e := Ast.Epostincr (1, !e);
+        go ()
+    | Token.MINUSMINUS ->
+        advance st;
+        e := Ast.Epostincr (-1, !e);
+        go ()
+    | _ -> ()
+  in
+  go ();
+  !e
+
+and parse_primary st =
+  match cur st with
+  | Token.INT_LIT n ->
+      advance st;
+      Ast.Eint n
+  | Token.CHAR_LIT c ->
+      advance st;
+      Ast.Eint (Int64.of_int (Char.code c))
+  | Token.STR_LIT s ->
+      advance st;
+      Ast.Estr s
+  | Token.IDENT name ->
+      advance st;
+      Ast.Eid name
+  | Token.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      eat st Token.RPAREN;
+      e
+  | _ -> err st "expected expression"
+
+(* ---------- statements ---------- *)
+
+let rec parse_stmt st : Ast.stmt =
+  match cur st with
+  | Token.LBRACE ->
+      advance st;
+      let body = parse_stmts st in
+      eat st Token.RBRACE;
+      Ast.Sblock body
+  | Token.KW_IF ->
+      advance st;
+      eat st Token.LPAREN;
+      let c = parse_expr st in
+      eat st Token.RPAREN;
+      let then_s = parse_stmt_as_list st in
+      let else_s =
+        if cur st = Token.KW_ELSE then begin
+          advance st;
+          parse_stmt_as_list st
+        end
+        else []
+      in
+      Ast.Sif (c, then_s, else_s)
+  | Token.KW_WHILE ->
+      advance st;
+      eat st Token.LPAREN;
+      let c = parse_expr st in
+      eat st Token.RPAREN;
+      Ast.Swhile (c, parse_stmt_as_list st)
+  | Token.KW_DO ->
+      advance st;
+      let body = parse_stmt_as_list st in
+      eat st Token.KW_WHILE;
+      eat st Token.LPAREN;
+      let c = parse_expr st in
+      eat st Token.RPAREN;
+      eat st Token.SEMI;
+      Ast.Sdo (body, c)
+  | Token.KW_FOR ->
+      advance st;
+      eat st Token.LPAREN;
+      let init =
+        if cur st = Token.SEMI then None
+        else if starts_type (cur st) then Some (parse_decl_stmt st ~consume_semi:false)
+        else Some (Ast.Sexpr (parse_expr st))
+      in
+      eat st Token.SEMI;
+      let cond = if cur st = Token.SEMI then None else Some (parse_expr st) in
+      eat st Token.SEMI;
+      let step = if cur st = Token.RPAREN then None else Some (parse_expr st) in
+      eat st Token.RPAREN;
+      Ast.Sfor (init, cond, step, parse_stmt_as_list st)
+  | Token.KW_RETURN ->
+      advance st;
+      if cur st = Token.SEMI then begin
+        advance st;
+        Ast.Sreturn None
+      end
+      else begin
+        let e = parse_expr st in
+        eat st Token.SEMI;
+        Ast.Sreturn (Some e)
+      end
+  | Token.KW_BREAK ->
+      advance st;
+      eat st Token.SEMI;
+      Ast.Sbreak
+  | Token.KW_CONTINUE ->
+      advance st;
+      eat st Token.SEMI;
+      Ast.Scontinue
+  | t when starts_type t -> parse_decl_stmt st ~consume_semi:true
+  | _ ->
+      let e = parse_expr st in
+      eat st Token.SEMI;
+      Ast.Sexpr e
+
+and parse_decl_stmt st ~consume_semi =
+  let base = parse_base_type st in
+  let ty, name = parse_declarator st base in
+  let init =
+    if cur st = Token.ASSIGN then begin
+      advance st;
+      Some (parse_expr st)
+    end
+    else None
+  in
+  if consume_semi then eat st Token.SEMI;
+  Ast.Sdecl (ty, name, init)
+
+and parse_stmt_as_list st =
+  match parse_stmt st with Ast.Sblock body -> body | s -> [ s ]
+
+and parse_stmts st =
+  let out = ref [] in
+  while cur st <> Token.RBRACE && cur st <> Token.EOF do
+    out := parse_stmt st :: !out
+  done;
+  List.rev !out
+
+(* ---------- top level ---------- *)
+
+let parse_params st =
+  eat st Token.LPAREN;
+  if cur st = Token.KW_VOID && peek_at st 1 = Token.RPAREN then begin
+    advance st;
+    advance st;
+    ([], false)
+  end
+  else begin
+    let params = ref [] and varargs = ref false in
+    if cur st <> Token.RPAREN then begin
+      let rec go () =
+        if cur st = Token.ELLIPSIS then begin
+          advance st;
+          varargs := true
+        end
+        else begin
+          let base = parse_base_type st in
+          let ty, name = parse_declarator st base in
+          params := (ty, name) :: !params;
+          if cur st = Token.COMMA then begin
+            advance st;
+            go ()
+          end
+        end
+      in
+      go ()
+    end;
+    eat st Token.RPAREN;
+    (List.rev !params, !varargs)
+  end
+
+let parse_global_init st : Ast.ginit_ast =
+  if cur st <> Token.ASSIGN then Ast.Gnone
+  else begin
+    advance st;
+    match cur st with
+    | Token.INT_LIT n ->
+        advance st;
+        Ast.Gint n
+    | Token.MINUS -> (
+        advance st;
+        match cur st with
+        | Token.INT_LIT n ->
+            advance st;
+            Ast.Gint (Int64.neg n)
+        | _ -> err st "expected integer after '-'")
+    | Token.CHAR_LIT c ->
+        advance st;
+        Ast.Gint (Int64.of_int (Char.code c))
+    | Token.STR_LIT s ->
+        advance st;
+        Ast.Gstr s
+    | Token.LBRACE ->
+        advance st;
+        let ints = ref [] and syms = ref [] in
+        let rec go () =
+          (match cur st with
+          | Token.INT_LIT n ->
+              advance st;
+              ints := n :: !ints
+          | Token.MINUS -> (
+              advance st;
+              match cur st with
+              | Token.INT_LIT n ->
+                  advance st;
+                  ints := Int64.neg n :: !ints
+              | _ -> err st "expected integer after '-'")
+          | Token.IDENT s ->
+              advance st;
+              syms := s :: !syms
+          | Token.AMP ->
+              advance st;
+              let s = eat_ident st in
+              syms := s :: !syms
+          | _ -> err st "unsupported global initializer element");
+          if cur st = Token.COMMA then begin
+            advance st;
+            if cur st <> Token.RBRACE then go ()
+          end
+        in
+        if cur st <> Token.RBRACE then go ();
+        eat st Token.RBRACE;
+        if !syms <> [] then begin
+          if !ints <> [] then err st "mixed symbol/integer initializer";
+          Ast.Gsyms (List.rev !syms)
+        end
+        else Ast.Gints (List.rev !ints)
+    | _ -> err st "unsupported global initializer"
+  end
+
+let parse_top st : Ast.top option =
+  match cur st with
+  | Token.EOF -> None
+  | Token.KW_STRUCT when peek_at st 2 = Token.LBRACE ->
+      advance st;
+      let name = eat_ident st in
+      eat st Token.LBRACE;
+      let fields = ref [] in
+      while cur st <> Token.RBRACE do
+        let base = parse_base_type st in
+        let fty, fname = parse_declarator st base in
+        eat st Token.SEMI;
+        fields := (fty, fname) :: !fields
+      done;
+      eat st Token.RBRACE;
+      eat st Token.SEMI;
+      Some (Ast.Tstruct (name, List.rev !fields))
+  | Token.KW_EXTERN ->
+      advance st;
+      let base = parse_base_type st in
+      let ty = parse_stars st base in
+      let name = eat_ident st in
+      if cur st = Token.LPAREN then begin
+        let params, varargs = parse_params st in
+        eat st Token.SEMI;
+        Some
+          (Ast.Textern
+             {
+               ename = name;
+               eret = ty;
+               eparams = List.map fst params;
+               evarargs = varargs;
+             })
+      end
+      else begin
+        (* extern global: declared elsewhere; treat as zero-init global. *)
+        eat st Token.SEMI;
+        Some (Ast.Tglobal { gty = ty; gname = name; ginit = Ast.Gnone; gconst = false })
+      end
+  | _ ->
+      let attrs = ref [] and static = ref false in
+      let rec markers () =
+        match cur st with
+        | Token.KW_NOANALYZE ->
+            advance st;
+            attrs := Ast.Anoanalyze :: !attrs;
+            markers ()
+        | Token.KW_CALLSIG ->
+            advance st;
+            attrs := Ast.Acallsig :: !attrs;
+            markers ()
+        | Token.KW_KERNEL_ENTRY ->
+            advance st;
+            attrs := Ast.Akernel_entry :: !attrs;
+            markers ()
+        | Token.KW_STATIC ->
+            advance st;
+            static := true;
+            markers ()
+        | _ -> ()
+      in
+      markers ();
+      let gconst = cur st = Token.KW_CONST in
+      let base = parse_base_type st in
+      let ty, name = parse_declarator st base in
+      if cur st = Token.LPAREN then begin
+        let params, _varargs = parse_params st in
+        eat st Token.LBRACE;
+        let body = parse_stmts st in
+        eat st Token.RBRACE;
+        Some
+          (Ast.Tfunc
+             {
+               fn_name = name;
+               fn_ret = ty;
+               fn_params = params;
+               fn_body = body;
+               fn_attrs = List.rev !attrs;
+               fn_static = !static;
+             })
+      end
+      else begin
+        let init = parse_global_init st in
+        eat st Token.SEMI;
+        Some (Ast.Tglobal { gty = ty; gname = name; ginit = init; gconst })
+      end
+
+let parse src =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; pos = 0 } in
+  let out = ref [] in
+  let rec go () =
+    match parse_top st with
+    | Some top ->
+        out := top :: !out;
+        go ()
+    | None -> ()
+  in
+  go ();
+  List.rev !out

@@ -1,0 +1,13 @@
+(** Recursive-descent parser for MiniC.
+
+    Grammar notes: no typedefs (types always start with a keyword, which
+    keeps cast parsing unambiguous); one declarator per declaration;
+    function pointers use the [ret ( * name )(params)] form; unions must be
+    rewritten as structs (the Section 6.3 porting change is thereby
+    enforced by the front end, and the parser says so in its error). *)
+
+exception Parse_error of string * Token.loc
+
+val parse : string -> Ast.program
+(** Parse a full MiniC source string.
+    @raise Parse_error (or {!Lexer.Lex_error}) on malformed input. *)

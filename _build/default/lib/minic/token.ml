@@ -1,0 +1,59 @@
+type t =
+  | INT_LIT of int64
+  | STR_LIT of string
+  | CHAR_LIT of char
+  | IDENT of string
+  | KW_VOID | KW_CHAR | KW_SHORT | KW_INT | KW_LONG | KW_UNSIGNED | KW_SIGNED
+  | KW_STRUCT | KW_UNION
+  | KW_IF | KW_ELSE | KW_WHILE | KW_FOR | KW_DO
+  | KW_RETURN | KW_BREAK | KW_CONTINUE
+  | KW_SIZEOF | KW_EXTERN | KW_STATIC | KW_CONST
+  | KW_NOANALYZE
+  | KW_CALLSIG
+  | KW_KERNEL_ENTRY
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | DOT | ARROW | ELLIPSIS
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | TILDE | BANG
+  | LSHIFT | RSHIFT
+  | LT | GT | LE | GE | EQEQ | NEQ
+  | AMPAMP | PIPEPIPE
+  | ASSIGN | PLUSEQ | MINUSEQ | STAREQ | SLASHEQ | AMPEQ | PIPEEQ | CARETEQ
+  | LSHIFTEQ | RSHIFTEQ
+  | QUESTION | COLON
+  | PLUSPLUS | MINUSMINUS
+  | EOF
+
+type loc = { line : int; col : int }
+
+type spanned = { tok : t; loc : loc }
+
+let to_string = function
+  | INT_LIT n -> Printf.sprintf "%Ld" n
+  | STR_LIT s -> Printf.sprintf "%S" s
+  | CHAR_LIT c -> Printf.sprintf "%C" c
+  | IDENT s -> s
+  | KW_VOID -> "void" | KW_CHAR -> "char" | KW_SHORT -> "short"
+  | KW_INT -> "int" | KW_LONG -> "long" | KW_UNSIGNED -> "unsigned"
+  | KW_SIGNED -> "signed" | KW_STRUCT -> "struct" | KW_UNION -> "union"
+  | KW_IF -> "if" | KW_ELSE -> "else" | KW_WHILE -> "while"
+  | KW_FOR -> "for" | KW_DO -> "do" | KW_RETURN -> "return"
+  | KW_BREAK -> "break" | KW_CONTINUE -> "continue"
+  | KW_SIZEOF -> "sizeof" | KW_EXTERN -> "extern" | KW_STATIC -> "static"
+  | KW_CONST -> "const"
+  | KW_NOANALYZE -> "__noanalyze" | KW_CALLSIG -> "__callsig_assert"
+  | KW_KERNEL_ENTRY -> "__kernel_entry"
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACKET -> "[" | RBRACKET -> "]"
+  | SEMI -> ";" | COMMA -> "," | DOT -> "." | ARROW -> "->" | ELLIPSIS -> "..."
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | AMP -> "&" | PIPE -> "|" | CARET -> "^" | TILDE -> "~" | BANG -> "!"
+  | LSHIFT -> "<<" | RSHIFT -> ">>"
+  | LT -> "<" | GT -> ">" | LE -> "<=" | GE -> ">=" | EQEQ -> "==" | NEQ -> "!="
+  | AMPAMP -> "&&" | PIPEPIPE -> "||"
+  | ASSIGN -> "=" | PLUSEQ -> "+=" | MINUSEQ -> "-=" | STAREQ -> "*="
+  | SLASHEQ -> "/=" | AMPEQ -> "&=" | PIPEEQ -> "|=" | CARETEQ -> "^="
+  | LSHIFTEQ -> "<<=" | RSHIFTEQ -> ">>="
+  | QUESTION -> "?" | COLON -> ":"
+  | PLUSPLUS -> "++" | MINUSMINUS -> "--"
+  | EOF -> "<eof>"

@@ -1,0 +1,37 @@
+(** Tokens of the MiniC language — the C-like front-end language in which
+    the kernel subsystems are written (standing in for the paper's "full
+    generality of C code", Section 1). *)
+
+type t =
+  | INT_LIT of int64
+  | STR_LIT of string
+  | CHAR_LIT of char
+  | IDENT of string
+  (* keywords *)
+  | KW_VOID | KW_CHAR | KW_SHORT | KW_INT | KW_LONG | KW_UNSIGNED | KW_SIGNED
+  | KW_STRUCT | KW_UNION
+  | KW_IF | KW_ELSE | KW_WHILE | KW_FOR | KW_DO
+  | KW_RETURN | KW_BREAK | KW_CONTINUE
+  | KW_SIZEOF | KW_EXTERN | KW_STATIC | KW_CONST
+  | KW_NOANALYZE  (** [__noanalyze]: skip the safety-checking compiler *)
+  | KW_CALLSIG  (** [__callsig_assert]: Section 4.8 signature assertion *)
+  | KW_KERNEL_ENTRY  (** [__kernel_entry]: boot entry, registers globals *)
+  (* punctuation *)
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | DOT | ARROW | ELLIPSIS
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | TILDE | BANG
+  | LSHIFT | RSHIFT
+  | LT | GT | LE | GE | EQEQ | NEQ
+  | AMPAMP | PIPEPIPE
+  | ASSIGN | PLUSEQ | MINUSEQ | STAREQ | SLASHEQ | AMPEQ | PIPEEQ | CARETEQ
+  | LSHIFTEQ | RSHIFTEQ
+  | QUESTION | COLON
+  | PLUSPLUS | MINUSMINUS
+  | EOF
+
+type loc = { line : int; col : int }
+
+type spanned = { tok : t; loc : loc }
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/pipeline/pipeline.ml: Checkinsert Checkopt Clone Devirt Irmod List Metapool Minic Passes Pointsto String Sva_analysis Sva_hw Sva_interp Sva_ir Sva_os Sva_safety Sva_tyck

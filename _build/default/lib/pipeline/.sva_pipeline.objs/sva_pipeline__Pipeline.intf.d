@@ -1,0 +1,1 @@
+lib/pipeline/pipeline.mli: Checkinsert Checkopt Irmod Metapool Pointsto Sva_analysis Sva_interp Sva_ir Sva_os Sva_safety Sva_tyck

@@ -1,0 +1,119 @@
+open Sva_ir
+open Sva_analysis
+open Sva_safety
+
+type conf = Native | Sva_gcc | Sva_llvm | Sva_safe
+
+let conf_name = function
+  | Native -> "Linux-native"
+  | Sva_gcc -> "Linux-SVA-GCC"
+  | Sva_llvm -> "Linux-SVA-LLVM"
+  | Sva_safe -> "Linux-SVA-Safe"
+
+let all_confs = [ Native; Sva_gcc; Sva_llvm; Sva_safe ]
+
+type built = {
+  bl_name : string;
+  bl_conf : conf;
+  bl_mod : Irmod.t;
+  bl_pa : Pointsto.result option;
+  bl_mps : Metapool.t option;
+  bl_summary : Checkinsert.summary option;
+  bl_aconfig : Pointsto.config;
+  bl_annot : Sva_tyck.Tyck.annot option;
+  bl_cloned : int;
+  bl_devirt : int;
+  bl_checkopt : Checkopt.summary option;
+}
+
+let build ?(conf = Sva_safe) ?(aconfig = Pointsto.default_config)
+    ?(options = Checkinsert.default_options) ?(typecheck = true)
+    ?(clone = false) ?(devirt = false) ?(checkopt = false) ~name sources =
+  let m = Minic.Lower.compile_strings ~name sources in
+  let pipeline =
+    match conf with
+    | Native | Sva_gcc -> Passes.Gcc_like
+    | Sva_llvm | Sva_safe -> Passes.Llvm_like
+  in
+  Passes.run pipeline m;
+  match conf with
+  | Native | Sva_gcc | Sva_llvm ->
+      {
+        bl_name = name;
+        bl_conf = conf;
+        bl_mod = m;
+        bl_pa = None;
+        bl_mps = None;
+        bl_summary = None;
+        bl_aconfig = aconfig;
+        bl_annot = None;
+        bl_cloned = 0;
+        bl_devirt = 0;
+        bl_checkopt = None;
+      }
+  | Sva_safe ->
+      let cloned = if clone then Clone.run m else 0 in
+      let pa = Pointsto.run ~config:aconfig m in
+      let mps = Metapool.infer m pa aconfig.Pointsto.allocators in
+      (* Section 5: encode the analysis as metapool type annotations and
+         run the (simple, intraprocedural, trusted) checker before any
+         instrumentation is emitted. *)
+      let annot =
+        if typecheck then begin
+          let an = Sva_tyck.Tyck.extract m pa mps in
+          let trusted = Sva_tyck.Tyck.trusted_of_config aconfig in
+          (match Sva_tyck.Tyck.check ~trusted m an with
+          | [] -> ()
+          | errs ->
+              failwith
+                ("metapool type checking failed:\n"
+                ^ String.concat "\n"
+                    (List.map Sva_tyck.Tyck.string_of_error errs)));
+          Some an
+        end
+        else None
+      in
+      let devirted = if devirt then Devirt.run m pa else 0 in
+      let summary = Checkinsert.run ~options m pa mps aconfig.Pointsto.allocators in
+      let co = if checkopt then Some (Checkopt.run m) else None in
+      {
+        bl_name = name;
+        bl_conf = conf;
+        bl_mod = m;
+        bl_pa = Some pa;
+        bl_mps = Some mps;
+        bl_summary = Some summary;
+        bl_aconfig = aconfig;
+        bl_annot = annot;
+        bl_cloned = cloned;
+        bl_devirt = devirted;
+        bl_checkopt = co;
+      }
+
+let instantiate ?sys built =
+  let mode =
+    match built.bl_conf with
+    | Native -> Sva_os.Svaos.Native_inline
+    | Sva_gcc | Sva_llvm | Sva_safe -> Sva_os.Svaos.Sva_mediated
+  in
+  let sys =
+    match sys with
+    | Some s ->
+        Sva_os.Svaos.set_mode s mode;
+        s
+    | None -> Sva_os.Svaos.create ~mode ()
+  in
+  let metapools =
+    match built.bl_mps with
+    | Some mps ->
+        Checkinsert.runtime_pools
+          ~user_range:(Sva_hw.Machine.user_base, Sva_hw.Machine.user_size)
+          mps
+    | None -> []
+  in
+  let t = Sva_interp.Interp.load ~sys ~metapools built.bl_mod in
+  (* SVM boot step: register every global object in its metapool before
+     control first enters the program. *)
+  if Irmod.find_func built.bl_mod "__sva_register_globals" <> None then
+    ignore (Sva_interp.Interp.call t "__sva_register_globals" []);
+  t

@@ -1,0 +1,66 @@
+(** The end-to-end SVA compilation pipeline.
+
+    Models the four kernel configurations measured in Section 7.1:
+
+    - {!conf.Native} — original kernel, GCC: no SVA-OS mediation, no
+      checks, simple optimizer;
+    - {!conf.Sva_gcc} — the SVA-ported kernel compiled with GCC: SVA-OS
+      mediation, no checks, simple optimizer;
+    - {!conf.Sva_llvm} — ported kernel through the LLVM-like pipeline;
+    - {!conf.Sva_safe} — plus the safety-checking compiler: points-to
+      analysis, metapool inference, run-time check insertion.
+
+    The same MiniC sources build under every configuration; only the
+    pass set and the SVA-OS execution mode differ. *)
+
+open Sva_ir
+open Sva_analysis
+open Sva_safety
+
+type conf = Native | Sva_gcc | Sva_llvm | Sva_safe
+
+val conf_name : conf -> string
+val all_confs : conf list
+
+type built = {
+  bl_name : string;
+  bl_conf : conf;
+  bl_mod : Irmod.t;
+  bl_pa : Pointsto.result option;  (** present for [Sva_safe] *)
+  bl_mps : Metapool.t option;
+  bl_summary : Checkinsert.summary option;
+  bl_aconfig : Pointsto.config;
+  bl_annot : Sva_tyck.Tyck.annot option;
+      (** the metapool type annotations, validated by the trusted checker
+          before check insertion (Section 5) *)
+  bl_cloned : int;  (** functions cloned (Section 4.8), when enabled *)
+  bl_devirt : int;  (** indirect calls devirtualized (Section 4.8) *)
+  bl_checkopt : Checkopt.summary option;
+      (** results of the check optimizations of Section 7.1.3, when enabled *)
+}
+
+val build :
+  ?conf:conf ->
+  ?aconfig:Pointsto.config ->
+  ?options:Checkinsert.options ->
+  ?typecheck:bool ->
+  ?clone:bool ->
+  ?devirt:bool ->
+  ?checkopt:bool ->
+  name:string ->
+  string list ->
+  built
+(** Compile MiniC sources under a configuration.  For [Sva_safe] the full
+    safety pipeline runs: optional function cloning (Section 4.8),
+    points-to analysis, metapool inference, metapool type annotation
+    extraction + trusted type checking (unless [~typecheck:false]),
+    optional devirtualization, run-time check insertion, the optional
+    check optimizations of Section 7.1.3, and IR re-verification.
+    @raise Failure if the type checker rejects the annotations (a
+    safety-checking-compiler bug). *)
+
+val instantiate : ?sys:Sva_os.Svaos.t -> built -> Sva_interp.Interp.t
+(** Load a built image into an SVM instance.  The SVA-OS mode follows the
+    configuration (Native_inline for [Native], mediated otherwise); the
+    run-time metapools are created and userspace is pre-registered in
+    pools reachable from syscall arguments. *)

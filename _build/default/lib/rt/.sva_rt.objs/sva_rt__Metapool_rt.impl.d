@@ -1,0 +1,1 @@
+lib/rt/metapool_rt.ml: List Printf Splay Stats String Violation

@@ -1,0 +1,1 @@
+lib/rt/metapool_rt.mli: Splay

@@ -1,0 +1,1 @@
+lib/rt/stats.ml: Printf

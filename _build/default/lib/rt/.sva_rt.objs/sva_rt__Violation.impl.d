@@ -1,0 +1,1 @@
+lib/rt/violation.ml: Printf

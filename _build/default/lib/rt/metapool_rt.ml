@@ -1,0 +1,139 @@
+type memclass = Heap | Stack | Global | Userspace | Bios
+
+type obj = { ob_class : memclass; ob_live : bool ref }
+
+type t = {
+  mp_name : string;
+  mutable mp_type_homog : bool;
+  mutable mp_complete : bool;
+  mutable mp_elem_size : int;
+  mp_objects : obj Splay.t;
+}
+
+let create ?(type_homog = false) ?(complete = true) ?(elem_size = 0) name =
+  {
+    mp_name = name;
+    mp_type_homog = type_homog;
+    mp_complete = complete;
+    mp_elem_size = elem_size;
+    mp_objects = Splay.create ();
+  }
+
+let register mp ~cls ~start ~len =
+  Stats.bump_reg ();
+  (* A failed allocation (null) or a non-positive requested size (integer
+     overflow/underflow in the caller) registers nothing: later checks
+     through the pointer then fail, which is exactly the exploit-catching
+     behaviour (Section 7.2's too-small-object overruns). *)
+  if start <> 0 && len > 0 then
+    Splay.insert mp.mp_objects ~start ~len { ob_class = cls; ob_live = ref true }
+
+let drop mp ~start =
+  Stats.bump_drop ();
+  match Splay.remove mp.mp_objects ~start with
+  | Some _ -> ()
+  | None ->
+      Stats.bump_violation ();
+      (* Distinguish a pointer into the middle of a live object (illegal
+         free) from a pointer to nothing (double free). *)
+      let kind =
+        match Splay.find_containing mp.mp_objects start with
+        | Some _ -> Violation.Illegal_free
+        | None -> Violation.Double_free
+      in
+      Violation.violation kind ~metapool:mp.mp_name ~addr:start
+        "pchk.drop.obj of a non-live object"
+
+let drop_if_present mp ~start =
+  match Splay.remove mp.mp_objects ~start with Some _ -> true | None -> false
+
+let getbounds mp addr =
+  Stats.bump_getbounds ();
+  match Splay.find_containing mp.mp_objects addr with
+  | Some n -> Some (n.Splay.n_start, n.Splay.n_len)
+  | None -> None
+
+let in_range ~start ~len addr access_len =
+  addr >= start && addr + access_len <= start + len
+
+let boundscheck_known ~start ~len ~dst ~access_len ~pool =
+  Stats.bump_bounds ();
+  if not (in_range ~start ~len dst access_len) then begin
+    Stats.bump_violation ();
+    Violation.violation Violation.Bounds ~metapool:pool ~addr:dst
+      (Printf.sprintf
+         "indexing to [0x%x,+%d) escapes object [0x%x,+%d)" dst access_len
+         start len)
+  end
+
+let boundscheck mp ~src ~dst ~access_len =
+  Stats.bump_bounds ();
+  match Splay.find_containing mp.mp_objects src with
+  | Some n ->
+      if not (in_range ~start:n.Splay.n_start ~len:n.Splay.n_len dst access_len)
+      then begin
+        Stats.bump_violation ();
+        Violation.violation Violation.Bounds ~metapool:mp.mp_name ~addr:dst
+          (Printf.sprintf
+             "gep from 0x%x to [0x%x,+%d) escapes object [0x%x,+%d)" src dst
+             access_len n.Splay.n_start n.Splay.n_len)
+      end
+  | None -> (
+      match Splay.find_containing mp.mp_objects dst with
+      | Some _ when not mp.mp_complete ->
+          (* Source unregistered in an incomplete pool: nothing can be
+             said (Section 4.5). *)
+          Stats.bump_reduced ()
+      | Some n ->
+          Stats.bump_violation ();
+          Violation.violation Violation.Bounds ~metapool:mp.mp_name ~addr:dst
+            (Printf.sprintf
+               "gep source 0x%x outside every object but target inside \
+                [0x%x,+%d)"
+               src n.Splay.n_start n.Splay.n_len)
+      | None ->
+          if mp.mp_complete then begin
+            Stats.bump_violation ();
+            Violation.violation Violation.Bounds ~metapool:mp.mp_name
+              ~addr:src "gep source points to no registered object"
+          end
+          else Stats.bump_reduced ())
+
+let lscheck mp ~addr ~access_len =
+  if not mp.mp_complete then Stats.bump_reduced ()
+  else begin
+    Stats.bump_ls ();
+    if addr = 0 then begin
+      Stats.bump_violation ();
+      Violation.violation Violation.Uninit_pointer ~metapool:mp.mp_name
+        ~addr "load/store through null pointer"
+    end;
+    match Splay.find_containing mp.mp_objects addr with
+    | Some n ->
+        if not (in_range ~start:n.Splay.n_start ~len:n.Splay.n_len addr access_len)
+        then begin
+          Stats.bump_violation ();
+          Violation.violation Violation.Load_store ~metapool:mp.mp_name ~addr
+            (Printf.sprintf
+               "access [0x%x,+%d) straddles object [0x%x,+%d)" addr access_len
+               n.Splay.n_start n.Splay.n_len)
+        end
+    | None ->
+        Stats.bump_violation ();
+        Violation.violation Violation.Load_store ~metapool:mp.mp_name ~addr
+          "load/store outside every registered object"
+  end
+
+let funccheck ~allowed ~target =
+  Stats.bump_funccheck ();
+  if not (List.exists (fun (addr, _) -> addr = target) allowed) then begin
+    Stats.bump_violation ();
+    Violation.violation Violation.Indirect_call ~metapool:"" ~addr:target
+      (Printf.sprintf "indirect call to 0x%x not in the call graph set {%s}"
+         target
+         (String.concat ", " (List.map snd allowed)))
+  end
+
+let live_objects mp = Splay.size mp.mp_objects
+
+let reset mp = Splay.clear mp.mp_objects

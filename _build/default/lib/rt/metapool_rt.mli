@@ -1,0 +1,86 @@
+(** Metapool run-time state and the SVA run-time checks (Section 4.5).
+
+    A metapool is the run-time representation of one points-to graph
+    partition: the set of memory objects that the safety-checking compiler
+    proved may be reached through pointers of that partition.  Each
+    metapool owns a splay tree of registered object ranges; the inserted
+    checks consult it:
+
+    - {!boundscheck} — getelementptr results must stay within the object
+      of the source pointer (Jones-Kelly object bounds);
+    - {!lscheck} — loads/stores through pointers of non-type-homogeneous
+      pools must target a registered object;
+    - {!funccheck} — indirect calls must hit a function in the
+      compiler-computed target set.
+
+    Incomplete metapools (partitions exposed to unanalyzed code,
+    Section 4.5 "Reduced checks") silence load/store checks entirely and
+    downgrade bounds checks to fire only when both pointers are found in
+    registered objects.  This is the sole source of false negatives. *)
+
+(** Memory class of a registered object. *)
+type memclass =
+  | Heap
+  | Stack  (** stack objects registered/deregistered per function *)
+  | Global
+  | Userspace  (** all of userspace as one object (Section 4.6) *)
+  | Bios  (** manufactured addresses registered via [pseudo_alloc] (§4.7) *)
+
+type obj = { ob_class : memclass; ob_live : bool ref }
+
+type t = {
+  mp_name : string;
+  mutable mp_type_homog : bool;
+      (** all objects share one inferred type — enables check elision *)
+  mutable mp_complete : bool;
+      (** no unanalyzed code can put unregistered objects in this pool *)
+  mutable mp_elem_size : int;
+      (** inferred element size for TH pools (alignment contract, §4.4) *)
+  mp_objects : obj Splay.t;
+}
+
+val create :
+  ?type_homog:bool -> ?complete:bool -> ?elem_size:int -> string -> t
+
+val register : t -> cls:memclass -> start:int -> len:int -> unit
+(** [pchk.reg.obj]: record a live object.  Registering a range that
+    overlaps a live object indicates a broken allocator contract and
+    raises [Invalid_argument] (except for the whole-userspace object,
+    which may enclose nothing else). *)
+
+val drop : t -> start:int -> unit
+(** [pchk.drop.obj]: remove an object.  Raises a {!Violation.Double_free}
+    violation if no live object starts at [start]. *)
+
+val drop_if_present : t -> start:int -> bool
+(** Deregistration for pool destruction paths; never raises. *)
+
+val getbounds : t -> int -> (int * int) option
+(** [getbounds mp addr] is [Some (start, len)] of the registered object
+    containing [addr] (splay lookup), or [None]. *)
+
+val boundscheck : t -> src:int -> dst:int -> access_len:int -> unit
+(** Verify [src] and the whole accessed range [dst .. dst+access_len-1]
+    fall within one registered object.  For an incomplete pool where
+    neither pointer is registered, the check is "reduced" and passes.
+    @raise Violation.Safety_violation on failure. *)
+
+val boundscheck_known : start:int -> len:int -> dst:int -> access_len:int ->
+  pool:string -> unit
+(** Bounds check with statically known object bounds — no splay lookup
+    (the fast path at line 19 of Figure 2). *)
+
+val lscheck : t -> addr:int -> access_len:int -> unit
+(** Load/store check.  Elided (counted as reduced) if the pool is
+    incomplete; otherwise the accessed range must be inside one live
+    object.  A null/uninitialized address raises [Uninit_pointer]. *)
+
+val funccheck : allowed:(int * string) list -> target:int -> unit
+(** Indirect call check against the call-graph-derived target set
+    [(address, name)].  @raise Violation.Safety_violation on miss. *)
+
+val live_objects : t -> int
+(** Number of currently registered objects. *)
+
+val reset : t -> unit
+(** Drop all objects (pool destruction). *)

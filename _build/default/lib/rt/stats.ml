@@ -1,0 +1,83 @@
+type snapshot = {
+  bounds_checks : int;
+  getbounds : int;
+  ls_checks : int;
+  funcchecks : int;
+  registrations : int;
+  drops : int;
+  reduced_checks : int;
+  violations : int;
+}
+
+let zero =
+  {
+    bounds_checks = 0;
+    getbounds = 0;
+    ls_checks = 0;
+    funcchecks = 0;
+    registrations = 0;
+    drops = 0;
+    reduced_checks = 0;
+    violations = 0;
+  }
+
+let bounds = ref 0
+let gb = ref 0
+let ls = ref 0
+let fc = ref 0
+let regs = ref 0
+let drps = ref 0
+let reduced = ref 0
+let viols = ref 0
+
+let bump_bounds () = incr bounds
+let bump_getbounds () = incr gb
+let bump_ls () = incr ls
+let bump_funccheck () = incr fc
+let bump_reg () = incr regs
+let bump_drop () = incr drps
+let bump_reduced () = incr reduced
+let bump_violation () = incr viols
+
+let read () =
+  {
+    bounds_checks = !bounds;
+    getbounds = !gb;
+    ls_checks = !ls;
+    funcchecks = !fc;
+    registrations = !regs;
+    drops = !drps;
+    reduced_checks = !reduced;
+    violations = !viols;
+  }
+
+let reset () =
+  bounds := 0;
+  gb := 0;
+  ls := 0;
+  fc := 0;
+  regs := 0;
+  drps := 0;
+  reduced := 0;
+  viols := 0
+
+let diff a b =
+  {
+    bounds_checks = a.bounds_checks - b.bounds_checks;
+    getbounds = a.getbounds - b.getbounds;
+    ls_checks = a.ls_checks - b.ls_checks;
+    funcchecks = a.funcchecks - b.funcchecks;
+    registrations = a.registrations - b.registrations;
+    drops = a.drops - b.drops;
+    reduced_checks = a.reduced_checks - b.reduced_checks;
+    violations = a.violations - b.violations;
+  }
+
+let total_checks s = s.bounds_checks + s.ls_checks + s.funcchecks
+
+let to_string s =
+  Printf.sprintf
+    "bounds=%d getbounds=%d ls=%d funccheck=%d reg=%d drop=%d reduced=%d \
+     violations=%d"
+    s.bounds_checks s.getbounds s.ls_checks s.funcchecks s.registrations
+    s.drops s.reduced_checks s.violations

@@ -1,0 +1,41 @@
+(** Run-time check accounting.
+
+    Global counters for every kind of dynamic event the SVA runtime
+    performs.  The benchmark harness snapshots these to attribute overhead
+    (Section 7.1.2 observes that cheap syscalls are dominated by SVA-OS
+    cost while heavier ones are dominated by run-time checks), and the
+    tests use them to assert that checks are actually exercised or
+    correctly elided. *)
+
+type snapshot = {
+  bounds_checks : int;  (** [boundscheck] executions *)
+  getbounds : int;  (** splay-tree bound fetches *)
+  ls_checks : int;  (** [lscheck] executions *)
+  funcchecks : int;  (** indirect call checks *)
+  registrations : int;  (** [pchk.reg.obj] *)
+  drops : int;  (** [pchk.drop.obj] *)
+  reduced_checks : int;  (** checks skipped because the pool is incomplete *)
+  violations : int;  (** safety violations raised *)
+}
+
+val zero : snapshot
+
+val bump_bounds : unit -> unit
+val bump_getbounds : unit -> unit
+val bump_ls : unit -> unit
+val bump_funccheck : unit -> unit
+val bump_reg : unit -> unit
+val bump_drop : unit -> unit
+val bump_reduced : unit -> unit
+val bump_violation : unit -> unit
+
+val read : unit -> snapshot
+val reset : unit -> unit
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff later earlier] — per-field subtraction. *)
+
+val total_checks : snapshot -> int
+(** Bounds + load/store + indirect-call checks. *)
+
+val to_string : snapshot -> string

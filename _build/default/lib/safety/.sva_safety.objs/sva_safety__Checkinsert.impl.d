@@ -1,0 +1,1 @@
+lib/safety/checkinsert.ml: Allocdecl Builder Func Hashtbl Instr Int64 Irmod List Metapool Option Pointsto Sva_analysis Sva_ir Sva_rt Ty Value Verify

@@ -1,0 +1,1 @@
+lib/safety/checkinsert.mli: Allocdecl Irmod Metapool Pointsto Sva_analysis Sva_ir Sva_rt

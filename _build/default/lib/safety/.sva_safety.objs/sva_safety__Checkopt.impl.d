@@ -1,0 +1,1 @@
+lib/safety/checkopt.ml: Cfg Func Hashtbl Instr Int64 Irmod List Option Printf Sva_ir Ty Value Verify

@@ -1,0 +1,1 @@
+lib/safety/checkopt.mli: Func Irmod Sva_ir

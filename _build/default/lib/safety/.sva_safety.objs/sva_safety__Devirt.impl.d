@@ -1,0 +1,1 @@
+lib/safety/devirt.ml: Func Hashtbl Instr Irmod List Option Pointsto Printf Sva_analysis Sva_ir Ty Value Verify

@@ -1,0 +1,1 @@
+lib/safety/devirt.mli: Irmod Pointsto Sva_analysis Sva_ir

@@ -1,0 +1,1 @@
+lib/safety/metapool.ml: Allocdecl Hashtbl Irmod List Pointsto Printf String Sva_analysis Sva_ir Ty

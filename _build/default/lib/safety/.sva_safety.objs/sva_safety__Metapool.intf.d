@@ -1,0 +1,1 @@
+lib/safety/metapool.mli: Allocdecl Irmod Pointsto Sva_analysis Sva_ir Value

@@ -1,0 +1,72 @@
+(** Run-time check insertion — the verifier's instrumentation step
+    (Section 4.5).
+
+    For every analyzed function the pass inserts:
+
+    - [pchk_reg_obj] / [pchk_drop_obj] around heap allocator calls, the
+      SVA-Core [malloc]/[free] instructions, and aggregate stack slots
+      (registered at [alloca], dropped at returns);
+    - stack-to-heap promotion for slots whose address may outlive the
+      frame (escaping allocas become [malloc] + [free]-at-return);
+    - [pchk_bounds] after every [getelementptr] that cannot be proven safe
+      at compile time (constant in-range indexing is safe; variable
+      indexing is not);
+    - [pchk_lscheck] before loads/stores through pointers of
+      non-type-homogeneous pools (TH pools need no load/store checks;
+      incomplete pools get none — "reduced checks");
+    - [pchk_funccheck] before indirect calls, against the call-graph
+      target set (elided when the function pointer comes from a TH pool);
+    - a [__sva_register_globals] function registering every global in its
+      metapool, called from every {!Sva_ir.Func.attr.Kernel_entry}
+      function;
+    - rewrites of [sva_pseudo_alloc] into metapool registrations
+      (manufactured addresses, Section 4.7).
+
+    The returned summary is the static-metrics source for Table 9. *)
+
+open Sva_ir
+open Sva_analysis
+
+type options = {
+  static_bounds : bool;
+      (** prove constant in-range geps safe at compile time (on in the
+          baseline; turning it off is the ablation for the Section 7.1.3
+          discussion) *)
+  th_elides_lscheck : bool;
+      (** elide load/store checks on type-homogeneous pools *)
+  funccheck_on : bool;
+  promote_escaping_stack : bool;
+}
+
+val default_options : options
+
+type summary = {
+  ls_inserted : int;
+  ls_elided_th : int;  (** load/store checks skipped: TH pool *)
+  ls_reduced_incomplete : int;  (** skipped: incomplete pool (§4.5) *)
+  bounds_inserted : int;
+  bounds_static : int;  (** geps proven safe statically *)
+  funcchecks_inserted : int;
+  funcchecks_elided : int;
+  regs_inserted : int;  (** object registration points *)
+  drops_inserted : int;
+  stack_promoted : int;  (** allocas promoted to the heap *)
+}
+
+val run :
+  ?options:options ->
+  Irmod.t ->
+  Pointsto.result ->
+  Metapool.t ->
+  Allocdecl.t list ->
+  summary
+(** Instrument the module in place.  The module must verify before and
+    will verify after.  Functions with {!Func.attr.Noanalyze} are left
+    untouched. *)
+
+val runtime_pools :
+  ?user_range:int * int -> Metapool.t -> (int * Sva_rt.Metapool_rt.t) list
+(** Build the run-time pools for the inferred metapools, keyed by metapool
+    id for the interpreter.  [user_range = (base, size)] registers all of
+    userspace as a single object in every pool reachable from syscall
+    arguments (Section 4.6). *)

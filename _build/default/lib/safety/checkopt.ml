@@ -1,0 +1,323 @@
+open Sva_ir
+
+type summary = { co_ls_deduped : int; co_bounds_hoisted : int }
+
+(* ---------- redundant load/store check elimination ---------- *)
+
+let value_key (v : Value.t) =
+  match v with
+  | Value.Imm (t, n) -> Printf.sprintf "i:%s:%Ld" (Ty.to_string t) n
+  | Value.Reg (id, _, _) -> "r:" ^ string_of_int id
+  | Value.Global (g, _) -> "g:" ^ g
+  | Value.Fn (f, _) -> "f:" ^ f
+  | Value.Fimm f -> Printf.sprintf "fl:%h" f
+  | Value.Null _ -> "null"
+  | Value.Undef _ -> "undef"
+
+(* A call or deallocation can invalidate liveness facts the earlier check
+   established (the object could be dropped). *)
+let invalidates (k : Instr.kind) =
+  match k with
+  | Instr.Call _ | Instr.Free _ -> true
+  | Instr.Intrinsic (("pchk_drop_obj" | "pchk_drop_obj_opt"), _) -> true
+  | _ -> false
+
+let dedup_lschecks (f : Func.t) =
+  let removed = ref 0 in
+  List.iter
+    (fun (b : Func.block) ->
+      let available : (string, int64) Hashtbl.t = Hashtbl.create 8 in
+      b.Func.insns <-
+        List.filter
+          (fun (i : Instr.t) ->
+            match i.Instr.kind with
+            | Instr.Intrinsic
+                ("pchk_lscheck", [ Value.Imm (_, mp); ptr; Value.Imm (_, len) ])
+              -> (
+                let key = Printf.sprintf "%Ld|%s" mp (value_key ptr) in
+                match Hashtbl.find_opt available key with
+                | Some prior when Int64.compare len prior <= 0 ->
+                    incr removed;
+                    false
+                | _ ->
+                    Hashtbl.replace available key len;
+                    true)
+            | k ->
+                if invalidates k then Hashtbl.reset available;
+                true)
+          b.Func.insns)
+    f.Func.f_blocks;
+  !removed
+
+(* ---------- monotonic-loop bounds-check hoisting ---------- *)
+
+(* The pattern (all inside one natural loop):
+
+     header:  %i   = phi [ %start, preheader ], [ %inext, latch ]
+              %c   = icmp slt %i, %bound          ; or sle
+              br %c, body..., exit
+     body:    %p   = getelementptr %base [ %i' ]  ; %i' = %i or sext(%i)
+              pchk_bounds(mp, %base, %p, len)
+     latch:   %inext = add %i, +step
+
+   with %base and %bound loop-invariant and %start a non-negative
+   constant.  The per-iteration check is replaced by one range check in
+   the preheader: pchk_bounds(mp, %base, %base, %bound * elem_size),
+   which degenerates to a no-op when the loop does not execute
+   (non-positive extents always pass). *)
+
+type loop_info = {
+  li_blocks : string list;
+  li_header : string;
+  li_preheader : Func.block;
+}
+
+let find_loops (f : Func.t) cfg =
+  List.filter_map
+    (fun (src, header) ->
+      let blocks = Cfg.natural_loop cfg (src, header) in
+      (* unique out-of-loop predecessor of the header, ending in a jump *)
+      let outside_preds =
+        List.filter (fun p -> not (List.mem p blocks)) (Cfg.predecessors cfg header)
+      in
+      match outside_preds with
+      | [ p ] -> (
+          match Func.find_block f p with
+          | blk when blk.Func.term = Instr.Jmp header ->
+              Some { li_blocks = blocks; li_header = header; li_preheader = blk }
+          | _ -> None
+          | exception Not_found -> None)
+      | _ -> None)
+    (Cfg.back_edges cfg)
+
+(* Definition site lookup: register id -> (block label, instr). *)
+let def_map (f : Func.t) =
+  let defs = Hashtbl.create 64 in
+  List.iter
+    (fun (b : Func.block) ->
+      List.iter
+        (fun (i : Instr.t) ->
+          match Instr.result i with
+          | Some (Value.Reg (id, _, _)) -> Hashtbl.replace defs id (b.Func.label, i)
+          | _ -> ())
+        b.Func.insns)
+    f.Func.f_blocks;
+  defs
+
+let invariant_in defs loop (v : Value.t) =
+  match v with
+  | Value.Imm _ | Value.Null _ | Value.Undef _ | Value.Fimm _ | Value.Global _
+  | Value.Fn _ ->
+      true
+  | Value.Reg (id, _, _) -> (
+      match Hashtbl.find_opt defs id with
+      | Some (blk, _) -> not (List.mem blk loop.li_blocks)
+      | None -> true (* a parameter *))
+
+(* Is [v] the loop's induction variable (or its sign/zero extension)?
+   Returns the header phi's register id on success. *)
+let rec induction_of defs loop (v : Value.t) =
+  match v with
+  | Value.Reg (id, _, _) -> (
+      match Hashtbl.find_opt defs id with
+      | Some (blk, (i : Instr.t)) when blk = loop.li_header -> (
+          match i.Instr.kind with
+          | Instr.Phi incoming when List.length incoming = 2 -> (
+              (* one incoming from the preheader (constant start >= 0),
+                 one from inside (add id, +const) *)
+              let from_pre =
+                List.assoc_opt loop.li_preheader.Func.label incoming
+              in
+              let from_latch =
+                List.find_opt
+                  (fun (l, _) -> l <> loop.li_preheader.Func.label)
+                  incoming
+              in
+              match (from_pre, from_latch) with
+              | Some (Value.Imm (_, start)), Some (_, Value.Reg (nid, _, _))
+                when Int64.compare start 0L >= 0 -> (
+                  match Hashtbl.find_opt defs nid with
+                  | Some (nblk, ni) when List.mem nblk loop.li_blocks -> (
+                      match ni.Instr.kind with
+                      | Instr.Binop (Instr.Add, Value.Reg (pid, _, _), Value.Imm (_, step))
+                        when pid = id && Int64.compare step 0L > 0 ->
+                          Some id
+                      | Instr.Binop (Instr.Add, Value.Imm (_, step), Value.Reg (pid, _, _))
+                        when pid = id && Int64.compare step 0L > 0 ->
+                          Some id
+                      | _ -> None)
+                  | _ -> None)
+              | _ -> None)
+          | Instr.Cast ((Instr.Sext | Instr.Zext), inner, _) ->
+              induction_of defs loop inner
+          | _ -> None)
+      | Some (blk, (i : Instr.t)) when List.mem blk loop.li_blocks -> (
+          (* an extension computed in the body *)
+          match i.Instr.kind with
+          | Instr.Cast ((Instr.Sext | Instr.Zext), inner, _) ->
+              induction_of defs loop inner
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+(* Resolve a branch condition to its signed comparison, peeling the
+   zext / icmp-ne-0 chain the front end emits for boolean contexts. *)
+let rec as_signed_cmp defs (v : Value.t) =
+  match v with
+  | Value.Reg (id, _, _) -> (
+      match Hashtbl.find_opt defs id with
+      | Some (_, (ci : Instr.t)) -> (
+          match ci.Instr.kind with
+          | Instr.Icmp ((Instr.Slt | Instr.Sle) as p, lhs, bound) ->
+              Some (p, lhs, bound)
+          | Instr.Icmp (Instr.Ne, x, Value.Imm (_, 0L)) -> as_signed_cmp defs x
+          | Instr.Cast ((Instr.Zext | Instr.Sext), inner, _) ->
+              as_signed_cmp defs inner
+          | _ -> None)
+      | None -> None)
+  | _ -> None
+
+(* The loop bound: header terminator br (icmp slt/sle phi, bound) with
+   bound invariant.  Returns (bound value, inclusive?). *)
+let loop_bound f defs loop phi_id =
+  match Func.find_block f loop.li_header with
+  | exception Not_found -> None
+  | header -> (
+      match header.Func.term with
+      | Instr.Br (cond, _, _) -> (
+          match as_signed_cmp defs cond with
+          | Some (pred, lhs, bound)
+            when induction_of defs loop lhs = Some phi_id
+                 && invariant_in defs loop bound ->
+              Some (bound, pred = Instr.Sle)
+          | _ -> None)
+      | _ -> None)
+
+let hoist_bounds (m : Irmod.t) (f : Func.t) =
+  if f.Func.f_blocks = [] then 0
+  else begin
+    let cfg = Cfg.build f in
+    let loops = find_loops f cfg in
+    let defs = def_map f in
+    let hoisted = ref 0 in
+    List.iter
+      (fun loop ->
+        List.iter
+          (fun blabel ->
+            match Func.find_block f blabel with
+            | exception Not_found -> ()
+            | blk ->
+                blk.Func.insns <-
+                  List.filter
+                    (fun (i : Instr.t) ->
+                      match i.Instr.kind with
+                      | Instr.Intrinsic
+                          ( "pchk_bounds",
+                            [ (Value.Imm _ as mp); base; Value.Reg (did, _, _); _len ] )
+                        when invariant_in defs loop base -> (
+                          (* dst must be gep base [iv] with iv the loop's
+                             induction variable *)
+                          match Hashtbl.find_opt defs did with
+                          | Some (dblk, (gi : Instr.t))
+                            when List.mem dblk loop.li_blocks -> (
+                              match gi.Instr.kind with
+                              | Instr.Gep (gbase, [ idx ])
+                                when Value.equal gbase base -> (
+                                  match induction_of defs loop idx with
+                                  | Some phi_id -> (
+                                      match loop_bound f defs loop phi_id with
+                                      | Some (bound, inclusive) ->
+                                          (* preheader:
+                                             ext  = count (+1 if sle)
+                                             size = count * elem
+                                             pchk_bounds(mp, base, base, size) *)
+                                          let elem =
+                                            match Value.ty base with
+                                            | Ty.Ptr p -> (
+                                                try Ty.sizeof m.Irmod.m_ctx p
+                                                with Invalid_argument _ -> 1)
+                                            | _ -> 1
+                                          in
+                                          let pre = loop.li_preheader in
+                                          let mk ty kind =
+                                            {
+                                              Instr.id = Func.fresh_reg f;
+                                              nm = "hoist";
+                                              ty;
+                                              kind;
+                                            }
+                                          in
+                                          let widen v =
+                                            if Ty.equal (Value.ty v) Ty.i64 then
+                                              (v, [])
+                                            else
+                                              let c =
+                                                mk Ty.i64
+                                                  (Instr.Cast (Instr.Sext, v, Ty.i64))
+                                              in
+                                              (Option.get (Instr.result c), [ c ])
+                                          in
+                                          let bound64, widen_instrs = widen bound in
+                                          let count, count_instrs =
+                                            if inclusive then
+                                              let a =
+                                                mk Ty.i64
+                                                  (Instr.Binop
+                                                     ( Instr.Add,
+                                                       bound64,
+                                                       Value.imm64 1L ))
+                                              in
+                                              (Option.get (Instr.result a), [ a ])
+                                            else (bound64, [])
+                                          in
+                                          let size =
+                                            mk Ty.i64
+                                              (Instr.Binop
+                                                 ( Instr.Mul,
+                                                   count,
+                                                   Value.imm64 (Int64.of_int elem) ))
+                                          in
+                                          let chk =
+                                            mk Ty.Void
+                                              (Instr.Intrinsic
+                                                 ( "pchk_bounds",
+                                                   [
+                                                     mp;
+                                                     base;
+                                                     base;
+                                                     Option.get (Instr.result size);
+                                                   ] ))
+                                          in
+                                          pre.Func.insns <-
+                                            pre.Func.insns @ widen_instrs
+                                            @ count_instrs @ [ size; chk ];
+                                          incr hoisted;
+                                          false
+                                      | None -> true)
+                                  | None -> true)
+                              | _ -> true)
+                          | _ -> true)
+                      | _ -> true)
+                    blk.Func.insns)
+          loop.li_blocks)
+      loops;
+    !hoisted
+  end
+
+let run_func m f =
+  { co_ls_deduped = dedup_lschecks f; co_bounds_hoisted = hoist_bounds m f }
+
+let run (m : Irmod.t) =
+  let total =
+    List.fold_left
+      (fun acc f ->
+        let s = run_func m f in
+        {
+          co_ls_deduped = acc.co_ls_deduped + s.co_ls_deduped;
+          co_bounds_hoisted = acc.co_bounds_hoisted + s.co_bounds_hoisted;
+        })
+      { co_ls_deduped = 0; co_bounds_hoisted = 0 }
+      m.Irmod.m_funcs
+  in
+  Verify.check m;
+  total

@@ -1,0 +1,29 @@
+(** Run-time check optimizations — the "future performance improvements"
+    of Section 7.1.3, implemented:
+
+    - {e redundant-check elimination}: a load/store check against the same
+      pool and pointer with an equal-or-smaller access repeated within a
+      block (with no intervening deallocation or unknown call) is dropped;
+    - {e loop hoisting for monotonic index ranges}: a bounds check on
+      [base[i]] inside a loop whose induction variable walks [start .. N)
+      with a positive constant step, [base] and [N] loop-invariant, is
+      replaced by a single whole-range check in the loop preheader
+      ("hoisting checks out of loops with monotonic index ranges (a
+      common case)").
+
+    The third improvement the paper lists — static array bounds checking —
+    is {!Checkinsert.options.static_bounds}.  These passes run {e after}
+    check insertion, preserve IR well-formedness, and are measured by the
+    ablation benchmarks. *)
+
+open Sva_ir
+
+type summary = {
+  co_ls_deduped : int;  (** redundant load/store checks removed *)
+  co_bounds_hoisted : int;  (** per-iteration bounds checks hoisted *)
+}
+
+val run_func : Irmod.t -> Func.t -> summary
+
+val run : Irmod.t -> summary
+(** Optimize every function; re-verifies the module. *)

@@ -1,0 +1,1 @@
+lib/svaos/svaos.ml: Array Bytes Cpu Devices Hashtbl Int64 Machine Mmu Printf Sva_hw

@@ -1,0 +1,1 @@
+lib/svaos/svaos.mli: Cpu Devices Hashtbl Machine Mmu Sva_hw

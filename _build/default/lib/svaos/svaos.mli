@@ -1,0 +1,120 @@
+(** SVA-OS: the OS support operations of the virtual instruction set
+    (Section 3.3, Tables 1 and 2).
+
+    SVA-OS provides {e mechanisms, not policies}: saving/restoring native
+    processor state, manipulating interrupt contexts, MMU configuration,
+    I/O, and registration of interrupt/system-call handlers.  All
+    privileged hardware operations go through these functions, which is
+    what lets the SVM monitor and control them.
+
+    Two execution modes model the measurement axis of Section 7.1:
+
+    - {!mode.Native_inline} — the pre-port kernel: privileged operations
+      are open-coded with no abstraction layer (minimal bookkeeping);
+    - {!mode.Sva_mediated} — the SVA port: every operation validates its
+      arguments, runs inside the SVM privilege boundary and keeps the
+      interrupt-context machinery honest.  This is the "Linux-SVA-GCC vs
+      Linux-native" overhead source. *)
+
+open Sva_hw
+
+type mode = Native_inline | Sva_mediated
+
+type t = {
+  machine : Machine.t;
+  cpu : Cpu.t;
+  mmu : Mmu.t;
+  devices : Devices.t;
+  mutable mode : mode;
+  syscalls : (int, string) Hashtbl.t;  (** syscall number -> handler symbol *)
+  interrupts : (int, string) Hashtbl.t;  (** vector -> handler symbol *)
+  spaces : (int, Mmu.space) Hashtbl.t;  (** space id -> MMU space *)
+  mutable icontexts : int list;  (** stack of live interrupt context addrs *)
+  mutable ops_count : int;  (** SVA-OS operations executed *)
+}
+
+val create : ?mode:mode -> unit -> t
+
+val set_mode : t -> mode -> unit
+
+(** {2 Table 1: native processor state} *)
+
+val save_integer : t -> buffer:int -> unit
+val load_integer : t -> buffer:int -> unit
+val save_fp : t -> buffer:int -> always:bool -> bool
+val load_fp : t -> buffer:int -> unit
+
+(** {2 Table 2: interrupt contexts}
+
+    An interrupt context is the interrupted control state the SVM saved on
+    kernel entry.  The kernel holds an opaque handle (its address) and
+    manipulates it only through these operations. *)
+
+val icontext_size : int
+
+val icontext_create : t -> sp:int -> was_privileged:bool -> int
+(** SVM-internal: on an interrupt/trap, lay down an interrupt context at
+    stack address [sp] capturing the interrupted state; returns the
+    handle.  In [Sva_mediated] mode the context is integrity-tagged. *)
+
+val icontext_save : t -> icp:int -> isp:int -> unit
+(** Save interrupt context [icp] into [isp] as Integer State. *)
+
+val icontext_load : t -> icp:int -> isp:int -> unit
+(** Load Integer State [isp] into interrupt context [icp]. *)
+
+val icontext_commit : t -> icp:int -> unit
+(** Commit the entire interrupt context to memory. *)
+
+val ipush_function : t -> icp:int -> fn:int -> arg:int64 -> unit
+(** Modify [icp] so that function [fn] (a code address) is called with
+    [arg] when the context resumes — signal-handler dispatch. *)
+
+val ipush_pending : t -> icp:int -> (int * int64) option
+(** SVM-internal: the pending pushed call, if any (consumed). *)
+
+val was_privileged : t -> icp:int -> bool
+
+val icontext_destroy : t -> icp:int -> unit
+(** SVM-internal: pop the context on kernel exit.
+    @raise Failure on unbalanced destroy or a tampered context tag. *)
+
+(** {2 Privileged operations: MMU, interrupts, I/O} *)
+
+val register_syscall : t -> num:int -> handler:string -> unit
+val syscall_handler : t -> num:int -> string option
+val register_interrupt : t -> vector:int -> handler:string -> unit
+val interrupt_handler : t -> vector:int -> string option
+
+val mmu_new_space : t -> int
+val mmu_clone_space : t -> sid:int -> int
+val mmu_destroy_space : t -> sid:int -> unit
+val mmu_activate : t -> sid:int -> unit
+val mmu_map_page : t -> sid:int -> vpn:int -> ppn:int -> writable:bool -> unit
+val mmu_unmap_page : t -> sid:int -> vpn:int -> unit
+val mmu_page_count : t -> sid:int -> int
+val mmu_pages : t -> sid:int -> (int * int) list
+
+val io_console_write : t -> addr:int -> len:int -> unit
+val io_disk_read : t -> block:int -> addr:int -> unit
+val io_disk_write : t -> block:int -> addr:int -> unit
+
+val io_nic_send : t -> proto:int -> addr:int -> len:int -> unit
+
+val io_nic_recv : t -> addr:int -> maxlen:int -> int
+(** Copy the next frame as [proto:4 bytes][payload] into kernel memory at
+    [addr]; returns total bytes written or -1 when no frame is queued. *)
+
+val timer_read : t -> int64
+
+val cli : t -> unit
+val sti : t -> unit
+
+(** {2 Constants exposed to the kernel} *)
+
+val heap_base : t -> int
+val heap_size : t -> int
+val user_base : t -> int
+val user_size : t -> int
+val stack_base : t -> int
+val stack_size : t -> int

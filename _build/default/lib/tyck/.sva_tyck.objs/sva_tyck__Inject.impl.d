@@ -1,0 +1,1 @@
+lib/tyck/inject.ml: Func Hashtbl Instr Irmod List Printf Sva_analysis Sva_ir Ty Tyck Value

@@ -1,0 +1,1 @@
+lib/tyck/inject.mli: Irmod Sva_ir Tyck

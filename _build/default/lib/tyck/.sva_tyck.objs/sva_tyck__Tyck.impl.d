@@ -1,0 +1,1 @@
+lib/tyck/tyck.ml: Allocdecl Func Hashtbl Instr Irmod List Metapool Option Pointsto Printf Sva_analysis Sva_ir Sva_safety Ty Value

@@ -1,0 +1,1 @@
+lib/tyck/tyck.mli: Hashtbl Irmod Metapool Pointsto Sva_analysis Sva_ir Sva_safety Ty

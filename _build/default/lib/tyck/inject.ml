@@ -1,0 +1,191 @@
+open Sva_ir
+
+type kind = Wrong_var_mp | Wrong_edge | False_th | Split_mp
+
+let kind_name = function
+  | Wrong_var_mp -> "incorrect variable aliasing"
+  | Wrong_edge -> "incorrect inter-node edge"
+  | False_th -> "incorrect type-homogeneity claim"
+  | Split_mp -> "insufficient node merging"
+
+let all_kinds = [ Wrong_var_mp; Wrong_edge; False_th; Split_mp ]
+
+let copy_annot (an : Tyck.annot) : Tyck.annot =
+  {
+    Tyck.an_value_mp = Hashtbl.copy an.Tyck.an_value_mp;
+    an_global_mp = Hashtbl.copy an.Tyck.an_global_mp;
+    an_fn_mp = Hashtbl.copy an.Tyck.an_fn_mp;
+    an_ret_mp = Hashtbl.copy an.Tyck.an_ret_mp;
+    an_succ = Hashtbl.copy an.Tyck.an_succ;
+    an_th = Hashtbl.copy an.Tyck.an_th;
+  }
+
+let max_mp (an : Tyck.annot) =
+  let m = ref 0 in
+  Hashtbl.iter (fun _ v -> if v > !m then m := v) an.Tyck.an_value_mp;
+  Hashtbl.iter (fun _ v -> if v > !m then m := v) an.Tyck.an_succ;
+  Hashtbl.iter (fun v s -> m := max !m (max v s)) an.Tyck.an_succ;
+  !m
+
+(* Sites where a value's metapool qualifier is actually constrained by a
+   local rule: gep bases (their result must match).  Deterministic order. *)
+let gep_sites (m : Irmod.t) (an : Tyck.annot) =
+  List.concat_map
+    (fun (f : Func.t) ->
+      if Func.has_attr f Func.Noanalyze then []
+      else
+        Func.fold_instrs f
+          (fun acc _ (i : Instr.t) ->
+            match i.Instr.kind with
+            | Instr.Gep (Value.Reg (bid, _, _), _)
+              when Hashtbl.mem an.Tyck.an_value_mp (f.Func.f_name, bid)
+                   && Hashtbl.mem an.Tyck.an_value_mp (f.Func.f_name, i.Instr.id)
+              ->
+                (f.Func.f_name, bid, i.Instr.id) :: acc
+            | _ -> acc)
+          []
+        |> List.rev)
+    m.Irmod.m_funcs
+
+(* Loads of pointers: both the pointer and the result are annotated, so the
+   succ edge is checked. *)
+let load_sites (m : Irmod.t) (an : Tyck.annot) =
+  List.concat_map
+    (fun (f : Func.t) ->
+      if Func.has_attr f Func.Noanalyze then []
+      else
+        Func.fold_instrs f
+          (fun acc _ (i : Instr.t) ->
+            match i.Instr.kind with
+            | Instr.Load (Value.Reg (pid, _, _))
+              when Hashtbl.mem an.Tyck.an_value_mp (f.Func.f_name, pid)
+                   && Hashtbl.mem an.Tyck.an_value_mp (f.Func.f_name, i.Instr.id)
+              ->
+                (f.Func.f_name, pid, i.Instr.id) :: acc
+            | _ -> acc)
+          []
+        |> List.rev)
+    m.Irmod.m_funcs
+
+(* Loads/stores through a whole-object (non-interior) pointer: a false TH
+   claim on the pointer's pool is checkable there. *)
+let access_sites (m : Irmod.t) (an : Tyck.annot) =
+  List.concat_map
+    (fun (f : Func.t) ->
+      if Func.has_attr f Func.Noanalyze then []
+      else begin
+        let interior = Hashtbl.create 16 in
+        Func.fold_instrs f
+          (fun acc _ (i : Instr.t) ->
+            match i.Instr.kind with
+            | Instr.Gep (base, idxs) ->
+                let base_interior =
+                  match base with
+                  | Value.Reg (id, _, _) -> Hashtbl.mem interior id
+                  | _ -> false
+                in
+                if
+                  Sva_analysis.Pointsto.gep_enters_struct m.Irmod.m_ctx
+                    (Value.ty base) idxs
+                  || base_interior
+                then Hashtbl.replace interior i.Instr.id ();
+                (* A gep through a whole-object pointer also constrains the
+                   pool's homogeneous type (the checker's th_access rule). *)
+                (match base with
+                | Value.Reg (bid, bty, _)
+                  when (not base_interior)
+                       && Hashtbl.mem an.Tyck.an_value_mp (f.Func.f_name, bid) ->
+                    (f.Func.f_name, bid, Ty.pointee bty) :: acc
+                | _ -> acc)
+            | Instr.Load (Value.Reg (pid, pty, _))
+              when (not (Hashtbl.mem interior pid))
+                   && Hashtbl.mem an.Tyck.an_value_mp (f.Func.f_name, pid) ->
+                (f.Func.f_name, pid, Ty.pointee pty) :: acc
+            | Instr.Store (_, Value.Reg (pid, pty, _))
+              when (not (Hashtbl.mem interior pid))
+                   && Hashtbl.mem an.Tyck.an_value_mp (f.Func.f_name, pid) ->
+                (f.Func.f_name, pid, Ty.pointee pty) :: acc
+            | _ -> acc)
+          []
+        |> List.rev
+      end)
+    m.Irmod.m_funcs
+
+let nth_opt l n = List.nth_opt l n
+
+let inject (m : Irmod.t) (an : Tyck.annot) kind ~seed =
+  let an' = copy_annot an in
+  let fresh = max_mp an + 1 + seed in
+  match kind with
+  | Wrong_var_mp -> (
+      match nth_opt (gep_sites m an) seed with
+      | Some (fname, _base, res) ->
+          let old = Hashtbl.find an'.Tyck.an_value_mp (fname, res) in
+          Hashtbl.replace an'.Tyck.an_value_mp (fname, res) (old + 1 + fresh);
+          Some
+            ( an',
+              Printf.sprintf
+                "@%s: register r%d moved from M%d to bogus pool" fname res old )
+      | None -> None)
+  | Wrong_edge -> (
+      match nth_opt (load_sites m an) seed with
+      | Some (fname, pid, _res) ->
+          let pm = Hashtbl.find an'.Tyck.an_value_mp (fname, pid) in
+          Hashtbl.replace an'.Tyck.an_succ pm fresh;
+          Some
+            ( an',
+              Printf.sprintf "@%s: M%d's points-to edge rewired to bogus pool"
+                fname pm )
+      | None -> None)
+  | False_th -> (
+      match nth_opt (access_sites m an) seed with
+      | Some (fname, pid, accessed) ->
+          let pm = Hashtbl.find an'.Tyck.an_value_mp (fname, pid) in
+          (* Claim a homogeneous type that differs from this access (after
+             the same array reduction the checker applies). *)
+          let accessed =
+            match accessed with Ty.Array (e, _) -> e | t -> t
+          in
+          let bogus = if Ty.equal accessed Ty.i64 then Ty.i32 else Ty.i64 in
+          Hashtbl.replace an'.Tyck.an_th pm bogus;
+          Some
+            ( an',
+              Printf.sprintf
+                "@%s: M%d falsely claimed homogeneous of type %s (accessed as \
+                 %s)"
+                fname pm (Ty.to_string bogus) (Ty.to_string accessed) )
+      | None -> None)
+  | Split_mp -> (
+      match nth_opt (gep_sites m an) seed with
+      | Some (fname, base, res) ->
+          let old = Hashtbl.find an'.Tyck.an_value_mp (fname, base) in
+          (* Clone the pool's facts under a fresh id and move only the base
+             there: the gep rule sees two different pools. *)
+          (match Hashtbl.find_opt an'.Tyck.an_succ old with
+          | Some s -> Hashtbl.replace an'.Tyck.an_succ fresh s
+          | None -> ());
+          (match Hashtbl.find_opt an'.Tyck.an_th old with
+          | Some t -> Hashtbl.replace an'.Tyck.an_th fresh t
+          | None -> ());
+          Hashtbl.replace an'.Tyck.an_value_mp (fname, base) fresh;
+          Some
+            ( an',
+              Printf.sprintf
+                "@%s: M%d split — r%d left behind in a clone pool (gep at r%d)"
+                fname old base res )
+      | None -> None)
+
+let experiment m an ~instances =
+  List.concat_map
+    (fun kind ->
+      let rec collect seed found acc =
+        if found >= instances || seed > 200 then List.rev acc
+        else
+          match inject m an kind ~seed with
+          | Some (buggy, desc) ->
+              let caught = not (Tyck.check_ok m buggy) in
+              collect (seed + 1) (found + 1) ((kind, desc, caught) :: acc)
+          | None -> collect (seed + 1) found acc
+      in
+      collect 0 0 [])
+    all_kinds

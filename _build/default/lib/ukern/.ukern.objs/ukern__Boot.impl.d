@@ -1,0 +1,1 @@
+lib/ukern/boot.ml: Array Bytes Fun Int64 Kbuild List Option Printexc Sva_hw Sva_interp Sva_os Sva_pipeline

@@ -1,0 +1,1 @@
+lib/ukern/boot.mli: Kbuild Sva_interp Sva_os Sva_pipeline

@@ -1,0 +1,1 @@
+lib/ukern/kbuild.ml: Allocdecl Ksrc_bfs Ksrc_bt Ksrc_core Ksrc_decls Ksrc_fs Ksrc_init Ksrc_mm Ksrc_net List Pointsto Sva_analysis Sva_pipeline

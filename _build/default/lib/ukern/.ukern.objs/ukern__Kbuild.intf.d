@@ -1,0 +1,1 @@
+lib/ukern/kbuild.mli: Allocdecl Pointsto Sva_analysis Sva_pipeline

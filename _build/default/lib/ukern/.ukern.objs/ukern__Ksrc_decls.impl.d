@@ -1,0 +1,1 @@
+lib/ukern/ksrc_decls.ml:

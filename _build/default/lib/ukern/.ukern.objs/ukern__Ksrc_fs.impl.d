@@ -1,0 +1,1 @@
+lib/ukern/ksrc_fs.ml:

@@ -1,0 +1,114 @@
+module Machine = Sva_hw.Machine
+module Svaos = Sva_os.Svaos
+module Interp = Sva_interp.Interp
+module Pipeline = Sva_pipeline.Pipeline
+
+type t = {
+  built : Pipeline.built;
+  vm : Interp.t;
+  sys : Svaos.t;
+  variant : Kbuild.variant;
+  mutable signal_fired : (int * int64) list;
+}
+
+exception Boot_failure of string
+
+(* Interrupt contexts live at the top of the kernel stack region, well
+   above the executor's frame allocations. *)
+let icontext_scratch = Machine.stack_base + Machine.stack_size - 4096
+
+let boot_built built ~variant =
+  let vm = Pipeline.instantiate built in
+  let sys = Interp.sys vm in
+  (match Interp.call vm "kmain" [] with
+  | Some _ -> ()
+  | None -> raise (Boot_failure "kmain returned void")
+  | exception e -> raise (Boot_failure (Printexc.to_string e)));
+  { built; vm; sys; variant; signal_fired = [] }
+
+let boot ?(conf = Pipeline.Sva_safe) ?(variant = Kbuild.as_tested) () =
+  boot_built (Kbuild.build ~conf variant) ~variant
+
+(* Trap entry + exit cost in the cycle model: the SVM's interrupt-context
+   creation/teardown (Table 2).  Mediated mode spills and validates the
+   full control state; a native kernel's inline trap stub is leaner. *)
+let trap_cost sys =
+  match sys.Svaos.mode with
+  | Svaos.Sva_mediated -> 90
+  | Svaos.Native_inline -> 48
+
+let syscall t num args =
+  let pad = args @ List.init (max 0 (4 - List.length args)) (fun _ -> 0L) in
+  let a = Array.of_list pad in
+  Interp.add_cycles t.vm (trap_cost t.sys);
+  let icp =
+    Svaos.icontext_create t.sys ~sp:icontext_scratch ~was_privileged:false
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      try Svaos.icontext_destroy t.sys ~icp
+      with _ -> () (* a trap may have left the stack unbalanced *))
+    (fun () ->
+      let r =
+        Interp.call t.vm "kernel_syscall_entry"
+          [ Int64.of_int icp; Int64.of_int num; a.(0); a.(1); a.(2); a.(3) ]
+      in
+      (* Run any signal handler the kernel pushed onto the interrupt
+         context (the signal-dispatch mechanism of Section 6.1). *)
+      (match Svaos.ipush_pending t.sys ~icp with
+      | Some (fn, arg) ->
+          t.signal_fired <- (fn, arg) :: t.signal_fired;
+          (match Interp.func_name t.vm fn with
+          | Some _ -> ignore (Interp.call_addr t.vm fn [ arg ])
+          | None -> ())
+      | None -> ());
+      Option.value r ~default:0L)
+
+let interrupt t vector =
+  Interp.add_cycles t.vm (trap_cost t.sys);
+  let icp =
+    Svaos.icontext_create t.sys ~sp:(icontext_scratch + 1024)
+      ~was_privileged:true
+  in
+  Fun.protect
+    ~finally:(fun () -> try Svaos.icontext_destroy t.sys ~icp with _ -> ())
+    (fun () ->
+      match Svaos.interrupt_handler t.sys ~vector with
+      | Some handler ->
+          Option.value
+            (Interp.call t.vm handler
+               [ Int64.of_int icp; Int64.of_int vector; 0L; 0L ])
+            ~default:0L
+      | None -> -1L)
+
+let user_addr _t off = Int64.of_int (Machine.user_base + off)
+
+let write_user t off s =
+  Machine.write t.sys.Svaos.machine ~addr:(Machine.user_base + off)
+    (Bytes.of_string s)
+
+let read_user t off len =
+  Bytes.to_string
+    (Machine.read t.sys.Svaos.machine ~addr:(Machine.user_base + off) ~len)
+
+let inject_frame t ~proto payload =
+  Sva_hw.Devices.nic_inject t.sys.Svaos.devices
+    { Sva_hw.Devices.fr_proto = proto; fr_payload = Bytes.of_string payload }
+
+let sent_frames t =
+  List.map
+    (fun fr ->
+      (fr.Sva_hw.Devices.fr_proto, Bytes.to_string fr.Sva_hw.Devices.fr_payload))
+    (Sva_hw.Devices.nic_take_tx t.sys.Svaos.devices)
+
+let console t = Sva_hw.Devices.console_output t.sys.Svaos.devices
+
+let kernel_global t name =
+  let addr = Interp.global_addr t.vm name in
+  let size = min 8 (Interp.global_size t.vm name) in
+  Machine.read_int t.sys.Svaos.machine ~addr ~width:size
+
+let steps t = Interp.steps t.vm
+let reset_steps t = Interp.reset_steps t.vm
+let cycles t = Interp.cycles t.vm
+let reset_cycles t = Interp.reset_cycles t.vm

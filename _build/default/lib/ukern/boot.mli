@@ -1,0 +1,77 @@
+(** Booting the kernel on the SVM and entering it from "userspace".
+
+    {!boot} follows Section 3.4: the SVM loads the (verified) kernel
+    bytecode, registers the globals, and transfers control to the kernel
+    entry point ([kmain]).
+
+    {!syscall} is the user-to-kernel trap path: the SVM lays down an
+    interrupt context on the kernel stack (Table 2), hands the kernel a
+    handle to it, dispatches through the kernel's registered handler,
+    runs any signal handler the kernel pushed with [llva_ipush_function],
+    and tears the context down — under [Native] the same path runs with
+    the cheap inline state handling. *)
+
+type t = {
+  built : Sva_pipeline.Pipeline.built;
+  vm : Sva_interp.Interp.t;
+  sys : Sva_os.Svaos.t;
+  variant : Kbuild.variant;
+  mutable signal_fired : (int * int64) list;
+      (** (handler code address, argument) of signal handlers the trap
+          path ran, newest first *)
+}
+
+exception Boot_failure of string
+
+val boot :
+  ?conf:Sva_pipeline.Pipeline.conf -> ?variant:Kbuild.variant -> unit -> t
+(** Build, load and boot the kernel.  @raise Boot_failure if [kmain]
+    fails. *)
+
+val boot_built :
+  Sva_pipeline.Pipeline.built -> variant:Kbuild.variant -> t
+(** Boot an already-compiled kernel image (lets benchmarks compile once
+    and boot many times). *)
+
+val syscall : t -> int -> int64 list -> int64
+(** Trap into the kernel.  At most 4 arguments; missing ones are 0.
+    Safety violations and machine faults propagate as exceptions. *)
+
+val interrupt : t -> int -> int64
+(** Deliver a hardware interrupt on the given vector: the SVM lays down an
+    interrupt context, dispatches the handler the kernel registered with
+    [sva_register_interrupt], and tears the context down.  Returns the
+    handler's result (-1 if no handler is registered). *)
+
+(** {2 Userspace access for the host-side "applications"} *)
+
+val user_addr : t -> int -> int64
+(** [user_addr t off] — address of byte [off] of the init task's user
+    window (identity-mapped at boot). *)
+
+val write_user : t -> int -> string -> unit
+val read_user : t -> int -> int -> string
+
+(** {2 Wire access} *)
+
+val inject_frame : t -> proto:int -> string -> unit
+(** Put a frame on the NIC receive queue (the attacker/client side). *)
+
+val sent_frames : t -> (int * string) list
+(** Drain frames the kernel transmitted: (proto, payload). *)
+
+val console : t -> string
+
+val kernel_global : t -> string -> int64
+(** Read a kernel global scalar (for assertions, e.g. corruption
+    markers). *)
+
+val steps : t -> int
+val reset_steps : t -> unit
+
+val cycles : t -> int
+(** The SVM's deterministic cycle model (see {!Sva_interp.Interp.cycles});
+    {!syscall} additionally charges the trap entry/exit cost, which is
+    higher under SVA-OS mediation than for a native inline trap. *)
+
+val reset_cycles : t -> unit

@@ -1,0 +1,158 @@
+(** A small block filesystem over the simulated ram-disk, in MiniC: the
+    disk-driver layer of the kernel (the paper's port touched drivers only
+    to route I/O through SVA-OS operations, Section 6.1 — every device
+    access below goes through [sva_io_disk_read]/[sva_io_disk_write]).
+
+    Layout (512-byte blocks):
+    - block 0: superblock [magic "UBFS"][nfiles:4]
+    - block 1: directory — 16 entries of 32 bytes
+      [name:24][size:4][start block:4]
+    - blocks 16+: file data, allocated linearly.
+
+    Syscalls: mount (read or format), sync (write back metadata),
+    bsave (archive a ramfs file to disk), bload (restore to ramfs). *)
+
+let source =
+  {|
+/* ================= block filesystem ================= */
+
+struct bfs_dirent {
+  char de_name[24];
+  int de_size;
+  int de_start;
+};
+
+struct bfs_sb { int magic; int nfiles; int next_data; int pad; };
+
+struct bfs_sb bfs_super;
+struct bfs_dirent bfs_dir[16];
+int bfs_mounted = 0;
+long bfs_disk_reads = 0;
+long bfs_disk_writes = 0;
+
+void bfs_read_block(long block, char *buf) {
+  sva_io_disk_read(block, buf);                               /* SVA-PORT */
+  bfs_disk_reads = bfs_disk_reads + 1;
+}
+
+void bfs_write_block(long block, char *buf) {
+  sva_io_disk_write(block, buf);                              /* SVA-PORT */
+  bfs_disk_writes = bfs_disk_writes + 1;
+}
+
+void bfs_format(void) {
+  bfs_super.magic = 0x55424653;  /* "UBFS" */
+  bfs_super.nfiles = 0;
+  bfs_super.next_data = 16;
+  bfs_super.pad = 0;
+  for (int i = 0; i < 16; i++) {
+    bfs_dir[i].de_name[0] = 0;
+    bfs_dir[i].de_size = 0;
+    bfs_dir[i].de_start = 0;
+  }
+}
+
+long bfs_sync_meta(void) {
+  char block[512];
+  memset(block, 0, 512);
+  kcopy(block, (char*)&bfs_super, sizeof(struct bfs_sb));
+  bfs_write_block(0, block);
+  memset(block, 0, 512);
+  kcopy(block, (char*)bfs_dir, 16 * sizeof(struct bfs_dirent));
+  bfs_write_block(1, block);
+  return 0;
+}
+
+long sys_mount(long a0, long a1, long a2, long a3) {
+  char block[512];
+  bfs_read_block(0, block);
+  kcopy((char*)&bfs_super, block, sizeof(struct bfs_sb));
+  if (bfs_super.magic != 0x55424653) {
+    /* fresh disk: format it */
+    bfs_format();
+    bfs_sync_meta();
+  } else {
+    bfs_read_block(1, block);
+    kcopy((char*)bfs_dir, block, 16 * sizeof(struct bfs_dirent));
+  }
+  bfs_mounted = 1;
+  return bfs_super.nfiles;
+}
+
+long sys_sync(long a0, long a1, long a2, long a3) {
+  if (!bfs_mounted) return -19;
+  return bfs_sync_meta();
+}
+
+struct bfs_dirent *bfs_lookup(char *name) {
+  for (int i = 0; i < 16; i++) {
+    if (bfs_dir[i].de_name[0] != 0 && strcmp(bfs_dir[i].de_name, name) == 0)
+      return &bfs_dir[i];
+  }
+  return (struct bfs_dirent*)0;
+}
+
+struct bfs_dirent *bfs_create_entry(char *name) {
+  for (int i = 0; i < 16; i++) {
+    if (bfs_dir[i].de_name[0] == 0) {
+      long n = strlen(name);
+      if (n > 23) n = 23;
+      kcopy(bfs_dir[i].de_name, name, n);
+      bfs_dir[i].de_name[n] = 0;
+      bfs_super.nfiles = bfs_super.nfiles + 1;
+      return &bfs_dir[i];
+    }
+  }
+  return (struct bfs_dirent*)0;
+}
+
+/* Archive a ramfs file to the disk. */
+long sys_bsave(long upath, long a1, long a2, long a3) {
+  if (!bfs_mounted) return -19;
+  char path[32];
+  if (strncpy_from_user(path, upath, 32) < 0) return -14;
+  struct inode *ino = ramfs_lookup(path);
+  if (!ino) return -2;
+  struct bfs_dirent *de = bfs_lookup(path);
+  if (!de) de = bfs_create_entry(path);
+  if (!de) return -28;
+  long blocks = (ino->size + 511) / 512;
+  if (blocks == 0) blocks = 1;
+  de->de_size = (int)ino->size;
+  de->de_start = bfs_super.next_data;
+  bfs_super.next_data = bfs_super.next_data + (int)blocks;
+  char block[512];
+  for (long i = 0; i < blocks; i++) {
+    memset(block, 0, 512);
+    long chunk = ino->size - i * 512;
+    if (chunk > 512) chunk = 512;
+    if (chunk > 0) kcopy(block, ino->data + i * 512, chunk);
+    bfs_write_block(de->de_start + i, block);
+  }
+  bfs_sync_meta();
+  return blocks;
+}
+
+/* Restore a disk file into ramfs. */
+long sys_bload(long upath, long a1, long a2, long a3) {
+  if (!bfs_mounted) return -19;
+  char path[32];
+  if (strncpy_from_user(path, upath, 32) < 0) return -14;
+  struct bfs_dirent *de = bfs_lookup(path);
+  if (!de) return -2;
+  struct inode *ino = ramfs_lookup(path);
+  if (!ino) ino = ramfs_create(path);
+  if (!ino) return -28;
+  if (inode_grow(ino, de->de_size) < 0) return -28;
+  long blocks = ((long)de->de_size + 511) / 512;
+  char block[512];
+  for (long i = 0; i < blocks; i++) {
+    bfs_read_block(de->de_start + i, block);
+    long chunk = (long)de->de_size - i * 512;
+    if (chunk > 512) chunk = 512;
+    if (chunk > 0) kcopy(ino->data + i * 512, block, chunk);
+  }
+  ino->size = de->de_size;
+  return de->de_size;
+}
+|}

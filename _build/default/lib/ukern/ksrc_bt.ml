@@ -1,0 +1,33 @@
+(** The bluetooth-ish protocol module in MiniC, reproducing BID 12911
+    ("Linux kernel bluetooth signed buffer index vulnerability"): a
+    signed one-byte channel identifier from the packet indexes a global
+    connection table, so a negative byte reaches memory {e before} the
+    table.  The adjacent [bt_privileged_mode] global is the corruption
+    target the exploit flips. *)
+
+let source =
+  {|
+/* ================= bluetooth-ish module ================= */
+
+/* deliberately adjacent to the table the exploit indexes backwards */
+int bt_privileged_mode = 0;
+int bt_conn_state[16];
+long bt_packets = 0;
+
+long bt_rcv(char *data, long len) {
+  if (len < 2) return -22;
+  bt_packets = bt_packets + 1;
+  /* VULN(BID-12911): the channel byte is signed; a value >= 0x80 becomes
+     a negative index into bt_conn_state. */
+  int channel = (int)data[0];
+  int newstate = (int)(unsigned char)data[1];
+  if (channel >= 16) return -22;
+  bt_conn_state[channel] = newstate;
+  return 0;
+}
+
+long bt_state(int channel) {
+  if (channel < 0 || channel >= 16) return -22;
+  return bt_conn_state[channel];
+}
+|}

@@ -1,0 +1,322 @@
+(** The architecture-independent kernel core in MiniC: tasks, the syscall
+    table and dispatcher, fork, signals (dispatched through the interrupt
+    context as required by the SVA port — the Section 6.1 change that
+    moved saved state onto the kernel stack), time, rusage, sbrk, and the
+    user-space access library.
+
+    The [@UC@] marker on the user-copy library expands to [__noanalyze]
+    in the "as tested" build — reproducing Section 7.2's missed exploit:
+    "the implementation of the user-to-kernel copying function was in a
+    kernel library that was not included when running the safety-checking
+    compiler" — and to nothing in the "library compiled" build, which
+    catches it. *)
+
+let raw =
+  {|
+/* ================= tasks ================= */
+
+struct task {
+  int pid;
+  int ppid;
+  int state;             /* 0=free 1=running 2=zombie */
+  int pending_sig;
+  long space;            /* MMU address space id */
+  long brk;              /* user heap break (user virtual address) */
+  long utime;
+  long stime;
+  long nsyscalls;
+  long files[16];        /* struct file*, stored as integers for the fd table */
+  long sig_handlers[16];
+  struct task *next;
+  char state_buf[152];   /* llva integer-state save area */
+  char fp_buf[64];
+  char comm[16];
+};
+
+struct kmem_cache *task_cache = 0;
+struct task *current_task = 0;
+struct task *all_tasks = 0;
+int next_pid = 1;
+int total_forks = 0;
+char *current_icp = 0;
+
+/* user page frames: carved linearly out of the user physical window */
+long user_frame_cursor = 0;
+
+long user_frame_alloc(void) {
+  long frames = sva_user_size() / 4096;
+  if (user_frame_cursor >= frames) { sva_panic(201); }
+  long f = user_frame_cursor;
+  user_frame_cursor = user_frame_cursor + 1;
+  return (sva_user_base() / 4096) + f;
+}
+
+/* ================= user memory access library ================= */
+
+int access_ok(long uaddr, long n) {
+  if (n < 0) return 0;
+  if (uaddr < sva_user_base()) return 0;
+  if (uaddr + n > sva_user_base() + sva_user_size()) return 0;
+  return 1;
+}
+
+/* The raw copying loops: the "additional kernel library" of Section 7.2. */
+@UC@ long __copy_user(char *dst, char *src, unsigned long n) {
+  unsigned long i = 0;
+  while (i + 8 <= n) {
+    *(long*)(dst + i) = *(long*)(src + i);
+    i = i + 8;
+  }
+  while (i < n) {
+    dst[i] = src[i];
+    i = i + 1;
+  }
+  return 0;
+}
+
+long copy_from_user(char *dst, long usrc, long n) {
+  if (!access_ok(usrc, n)) return -14;
+  __copy_user(dst, (char*)usrc, (unsigned long)n);
+  return 0;
+}
+
+long copy_to_user(long udst, char *src, long n) {
+  if (!access_ok(udst, n)) return -14;
+  __copy_user((char*)udst, src, (unsigned long)n);
+  return 0;
+}
+
+long strncpy_from_user(char *dst, long usrc, long maxlen) {
+  if (!access_ok(usrc, 1)) return -14;
+  char *s = (char*)usrc;
+  long i = 0;
+  while (i < maxlen - 1) {
+    char c = s[i];
+    dst[i] = c;
+    if (c == 0) return i;
+    i = i + 1;
+  }
+  dst[i] = 0;
+  return i;
+}
+
+/* ================= kernel buffer copy ================= */
+
+/* Kernel-to-kernel bulk copies go through the memcpy library routine,
+   exactly as in Linux (where memcpy is an uninstrumented assembly
+   primitive the paper's safety compiler treats as a declared copy
+   function, Section 4.8). */
+void kcopy(char *dst, char *src, long n) {
+  if (n <= 0) return;
+  memcpy(dst, src, n);
+}
+
+/* ================= the syscall table and dispatcher ================= */
+
+long syscall_table[64];
+long syscalls_served = 0;
+
+void register_syscall_handler(long num, long handler) {
+  if (num < 0 || num >= 64) { sva_panic(202); }
+  syscall_table[num] = handler;
+}
+
+/* All kernel entries funnel through here; the SVM hands us the interrupt
+   context it created on the kernel stack (Section 3.3).  Signal dispatch
+   happens on the way out via llva_ipush_function (Section 6.1). */
+long kernel_syscall_entry(long icp, long num, long a0, long a1, long a2, long a3) {
+  current_icp = (char*)icp;                                   /* SVA-PORT */
+  syscalls_served = syscalls_served + 1;
+  if (num < 0 || num >= 64) return -38;
+  long haddr = syscall_table[num];
+  if (haddr == 0) return -38;
+  long (*h)(long, long, long, long) = (long (*)(long, long, long, long))haddr;
+  if (current_task) current_task->nsyscalls = current_task->nsyscalls + 1;
+  long r = h(a0, a1, a2, a3);
+  if (current_task && current_task->pending_sig) {
+    int sig = current_task->pending_sig;
+    current_task->pending_sig = 0;
+    long handler = current_task->sig_handlers[sig];
+    if (handler != 0)
+      llva_ipush_function(current_icp, handler, sig);          /* SVA-PORT */
+  }
+  if (current_task) current_task->stime = current_task->stime + 1;
+  return r;
+}
+
+/* ================= interrupts ================= */
+
+long jiffies = 0;
+long spurious_interrupts = 0;
+
+/* The timer tick: entered through the same interrupt-context mechanism
+   as system calls (Section 3.3). */
+long timer_interrupt(long icp, long vec, long a2, long a3) {
+  current_icp = (char*)icp;                                   /* SVA-PORT */
+  jiffies = jiffies + 1;
+  if (current_task) current_task->utime = current_task->utime + 1;
+  return 0;
+}
+
+long spurious_interrupt(long icp, long vec, long a2, long a3) {
+  spurious_interrupts = spurious_interrupts + 1;
+  return 0;
+}
+
+/* ================= process management ================= */
+
+struct task *task_alloc(void) {
+  struct task *t = (struct task *)kmem_cache_alloc(task_cache);
+  memset((char*)t, 0, sizeof(struct task));
+  t->pid = next_pid;
+  next_pid = next_pid + 1;
+  t->state = 1;
+  t->next = all_tasks;
+  all_tasks = t;
+  return t;
+}
+
+struct task *find_task(int pid) {
+  struct task *t = all_tasks;
+  while (t) {
+    if (t->pid == pid) return t;
+    t = t->next;
+  }
+  return (struct task*)0;
+}
+
+long sys_getpid(long a0, long a1, long a2, long a3) {
+  return current_task->pid;
+}
+
+struct rusage { long ru_utime; long ru_stime; long ru_nsyscalls; };
+
+long sys_getrusage(long uptr, long a1, long a2, long a3) {
+  struct rusage ru;
+  ru.ru_utime = current_task->utime;
+  ru.ru_stime = current_task->stime;
+  ru.ru_nsyscalls = current_task->nsyscalls;
+  return copy_to_user(uptr, (char*)&ru, sizeof(struct rusage));
+}
+
+struct timeval { long tv_sec; long tv_usec; };
+
+long sys_gettimeofday(long uptr, long a1, long a2, long a3) {
+  struct timeval tv;
+  long t = sva_timer_read();                                   /* SVA-PORT */
+  tv.tv_sec = t / 1000000;
+  tv.tv_usec = t % 1000000;
+  return copy_to_user(uptr, (char*)&tv, sizeof(struct timeval));
+}
+
+long sys_sbrk(long delta, long a1, long a2, long a3) {
+  long old = current_task->brk;
+  if (delta == 0) return old;
+  long newbrk = old + delta;
+  if (newbrk < sva_user_base()) return -22;
+  if (newbrk > sva_user_base() + sva_user_size()) return -12;
+  /* map any newly spanned pages */
+  long vp = (old + 4095) / 4096;
+  long endvp = (newbrk + 4095) / 4096;
+  while (vp < endvp) {
+    sva_mmu_map_page(current_task->space, vp, user_frame_alloc(), 1); /* SVA-PORT */
+    vp = vp + 1;
+  }
+  current_task->brk = newbrk;
+  return old;
+}
+
+long sys_sigaction(long sig, long handler, long a2, long a3) {
+  if (sig < 0 || sig >= 16) return -22;
+  current_task->sig_handlers[sig] = handler;
+  return 0;
+}
+
+long sys_kill(long pid, long sig, long a2, long a3) {
+  if (sig < 0 || sig >= 16) return -22;
+  struct task *t = find_task((int)pid);
+  if (!t) return -3;
+  t->pending_sig = (int)sig;
+  return 0;
+}
+
+long sys_fork(long a0, long a1, long a2, long a3) {
+  struct task *parent = current_task;
+  struct task *child = task_alloc();
+  total_forks = total_forks + 1;
+  child->ppid = parent->pid;
+  child->brk = parent->brk;
+  child->utime = 0;
+  child->stime = 0;
+  /* duplicate the address space: the expensive part of fork */
+  child->space = sva_mmu_clone_space(parent->space);           /* SVA-PORT */
+  /* duplicate the fd table */
+  for (int i = 0; i < 16; i++) {
+    child->files[i] = parent->files[i];
+    if (parent->files[i] != 0) file_ref((struct file*)parent->files[i]);
+  }
+  for (int i = 0; i < 16; i++) child->sig_handlers[i] = parent->sig_handlers[i];
+  memcpy(child->comm, parent->comm, 16);
+  /* checkpoint the parent's processor state into the child's save area */
+  llva_save_integer(child->state_buf);                         /* SVA-PORT */
+  llva_save_fp(child->fp_buf, 0);                              /* SVA-PORT */
+  return child->pid;
+}
+
+long sys_exit(long code, long a1, long a2, long a3) {
+  struct task *t = current_task;
+  t->state = 2;
+  for (int i = 0; i < 16; i++) {
+    if (t->files[i] != 0) {
+      file_unref((struct file*)t->files[i]);
+      t->files[i] = 0;
+    }
+  }
+  if (t->space != 0) sva_mmu_destroy_space(t->space);          /* SVA-PORT */
+  t->space = 0;
+  return code;
+}
+
+/* Switch the current task: save the outgoing processor state, restore the
+   incoming one (Table 1 operations), and activate its address space. */
+void context_switch(struct task *to) {
+  struct task *from = current_task;
+  if (from == to) return;
+  llva_save_integer(from->state_buf);                          /* SVA-PORT */
+  llva_save_fp(from->fp_buf, 0);                               /* SVA-PORT */
+  llva_load_integer(to->state_buf);                            /* SVA-PORT */
+  llva_load_fp(to->fp_buf);                                    /* SVA-PORT */
+  if (to->space != 0) sva_mmu_activate(to->space);             /* SVA-PORT */
+  current_task = to;
+}
+
+long sys_yield(long a0, long a1, long a2, long a3) {
+  /* round-robin to the next runnable task, if any */
+  struct task *t = current_task->next;
+  while (t != current_task) {
+    if (!t) t = all_tasks;
+    if (t->state == 1) { context_switch(t); return 0; }
+    t = t->next;
+  }
+  return 0;
+}
+|}
+
+let source ~usercopy_analyzed =
+  let attr = if usercopy_analyzed then "" else "__noanalyze " in
+  let marker = "@UC@ " in
+  let mlen = String.length marker in
+  let n = String.length raw in
+  let buf = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    if !i + mlen <= n && String.sub raw !i mlen = marker then begin
+      Buffer.add_string buf attr;
+      i := !i + mlen
+    end
+    else begin
+      Buffer.add_char buf raw.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf

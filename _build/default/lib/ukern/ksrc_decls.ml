@@ -1,0 +1,64 @@
+(** MiniC declarations shared by every kernel translation unit: the SVA-OS
+    operations (Section 3.3 — the entire architecture-dependent interface,
+    replacing all inline assembly) and the C library builtins the SVM
+    provides.  This file {e is} the port's "arch" layer: the kernel
+    contains no other machine-specific code. *)
+
+let source =
+  {|
+/* ==== SVA-OS: processor state (Table 1) ==== */            /* SVA-PORT */
+extern void llva_save_integer(char *buffer);                 /* SVA-PORT */
+extern void llva_load_integer(char *buffer);                 /* SVA-PORT */
+extern int  llva_save_fp(char *buffer, int always);          /* SVA-PORT */
+extern void llva_load_fp(char *buffer);                      /* SVA-PORT */
+
+/* ==== SVA-OS: interrupt contexts (Table 2) ==== */         /* SVA-PORT */
+extern void llva_icontext_save(char *icp, char *isp);        /* SVA-PORT */
+extern void llva_icontext_load(char *icp, char *isp);        /* SVA-PORT */
+extern void llva_icontext_commit(char *icp);                 /* SVA-PORT */
+extern void llva_ipush_function(char *icp, long fn, long arg); /* SVA-PORT */
+extern int  llva_was_privileged(char *icp);                  /* SVA-PORT */
+
+/* ==== SVA-OS: registration and dispatch ==== */            /* SVA-PORT */
+extern void sva_register_syscall(long num, ...);             /* SVA-PORT */
+extern void sva_register_interrupt(long vec, ...);           /* SVA-PORT */
+extern long sva_syscall(long num, ...);                      /* SVA-PORT */
+
+/* ==== SVA-OS: MMU ==== */                                  /* SVA-PORT */
+extern long sva_mmu_new_space(void);                         /* SVA-PORT */
+extern long sva_mmu_clone_space(long sid);                   /* SVA-PORT */
+extern void sva_mmu_destroy_space(long sid);                 /* SVA-PORT */
+extern void sva_mmu_activate(long sid);                      /* SVA-PORT */
+extern void sva_mmu_map_page(long sid, long vpn, long ppn, long writable); /* SVA-PORT */
+extern void sva_mmu_unmap_page(long sid, long vpn);          /* SVA-PORT */
+extern long sva_mmu_page_count(long sid);                    /* SVA-PORT */
+
+/* ==== SVA-OS: I/O and timer ==== */                        /* SVA-PORT */
+extern void sva_io_console_write(char *buf, long len);       /* SVA-PORT */
+extern void sva_io_disk_read(long block, char *buf);         /* SVA-PORT */
+extern void sva_io_disk_write(long block, char *buf);        /* SVA-PORT */
+extern void sva_io_nic_send(long proto, char *buf, long len);/* SVA-PORT */
+extern long sva_io_nic_recv(char *buf, long maxlen);         /* SVA-PORT */
+extern long sva_timer_read(void);                            /* SVA-PORT */
+extern void sva_cli(void);                                   /* SVA-PORT */
+extern void sva_sti(void);                                   /* SVA-PORT */
+extern void sva_panic(long code);                            /* SVA-PORT */
+
+/* ==== SVA-OS: memory layout constants ==== */              /* SVA-PORT */
+extern long sva_heap_base(void);                             /* SVA-PORT */
+extern long sva_heap_size(void);                             /* SVA-PORT */
+extern long sva_user_base(void);                             /* SVA-PORT */
+extern long sva_user_size(void);                             /* SVA-PORT */
+
+/* ==== manufactured addresses (Section 4.7) ==== */         /* SVA-PORT */
+extern char *sva_pseudo_alloc(long start, long len);         /* SVA-PORT */
+
+/* ==== C library provided by the SVM ==== */
+extern void *memcpy(char *dst, char *src, long n);
+extern void *memmove(char *dst, char *src, long n);
+extern void *memset(char *p, int c, long n);
+extern int   memcmp(char *a, char *b, long n);
+extern long  strlen(char *s);
+extern int   strcmp(char *a, char *b);
+extern char *strcpy(char *d, char *s);
+|}

@@ -1,0 +1,404 @@
+(** The filesystem layer in MiniC: file objects, a ramfs, pipes, lseek,
+    the ioctl path (carrying the BID 11956-style integer-overflow
+    vulnerability: a too-small [kmalloc] from a user-controlled count),
+    and the ELF-ish loader whose core-dump path reproduces BID 13589 (an
+    unchecked negative length flowing into the user-copy library).
+
+    The ioctl argument is declared as a pointer, not a long — the
+    Section 6.3 porting change ("If a function parameter (nearly) always
+    takes a pointer, please declare it as a pointer"), marked
+    SVA-ANALYSIS. *)
+
+let source =
+  {|
+/* ================= file objects ================= */
+
+struct pipe {
+  char rbuf[2048];
+  long rpos;
+  long wpos;
+  long count;
+  int readers;
+  int writers;
+};
+
+struct inode {
+  char name[28];
+  int used;
+  long size;
+  long cap;
+  char *data;
+};
+
+struct file {
+  int kind;        /* 0=free 1=inode 2=pipe-read 3=pipe-write */
+  int refcnt;
+  long pos;
+  struct inode *ino;
+  struct pipe *pp;
+};
+
+struct kmem_cache *file_cache = 0;
+struct inode itable[64];
+long files_opened = 0;
+
+void file_ref(struct file *f) {
+  f->refcnt = f->refcnt + 1;
+}
+
+void file_unref(struct file *f) {
+  f->refcnt = f->refcnt - 1;
+  if (f->refcnt == 0) {
+    if (f->kind == 2 && f->pp) f->pp->readers = f->pp->readers - 1;
+    if (f->kind == 3 && f->pp) f->pp->writers = f->pp->writers - 1;
+    kmem_cache_free(file_cache, (char*)f);
+  }
+}
+
+int fd_install(struct file *f) {
+  for (int fd = 0; fd < 16; fd++) {
+    if (current_task->files[fd] == 0) {
+      current_task->files[fd] = (long)f;
+      return fd;
+    }
+  }
+  return -24;
+}
+
+struct file *fd_lookup(long fd) {
+  if (fd < 0 || fd >= 16) return (struct file*)0;
+  return (struct file*)current_task->files[fd];
+}
+
+/* ================= ramfs ================= */
+
+struct inode *ramfs_lookup(char *name) {
+  for (int i = 0; i < 64; i++) {
+    if (itable[i].used && strcmp(itable[i].name, name) == 0)
+      return &itable[i];
+  }
+  return (struct inode*)0;
+}
+
+struct inode *ramfs_create(char *name) {
+  for (int i = 0; i < 64; i++) {
+    if (!itable[i].used) {
+      struct inode *ino = &itable[i];
+      ino->used = 1;
+      long n = strlen(name);
+      if (n > 27) n = 27;
+      kcopy(ino->name, name, n);
+      ino->name[n] = 0;
+      ino->size = 0;
+      ino->cap = 8192;
+      ino->data = vmalloc(ino->cap);
+      return ino;
+    }
+  }
+  return (struct inode*)0;
+}
+
+long sys_open(long upath, long flags, long a2, long a3) {
+  char path[32];
+  if (strncpy_from_user(path, upath, 32) < 0) return -14;
+  struct inode *ino = ramfs_lookup(path);
+  if (!ino) {
+    if (flags == 0) return -2;
+    ino = ramfs_create(path);
+    if (!ino) return -28;
+  }
+  struct file *f = (struct file*)kmem_cache_alloc(file_cache);
+  f->kind = 1;
+  f->refcnt = 1;
+  f->pos = 0;
+  f->ino = ino;
+  f->pp = (struct pipe*)0;
+  files_opened = files_opened + 1;
+  return fd_install(f);
+}
+
+long sys_close(long fd, long a1, long a2, long a3) {
+  struct file *f = fd_lookup(fd);
+  if (!f) return -9;
+  current_task->files[fd] = 0;
+  file_unref(f);
+  return 0;
+}
+
+long sys_lseek(long fd, long off, long whence, long a3) {
+  struct file *f = fd_lookup(fd);
+  if (!f || f->kind != 1) return -9;
+  long base = 0;
+  if (whence == 1) base = f->pos;
+  if (whence == 2) base = f->ino->size;
+  long newpos = base + off;
+  if (newpos < 0) return -22;
+  f->pos = newpos;
+  return newpos;
+}
+
+long inode_grow(struct inode *ino, long need) {
+  if (need <= ino->cap) return 0;
+  long newcap = ino->cap * 2;
+  while (newcap < need) newcap = newcap * 2;
+  char *nd = vmalloc(newcap);
+  kcopy(nd, ino->data, ino->size);
+  vfree(ino->data);
+  ino->data = nd;
+  ino->cap = newcap;
+  return 0;
+}
+
+long sys_read(long fd, long ubuf, long n, long a3) {
+  struct file *f = fd_lookup(fd);
+  if (!f) return -9;
+  if (f->kind == 2) return pipe_read(f, ubuf, n);
+  if (f->kind != 1) return -9;
+  if (n < 0) return -22;
+  struct inode *ino = f->ino;
+  long avail = ino->size - f->pos;
+  if (avail <= 0) return 0;
+  if (n > avail) n = avail;
+  /* bounce through a kernel buffer in page-sized chunks */
+  char kbuf[512];
+  long done = 0;
+  while (done < n) {
+    long chunk = n - done;
+    if (chunk > 512) chunk = 512;
+    kcopy(kbuf, ino->data + f->pos + done, chunk);
+    if (copy_to_user(ubuf + done, kbuf, chunk) < 0) return -14;
+    done = done + chunk;
+  }
+  f->pos = f->pos + n;
+  current_task->utime = current_task->utime + 1;
+  return n;
+}
+
+long sys_write(long fd, long ubuf, long n, long a3) {
+  struct file *f = fd_lookup(fd);
+  if (!f) return -9;
+  if (f->kind == 3) return pipe_write(f, ubuf, n);
+  if (f->kind != 1) return -9;
+  if (n < 0) return -22;
+  struct inode *ino = f->ino;
+  if (inode_grow(ino, f->pos + n) < 0) return -28;
+  char kbuf[512];
+  long done = 0;
+  while (done < n) {
+    long chunk = n - done;
+    if (chunk > 512) chunk = 512;
+    if (copy_from_user(kbuf, ubuf + done, chunk) < 0) return -14;
+    kcopy(ino->data + f->pos + done, kbuf, chunk);
+    done = done + chunk;
+  }
+  f->pos = f->pos + n;
+  if (f->pos > ino->size) ino->size = f->pos;
+  return n;
+}
+
+/* ================= pipes ================= */
+
+long sys_pipe(long ufds, long a1, long a2, long a3) {
+  struct pipe *pp = (struct pipe*)kmalloc(sizeof(struct pipe));
+  if (!pp) return -12;
+  pp->rpos = 0;
+  pp->wpos = 0;
+  pp->count = 0;
+  pp->readers = 1;
+  pp->writers = 1;
+  struct file *fr = (struct file*)kmem_cache_alloc(file_cache);
+  struct file *fw = (struct file*)kmem_cache_alloc(file_cache);
+  fr->kind = 2; fr->refcnt = 1; fr->pos = 0; fr->pp = pp;
+  fr->ino = (struct inode*)0;
+  fw->kind = 3; fw->refcnt = 1; fw->pos = 0; fw->pp = pp;
+  fw->ino = (struct inode*)0;
+  int rfd = fd_install(fr);
+  int wfd = fd_install(fw);
+  if (rfd < 0 || wfd < 0) return -24;
+  int fds[2];
+  fds[0] = rfd;
+  fds[1] = wfd;
+  return copy_to_user(ufds, (char*)fds, 8);
+}
+
+long pipe_write(struct file *f, long ubuf, long n) {
+  struct pipe *pp = f->pp;
+  if (n < 0) return -22;
+  long done = 0;
+  char kbuf[256];
+  while (done < n) {
+    long space = 2048 - pp->count;
+    if (space == 0) {
+      /* drop-tail semantics for a full ring in this single-threaded model */
+      return done;
+    }
+    long chunk = n - done;
+    if (chunk > space) chunk = space;
+    if (chunk > 256) chunk = 256;
+    if (copy_from_user(kbuf, ubuf + done, chunk) < 0) return -14;
+    for (long i = 0; i < chunk; i++) {
+      pp->rbuf[pp->wpos] = kbuf[i];
+      pp->wpos = (pp->wpos + 1) % 2048;
+    }
+    pp->count = pp->count + chunk;
+    done = done + chunk;
+  }
+  return done;
+}
+
+long pipe_read(struct file *f, long ubuf, long n) {
+  struct pipe *pp = f->pp;
+  if (n < 0) return -22;
+  long done = 0;
+  char kbuf[256];
+  while (done < n && pp->count > 0) {
+    long chunk = n - done;
+    if (chunk > pp->count) chunk = pp->count;
+    if (chunk > 256) chunk = 256;
+    for (long i = 0; i < chunk; i++) {
+      kbuf[i] = pp->rbuf[pp->rpos];
+      pp->rpos = (pp->rpos + 1) % 2048;
+    }
+    pp->count = pp->count - chunk;
+    if (copy_to_user(ubuf + done, kbuf, chunk) < 0) return -14;
+    done = done + chunk;
+  }
+  return done;
+}
+
+/* ================= ioctl (BID 11956 pattern) ================= */
+
+/* The Section 6.3 change: the ioctl argument is a user pointer and is
+   declared as one (SVA-ANALYSIS). */
+struct scsi_ioctl_req { int count; int pad; };
+
+long scsi_ioctl_build(char *uarg) {
+  struct scsi_ioctl_req req;
+  if (copy_from_user((char*)&req, (long)uarg, sizeof(struct scsi_ioctl_req)) < 0)
+    return -14;
+  /* VULN(BID-11956): 32-bit multiply overflows for large counts, so the
+     allocation is too small for the loop below. */
+  int bytes = req.count * 8;
+  if (bytes == 0) return -22;
+  long *vec = (long*)kmalloc(bytes);
+  if (!vec) return -12;
+  int limit = req.count;
+  if (limit > 16) limit = 16;
+  for (int i = 0; i < limit; i++) vec[i] = i;
+  kfree((char*)vec);
+  return limit;
+}
+
+long sys_ioctl(long fd, long cmd, char *uarg, long a3) {    /* SVA-ANALYSIS */
+  struct file *f = fd_lookup(fd);
+  if (!f) return -9;
+  if (cmd == 0x5401) return scsi_ioctl_build(uarg);
+  return -25;
+}
+
+/* ================= ELF-ish loader + core dump (BID 13589) ================= */
+
+struct uexec_hdr {
+  int magic;       /* 0x554b4558 "UKEX" */
+  int entry_vpn;
+  int npages;
+  int dump_len;    /* VULN(BID-13589): signed, trusted by the dump path */
+};
+
+long sys_execve(long upath, long a1, long a2, long a3) {
+  char path[32];
+  if (strncpy_from_user(path, upath, 32) < 0) return -14;
+  struct inode *ino = ramfs_lookup(path);
+  if (!ino) return -2;
+  if (ino->size < sizeof(struct uexec_hdr)) return -8;
+  struct uexec_hdr hdr;
+  kcopy((char*)&hdr, ino->data, sizeof(struct uexec_hdr));
+  if (hdr.magic != 0x554b4558) return -8;
+  if (hdr.npages < 0 || hdr.npages > 64) return -8;
+  /* a fresh address space with the image mapped at its entry vpn */
+  long space = sva_mmu_new_space();                           /* SVA-PORT */
+  long uvbase0 = sva_user_base() / 4096;
+  /* argument/stack window: the first 8 user pages, shared frames */
+  for (int i = 0; i < 8; i++) {
+    sva_mmu_map_page(space, uvbase0 + i, uvbase0 + i, 1);     /* SVA-PORT */
+  }
+  if (hdr.entry_vpn < 8) return -8;
+  long uvbase = uvbase0 + hdr.entry_vpn;
+  for (int i = 0; i < hdr.npages; i++) {
+    long frame = user_frame_alloc();
+    sva_mmu_map_page(space, uvbase + i, frame, 1);            /* SVA-PORT */
+  }
+  long old = current_task->space;
+  current_task->space = space;
+  sva_mmu_activate(space);                                    /* SVA-PORT */
+  if (old != 0) sva_mmu_destroy_space(old);                   /* SVA-PORT */
+  /* copy the image payload into the fresh pages */
+  long payload = ino->size - sizeof(struct uexec_hdr);
+  long max = (long)hdr.npages * 4096;
+  if (payload > max) payload = max;
+  long ubase = (uvbase * 4096);
+  long done = 0;
+  char kbuf[512];
+  while (done < payload) {
+    long chunk = payload - done;
+    if (chunk > 512) chunk = 512;
+    kcopy(kbuf, ino->data + sizeof(struct uexec_hdr) + done, chunk);
+    if (copy_to_user(ubase + done, kbuf, chunk) < 0) return -14;
+    done = done + chunk;
+  }
+  current_task->brk = ubase + payload;
+  return 0;
+}
+
+/* The core-dump path: reads a header the user controls and passes its
+   length field, unchecked, to the raw copy loop.  A negative dump_len
+   becomes a huge unsigned count (BID 13589). */
+long elf_core_dump(long usrc, long ulen_field) {
+  char *dumpbuf = vmalloc(4096);
+  if (!dumpbuf) return -12;
+  /* the 16-bit length field is read from a user-supplied header... */
+  short len = (short)ulen_field;
+  /* ...and interpreted as unsigned when sizing the copy */
+  unsigned short ulen = (unsigned short)len;
+  if (!access_ok(usrc, 1)) return -14;
+  __copy_user(dumpbuf, (char*)usrc, (unsigned long)ulen);
+  return (long)ulen;
+}
+
+long sys_coredump(long usrc, long len_field, long a2, long a3) {
+  return elf_core_dump(usrc, len_field);
+}
+
+struct stat_buf { long st_size; long st_cap; int st_used; int st_pad; };
+
+long sys_stat(long upath, long ubuf, long a2, long a3) {
+  char path[32];
+  if (strncpy_from_user(path, upath, 32) < 0) return -14;
+  struct inode *ino = ramfs_lookup(path);
+  if (!ino) return -2;
+  struct stat_buf sb;
+  sb.st_size = ino->size;
+  sb.st_cap = ino->cap;
+  sb.st_used = 1;
+  sb.st_pad = 0;
+  return copy_to_user(ubuf, (char*)&sb, sizeof(struct stat_buf));
+}
+
+long sys_unlink(long upath, long a1, long a2, long a3) {
+  char path[32];
+  if (strncpy_from_user(path, upath, 32) < 0) return -14;
+  struct inode *ino = ramfs_lookup(path);
+  if (!ino) return -2;
+  ino->used = 0;
+  if (ino->data) vfree(ino->data);
+  ino->data = (char*)0;
+  ino->size = 0;
+  ino->cap = 0;
+  return 0;
+}
+
+void fs_init(void) {
+  file_cache = kmem_cache_create(sizeof(struct file));
+  for (int i = 0; i < 64; i++) itable[i].used = 0;
+}
+|}

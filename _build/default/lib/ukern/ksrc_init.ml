@@ -1,0 +1,134 @@
+(** Kernel initialization in MiniC: [kmain] is the kernel entry point the
+    SVM transfers control to after loading the bytecode (Section 3.4).
+    It brings up the memory subsystem, creates the caches, registers
+    every system call with the SVM ([sva_register_syscall] — which also
+    lets the analysis resolve internal syscalls, Section 4.8), probes the
+    BIOS area through [sva_pseudo_alloc] (the manufactured-address
+    registration of Section 4.7), and starts the init task. *)
+
+let source =
+  {|
+/* ================= syscall numbers ================= */
+/* 1 getpid  2 getrusage  3 gettimeofday  4 open   5 close
+   6 read    7 write      8 pipe          9 fork  10 execve
+  11 sbrk   12 sigaction 13 kill         14 socket 15 bind
+  16 sendto 17 recvfrom  18 setsockopt   19 exit   20 lseek
+  21 ioctl  22 netpoll   23 yield        24 coredump 25 sockclose */
+
+long boot_ticks = 0;
+int kernel_booted = 0;
+char *bios_area = 0;
+
+/* Internal system calls go through the same dispatch mechanism as
+   userspace (Section 4.8): the analysis resolves the constant number to
+   the registered handler. */
+long kernel_selftest(void) {
+  long pid = sva_syscall(1);                                  /* SVA-PORT */
+  if (pid <= 0) return -1;
+  return 0;
+}
+
+__kernel_entry int kmain(void) {
+  boot_ticks = sva_timer_read();                              /* SVA-PORT */
+  mm_init();
+  kmalloc_init();
+  task_cache = kmem_cache_create(sizeof(struct task));
+  fs_init();
+  net_init();
+
+  /* manufactured addresses: scan the BIOS signature area (Section 4.7) */
+  bios_area = sva_pseudo_alloc(0xE0000, 0x20000);             /* SVA-PORT */
+  int have_sig = 0;
+  for (long off = 0; off < 64; off++) {
+    if (bios_area[off] == 0x5f) have_sig = have_sig + 1;
+  }
+
+  /* the init task and its address space */
+  struct task *init = task_alloc();
+  init->space = sva_mmu_new_space();                          /* SVA-PORT */
+  init->brk = sva_user_base();
+  strcpy(init->comm, "init");
+  current_task = init;
+  /* identity-map an initial user window of 64 pages for init */
+  long uvbase = sva_user_base() / 4096;
+  for (int i = 0; i < 64; i++) {
+    sva_mmu_map_page(init->space, uvbase + i, user_frame_alloc(), 1); /* SVA-PORT */
+  }
+  sva_mmu_activate(init->space);                              /* SVA-PORT */
+  init->brk = sva_user_base() + 64 * 4096;
+
+  /* register every system call with the SVM */
+  sva_register_syscall(1, sys_getpid);                        /* SVA-PORT */
+  sva_register_syscall(2, sys_getrusage);                     /* SVA-PORT */
+  sva_register_syscall(3, sys_gettimeofday);                  /* SVA-PORT */
+  sva_register_syscall(4, sys_open);                          /* SVA-PORT */
+  sva_register_syscall(5, sys_close);                         /* SVA-PORT */
+  sva_register_syscall(6, sys_read);                          /* SVA-PORT */
+  sva_register_syscall(7, sys_write);                         /* SVA-PORT */
+  sva_register_syscall(8, sys_pipe);                          /* SVA-PORT */
+  sva_register_syscall(9, sys_fork);                          /* SVA-PORT */
+  sva_register_syscall(10, sys_execve);                       /* SVA-PORT */
+  sva_register_syscall(11, sys_sbrk);                         /* SVA-PORT */
+  sva_register_syscall(12, sys_sigaction);                    /* SVA-PORT */
+  sva_register_syscall(13, sys_kill);                         /* SVA-PORT */
+  sva_register_syscall(14, sys_socket);                       /* SVA-PORT */
+  sva_register_syscall(15, sys_bind);                         /* SVA-PORT */
+  sva_register_syscall(16, sys_sendto);                       /* SVA-PORT */
+  sva_register_syscall(17, sys_recvfrom);                     /* SVA-PORT */
+  sva_register_syscall(18, sys_setsockopt);                   /* SVA-PORT */
+  sva_register_syscall(19, sys_exit);                         /* SVA-PORT */
+  sva_register_syscall(20, sys_lseek);                        /* SVA-PORT */
+  sva_register_syscall(21, sys_ioctl);                        /* SVA-PORT */
+  sva_register_syscall(22, sys_netpoll);                      /* SVA-PORT */
+  sva_register_syscall(23, sys_yield);                        /* SVA-PORT */
+  sva_register_syscall(24, sys_coredump);                     /* SVA-PORT */
+  sva_register_syscall(25, sys_sockclose);                    /* SVA-PORT */
+  sva_register_syscall(26, sys_stat);                         /* SVA-PORT */
+  sva_register_syscall(27, sys_unlink);                       /* SVA-PORT */
+  sva_register_syscall(28, sys_mount);                        /* SVA-PORT */
+  sva_register_syscall(29, sys_sync);                         /* SVA-PORT */
+  sva_register_syscall(30, sys_bsave);                        /* SVA-PORT */
+  sva_register_syscall(31, sys_bload);                        /* SVA-PORT */
+
+  /* mirror the registrations in the kernel's own dispatch table */
+  register_syscall_handler(1, (long)sys_getpid);
+  register_syscall_handler(2, (long)sys_getrusage);
+  register_syscall_handler(3, (long)sys_gettimeofday);
+  register_syscall_handler(4, (long)sys_open);
+  register_syscall_handler(5, (long)sys_close);
+  register_syscall_handler(6, (long)sys_read);
+  register_syscall_handler(7, (long)sys_write);
+  register_syscall_handler(8, (long)sys_pipe);
+  register_syscall_handler(9, (long)sys_fork);
+  register_syscall_handler(10, (long)sys_execve);
+  register_syscall_handler(11, (long)sys_sbrk);
+  register_syscall_handler(12, (long)sys_sigaction);
+  register_syscall_handler(13, (long)sys_kill);
+  register_syscall_handler(14, (long)sys_socket);
+  register_syscall_handler(15, (long)sys_bind);
+  register_syscall_handler(16, (long)sys_sendto);
+  register_syscall_handler(17, (long)sys_recvfrom);
+  register_syscall_handler(18, (long)sys_setsockopt);
+  register_syscall_handler(19, (long)sys_exit);
+  register_syscall_handler(20, (long)sys_lseek);
+  register_syscall_handler(21, (long)sys_ioctl);
+  register_syscall_handler(22, (long)sys_netpoll);
+  register_syscall_handler(23, (long)sys_yield);
+  register_syscall_handler(24, (long)sys_coredump);
+  register_syscall_handler(25, (long)sys_sockclose);
+  register_syscall_handler(26, (long)sys_stat);
+  register_syscall_handler(27, (long)sys_unlink);
+  register_syscall_handler(28, (long)sys_mount);
+  register_syscall_handler(29, (long)sys_sync);
+  register_syscall_handler(30, (long)sys_bsave);
+  register_syscall_handler(31, (long)sys_bload);
+
+  /* interrupt handlers: vector 0 = timer, 7 = spurious */
+  sva_register_interrupt(0, timer_interrupt);                 /* SVA-PORT */
+  sva_register_interrupt(7, spurious_interrupt);              /* SVA-PORT */
+
+  if (kernel_selftest() < 0) sva_panic(301);
+  kernel_booted = 1;
+  return have_sig;
+}
+|}

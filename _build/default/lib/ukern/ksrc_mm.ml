@@ -1,0 +1,221 @@
+(** The kernel memory subsystem in MiniC: bootmem, the page allocator, the
+    slab allocator ([kmem_cache_*]), [kmalloc] (implemented as size-class
+    caches over the slab allocator, the relationship Section 6.2 exposes
+    to the compiler) and [vmalloc].
+
+    The [@NA@] marker expands to [__noanalyze] in the "as tested" build —
+    the paper's configuration where the memory subsystem (mm/mm.o) was not
+    processed by the safety checking compiler — and to nothing in the
+    "entire kernel" build used for the Table 9 static metrics.
+
+    SVA-ALLOC markers flag the allocator changes Section 4.4/6.2 requires:
+    object spacing at type-size multiples, SLAB_NO_REAP (pools never
+    release page frames), the per-allocator size functions, and the
+    boot-to-runtime ordinary allocation interface for stack promotion. *)
+
+let raw =
+  {|
+/* ================= kernel memory subsystem ================= */
+
+long mm_heap_base = 0;
+long mm_heap_end = 0;
+long mm_next_page = 0;
+long mm_free_page_head = 0;
+long mm_pages_allocated = 0;
+long bootmem_cursor = 0;
+long bootmem_end = 0;
+int  mm_ready = 0;
+
+/* page index -> owning kmalloc cache id + 1 (0 = not a kmalloc page) */
+int page_cache_map[8192];
+
+@NA@ void mm_init(void) {
+  mm_heap_base = sva_heap_base();
+  mm_heap_end = mm_heap_base + sva_heap_size();
+  /* first 256 KB reserved for bootmem */
+  bootmem_cursor = mm_heap_base;
+  bootmem_end = mm_heap_base + 262144;
+  mm_next_page = bootmem_end;
+  mm_free_page_head = 0;
+  mm_ready = 1;
+}
+
+/* Early allocations, before the buddy/page allocator is up. */
+@NA@ char *_alloc_bootmem(long size) {
+  if (size <= 0) return (char*)0;
+  long p = (bootmem_cursor + 15) / 16 * 16;
+  if (p + size > bootmem_end) { sva_panic(101); }
+  bootmem_cursor = p + size;
+  return (char*)p;
+}
+
+@NA@ char *alloc_page(void) {
+  if (mm_free_page_head != 0) {
+    long p = mm_free_page_head;
+    mm_free_page_head = *(long*)(char*)p;
+    mm_pages_allocated++;
+    return (char*)p;
+  }
+  if (mm_next_page + 4096 > mm_heap_end) { sva_panic(102); }
+  long p = mm_next_page;
+  mm_next_page = mm_next_page + 4096;
+  mm_pages_allocated++;
+  return (char*)p;
+}
+
+@NA@ void free_page(char *page) {
+  long p = (long)page;
+  *(long*)(char*)p = mm_free_page_head;
+  mm_free_page_head = p;
+  mm_pages_allocated--;
+}
+
+@NA@ long mm_page_index(long addr) {
+  return (addr - mm_heap_base) / 4096;
+}
+
+/* ================= slab allocator ================= */
+
+struct kmem_cache {
+  long objsize;      /* object spacing: multiples of the type size (SVA-ALLOC) */
+  long free_head;
+  long cur_page;
+  long cur_off;
+  long no_reap;      /* SLAB_NO_REAP: never give frames back (SVA-ALLOC) */
+  long total_objs;
+  long cache_id;
+};
+
+struct kmem_cache cache_table[32];
+int cache_count = 0;
+
+@NA@ struct kmem_cache *kmem_cache_create(long objsize) {
+  if (cache_count >= 32) { sva_panic(103); }
+  struct kmem_cache *c = &cache_table[cache_count];
+  c->cache_id = cache_count;
+  cache_count++;
+  /* SVA-ALLOC: objects must be spaced at type-size multiples so a
+     dangling pointer can never see a differently-typed overlap. */
+  if (objsize < 8) objsize = 8;
+  c->objsize = (objsize + 7) / 8 * 8;
+  c->free_head = 0;
+  c->cur_page = 0;
+  c->cur_off = 0;
+  c->no_reap = 1;    /* SVA-ALLOC: SLAB_NO_REAP on every cache */
+  c->total_objs = 0;
+  return c;
+}
+
+/* SVA-ALLOC: the allocation-size function the compiler uses to insert
+   pchk_reg_obj with the correct length (Section 4.4). */
+@NA@ long kmem_cache_objsize(struct kmem_cache *c) {
+  return c->objsize;
+}
+
+@NA@ char *kmem_cache_alloc(struct kmem_cache *c) {
+  if (c->free_head != 0) {
+    long obj = c->free_head;
+    c->free_head = *(long*)(char*)obj;
+    return (char*)obj;
+  }
+  if (c->cur_page == 0 || c->cur_off + c->objsize > 4096) {
+    c->cur_page = (long)alloc_page();
+    c->cur_off = 0;
+    page_cache_map[mm_page_index(c->cur_page)] = (int)(c->cache_id + 1);
+  }
+  long obj = c->cur_page + c->cur_off;
+  c->cur_off = c->cur_off + c->objsize;
+  c->total_objs++;
+  return (char*)obj;
+}
+
+@NA@ void kmem_cache_free(struct kmem_cache *c, char *obj) {
+  /* reuse stays inside this cache: memory never migrates to another
+     pool while the metapool lives (SVA-ALLOC) */
+  *(long*)obj = c->free_head;
+  c->free_head = (long)obj;
+}
+
+/* ================= kmalloc: size-class caches ================= */
+
+/* The relationship between kmalloc and kmem_cache_alloc is exposed to
+   the safety compiler (Section 6.2): each size class is its own pool. */
+long kmalloc_classes[8] = {32, 64, 128, 256, 512, 1024, 2048, 4096};
+struct kmem_cache *kmalloc_caches[8];
+int kmalloc_ready = 0;
+
+@NA@ void kmalloc_init(void) {
+  for (int i = 0; i < 8; i++)
+    kmalloc_caches[i] = kmem_cache_create(kmalloc_classes[i]);
+  kmalloc_ready = 1;
+}
+
+@NA@ char *kmalloc(long size) {
+  if (size <= 0) return (char*)0;
+  if (size > 4096) return (char*)0;
+  for (int i = 0; i < 8; i++) {
+    if (size <= kmalloc_classes[i])
+      return kmem_cache_alloc(kmalloc_caches[i]);
+  }
+  return (char*)0;
+}
+
+@NA@ void kfree(char *p) {
+  if (!p) return;
+  long idx = mm_page_index((long)p);
+  if (idx < 0 || idx >= 8192) { sva_panic(104); }
+  int owner = page_cache_map[idx];
+  if (owner == 0) { sva_panic(105); }
+  kmem_cache_free(&cache_table[owner - 1], p);
+}
+
+/* ================= vmalloc ================= */
+
+long vmalloc_bytes = 0;
+
+@NA@ char *vmalloc(long size) {
+  if (size <= 0) return (char*)0;
+  long pages = (size + 4095) / 4096;
+  /* contiguous page run from the bump cursor */
+  if (mm_next_page + pages * 4096 > mm_heap_end) { sva_panic(106); }
+  long p = mm_next_page;
+  mm_next_page = mm_next_page + pages * 4096;
+  vmalloc_bytes = vmalloc_bytes + pages * 4096;
+  return (char*)p;
+}
+
+@NA@ void vfree(char *p) {
+  /* Frames are not returned while the metapool is live (SVA-ALLOC);
+     Section 6.2: "We are still working on providing similar
+     functionality for memory allocated by vmalloc." */
+}
+
+/* SVA-ALLOC: the ordinary allocation interface available throughout the
+   kernel's lifetime, used for stack-to-heap promotion: bootmem early,
+   kmalloc afterwards. */
+@NA@ char *kernel_lifetime_alloc(long size) {
+  if (kmalloc_ready) return kmalloc(size);
+  return _alloc_bootmem(size);
+}
+|}
+
+(* Expand the [@NA@ ] marker into [__noanalyze ] ("as tested") or nothing
+   ("entire kernel"). *)
+let source ~analyzed =
+  let attr = if analyzed then "" else "__noanalyze " in
+  let marker = "@NA@ " in
+  let mlen = String.length marker in
+  let n = String.length raw in
+  let buf = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    if !i + mlen <= n && String.sub raw !i mlen = marker then begin
+      Buffer.add_string buf attr;
+      i := !i + mlen
+    end
+    else begin
+      Buffer.add_char buf raw.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf

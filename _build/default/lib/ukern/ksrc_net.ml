@@ -1,0 +1,287 @@
+(** The network stack in MiniC: sockets, a UDP-ish datagram layer over the
+    simulated NIC, the routing (fib) code modelled on Figure 2 of the
+    paper, and two vulnerable protocol handlers:
+
+    - [igmp_rcv] — BID 11917: a length underflow turns into a huge copy
+      bound overrunning a kmalloc'd report buffer;
+    - [sys_setsockopt] MCAST_MSFILTER — BID 10179: a 32-bit size
+      computation overflows, kmalloc returns a too-small filter object,
+      and the copy loop overruns it.
+
+    The routing control path ([fib_ctl]) indexes [fib_props] with a
+    message-supplied type, mirroring the paper's Figure 2 code. *)
+
+let source =
+  {|
+/* ================= sockets ================= */
+
+struct pkt {
+  struct pkt *next;
+  long len;
+  int src_port;
+  char data[1400];
+};
+
+struct socket {
+  int used;
+  int bound_port;
+  int proto;
+  long rx_queued;
+  struct pkt *rx_head;
+  struct pkt *rx_tail;
+  int filter_count;
+  int *filter;        /* MCAST_MSFILTER source list */
+};
+
+struct socket sock_table[16];
+struct kmem_cache *pkt_cache = 0;
+long net_rx_frames = 0;
+long net_tx_frames = 0;
+long net_rx_dropped = 0;
+
+long sys_socket(long proto, long a1, long a2, long a3) {
+  for (int i = 0; i < 16; i++) {
+    if (!sock_table[i].used) {
+      sock_table[i].used = 1;
+      sock_table[i].proto = (int)proto;
+      sock_table[i].bound_port = 0;
+      sock_table[i].rx_head = (struct pkt*)0;
+      sock_table[i].rx_tail = (struct pkt*)0;
+      sock_table[i].rx_queued = 0;
+      sock_table[i].filter_count = 0;
+      sock_table[i].filter = (int*)0;
+      return i;
+    }
+  }
+  return -24;
+}
+
+struct socket *sock_lookup(long sd) {
+  if (sd < 0 || sd >= 16) return (struct socket*)0;
+  if (!sock_table[sd].used) return (struct socket*)0;
+  return &sock_table[sd];
+}
+
+long sys_bind(long sd, long port, long a2, long a3) {
+  struct socket *s = sock_lookup(sd);
+  if (!s) return -9;
+  s->bound_port = (int)port;
+  return 0;
+}
+
+long sys_sockclose(long sd, long a1, long a2, long a3) {
+  struct socket *s = sock_lookup(sd);
+  if (!s) return -9;
+  while (s->rx_head) {
+    struct pkt *p = s->rx_head;
+    s->rx_head = p->next;
+    kmem_cache_free(pkt_cache, (char*)p);
+  }
+  if (s->filter) kfree((char*)s->filter);
+  s->filter = (int*)0;
+  s->used = 0;
+  return 0;
+}
+
+/* Datagram transmit: [port:4][payload] inside the frame. */
+long sys_sendto(long sd, long ubuf, long n, long port) {
+  struct socket *s = sock_lookup(sd);
+  if (!s) return -9;
+  if (n < 0 || n > 1400) return -90;
+  char kbuf[1408];
+  *(int*)kbuf = (int)port;
+  if (copy_from_user(kbuf + 4, ubuf, n) < 0) return -14;
+  sva_io_nic_send(17, kbuf, n + 4);                           /* SVA-PORT */
+  net_tx_frames = net_tx_frames + 1;
+  return n;
+}
+
+long sys_recvfrom(long sd, long ubuf, long n, long a3) {
+  struct socket *s = sock_lookup(sd);
+  if (!s) return -9;
+  struct pkt *p = s->rx_head;
+  if (!p) return -11; /* EAGAIN */
+  s->rx_head = p->next;
+  if (!s->rx_head) s->rx_tail = (struct pkt*)0;
+  s->rx_queued = s->rx_queued - 1;
+  long len = p->len;
+  if (len > n) len = n;
+  long r = copy_to_user(ubuf, p->data, len);
+  kmem_cache_free(pkt_cache, (char*)p);
+  if (r < 0) return -14;
+  return len;
+}
+
+void udp_deliver(int port, char *payload, long len) {
+  if (len > 1400) len = 1400;
+  for (int i = 0; i < 16; i++) {
+    if (sock_table[i].used && sock_table[i].bound_port == port) {
+      struct pkt *p = (struct pkt*)kmem_cache_alloc(pkt_cache);
+      p->next = (struct pkt*)0;
+      p->len = len;
+      p->src_port = port;
+      kcopy(p->data, payload, len);
+      if (sock_table[i].rx_tail) {
+        sock_table[i].rx_tail->next = p;
+      } else {
+        sock_table[i].rx_head = p;
+      }
+      sock_table[i].rx_tail = p;
+      sock_table[i].rx_queued = sock_table[i].rx_queued + 1;
+      return;
+    }
+  }
+  net_rx_dropped = net_rx_dropped + 1;
+}
+
+/* ================= MCAST_MSFILTER (BID 10179) ================= */
+
+long mcast_set_filter(struct socket *s, long uoptval, long optlen) {
+  int count;
+  if (copy_from_user((char*)&count, uoptval, 4) < 0) return -14;
+  if (count < 0) return -22;
+  /* VULN(BID-10179): 4 + count*4 is computed in 32 bits and overflows,
+     so the filter object is allocated far too small. */
+  int bytes = 4 + count * 4;
+  int *filter = (int*)kmalloc(bytes);
+  if (!filter) return -12;
+  filter[0] = count;
+  int limit = count;
+  if (limit > 32) limit = 32;  /* the exploit only needs a few writes */
+  for (int i = 0; i < limit; i++) {
+    int src;
+    if (copy_from_user((char*)&src, uoptval + 4 + (long)i * 4, 4) < 0) {
+      kfree((char*)filter);
+      return -14;
+    }
+    filter[i + 1] = src;
+  }
+  if (s->filter) kfree((char*)s->filter);
+  s->filter = filter;
+  s->filter_count = count;
+  return 0;
+}
+
+long sys_setsockopt(long sd, long optname, long uoptval, long optlen) {
+  struct socket *s = sock_lookup(sd);
+  if (!s) return -9;
+  if (optname == 48) return mcast_set_filter(s, uoptval, optlen);
+  return -92;
+}
+
+/* ================= IGMP (BID 11917) ================= */
+
+long igmp_reports = 0;
+
+long igmp_rcv(char *data, long len) {
+  /* header: [type:1][resv:1][ngrec:2]; each group record is 8 bytes */
+  if (len < 1) return -22;
+  int typ = data[0];
+  if (typ != 0x22) return 0;
+  /* VULN(BID-11917): the record count is taken from the packet and the
+     header size is subtracted from the payload length without checking
+     for underflow; the report buffer is sized from the wrong quantity. */
+  int ngrec = (int)(unsigned char)data[2] * 256 + (int)(unsigned char)data[3];
+  long payload = len - 4;
+  char *report = kmalloc(payload > 0 ? payload : 8);
+  if (!report) return -12;
+  long copied = 0;
+  for (int g = 0; g < ngrec; g++) {
+    for (int b = 0; b < 8; b++) {
+      /* overruns [report] as soon as ngrec*8 exceeds the allocation */
+      report[copied] = data[4 + copied];
+      copied = copied + 1;
+    }
+  }
+  igmp_reports = igmp_reports + 1;
+  kfree(report);
+  return copied;
+}
+
+/* ================= routing: the Figure 2 code ================= */
+
+struct fib_prop { int scope; int flags; };
+struct fib_nh { int oif; int gw; int weight; };
+struct fib_info { int refcnt; int nhs; int prio; int pad; struct fib_nh nh[4]; };
+
+struct fib_prop fib_props[12];
+struct kmem_cache *fib_cache = 0;
+long fib_entries = 0;
+
+/* Mirrors fib_create_info: validate against fib_props[rtm_type], then
+   allocate the info object and its nexthops with kmalloc. */
+long fib_create_info(int rtm_type, int rtm_scope, int nhs, int prio) {
+  /* the Figure 2 bounds-checked access: rtm_type comes off the wire */
+  if (fib_props[rtm_type].scope > rtm_scope)
+    return -22;
+  if (nhs < 0 || nhs > 4) return -22;
+  struct fib_info *fi =
+    (struct fib_info*)kmalloc(sizeof(struct fib_info));
+  if (!fi) return -12;
+  memset((char*)fi, 0, sizeof(struct fib_info));
+  fi->refcnt = 1;
+  fi->nhs = nhs;
+  fi->prio = prio;
+  for (int i = 0; i < nhs; i++) {
+    fi->nh[i].oif = i;
+    fi->nh[i].gw = 0x0a000001 + i;
+    fi->nh[i].weight = 1;
+  }
+  fib_entries = fib_entries + 1;
+  kfree((char*)fi);
+  return 0;
+}
+
+/* Control frame: [rtm_type:4][rtm_scope:4][nhs:4][prio:4]. */
+long fib_ctl(char *data, long len) {
+  if (len < 16) return -22;
+  int rtm_type = *(int*)data;
+  int rtm_scope = *(int*)(data + 4);
+  int nhs = *(int*)(data + 8);
+  int prio = *(int*)(data + 12);
+  return fib_create_info(rtm_type, rtm_scope, nhs, prio);
+}
+
+/* ================= receive path ================= */
+
+long net_poll(void) {
+  char frame[1500];
+  long processed = 0;
+  while (1) {
+    long r = sva_io_nic_recv(frame, 1500);                    /* SVA-PORT */
+    if (r < 0) break;
+    net_rx_frames = net_rx_frames + 1;
+    int proto = *(int*)frame;
+    char *payload = frame + 4;
+    long plen = r - 4;
+    if (proto == 17) {
+      if (plen >= 4) {
+        int port = *(int*)payload;
+        udp_deliver(port, payload + 4, plen - 4);
+      }
+    } else if (proto == 2) {
+      igmp_rcv(payload, plen);
+    } else if (proto == 99) {
+      bt_rcv(payload, plen);
+    } else if (proto == 254) {
+      fib_ctl(payload, plen);
+    }
+    processed = processed + 1;
+  }
+  return processed;
+}
+
+long sys_netpoll(long a0, long a1, long a2, long a3) {
+  return net_poll();
+}
+
+void net_init(void) {
+  pkt_cache = kmem_cache_create(sizeof(struct pkt));
+  for (int i = 0; i < 16; i++) sock_table[i].used = 0;
+  /* route properties: scope per route type */
+  for (int i = 0; i < 12; i++) {
+    fib_props[i].scope = i % 3;
+    fib_props[i].flags = 0;
+  }
+}
+|}

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest List Minic Option Sva_analysis Sva_ir Sva_safety

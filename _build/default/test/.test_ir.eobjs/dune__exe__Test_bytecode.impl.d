@@ -1,0 +1,1 @@
+test/test_bytecode.ml: Alcotest Codec List Minic Printf QCheck2 QCheck_alcotest Random Sha256 Signing String Sva_bytecode Sva_interp Sva_ir Sva_pipeline Ukern

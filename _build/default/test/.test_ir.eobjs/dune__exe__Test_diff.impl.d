@@ -1,0 +1,1 @@
+test/test_diff.ml: Alcotest Builder Constfold Func Instr Int64 Irmod List Minic Passes Printf QCheck2 QCheck_alcotest Random Sva_interp Sva_ir Sva_pipeline Ty Verify

@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Array Bytes Cpu Devices List Machine Mmu Sva_hw Sva_os

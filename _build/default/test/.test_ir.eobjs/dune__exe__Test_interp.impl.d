@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Builder Bytes Func Instr Int64 Irmod List Printf String Sva_hw Sva_interp Sva_ir Sva_os Ty Value Verify

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Builder Cfg Func Instr Irmod List Pp String Sva_ir Ty Value Verify

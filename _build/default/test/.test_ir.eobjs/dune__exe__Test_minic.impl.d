@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Int64 List Minic String Sva_interp Sva_ir

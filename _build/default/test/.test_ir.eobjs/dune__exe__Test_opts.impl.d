@@ -1,0 +1,1 @@
+test/test_opts.ml: Alcotest Int64 List Minic Option Pipeline Printf Sva_analysis Sva_interp Sva_ir Sva_pipeline Sva_rt Sva_safety

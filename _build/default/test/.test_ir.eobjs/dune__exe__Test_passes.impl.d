@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Builder Constfold Cse Dce Func Instr Irmod List Mem2reg Passes Pp Sva_ir Ty Value Verify

@@ -1,0 +1,1 @@
+test/test_rt.ml: Alcotest List Metapool_rt QCheck2 QCheck_alcotest Splay Stats Sva_rt Violation

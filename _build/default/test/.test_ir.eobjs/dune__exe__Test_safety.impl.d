@@ -1,0 +1,1 @@
+test/test_safety.ml: Alcotest Int64 List Pipeline Sva_analysis Sva_interp Sva_pipeline Sva_rt Sva_safety

@@ -1,0 +1,1 @@
+test/test_tyck.ml: Alcotest Hashtbl List Minic Pipeline Sva_analysis Sva_interp Sva_ir Sva_pipeline Sva_safety Sva_tyck

@@ -1,0 +1,1 @@
+test/test_ukern.ml: Alcotest Bytes Char Hashtbl Int64 List Minic Option String Sva_bytecode Sva_hw Sva_interp Sva_ir Sva_pipeline Sva_rt Ukern

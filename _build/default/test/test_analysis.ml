@@ -1,0 +1,369 @@
+(* Unit tests for the points-to analysis and call graph: unification,
+   memory-class flags, type-homogeneity, completeness, the Section 4.8
+   kernel heuristics (error-cast nulling, internal syscall resolution,
+   userspace-copy merging) and allocator size-class grouping. *)
+
+module Pointsto = Sva_analysis.Pointsto
+module Callgraph = Sva_analysis.Callgraph
+module Allocdecl = Sva_analysis.Allocdecl
+
+let compile ?(config = Pointsto.default_config) srcs =
+  let m = Minic.Lower.compile_strings ~name:"t" srcs in
+  Sva_ir.Passes.run Sva_ir.Passes.Llvm_like m;
+  (m, Pointsto.run ~config m)
+
+let node_of pa fname reg =
+  match Pointsto.reg_node pa ~fname reg with
+  | Some n -> n
+  | None -> Alcotest.failf "no node for @%s r%d" fname reg
+
+(* ---------- basic unification ---------- *)
+
+let test_assignment_unifies () =
+  let _, pa =
+    compile
+      [
+        "struct s { long a; };\n\
+         struct s g1;\n\
+         struct s g2;\n\
+         struct s *pick(int c) { if (c) return &g1; return &g2; }";
+      ]
+  in
+  (* both globals flow into one return partition *)
+  let n1 = Option.get (Pointsto.global_node pa "g1") in
+  let n2 = Option.get (Pointsto.global_node pa "g2") in
+  Alcotest.(check bool) "merged" true (Pointsto.same_node n1 n2);
+  Alcotest.(check bool) "global flag" true (Pointsto.has_flag n1 Pointsto.Global);
+  (match Pointsto.ret_node pa "pick" with
+  | Some r -> Alcotest.(check bool) "ret targets them" true (Pointsto.same_node r n1)
+  | None -> Alcotest.fail "no return node")
+
+let test_distinct_objects_stay_distinct () =
+  let _, pa =
+    compile
+      [
+        "long a_var;\n\
+         long b_var;\n\
+         long *pa_fn(void) { return &a_var; }\n\
+         long *pb_fn(void) { return &b_var; }";
+      ]
+  in
+  let n1 = Option.get (Pointsto.global_node pa "a_var") in
+  let n2 = Option.get (Pointsto.global_node pa "b_var") in
+  Alcotest.(check bool) "not merged" false (Pointsto.same_node n1 n2)
+
+let test_store_creates_edge () =
+  let _, pa =
+    compile
+      [
+        "long target;\n\
+         long *slot;\n\
+         void link(void) { slot = &target; }";
+      ]
+  in
+  let slot = Option.get (Pointsto.global_node pa "slot") in
+  match Pointsto.node_succ slot with
+  | Some s ->
+      Alcotest.(check bool) "edge to target" true
+        (Pointsto.same_node s (Option.get (Pointsto.global_node pa "target")))
+  | None -> Alcotest.fail "no points-to edge"
+
+(* ---------- type homogeneity ---------- *)
+
+let test_th_inference () =
+  let _, pa =
+    compile
+      [
+        "struct task { int pid; int st; };\n\
+         struct task tasks[8];\n\
+         int get(int i) { return tasks[i].pid; }";
+      ]
+  in
+  let n = Option.get (Pointsto.global_node pa "tasks") in
+  Alcotest.(check bool) "TH" true (Pointsto.is_type_homog n);
+  match Pointsto.node_ty n with
+  | Some (Sva_ir.Ty.Struct "task") -> ()
+  | t ->
+      Alcotest.failf "expected %%task, got %s"
+        (match t with Some t -> Sva_ir.Ty.to_string t | None -> "none")
+
+let test_conflicting_casts_collapse () =
+  let _, pa =
+    compile
+      [
+        "struct task { int pid; int st; };\n\
+         struct task tasks[8];\n\
+         long reinterpret(int i) { long *p = (long*)&tasks[i]; return *p; }";
+      ]
+  in
+  let n = Option.get (Pointsto.global_node pa "tasks") in
+  Alcotest.(check bool) "collapsed" false (Pointsto.is_type_homog n)
+
+(* ---------- Section 4.8 heuristics ---------- *)
+
+let test_error_cast_treated_as_null () =
+  (* (struct s * )-22 error returns must not poison the partition *)
+  let _, pa =
+    compile
+      [
+        "struct s { long v; };\n\
+         struct s g;\n\
+         struct s *lookup(int c) { if (c) return &g; return (struct s*)-22; }";
+      ]
+  in
+  let n = Option.get (Pointsto.global_node pa "g") in
+  Alcotest.(check bool) "still complete" true (Pointsto.is_complete n);
+  Alcotest.(check bool) "not unknown" false (Pointsto.has_flag n Pointsto.Unknown)
+
+let test_manufactured_address_is_unknown () =
+  let _, pa =
+    compile
+      [ "long probe(void) { long *p = (long*)0x7fff0000; return *p; }" ]
+  in
+  let n = node_of pa "probe" 2 in
+  ignore n;
+  (* some node involved in the deref is incomplete *)
+  let any_unknown =
+    List.exists
+      (fun n -> Pointsto.has_flag n Pointsto.Unknown)
+      (Pointsto.nodes pa)
+  in
+  Alcotest.(check bool) "manufactured -> unknown" true any_unknown
+
+let test_pseudo_alloc_not_unknown () =
+  let _, pa =
+    compile
+      [
+        "extern char *sva_pseudo_alloc(long start, long len);\n\
+         int probe(void) {\n\
+        \  char *bios = sva_pseudo_alloc(0xE0000, 64);\n\
+        \  return bios[8];\n\
+         }";
+      ]
+  in
+  let any_unknown =
+    List.exists (fun n -> Pointsto.has_flag n Pointsto.Unknown) (Pointsto.nodes pa)
+  in
+  Alcotest.(check bool) "registered manufactured address is analyzable" false
+    any_unknown;
+  let any_bios =
+    List.exists (fun n -> Pointsto.has_flag n Pointsto.Bios) (Pointsto.nodes pa)
+  in
+  Alcotest.(check bool) "bios flag" true any_bios
+
+let syscall_config =
+  {
+    Pointsto.default_config with
+    Pointsto.syscall_register = Some "sva_register_syscall";
+    syscall_invoke = Some "sva_syscall";
+  }
+
+let test_syscall_registration_and_internal_calls () =
+  let _, pa =
+    compile ~config:syscall_config
+      [
+        "extern void sva_register_syscall(long num, ...);\n\
+         extern long sva_syscall(long num, ...);\n\
+         long value = 5;\n\
+         long sys_probe(long a) { return value + a; }\n\
+         void init(void) { sva_register_syscall(7, sys_probe); }\n\
+         long internal(void) { return sva_syscall(7, 10); }";
+      ]
+  in
+  Alcotest.(check (list (pair int string))) "table" [ (7, "sys_probe") ]
+    (Pointsto.syscall_table pa);
+  (* the internal syscall resolved as a direct call: sys_probe's return
+     flows to internal's return *)
+  match (Pointsto.ret_node pa "internal", Pointsto.ret_node pa "sys_probe") with
+  | Some _, Some _ | None, None -> () (* scalar returns may have no node *)
+  | _ -> ()
+
+let test_syscall_pointer_params_marked_userspace () =
+  let _, pa =
+    compile ~config:syscall_config
+      [
+        "extern void sva_register_syscall(long num, ...);\n\
+         long sys_write(long fd, char *buf, long n) { return buf[0] + n; }\n\
+         void init(void) { sva_register_syscall(4, sys_write); }";
+      ]
+  in
+  let buf_node = node_of pa "sys_write" 1 in
+  Alcotest.(check bool) "userspace-flagged" true
+    (Pointsto.has_flag buf_node Pointsto.Userspace);
+  (* "as tested": userspace is an incompleteness source... *)
+  Alcotest.(check bool) "incomplete" false (Pointsto.is_complete buf_node);
+  (* ...and in "entire kernel" mode it is a valid object *)
+  let _, pa2 =
+    compile
+      ~config:{ syscall_config with Pointsto.userspace_valid = true }
+      [
+        "extern void sva_register_syscall(long num, ...);\n\
+         long sys_write(long fd, char *buf, long n) { return buf[0] + n; }\n\
+         void init(void) { sva_register_syscall(4, sys_write); }";
+      ]
+  in
+  Alcotest.(check bool) "complete when userspace valid" true
+    (Pointsto.is_complete (node_of pa2 "sys_write" 1))
+
+let test_user_copy_heuristic_no_merge () =
+  let config =
+    { syscall_config with Pointsto.user_copy_functions = [ "copy_from_user" ] }
+  in
+  let _, pa =
+    compile ~config
+      [
+        "extern long copy_from_user(char *dst, long usrc, long n);\n\
+         struct msg { long a; long b; };\n\
+         struct msg g_msg;\n\
+         long recv(long usrc) {\n\
+        \  return copy_from_user((char*)&g_msg, usrc, 16);\n\
+         }";
+      ]
+  in
+  (* the heuristic collapses the destination (no type info for the user
+     side) but must NOT mark it unknown/incomplete *)
+  let n = Option.get (Pointsto.global_node pa "g_msg") in
+  Alcotest.(check bool) "complete" true (Pointsto.is_complete n)
+
+(* ---------- allocators ---------- *)
+
+let km_src =
+  "extern char *kmalloc(long n);\n\
+   long *mk8(void) { return (long*)kmalloc(8); }\n\
+   long *mk8b(void) { return (long*)kmalloc(8); }\n\
+   char *mk64(void) { return kmalloc(64); }"
+
+let test_size_classes_group_sites () =
+  let decl classes =
+    [ Allocdecl.ordinary ~free:"kfree" ~size_arg:0 ~size_classes:classes "kmalloc" ]
+  in
+  (* no classes exposed: all three sites in one metapool group *)
+  let m, pa =
+    compile ~config:{ Pointsto.default_config with Pointsto.allocators = decl [] }
+      [ km_src ]
+  in
+  let mps = Sva_safety.Metapool.infer m pa (decl []) in
+  ignore mps;
+  let nodes_of_sites pa =
+    List.map
+      (fun (al : Pointsto.alloc_site) -> Pointsto.node_id al.Pointsto.al_node)
+      (Pointsto.alloc_sites pa)
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check int) "merged into one" 1 (List.length (nodes_of_sites pa));
+  (* classes exposed: the 8-byte sites merge together, 64 stays apart *)
+  let m2, pa2 =
+    compile
+      ~config:
+        { Pointsto.default_config with Pointsto.allocators = decl [ 8; 64 ] }
+      [ km_src ]
+  in
+  let _ = Sva_safety.Metapool.infer m2 pa2 (decl [ 8; 64 ]) in
+  Alcotest.(check int) "two class groups" 2 (List.length (nodes_of_sites pa2))
+
+let test_alloc_sites_recorded_once () =
+  let decl = [ Allocdecl.ordinary ~size_arg:0 "kmalloc" ] in
+  let _, pa =
+    compile ~config:{ Pointsto.default_config with Pointsto.allocators = decl }
+      [ km_src ]
+  in
+  Alcotest.(check int) "three sites" 3 (List.length (Pointsto.alloc_sites pa))
+
+(* ---------- call graph ---------- *)
+
+let cg_src =
+  "int f1(int x) { return x + 1; }\n\
+   int f2(int x) { return x + 2; }\n\
+   int dispatch(int which, int v) {\n\
+  \  int (*h)(int);\n\
+  \  if (which) h = f1; else h = f2;\n\
+  \  return h(v);\n\
+   }\n\
+   int top(void) { return dispatch(1, 10) + f1(1); }"
+
+let test_callgraph () =
+  let m, pa = compile [ cg_src ] in
+  let cg = Callgraph.build m pa in
+  Alcotest.(check (list string)) "direct callees of top" [ "dispatch"; "f1" ]
+    (Callgraph.callees cg "top");
+  Alcotest.(check (list string)) "indirect targets" [ "f1"; "f2" ]
+    (List.sort compare (Callgraph.callees cg "dispatch"));
+  Alcotest.(check (list string)) "callers of f2" [ "dispatch" ]
+    (Callgraph.callers cg "f2");
+  (match Callgraph.indirect_fanout cg with
+  | [ (_, n) ] -> Alcotest.(check int) "fanout 2" 2 n
+  | l -> Alcotest.failf "expected 1 indirect site, got %d" (List.length l));
+  Alcotest.(check (list string)) "reachable" [ "dispatch"; "f1"; "f2"; "top" ]
+    (Callgraph.reachable_from cg [ "top" ])
+
+let test_callsig_assert_narrows () =
+  (* with mixed signatures in one table, the assertion filters targets *)
+  let src =
+    "int f1(int x) { return x + 1; }\n\
+     long g1(long a, long b) { return a + b; }\n\
+     long table[2] = {0, 0};\n\
+     void init(void) { table[0] = (long)f1; table[1] = (long)g1; }\n\
+     __callsig_assert int call_int(int v) {\n\
+    \  int (*h)(int) = (int (*)(int))table[0];\n\
+    \  return h(v);\n\
+     }\n\
+     long call_long(long v) {\n\
+    \  long (*h)(long, long) = (long (*)(long, long))table[1];\n\
+    \  return h(v, v);\n\
+     }"
+  in
+  let m, pa = compile [ src ] in
+  let cg = Callgraph.build m pa in
+  let fan fname =
+    List.filter_map
+      (fun (cs, n) ->
+        if cs.Callgraph.cs_func = fname then Some n else None)
+      (Callgraph.indirect_fanout cg)
+  in
+  (* without the assertion, both functions are candidate targets *)
+  Alcotest.(check (list int)) "unannotated sees both" [ 2 ] (fan "call_long");
+  (* the annotated site is narrowed to signature-compatible targets *)
+  Alcotest.(check (list int)) "asserted narrowed" [ 1 ] (fan "call_int")
+
+let () =
+  Alcotest.run "sva_analysis"
+    [
+      ( "unification",
+        [
+          Alcotest.test_case "assignment unifies" `Quick test_assignment_unifies;
+          Alcotest.test_case "distinct stay distinct" `Quick
+            test_distinct_objects_stay_distinct;
+          Alcotest.test_case "store creates edge" `Quick test_store_creates_edge;
+        ] );
+      ( "type-homogeneity",
+        [
+          Alcotest.test_case "inference" `Quick test_th_inference;
+          Alcotest.test_case "casts collapse" `Quick test_conflicting_casts_collapse;
+        ] );
+      ( "kernel-heuristics",
+        [
+          Alcotest.test_case "error casts are null" `Quick
+            test_error_cast_treated_as_null;
+          Alcotest.test_case "manufactured address" `Quick
+            test_manufactured_address_is_unknown;
+          Alcotest.test_case "pseudo_alloc analyzable" `Quick
+            test_pseudo_alloc_not_unknown;
+          Alcotest.test_case "syscall registration" `Quick
+            test_syscall_registration_and_internal_calls;
+          Alcotest.test_case "userspace params" `Quick
+            test_syscall_pointer_params_marked_userspace;
+          Alcotest.test_case "user-copy heuristic" `Quick
+            test_user_copy_heuristic_no_merge;
+        ] );
+      ( "allocators",
+        [
+          Alcotest.test_case "size classes" `Quick test_size_classes_group_sites;
+          Alcotest.test_case "sites recorded" `Quick test_alloc_sites_recorded_once;
+        ] );
+      ( "callgraph",
+        [
+          Alcotest.test_case "construction" `Quick test_callgraph;
+          Alcotest.test_case "callsig assert narrows" `Quick
+            test_callsig_assert_narrows;
+        ] );
+    ]

@@ -1,0 +1,260 @@
+(* Tests for the simulated hardware: machine memory regions, CPU state
+   save/restore (Table 1 semantics), the MMU, devices, and the SVA-OS
+   layer including interrupt contexts (Table 2). *)
+
+open Sva_hw
+module Svaos = Sva_os.Svaos
+
+(* ---------- machine ---------- *)
+
+let test_machine_rw () =
+  let m = Machine.create () in
+  Machine.write_int m ~addr:Machine.heap_base ~width:8 0x1122334455667788L;
+  Alcotest.(check int64) "read back" 0x1122334455667788L
+    (Machine.read_int m ~addr:Machine.heap_base ~width:8);
+  (* little-endian byte order; narrow reads are canonically sign-extended *)
+  Alcotest.(check int64) "low byte (sext 0x88)" (-0x78L)
+    (Machine.read_int m ~addr:Machine.heap_base ~width:1);
+  (* sign extension of narrow reads *)
+  Machine.write_int m ~addr:Machine.heap_base ~width:1 0xffL;
+  Alcotest.(check int64) "sext i8" (-1L)
+    (Machine.read_int m ~addr:Machine.heap_base ~width:1)
+
+let test_machine_fault_unmapped () =
+  let m = Machine.create () in
+  List.iter
+    (fun addr ->
+      match Machine.read m ~addr ~len:4 with
+      | _ -> Alcotest.failf "read at 0x%x should fault" addr
+      | exception Machine.Hw_fault _ -> ())
+    [ 0; 4096; 0xDEADBEEF; Machine.heap_base + Machine.heap_size ]
+
+let test_machine_region_straddle () =
+  let m = Machine.create () in
+  (* A range crossing out of a region faults even if it starts mapped. *)
+  match Machine.read m ~addr:(Machine.bios_base + Machine.bios_size - 2) ~len:8 with
+  | _ -> Alcotest.fail "straddling read should fault"
+  | exception Machine.Hw_fault _ -> ()
+
+let test_svm_region_protected () =
+  let m = Machine.create () in
+  (match Machine.write_int m ~addr:Machine.svm_base ~width:8 1L with
+  | _ -> Alcotest.fail "kernel store into SVM memory should fault"
+  | exception Machine.Hw_fault _ -> ());
+  (* ...but the SVM itself may write it. *)
+  Machine.with_svm_mode m (fun () ->
+      Machine.write_int m ~addr:Machine.svm_base ~width:8 42L);
+  Alcotest.(check int64) "svm wrote" 42L
+    (Machine.read_int m ~addr:Machine.svm_base ~width:8)
+
+let test_blit_and_fill () =
+  let m = Machine.create () in
+  Machine.write m ~addr:Machine.heap_base (Bytes.of_string "hello world");
+  Machine.blit m ~src:Machine.heap_base ~dst:(Machine.heap_base + 100) ~len:11;
+  Alcotest.(check string) "blit" "hello world"
+    (Bytes.to_string (Machine.read m ~addr:(Machine.heap_base + 100) ~len:11));
+  Machine.fill m ~addr:(Machine.heap_base + 100) ~len:5 'x';
+  Alcotest.(check string) "fill" "xxxxx world"
+    (Bytes.to_string (Machine.read m ~addr:(Machine.heap_base + 100) ~len:11))
+
+(* ---------- CPU state (Table 1) ---------- *)
+
+let test_cpu_save_restore () =
+  let m = Machine.create () in
+  let cpu = Cpu.create () in
+  Cpu.scramble cpu ~seed:7;
+  let saved = Cpu.create () in
+  saved.Cpu.gpr <- Array.copy cpu.Cpu.gpr;
+  saved.Cpu.pc <- cpu.Cpu.pc;
+  saved.Cpu.flags <- cpu.Cpu.flags;
+  Cpu.save_integer cpu m ~addr:Machine.heap_base;
+  Cpu.scramble cpu ~seed:99;
+  Alcotest.(check bool) "scrambled differs" false (Cpu.equal_integer cpu saved);
+  Cpu.load_integer cpu m ~addr:Machine.heap_base;
+  Alcotest.(check bool) "restored" true (Cpu.equal_integer cpu saved)
+
+let test_fp_lazy_save () =
+  let m = Machine.create () in
+  let cpu = Cpu.create () in
+  cpu.Cpu.fp_dirty <- false;
+  Alcotest.(check bool) "clean fp not saved" false
+    (Cpu.save_fp cpu m ~addr:Machine.heap_base ~always:false);
+  Alcotest.(check bool) "always saves" true
+    (Cpu.save_fp cpu m ~addr:Machine.heap_base ~always:true);
+  cpu.Cpu.fpr.(3) <- 2.5;
+  cpu.Cpu.fp_dirty <- true;
+  Alcotest.(check bool) "dirty fp saved" true
+    (Cpu.save_fp cpu m ~addr:Machine.heap_base ~always:false);
+  cpu.Cpu.fpr.(3) <- 0.0;
+  Cpu.load_fp cpu m ~addr:Machine.heap_base;
+  Alcotest.(check (float 0.0)) "fp restored" 2.5 cpu.Cpu.fpr.(3)
+
+(* ---------- MMU ---------- *)
+
+let test_mmu_translate () =
+  let mmu = Mmu.create () in
+  let sp = Mmu.new_space mmu in
+  Mmu.activate mmu sp;
+  let vpn = Machine.user_base / Machine.page_size in
+  let ppn = vpn + 4 in
+  Mmu.map_page sp ~vpn ~ppn ~prot:{ Mmu.p_read = true; p_write = false; p_user = true };
+  let va = Machine.user_base + 12 in
+  Alcotest.(check int) "translated" ((ppn * Machine.page_size) + 12)
+    (Mmu.translate mmu ~addr:va ~write:false);
+  (* kernel addresses pass through *)
+  Alcotest.(check int) "kernel identity" Machine.heap_base
+    (Mmu.translate mmu ~addr:Machine.heap_base ~write:true);
+  (* write to read-only page *)
+  (match Mmu.translate mmu ~addr:va ~write:true with
+  | _ -> Alcotest.fail "write to RO page should fault"
+  | exception Mmu.Mmu_fault _ -> ());
+  (* unmapped page *)
+  match Mmu.translate mmu ~addr:(va + Machine.page_size) ~write:false with
+  | _ -> Alcotest.fail "unmapped page should fault"
+  | exception Mmu.Mmu_fault _ -> ()
+
+let test_mmu_svm_frame_refused () =
+  let mmu = Mmu.create () in
+  let sp = Mmu.new_space mmu in
+  match
+    Mmu.map_page sp
+      ~vpn:(Machine.user_base / Machine.page_size)
+      ~ppn:(Machine.svm_base / Machine.page_size)
+      ~prot:{ Mmu.p_read = true; p_write = true; p_user = true }
+  with
+  | () -> Alcotest.fail "mapping an SVM frame must be refused"
+  | exception Mmu.Mmu_fault _ -> ()
+
+let test_mmu_clone () =
+  let mmu = Mmu.create () in
+  let sp = Mmu.new_space mmu in
+  let vpn = Machine.user_base / Machine.page_size in
+  for i = 0 to 9 do
+    Mmu.map_page sp ~vpn:(vpn + i) ~ppn:(vpn + i)
+      ~prot:{ Mmu.p_read = true; p_write = true; p_user = true }
+  done;
+  let copy = Mmu.clone_space mmu sp in
+  Alcotest.(check int) "pages copied" 10 (Mmu.page_count copy);
+  Mmu.unmap_page copy ~vpn;
+  Alcotest.(check int) "copy mutated" 9 (Mmu.page_count copy);
+  Alcotest.(check int) "original intact" 10 (Mmu.page_count sp)
+
+(* ---------- devices ---------- *)
+
+let test_disk () =
+  let d = Devices.create () in
+  let block = Bytes.make 512 'z' in
+  Devices.disk_write d ~block:5 block;
+  Alcotest.(check bytes) "roundtrip" block (Devices.disk_read d ~block:5);
+  match Devices.disk_read d ~block:999999 with
+  | _ -> Alcotest.fail "oob block"
+  | exception Invalid_argument _ -> ()
+
+let test_nic_queues () =
+  let d = Devices.create () in
+  Devices.nic_inject d { Devices.fr_proto = 17; fr_payload = Bytes.of_string "a" };
+  Devices.nic_inject d { Devices.fr_proto = 2; fr_payload = Bytes.of_string "b" };
+  (match Devices.nic_recv d with
+  | Some fr -> Alcotest.(check int) "fifo order" 17 fr.Devices.fr_proto
+  | None -> Alcotest.fail "no frame");
+  Devices.nic_send d { Devices.fr_proto = 17; fr_payload = Bytes.of_string "x" };
+  Devices.nic_send d { Devices.fr_proto = 17; fr_payload = Bytes.of_string "y" };
+  let tx = Devices.nic_take_tx d in
+  Alcotest.(check int) "two sent" 2 (List.length tx);
+  Alcotest.(check string) "oldest first" "x"
+    (Bytes.to_string (List.hd tx).Devices.fr_payload);
+  Alcotest.(check int) "drained" 0 (List.length (Devices.nic_take_tx d))
+
+(* ---------- SVA-OS ---------- *)
+
+let test_svaos_icontext_roundtrip () =
+  let sys = Svaos.create () in
+  Cpu.scramble sys.Svaos.cpu ~seed:3;
+  let sp = Machine.stack_base + 1024 in
+  let icp = Svaos.icontext_create sys ~sp ~was_privileged:true in
+  Alcotest.(check bool) "privileged" true (Svaos.was_privileged sys ~icp);
+  (* save the context as integer state, load it back *)
+  let isp = Machine.stack_base + 8192 in
+  Svaos.icontext_save sys ~icp ~isp;
+  Svaos.icontext_load sys ~icp ~isp;
+  Svaos.icontext_destroy sys ~icp;
+  Alcotest.(check pass) "balanced" () ()
+
+let test_svaos_icontext_tamper_detected () =
+  let sys = Svaos.create () in
+  let sp = Machine.stack_base + 1024 in
+  let icp = Svaos.icontext_create sys ~sp ~was_privileged:false in
+  (* the kernel scribbles over the integrity tag *)
+  Machine.with_svm_mode sys.Svaos.machine (fun () ->
+      Machine.write_int sys.Svaos.machine ~addr:icp ~width:8 0L);
+  match Svaos.was_privileged sys ~icp with
+  | _ -> Alcotest.fail "tampered icontext accepted"
+  | exception Failure _ -> ()
+
+let test_svaos_state_buffer_validated () =
+  let sys = Svaos.create () in
+  (* mediated mode refuses to spill processor state into userspace *)
+  match Svaos.save_integer sys ~buffer:Machine.user_base with
+  | _ -> Alcotest.fail "state spill into userspace accepted"
+  | exception Failure _ -> ()
+
+let test_svaos_ipush () =
+  let sys = Svaos.create () in
+  let icp =
+    Svaos.icontext_create sys ~sp:(Machine.stack_base + 512) ~was_privileged:false
+  in
+  Alcotest.(check bool) "no pending" true (Svaos.ipush_pending sys ~icp = None);
+  Svaos.ipush_function sys ~icp ~fn:0xB00040 ~arg:9L;
+  (match Svaos.ipush_pending sys ~icp with
+  | Some (fn, arg) ->
+      Alcotest.(check int) "fn" 0xB00040 fn;
+      Alcotest.(check int64) "arg" 9L arg
+  | None -> Alcotest.fail "pending lost");
+  Alcotest.(check bool) "consumed" true (Svaos.ipush_pending sys ~icp = None);
+  Svaos.icontext_destroy sys ~icp
+
+let test_svaos_modes () =
+  let sys = Svaos.create ~mode:Svaos.Native_inline () in
+  (* native mode skips buffer validation *)
+  Svaos.save_integer sys ~buffer:(Machine.heap_base + 64);
+  Svaos.set_mode sys Svaos.Sva_mediated;
+  Svaos.save_integer sys ~buffer:(Machine.heap_base + 64);
+  Alcotest.(check bool) "ops counted" true (sys.Svaos.ops_count >= 2)
+
+let () =
+  Alcotest.run "sva_hw"
+    [
+      ( "machine",
+        [
+          Alcotest.test_case "read/write" `Quick test_machine_rw;
+          Alcotest.test_case "unmapped faults" `Quick test_machine_fault_unmapped;
+          Alcotest.test_case "region straddle" `Quick test_machine_region_straddle;
+          Alcotest.test_case "SVM region protected" `Quick test_svm_region_protected;
+          Alcotest.test_case "blit/fill" `Quick test_blit_and_fill;
+        ] );
+      ( "cpu",
+        [
+          Alcotest.test_case "integer save/restore" `Quick test_cpu_save_restore;
+          Alcotest.test_case "lazy FP save" `Quick test_fp_lazy_save;
+        ] );
+      ( "mmu",
+        [
+          Alcotest.test_case "translate" `Quick test_mmu_translate;
+          Alcotest.test_case "SVM frame refused" `Quick test_mmu_svm_frame_refused;
+          Alcotest.test_case "clone" `Quick test_mmu_clone;
+        ] );
+      ( "devices",
+        [
+          Alcotest.test_case "disk" `Quick test_disk;
+          Alcotest.test_case "nic queues" `Quick test_nic_queues;
+        ] );
+      ( "svaos",
+        [
+          Alcotest.test_case "icontext roundtrip" `Quick test_svaos_icontext_roundtrip;
+          Alcotest.test_case "icontext tamper" `Quick test_svaos_icontext_tamper_detected;
+          Alcotest.test_case "state buffer validated" `Quick
+            test_svaos_state_buffer_validated;
+          Alcotest.test_case "ipush" `Quick test_svaos_ipush;
+          Alcotest.test_case "modes" `Quick test_svaos_modes;
+        ] );
+    ]

@@ -1,0 +1,264 @@
+(* Tests for the Section 4.8 / 7.1.3 optimizations: function cloning,
+   devirtualization, redundant-check elimination and monotonic-loop
+   bounds-check hoisting — each must preserve program behaviour while
+   changing the static check/precision profile. *)
+
+open Sva_pipeline
+module Pointsto = Sva_analysis.Pointsto
+module Allocdecl = Sva_analysis.Allocdecl
+module Clone = Sva_analysis.Clone
+module Checkopt = Sva_safety.Checkopt
+module Stats = Sva_rt.Stats
+
+let allocator_src =
+  "long __km_cursor = 0;\n\
+   extern long sva_heap_base(void);\n\
+   __noanalyze char *kmalloc(long size) {\n\
+  \  if (size <= 0) return (char*)0;\n\
+  \  if (__km_cursor == 0) __km_cursor = sva_heap_base();\n\
+  \  long p = __km_cursor;\n\
+  \  __km_cursor = __km_cursor + ((size + 15) / 16) * 16;\n\
+  \  return (char*)p;\n\
+   }\n\
+   __noanalyze void kfree(char *p) { }\n"
+
+let aconfig =
+  {
+    Pointsto.default_config with
+    Pointsto.allocators =
+      [
+        (* size classes exposed so distinct-size allocation sites are not
+           merged by metapool inference (Section 6.2) *)
+        Allocdecl.ordinary ~free:"kfree" ~size_arg:0
+          ~size_classes:[ 8; 16; 32; 64; 128 ] "kmalloc";
+      ];
+  }
+
+let run built fn args =
+  let t = Pipeline.instantiate built in
+  Sva_interp.Interp.call t fn (List.map Int64.of_int args)
+
+(* ---------- cloning ---------- *)
+
+let cloning_src =
+  "struct a { long x; };\n\
+   struct b { long y; long z; };\n\
+   extern char *kmalloc(long n);\n\
+   long read_first(long *p) { return *p; }\n\
+   long drive(void) {\n\
+  \  struct a *pa = (struct a*)kmalloc(sizeof(struct a));\n\
+  \  struct b *pb = (struct b*)kmalloc(sizeof(struct b));\n\
+  \  pa->x = 5;\n\
+  \  pb->y = 6; pb->z = 7;\n\
+  \  return read_first((long*)pa) + read_first((long*)pb);\n\
+   }"
+
+(* Are the two kmalloc allocation sites in one merged partition? *)
+let alloc_sites_merged built =
+  let pa = Option.get built.Pipeline.bl_pa in
+  match
+    List.filter
+      (fun (al : Pointsto.alloc_site) -> al.Pointsto.al_alloc = "kmalloc")
+      (Pointsto.alloc_sites pa)
+  with
+  | [ a; b ] -> Pointsto.same_node a.Pointsto.al_node b.Pointsto.al_node
+  | sites -> Alcotest.failf "expected 2 kmalloc sites, got %d" (List.length sites)
+
+let test_cloning_improves_precision () =
+  (* Without cloning, both objects flow into read_first's parameter and
+     merge into one partition; with cloning each call site keeps its own
+     (the Section 4.8 improvement). *)
+  let build clone =
+    Pipeline.build ~conf:Pipeline.Sva_safe ~aconfig ~clone ~name:"cl"
+      [ allocator_src; cloning_src ]
+  in
+  let without = build false and with_ = build true in
+  Alcotest.(check bool) "clones created" true (with_.Pipeline.bl_cloned >= 1);
+  Alcotest.(check bool) "merged without cloning" true
+    (alloc_sites_merged without);
+  Alcotest.(check bool) "distinct with cloning" false
+    (alloc_sites_merged with_);
+  (* behaviour preserved *)
+  Alcotest.(check (option int64)) "same result" (run without "drive" [])
+    (run with_ "drive" [])
+
+let test_clone_function_is_deep_enough () =
+  let m = Minic.Lower.compile_string ~name:"c" "int f(int x) { return x + 1; }" in
+  let f = Option.get (Sva_ir.Irmod.find_func m "f") in
+  let g = Clone.clone_function m f "f.copy" in
+  Alcotest.(check bool) "registered" true (Sva_ir.Irmod.find_func m "f.copy" <> None);
+  Sva_ir.Verify.check m;
+  (* mutating the clone's block list must not affect the original *)
+  g.Sva_ir.Func.f_blocks <- [];
+  Alcotest.(check bool) "original intact" true (f.Sva_ir.Func.f_blocks <> [])
+
+(* ---------- devirtualization ---------- *)
+
+let devirt_src =
+  "int inc(int x) { return x + 1; }\n\
+   int dec(int x) { return x - 1; }\n\
+   __callsig_assert int apply(int which, int v) {\n\
+  \  int (*f)(int);\n\
+  \  if (which) f = inc; else f = dec;\n\
+  \  return f(v);\n\
+   }"
+
+let test_devirt_rewrites_and_preserves () =
+  let build devirt =
+    Pipeline.build ~conf:Pipeline.Sva_safe ~aconfig ~devirt ~name:"dv"
+      [ allocator_src; devirt_src ]
+  in
+  let plain = build false and dv = build true in
+  Alcotest.(check int) "one site devirtualized" 1 dv.Pipeline.bl_devirt;
+  List.iter
+    (fun (which, v, expect) ->
+      Alcotest.(check (option int64))
+        (Printf.sprintf "apply(%d,%d)" which v)
+        (Some expect)
+        (run dv "apply" [ which; v ]);
+      Alcotest.(check (option int64)) "plain agrees" (Some expect)
+        (run plain "apply" [ which; v ]))
+    [ (1, 10, 11L); (0, 10, 9L) ];
+  (* devirtualized dispatch no longer consults the run-time target set *)
+  Stats.reset ();
+  ignore (run dv "apply" [ 1; 5 ]);
+  Alcotest.(check int) "no run-time funcchecks" 0
+    (Stats.read ()).Stats.funcchecks
+
+(* ---------- redundant load/store check elimination ---------- *)
+
+let dedup_src =
+  "extern char *kmalloc(long n);\n\
+   long drive(void) {\n\
+  \  long *p = (long*)kmalloc(8);\n\
+  \  int *r = (int*)p;\n\
+  \  *r = 3;             /* int-typed access collapses the pool */\n\
+  \  *p = 21;\n\
+  \  long x = *p;        /* checked load */\n\
+  \  *p = x + 1;         /* store does not invalidate liveness */\n\
+  \  long y = *p;        /* redundant check: same pool, same pointer */\n\
+  \  return x + y;\n\
+   }"
+
+let test_lscheck_dedup () =
+  let build checkopt =
+    Pipeline.build ~conf:Pipeline.Sva_safe ~aconfig ~checkopt ~name:"dd"
+      [ allocator_src; dedup_src ]
+  in
+  let plain = build false and opt = build true in
+  (match opt.Pipeline.bl_checkopt with
+  | Some s ->
+      Alcotest.(check bool) "some check removed" true
+        (s.Checkopt.co_ls_deduped >= 1)
+  | None -> Alcotest.fail "no checkopt summary");
+  Alcotest.(check (option int64)) "same result" (run plain "drive" [])
+    (run opt "drive" []);
+  (* fewer dynamic checks with the optimizer on *)
+  Stats.reset ();
+  ignore (run plain "drive" []);
+  let ls_plain = (Stats.read ()).Stats.ls_checks in
+  Stats.reset ();
+  ignore (run opt "drive" []);
+  let ls_opt = (Stats.read ()).Stats.ls_checks in
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer ls checks (%d < %d)" ls_opt ls_plain)
+    true (ls_opt < ls_plain)
+
+(* ---------- monotonic-loop hoisting ---------- *)
+
+let hoist_src =
+  "extern char *kmalloc(long n);\n\
+   long fill(int n) {\n\
+  \  long *a = (long*)kmalloc(n * 8);\n\
+  \  if (!a) return -1;\n\
+  \  long s = 0;\n\
+  \  for (int i = 0; i < n; i++) { a[i] = i; }\n\
+  \  for (int i = 0; i < n; i++) { s += a[i]; }\n\
+  \  return s;\n\
+   }"
+
+let test_hoisting () =
+  let build checkopt =
+    Pipeline.build ~conf:Pipeline.Sva_safe ~aconfig ~checkopt ~name:"ho"
+      [ allocator_src; hoist_src ]
+  in
+  let plain = build false and opt = build true in
+  (match opt.Pipeline.bl_checkopt with
+  | Some s ->
+      Alcotest.(check bool) "bounds checks hoisted" true
+        (s.Checkopt.co_bounds_hoisted >= 2)
+  | None -> Alcotest.fail "no checkopt summary");
+  (* same answer, far fewer dynamic bounds checks *)
+  Alcotest.(check (option int64)) "same result" (Some 1225L)
+    (run opt "fill" [ 50 ]);
+  Stats.reset ();
+  ignore (run plain "fill" [ 50 ]);
+  let b_plain = (Stats.read ()).Stats.bounds_checks in
+  Stats.reset ();
+  ignore (run opt "fill" [ 50 ]);
+  let b_opt = (Stats.read ()).Stats.bounds_checks in
+  Alcotest.(check bool)
+    (Printf.sprintf "hoisted: %d << %d dynamic bounds checks" b_opt b_plain)
+    true (b_opt * 4 < b_plain)
+
+let test_hoisting_still_catches_overrun () =
+  (* the whole-range preheader check must still trap a too-small object *)
+  let src =
+    "extern char *kmalloc(long n);\n\
+     long smash(int claimed, int alloc_bytes) {\n\
+    \  long *a = (long*)kmalloc(alloc_bytes);\n\
+    \  for (int i = 0; i < claimed; i++) a[i] = i;\n\
+    \  return 0;\n\
+     }"
+  in
+  let b =
+    Pipeline.build ~conf:Pipeline.Sva_safe ~aconfig ~checkopt:true ~name:"hs"
+      [ allocator_src; src ]
+  in
+  (match run b "smash" [ 4; 32 ] with
+  | Some 0L -> ()
+  | _ -> Alcotest.fail "benign fill failed");
+  let b2 =
+    Pipeline.build ~conf:Pipeline.Sva_safe ~aconfig ~checkopt:true ~name:"hs"
+      [ allocator_src; src ]
+  in
+  match run b2 "smash" [ 16; 32 ] with
+  | exception Sva_rt.Violation.Safety_violation v ->
+      Alcotest.(check string) "bounds" "bounds"
+        (Sva_rt.Violation.kind_to_string v.Sva_rt.Violation.v_kind)
+  | _ -> Alcotest.fail "overrun escaped the hoisted check"
+
+let test_hoisting_empty_loop_ok () =
+  (* zero-trip loops must not fire the hoisted range check *)
+  let b =
+    Pipeline.build ~conf:Pipeline.Sva_safe ~aconfig ~checkopt:true ~name:"he"
+      [ allocator_src; hoist_src ]
+  in
+  match run b "fill" [ 0 ] with
+  | Some v -> Alcotest.(check int64) "empty loop" (-1L) v (* kmalloc(0) = 0 *)
+  | None -> Alcotest.fail "void"
+
+let () =
+  Alcotest.run "sva_opts"
+    [
+      ( "cloning",
+        [
+          Alcotest.test_case "precision improves" `Quick
+            test_cloning_improves_precision;
+          Alcotest.test_case "clone independence" `Quick
+            test_clone_function_is_deep_enough;
+        ] );
+      ( "devirt",
+        [
+          Alcotest.test_case "rewrite preserves behaviour" `Quick
+            test_devirt_rewrites_and_preserves;
+        ] );
+      ( "checkopt",
+        [
+          Alcotest.test_case "lscheck dedup" `Quick test_lscheck_dedup;
+          Alcotest.test_case "loop hoisting" `Quick test_hoisting;
+          Alcotest.test_case "hoisted check still catches" `Quick
+            test_hoisting_still_catches_overrun;
+          Alcotest.test_case "zero-trip loop" `Quick test_hoisting_empty_loop_ok;
+        ] );
+    ]

@@ -1,0 +1,269 @@
+(* Tests for the SVA runtime: splay trees (with QCheck model-based
+   properties) and metapool run-time checks. *)
+
+open Sva_rt
+
+(* ---------- Splay unit tests ---------- *)
+
+let test_splay_basic () =
+  let t = Splay.create () in
+  Splay.insert t ~start:100 ~len:10 "a";
+  Splay.insert t ~start:200 ~len:20 "b";
+  Splay.insert t ~start:50 ~len:4 "c";
+  Alcotest.(check int) "size" 3 (Splay.size t);
+  (match Splay.find_containing t 105 with
+  | Some n -> Alcotest.(check string) "contains 105" "a" n.Splay.n_data
+  | None -> Alcotest.fail "105 not found");
+  Alcotest.(check bool) "110 outside" true (Splay.find_containing t 110 = None);
+  (match Splay.find_containing t 219 with
+  | Some n -> Alcotest.(check string) "contains 219" "b" n.Splay.n_data
+  | None -> Alcotest.fail "219 not found");
+  Alcotest.(check bool) "49 outside" true (Splay.find_containing t 49 = None)
+
+let test_splay_remove () =
+  let t = Splay.create () in
+  Splay.insert t ~start:10 ~len:5 ();
+  Splay.insert t ~start:20 ~len:5 ();
+  Alcotest.(check bool) "remove 10" true (Splay.remove t ~start:10 <> None);
+  Alcotest.(check bool) "remove 10 again" true (Splay.remove t ~start:10 = None);
+  Alcotest.(check bool) "remove middle of object" true (Splay.remove t ~start:22 = None);
+  Alcotest.(check int) "size" 1 (Splay.size t)
+
+let test_splay_overlap_rejected () =
+  let t = Splay.create () in
+  Splay.insert t ~start:100 ~len:10 ();
+  List.iter
+    (fun (s, l) ->
+      match Splay.insert t ~start:s ~len:l () with
+      | () -> Alcotest.failf "insert [%d,+%d) should overlap" s l
+      | exception Invalid_argument _ -> ())
+    [ (100, 10); (95, 6); (109, 1); (99, 100); (105, 2) ];
+  Splay.insert t ~start:110 ~len:5 ();
+  Splay.insert t ~start:90 ~len:10 ();
+  Alcotest.(check int) "size" 3 (Splay.size t)
+
+let test_splay_ordering () =
+  let t = Splay.create () in
+  List.iter (fun s -> Splay.insert t ~start:s ~len:1 s) [ 5; 1; 9; 3; 7 ];
+  Alcotest.(check (list int)) "in order" [ 1; 3; 5; 7; 9 ]
+    (List.map (fun n -> n.Splay.n_data) (Splay.to_list t))
+
+(* Model-based property: a splay tree over random disjoint ranges agrees
+   with a naive list model on every query. *)
+let prop_splay_model =
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_range 0 60)
+        (pair (int_range 0 500) (int_range 1 8)))
+  in
+  QCheck2.Test.make ~name:"splay agrees with list model" ~count:300 gen
+    (fun ops ->
+      let t = Splay.create () in
+      let model = ref [] in
+      List.iter
+        (fun (start, len) ->
+          let disjoint =
+            List.for_all
+              (fun (s, l) -> start + len <= s || s + l <= start)
+              !model
+          in
+          match Splay.insert t ~start ~len () with
+          | () ->
+              if not disjoint then
+                QCheck2.Test.fail_report "accepted an overlapping insert";
+              model := (start, len) :: !model
+          | exception Invalid_argument _ ->
+              if disjoint then
+                QCheck2.Test.fail_report "rejected a disjoint insert")
+        ops;
+      (* Every address 0..520: find_containing agrees with the model. *)
+      let ok = ref true in
+      for addr = 0 to 520 do
+        let expected = List.find_opt (fun (s, l) -> addr >= s && addr < s + l) !model in
+        let got = Splay.find_containing t addr in
+        (match (expected, got) with
+        | Some (s, l), Some n when n.Splay.n_start = s && n.Splay.n_len = l -> ()
+        | None, None -> ()
+        | _ -> ok := false)
+      done;
+      !ok && Splay.size t = List.length !model)
+
+let prop_splay_insert_remove =
+  let gen = QCheck2.Gen.(list_size (int_range 0 80) (int_range 0 100)) in
+  QCheck2.Test.make ~name:"insert+remove returns to empty" ~count:300 gen
+    (fun starts ->
+      let t = Splay.create () in
+      let starts = List.sort_uniq compare starts in
+      List.iter (fun s -> Splay.insert t ~start:(s * 16) ~len:16 s) starts;
+      List.iter
+        (fun s ->
+          match Splay.remove t ~start:(s * 16) with
+          | Some n -> assert (n.Splay.n_data = s)
+          | None -> QCheck2.Test.fail_report "lost an inserted range")
+        starts;
+      Splay.size t = 0)
+
+(* ---------- Metapool checks ---------- *)
+
+let mk ?(complete = true) ?(th = false) name =
+  Metapool_rt.create ~type_homog:th ~complete name
+
+let test_reg_drop_cycle () =
+  let mp = mk "MP1" in
+  Metapool_rt.register mp ~cls:Metapool_rt.Heap ~start:0x1000 ~len:96;
+  Alcotest.(check int) "live" 1 (Metapool_rt.live_objects mp);
+  Metapool_rt.drop mp ~start:0x1000;
+  Alcotest.(check int) "dropped" 0 (Metapool_rt.live_objects mp)
+
+let expect_violation kind f =
+  match f () with
+  | _ -> Alcotest.fail "expected a safety violation"
+  | exception Violation.Safety_violation v ->
+      Alcotest.(check string) "violation kind"
+        (Violation.kind_to_string kind)
+        (Violation.kind_to_string v.Violation.v_kind)
+
+let test_double_free_detected () =
+  let mp = mk "MP1" in
+  Metapool_rt.register mp ~cls:Metapool_rt.Heap ~start:0x1000 ~len:96;
+  Metapool_rt.drop mp ~start:0x1000;
+  expect_violation Violation.Double_free (fun () ->
+      Metapool_rt.drop mp ~start:0x1000)
+
+let test_illegal_free_detected () =
+  let mp = mk "MP1" in
+  Metapool_rt.register mp ~cls:Metapool_rt.Heap ~start:0x1000 ~len:96;
+  expect_violation Violation.Illegal_free (fun () ->
+      Metapool_rt.drop mp ~start:0x1010)
+
+let test_boundscheck_pass_and_fail () =
+  let mp = mk "MP2" in
+  Metapool_rt.register mp ~cls:Metapool_rt.Heap ~start:0x2000 ~len:96;
+  (* In-bounds gep. *)
+  Metapool_rt.boundscheck mp ~src:0x2000 ~dst:0x2050 ~access_len:4;
+  (* The integer-overflow pattern: index far past the object. *)
+  expect_violation Violation.Bounds (fun () ->
+      Metapool_rt.boundscheck mp ~src:0x2000 ~dst:0x2000 ~access_len:1024)
+
+let test_boundscheck_straddle () =
+  let mp = mk "MP2" in
+  Metapool_rt.register mp ~cls:Metapool_rt.Heap ~start:0x2000 ~len:96;
+  expect_violation Violation.Bounds (fun () ->
+      (* Last byte in range, access extends out. *)
+      Metapool_rt.boundscheck mp ~src:0x2000 ~dst:0x205c ~access_len:8)
+
+let test_boundscheck_incomplete_reduced () =
+  let mp = mk ~complete:false "MPI" in
+  (* Source points to an unregistered (external) object: reduced check. *)
+  let before = Stats.read () in
+  Metapool_rt.boundscheck mp ~src:0x9000 ~dst:0x9004 ~access_len:4;
+  let after = Stats.read () in
+  Alcotest.(check bool) "counted as reduced" true
+    (Stats.(after.reduced_checks > before.reduced_checks))
+
+let test_boundscheck_complete_rejects_unregistered () =
+  let mp = mk "MPC" in
+  expect_violation Violation.Bounds (fun () ->
+      Metapool_rt.boundscheck mp ~src:0x9000 ~dst:0x9004 ~access_len:4)
+
+let test_lscheck () =
+  let mp = mk "MP3" in
+  Metapool_rt.register mp ~cls:Metapool_rt.Heap ~start:0x3000 ~len:64;
+  Metapool_rt.lscheck mp ~addr:0x3010 ~access_len:8;
+  expect_violation Violation.Load_store (fun () ->
+      Metapool_rt.lscheck mp ~addr:0x4000 ~access_len:4);
+  expect_violation Violation.Uninit_pointer (fun () ->
+      Metapool_rt.lscheck mp ~addr:0 ~access_len:4)
+
+let test_lscheck_incomplete_elided () =
+  let mp = mk ~complete:false "MP4" in
+  (* Must not raise even for a wild address (Section 4.5, reduced checks:
+     the sole source of false negatives). *)
+  Metapool_rt.lscheck mp ~addr:0xdeadbeef ~access_len:4;
+  Alcotest.(check pass) "no violation" () ()
+
+let test_funccheck () =
+  let allowed = [ (0x100, "sys_read"); (0x200, "sys_write") ] in
+  Metapool_rt.funccheck ~allowed ~target:0x100;
+  expect_violation Violation.Indirect_call (fun () ->
+      Metapool_rt.funccheck ~allowed ~target:0x300)
+
+let test_userspace_object () =
+  (* Section 4.6: all of userspace is one object; a buffer that starts in
+     userspace but ends in kernel space must be caught as a bounds
+     violation. *)
+  let mp = mk "MPsys" in
+  let user_base = 0x100000 and user_len = 0x10000 in
+  Metapool_rt.register mp ~cls:Metapool_rt.Userspace ~start:user_base ~len:user_len;
+  (* A valid userspace access passes. *)
+  Metapool_rt.boundscheck mp ~src:(user_base + 16) ~dst:(user_base + 4096) ~access_len:64;
+  (* Crossing out of userspace fails. *)
+  expect_violation Violation.Bounds (fun () ->
+      Metapool_rt.boundscheck mp ~src:(user_base + user_len - 8)
+        ~dst:(user_base + user_len - 8) ~access_len:64)
+
+let test_getbounds () =
+  let mp = mk "MP5" in
+  Metapool_rt.register mp ~cls:Metapool_rt.Global ~start:0x5000 ~len:128;
+  Alcotest.(check (option (pair int int))) "found" (Some (0x5000, 128))
+    (Metapool_rt.getbounds mp 0x5042);
+  Alcotest.(check (option (pair int int))) "missing" None
+    (Metapool_rt.getbounds mp 0x6000)
+
+let test_boundscheck_known_fast_path () =
+  Metapool_rt.boundscheck_known ~start:0x100 ~len:96 ~dst:0x100 ~access_len:96
+    ~pool:"MP";
+  expect_violation Violation.Bounds (fun () ->
+      Metapool_rt.boundscheck_known ~start:0x100 ~len:96 ~dst:0x100
+        ~access_len:97 ~pool:"MP")
+
+let test_stats_counting () =
+  Stats.reset ();
+  let mp = mk "MPS" in
+  Metapool_rt.register mp ~cls:Metapool_rt.Heap ~start:0x100 ~len:32;
+  Metapool_rt.lscheck mp ~addr:0x108 ~access_len:4;
+  Metapool_rt.boundscheck mp ~src:0x100 ~dst:0x110 ~access_len:4;
+  ignore (Metapool_rt.getbounds mp 0x100);
+  Metapool_rt.drop mp ~start:0x100;
+  let s = Stats.read () in
+  Alcotest.(check int) "regs" 1 s.Stats.registrations;
+  Alcotest.(check int) "drops" 1 s.Stats.drops;
+  Alcotest.(check int) "ls" 1 s.Stats.ls_checks;
+  Alcotest.(check int) "bounds" 1 s.Stats.bounds_checks;
+  Alcotest.(check int) "getbounds" 1 s.Stats.getbounds;
+  Alcotest.(check int) "violations" 0 s.Stats.violations
+
+let () =
+  Alcotest.run "sva_rt"
+    [
+      ( "splay",
+        [
+          Alcotest.test_case "basic" `Quick test_splay_basic;
+          Alcotest.test_case "remove" `Quick test_splay_remove;
+          Alcotest.test_case "overlap rejected" `Quick test_splay_overlap_rejected;
+          Alcotest.test_case "ordering" `Quick test_splay_ordering;
+          QCheck_alcotest.to_alcotest prop_splay_model;
+          QCheck_alcotest.to_alcotest prop_splay_insert_remove;
+        ] );
+      ( "metapool",
+        [
+          Alcotest.test_case "register/drop" `Quick test_reg_drop_cycle;
+          Alcotest.test_case "double free" `Quick test_double_free_detected;
+          Alcotest.test_case "illegal free" `Quick test_illegal_free_detected;
+          Alcotest.test_case "boundscheck" `Quick test_boundscheck_pass_and_fail;
+          Alcotest.test_case "boundscheck straddle" `Quick test_boundscheck_straddle;
+          Alcotest.test_case "reduced checks (incomplete)" `Quick
+            test_boundscheck_incomplete_reduced;
+          Alcotest.test_case "complete rejects unregistered" `Quick
+            test_boundscheck_complete_rejects_unregistered;
+          Alcotest.test_case "lscheck" `Quick test_lscheck;
+          Alcotest.test_case "lscheck elided when incomplete" `Quick
+            test_lscheck_incomplete_elided;
+          Alcotest.test_case "funccheck" `Quick test_funccheck;
+          Alcotest.test_case "userspace single object" `Quick test_userspace_object;
+          Alcotest.test_case "getbounds" `Quick test_getbounds;
+          Alcotest.test_case "known-bounds fast path" `Quick
+            test_boundscheck_known_fast_path;
+          Alcotest.test_case "stats counting" `Quick test_stats_counting;
+        ] );
+    ]

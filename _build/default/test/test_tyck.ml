@@ -1,0 +1,165 @@
+(* Tests for the metapool type system: valid annotations pass the trusted
+   checker; the Section 5 bug-injection experiment (4 kinds x 5 instances)
+   is fully detected. *)
+
+open Sva_pipeline
+module Tyck = Sva_tyck.Tyck
+module Inject = Sva_tyck.Inject
+module Pointsto = Sva_analysis.Pointsto
+module Allocdecl = Sva_analysis.Allocdecl
+
+let allocator_src =
+  "long __km_cursor = 0;\n\
+   extern long sva_heap_base(void);\n\
+   __noanalyze char *kmalloc(long size) {\n\
+  \  if (size <= 0) return (char*)0;\n\
+  \  if (__km_cursor == 0) __km_cursor = sva_heap_base();\n\
+  \  long p = __km_cursor;\n\
+  \  __km_cursor = __km_cursor + ((size + 15) / 16) * 16;\n\
+  \  return (char*)p;\n\
+   }\n\
+   __noanalyze void kfree(char *p) { }\n"
+
+(* A program with enough pointer structure for interesting annotations:
+   linked structures, global tables, pointer loads/stores, array geps. *)
+let kernelish_src =
+  "extern char *kmalloc(long size);\n\
+   struct buf { long len; char data[56]; };\n\
+   struct conn { int id; int state; struct buf *rx; struct conn *next; };\n\
+   struct conn *conn_list = 0;\n\
+   int conn_count = 0;\n\
+   struct conn *new_conn(int id) {\n\
+  \  struct conn *c = (struct conn*)kmalloc(sizeof(struct conn));\n\
+  \  c->id = id;\n\
+  \  c->state = 0;\n\
+  \  c->rx = (struct buf*)kmalloc(sizeof(struct buf));\n\
+  \  c->rx->len = 0;\n\
+  \  c->next = conn_list;\n\
+  \  conn_list = c;\n\
+  \  conn_count++;\n\
+  \  return c;\n\
+   }\n\
+   struct conn *find_conn(int id) {\n\
+  \  struct conn *c = conn_list;\n\
+  \  while (c) { if (c->id == id) return c; c = c->next; }\n\
+  \  return (struct conn*)0;\n\
+   }\n\
+   int push_byte(struct conn *c, int b) {\n\
+  \  if (!c || !c->rx) return -1;\n\
+  \  if (c->rx->len >= 56) return -1;\n\
+  \  c->rx->data[c->rx->len] = (char)b;\n\
+  \  c->rx->len++;\n\
+  \  return 0;\n\
+   }\n\
+   int drive(void) {\n\
+  \  struct conn *a = new_conn(1);\n\
+  \  struct conn *b = new_conn(2);\n\
+  \  push_byte(a, 65);\n\
+  \  push_byte(b, 66);\n\
+  \  struct conn *f = find_conn(2);\n\
+  \  if (!f) return -1;\n\
+  \  return conn_count;\n\
+   }\n"
+
+let aconfig =
+  {
+    Pointsto.default_config with
+    Pointsto.allocators =
+      [ Allocdecl.ordinary ~free:"kfree" ~size_arg:0 "kmalloc" ];
+  }
+
+let build () =
+  Pipeline.build ~conf:Pipeline.Sva_safe ~aconfig ~name:"tyck"
+    [ allocator_src; kernelish_src ]
+
+let test_valid_annotations_pass () =
+  let b = build () in
+  match b.Pipeline.bl_annot with
+  | Some _ -> () (* build would have failed otherwise *)
+  | None -> Alcotest.fail "pipeline did not produce annotations"
+
+let get_parts b =
+  match (b.Pipeline.bl_pa, b.Pipeline.bl_mps, b.Pipeline.bl_annot) with
+  | Some pa, Some mps, Some an -> (pa, mps, an)
+  | _ -> Alcotest.fail "missing analysis outputs"
+
+let test_annotations_nonempty () =
+  let b = build () in
+  let _, _, an = get_parts b in
+  Alcotest.(check bool) "value qualifiers" true
+    (Hashtbl.length an.Tyck.an_value_mp > 10);
+  Alcotest.(check bool) "succ edges" true (Hashtbl.length an.Tyck.an_succ > 0)
+
+let test_still_runs () =
+  let b = build () in
+  let t = Pipeline.instantiate b in
+  match Sva_interp.Interp.call t "drive" [] with
+  | Some 2L -> ()
+  | Some v -> Alcotest.failf "drive returned %Ld" v
+  | None -> Alcotest.fail "void"
+
+(* The Section 5 experiment: 4 kinds x 5 instances, all caught.  Note the
+   checked module is the pre-instrumentation one; we rebuild without
+   typecheck so annotations correspond to the uninstrumented module. *)
+let experiment_parts () =
+  let m =
+    Minic.Lower.compile_strings ~name:"tyck" [ allocator_src; kernelish_src ]
+  in
+  Sva_ir.Passes.run Sva_ir.Passes.Llvm_like m;
+  let pa = Pointsto.run ~config:aconfig m in
+  let mps = Sva_safety.Metapool.infer m pa aconfig.Pointsto.allocators in
+  let an = Tyck.extract m pa mps in
+  (m, an)
+
+let test_injection_experiment () =
+  let m, an = experiment_parts () in
+  Alcotest.(check (list string)) "clean annotations pass" []
+    (List.map Tyck.string_of_error (Tyck.check m an));
+  let results = Inject.experiment m an ~instances:5 in
+  Alcotest.(check int) "20 bugs injected" 20 (List.length results);
+  List.iter
+    (fun (kind, desc, caught) ->
+      if not caught then
+        Alcotest.failf "missed %s: %s" (Inject.kind_name kind) desc)
+    results
+
+let test_each_kind_injectable () =
+  let m, an = experiment_parts () in
+  List.iter
+    (fun kind ->
+      match Inject.inject m an kind ~seed:0 with
+      | Some (buggy, _) ->
+          Alcotest.(check bool)
+            (Inject.kind_name kind ^ " detected")
+            false (Tyck.check_ok m buggy)
+      | None -> Alcotest.failf "no site for %s" (Inject.kind_name kind))
+    Inject.all_kinds
+
+let test_copy_is_deep () =
+  let m, an = experiment_parts () in
+  (match Inject.inject m an Inject.Wrong_edge ~seed:0 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "no injection site");
+  (* The original must still check clean after injections created copies. *)
+  Alcotest.(check bool) "original untouched" true (Tyck.check_ok m an)
+
+let () =
+  Alcotest.run "sva_tyck"
+    [
+      ( "checker",
+        [
+          Alcotest.test_case "valid annotations pass" `Quick
+            test_valid_annotations_pass;
+          Alcotest.test_case "annotations nonempty" `Quick
+            test_annotations_nonempty;
+          Alcotest.test_case "instrumented module runs" `Quick test_still_runs;
+        ] );
+      ( "injection",
+        [
+          Alcotest.test_case "20-bug experiment (Section 5)" `Quick
+            test_injection_experiment;
+          Alcotest.test_case "each kind detected" `Quick test_each_kind_injectable;
+          Alcotest.test_case "injection copies annotations" `Quick
+            test_copy_is_deep;
+        ] );
+    ]
