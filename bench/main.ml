@@ -13,6 +13,7 @@ module Pipeline = Sva_pipeline.Pipeline
 module Boot = Ukern.Boot
 
 let quick = ref false
+let strict = ref false
 let only : string list ref = ref []
 
 let () =
@@ -21,6 +22,7 @@ let () =
       if i > 0 then
         match arg with
         | "--quick" -> quick := true
+        | "--strict" -> strict := true
         | s when String.length s > 0 && s.[0] <> '-' -> only := s :: !only
         | _ -> ())
     Sys.argv
@@ -31,7 +33,12 @@ let section name f =
   if wanted name then begin
     Printf.printf "\n";
     (try print_string (f ())
-     with e -> Printf.printf "!! %s failed: %s\n" name (Printexc.to_string e));
+     with e ->
+       Printf.printf "!! %s failed: %s\n" name (Printexc.to_string e);
+       if !strict then begin
+         flush stdout;
+         exit 1
+       end);
     flush stdout
   end
 
@@ -114,6 +121,19 @@ let bechamel_crosscheck () =
   in
   med "open-close/native" (fun () -> Harness.Workloads.op_open_close native);
   med "open-close/sva-safe" (fun () -> Harness.Workloads.op_open_close safe);
+  (* Fast-path A/B: the same checked kernel with the object-lookup cache
+     off and on.  The cycle-model fastpath table covers both fast-path
+     layers; this isolates the cache's real elapsed-time effect (the
+     pre-decoded dispatch is always on). *)
+  let with_cache on f =
+    let saved = !Sva_rt.Objcache.enabled in
+    Sva_rt.Objcache.enabled := on;
+    Fun.protect ~finally:(fun () -> Sva_rt.Objcache.enabled := saved) f
+  in
+  med "open-close/sva-safe/cache-off" (fun () ->
+      with_cache false (fun () -> Harness.Workloads.op_open_close safe));
+  med "open-close/sva-safe/cache-on" (fun () ->
+      with_cache true (fun () -> Harness.Workloads.op_open_close safe));
   Buffer.contents buf
 
 let () =
@@ -132,6 +152,8 @@ let () =
   section "table6" (fun () -> Tables.table6 ~quick:!quick ());
   section "table9" (fun () -> Tables.table9 ());
   section "ablation" (fun () -> Tables.ablation ~quick:!quick ());
+  section "fastpath" (fun () ->
+      Tables.fastpath ~quick:!quick ~strict:!strict ());
   section "exploits" (fun () -> Tables.exploits_table ());
   section "verifier" (fun () -> Tables.verifier_experiment ());
   section "bechamel" (fun () -> bechamel_crosscheck ());

@@ -46,3 +46,12 @@ val ablation : ?quick:bool -> unit -> string
     (static bounds proofs, redundant-check elimination, monotonic-loop
     hoisting), TH load/store elision, and the Section 4.8 cloning +
     devirtualization transforms. *)
+
+val fastpath : ?quick:bool -> ?strict:bool -> unit -> string
+(** The fast-path experiment: the Table 7 syscall mix under SVA-Safe with
+    the per-metapool object-lookup cache off and on — splay comparisons
+    per op, model cycles per op and cache hit rate.  Verifies the cache is
+    semantically invisible (same check counts), cuts splay comparisons by
+    at least 2x and never costs model cycles; with [strict] a failed
+    criterion raises instead of being reported in the output (the
+    [@bench-smoke] regression gate). *)

@@ -12,10 +12,99 @@ let vm_err fmt = Printf.ksprintf (fun s -> raise (Vm_error s)) fmt
 let code_base = 0x00B00000
 let code_stride = 16
 
-type prepared_func = {
+(* ---------- pre-decoded program representation ----------
+
+   The hot loop never touches strings: intrinsic names are resolved to a
+   variant once at prepare time, branch targets and phi incoming lists to
+   block indices and dense arrays, switch case constants pre-truncated to
+   the scrutinee width, and funccheck allowed-sets memoized as hash sets
+   on first execution. *)
+
+(* Per-call-site memo for [pchk_funccheck] target sets.  Present only when
+   every allowed-list operand is a constant ([Value.Fn] — what the
+   safety-checking compiler emits); built on first execution because
+   function code addresses are assigned at module-load time. *)
+type fc_cache = { mutable fc_set : (int, string) Hashtbl.t option }
+
+type intr =
+  | I_pchk_reg_obj
+  | I_pchk_drop_obj
+  | I_pchk_drop_obj_opt
+  | I_pchk_bounds
+  | I_pchk_bounds_known
+  | I_pchk_lscheck
+  | I_pchk_funccheck of fc_cache option
+  | I_pchk_getbounds_start
+  | I_pchk_getbounds_len
+  | I_sva_pseudo_alloc
+  | I_pchk_pseudo_alloc
+  | I_save_integer
+  | I_load_integer
+  | I_save_fp
+  | I_load_fp
+  | I_icontext_save
+  | I_icontext_load
+  | I_icontext_commit
+  | I_ipush_function
+  | I_was_privileged
+  | I_register_syscall
+  | I_register_interrupt
+  | I_syscall
+  | I_mmu_new_space
+  | I_mmu_clone_space
+  | I_mmu_destroy_space
+  | I_mmu_activate
+  | I_mmu_map_page
+  | I_mmu_unmap_page
+  | I_mmu_page_count
+  | I_io_console_write
+  | I_io_disk_read
+  | I_io_disk_write
+  | I_io_nic_send
+  | I_io_nic_recv
+  | I_timer_read
+  | I_cli
+  | I_sti
+  | I_heap_base
+  | I_heap_size
+  | I_user_base
+  | I_user_size
+  | I_panic
+  | I_unknown of string
+
+(* Per-call-site memo for direct calls: resolving a callee name through
+   the function table costs a string hash per call otherwise.  Safe to
+   memoize because a name, once installed, is never rebound (link_module
+   only adds absent names). *)
+type 'pf callee_cache = { mutable cc : 'pf cc_state }
+
+and 'pf cc_state = Cc_unresolved | Cc_func of 'pf | Cc_builtin of string
+
+type pinsn =
+  | P_base of Instr.t  (* kinds that were already string-free *)
+  | P_intr of Instr.t * intr * Value.t array * int * int
+      (* instr, decoded intrinsic, args, base cost (native, mediated) *)
+  | P_call of Instr.t * Value.t * Value.t array * prepared_func callee_cache
+
+and pterm =
+  | P_ret of Value.t option
+  | P_jmp of int
+  | P_br of Value.t * int * int
+  | P_switch of Value.t * (int64 * int) array * int  (* cases pre-truncated *)
+  | P_unreachable
+
+and pblock = {
+  pb_label : string;
+  pb_phis : (int * Value.t option array) array;
+      (* (dest reg, incoming value indexed by predecessor block) *)
+  pb_body : pinsn array;
+  pb_term : pterm;
+}
+
+and prepared_func = {
   pf : Func.t;
-  pf_blocks : Func.block array;
-  pf_index : (string, int) Hashtbl.t;
+  pf_blocks : pblock array;
+  pf_max_phis : int;
 }
 
 type t = {
@@ -104,11 +193,164 @@ let write_global_inits t globals =
             syms)
     globals
 
+let width_of_value (v : Value.t) =
+  match Value.ty v with
+  | Ty.Int w -> w
+  | Ty.Ptr _ -> 64
+  | Ty.Float -> 64
+  | t -> vm_err "no integer width for %s" (Ty.to_string t)
+
+(* The cycle-model charge for an SVA-OS operation or run-time check.
+   Mediated mode pays the privilege-boundary premium (validation, full
+   state spills, integrity tags) over the native inline sequences. *)
+let intrinsic_base_cost ~mediated name nargs =
+  match name with
+  | "pchk_reg_obj" | "pchk_drop_obj" | "pchk_pseudo_alloc" -> 22
+  | "pchk_bounds" -> 18
+  | "pchk_bounds_known" -> 4
+  | "pchk_lscheck" -> 14
+  | "pchk_getbounds_start" | "pchk_getbounds_len" -> 14
+  | "pchk_funccheck" -> 6 + (nargs / 6)
+  | "llva_save_integer" | "llva_load_integer" -> if mediated then 54 else 22
+  | "llva_save_fp" | "llva_load_fp" -> if mediated then 22 else 10
+  | "llva_icontext_save" | "llva_icontext_load" -> if mediated then 48 else 16
+  | "llva_icontext_commit" -> if mediated then 40 else 14
+  | "llva_ipush_function" -> if mediated then 18 else 8
+  | "llva_was_privileged" -> 4
+  | "sva_register_syscall" | "sva_register_interrupt" -> 10
+  | "sva_syscall" -> if mediated then 16 else 8
+  | "sva_mmu_map_page" | "sva_mmu_unmap_page" -> if mediated then 16 else 8
+  | "sva_mmu_new_space" | "sva_mmu_destroy_space" | "sva_mmu_activate" ->
+      if mediated then 12 else 6
+  | "sva_mmu_clone_space" -> if mediated then 24 else 12
+  | "sva_mmu_page_count" -> 6
+  | "sva_io_console_write" | "sva_io_disk_read" | "sva_io_disk_write" -> 30
+  | "sva_io_nic_send" | "sva_io_nic_recv" -> 30
+  | "sva_timer_read" -> if mediated then 10 else 4
+  | "sva_cli" | "sva_sti" -> 2
+  | _ -> 2
+
+let decode_intr name (args : Value.t list) =
+  match name with
+  | "pchk_reg_obj" -> I_pchk_reg_obj
+  | "pchk_drop_obj" -> I_pchk_drop_obj
+  | "pchk_drop_obj_opt" -> I_pchk_drop_obj_opt
+  | "pchk_bounds" -> I_pchk_bounds
+  | "pchk_bounds_known" -> I_pchk_bounds_known
+  | "pchk_lscheck" -> I_pchk_lscheck
+  | "pchk_funccheck" ->
+      let const_allowed =
+        match args with
+        | [] -> false
+        | _ :: allowed ->
+            List.for_all (function Value.Fn _ -> true | _ -> false) allowed
+      in
+      I_pchk_funccheck (if const_allowed then Some { fc_set = None } else None)
+  | "pchk_getbounds_start" -> I_pchk_getbounds_start
+  | "pchk_getbounds_len" -> I_pchk_getbounds_len
+  | "sva_pseudo_alloc" -> I_sva_pseudo_alloc
+  | "pchk_pseudo_alloc" -> I_pchk_pseudo_alloc
+  | "llva_save_integer" -> I_save_integer
+  | "llva_load_integer" -> I_load_integer
+  | "llva_save_fp" -> I_save_fp
+  | "llva_load_fp" -> I_load_fp
+  | "llva_icontext_save" -> I_icontext_save
+  | "llva_icontext_load" -> I_icontext_load
+  | "llva_icontext_commit" -> I_icontext_commit
+  | "llva_ipush_function" -> I_ipush_function
+  | "llva_was_privileged" -> I_was_privileged
+  | "sva_register_syscall" -> I_register_syscall
+  | "sva_register_interrupt" -> I_register_interrupt
+  | "sva_syscall" -> I_syscall
+  | "sva_mmu_new_space" -> I_mmu_new_space
+  | "sva_mmu_clone_space" -> I_mmu_clone_space
+  | "sva_mmu_destroy_space" -> I_mmu_destroy_space
+  | "sva_mmu_activate" -> I_mmu_activate
+  | "sva_mmu_map_page" -> I_mmu_map_page
+  | "sva_mmu_unmap_page" -> I_mmu_unmap_page
+  | "sva_mmu_page_count" -> I_mmu_page_count
+  | "sva_io_console_write" -> I_io_console_write
+  | "sva_io_disk_read" -> I_io_disk_read
+  | "sva_io_disk_write" -> I_io_disk_write
+  | "sva_io_nic_send" -> I_io_nic_send
+  | "sva_io_nic_recv" -> I_io_nic_recv
+  | "sva_timer_read" -> I_timer_read
+  | "sva_cli" -> I_cli
+  | "sva_sti" -> I_sti
+  | "sva_heap_base" -> I_heap_base
+  | "sva_heap_size" -> I_heap_size
+  | "sva_user_base" -> I_user_base
+  | "sva_user_size" -> I_user_size
+  | "sva_panic" -> I_panic
+  | other -> I_unknown other
+
 let prepare_func (f : Func.t) =
   let blocks = Array.of_list f.Func.f_blocks in
-  let index = Hashtbl.create (Array.length blocks) in
+  let nblocks = Array.length blocks in
+  let index = Hashtbl.create nblocks in
   Array.iteri (fun i b -> Hashtbl.replace index b.Func.label i) blocks;
-  { pf = f; pf_blocks = blocks; pf_index = index }
+  let resolve lbl =
+    match Hashtbl.find_opt index lbl with
+    | Some i -> i
+    | None -> vm_err "branch to unknown label %%%s in @%s" lbl f.Func.f_name
+  in
+  let max_phis = ref 0 in
+  let prep_block (b : Func.block) =
+    (* Leading phis become dense per-predecessor-index value arrays. *)
+    let rec split acc = function
+      | ({ Instr.kind = Instr.Phi incoming; _ } as i) :: rest ->
+          let arr = Array.make nblocks None in
+          List.iter
+            (fun (lbl, v) ->
+              match Hashtbl.find_opt index lbl with
+              | Some pi -> if arr.(pi) = None then arr.(pi) <- Some v
+              | None -> () (* not a block: can never be the predecessor *))
+            incoming;
+          split ((i.Instr.id, arr) :: acc) rest
+      | rest -> (List.rev acc, rest)
+    in
+    let phis, body = split [] b.Func.insns in
+    let decode (i : Instr.t) =
+      match i.Instr.kind with
+      | Instr.Phi _ -> vm_err "phi after non-phi instruction"
+      | Instr.Intrinsic (name, args) ->
+          let nargs = List.length args in
+          P_intr
+            ( i,
+              decode_intr name args,
+              Array.of_list args,
+              intrinsic_base_cost ~mediated:false name nargs,
+              intrinsic_base_cost ~mediated:true name nargs )
+      | Instr.Call (callee, cargs) ->
+          P_call (i, callee, Array.of_list cargs, { cc = Cc_unresolved })
+      | _ -> P_base i
+    in
+    let term =
+      match b.Func.term with
+      | Instr.Ret v -> P_ret v
+      | Instr.Jmp l -> P_jmp (resolve l)
+      | Instr.Br (c, th, el) -> P_br (c, resolve th, resolve el)
+      | Instr.Switch (v, cases, d) ->
+          let w = width_of_value v in
+          P_switch
+            ( v,
+              Array.of_list
+                (List.map
+                   (fun (n, l) -> (Constfold.truncate_to_width w n, resolve l))
+                   cases),
+              resolve d )
+      | Instr.Unreachable -> P_unreachable
+    in
+    max_phis := max !max_phis (List.length phis);
+    {
+      pb_label = b.Func.label;
+      pb_phis = Array.of_list phis;
+      pb_body = Array.of_list (List.map decode body);
+      pb_term = term;
+    }
+  in
+  let pf_blocks = Array.map prep_block blocks in
+  { pf = f; pf_blocks; pf_max_phis = !max_phis }
 
 let load ?sys ?(metapools = []) (m : Irmod.t) =
   let sys = match sys with Some s -> s | None -> Svaos.create () in
@@ -285,13 +527,6 @@ let eval t (regs : int64 array) (v : Value.t) : int64 =
 
 let to_addr v = Int64.to_int v
 
-let width_of_value (v : Value.t) =
-  match Value.ty v with
-  | Ty.Int w -> w
-  | Ty.Ptr _ -> 64
-  | Ty.Float -> 64
-  | t -> vm_err "no integer width for %s" (Ty.to_string t)
-
 (* ---------- gep ---------- *)
 
 let gep_offset t (base_pointee : Ty.t) regs idxs =
@@ -401,116 +636,91 @@ let cls_of_code = function
   | 4 -> Metapool_rt.Bios
   | c -> vm_err "bad memory class code %d" c
 
-(* The cycle-model charge for an SVA-OS operation or run-time check.
-   Mediated mode pays the privilege-boundary premium (validation, full
-   state spills, integrity tags) over the native inline sequences. *)
-let intrinsic_base_cost ~mediated name nargs =
-  match name with
-  | "pchk_reg_obj" | "pchk_drop_obj" | "pchk_pseudo_alloc" -> 22
-  | "pchk_bounds" -> 18
-  | "pchk_bounds_known" -> 4
-  | "pchk_lscheck" -> 14
-  | "pchk_getbounds_start" | "pchk_getbounds_len" -> 14
-  | "pchk_funccheck" -> 6 + (nargs / 6)
-  | "llva_save_integer" | "llva_load_integer" -> if mediated then 54 else 22
-  | "llva_save_fp" | "llva_load_fp" -> if mediated then 22 else 10
-  | "llva_icontext_save" | "llva_icontext_load" -> if mediated then 48 else 16
-  | "llva_icontext_commit" -> if mediated then 40 else 14
-  | "llva_ipush_function" -> if mediated then 18 else 8
-  | "llva_was_privileged" -> 4
-  | "sva_register_syscall" | "sva_register_interrupt" -> 10
-  | "sva_syscall" -> if mediated then 16 else 8
-  | "sva_mmu_map_page" | "sva_mmu_unmap_page" -> if mediated then 16 else 8
-  | "sva_mmu_new_space" | "sva_mmu_destroy_space" | "sva_mmu_activate" ->
-      if mediated then 12 else 6
-  | "sva_mmu_clone_space" -> if mediated then 24 else 12
-  | "sva_mmu_page_count" -> 6
-  | "sva_io_console_write" | "sva_io_disk_read" | "sva_io_disk_write" -> 30
-  | "sva_io_nic_send" | "sva_io_nic_recv" -> 30
-  | "sva_timer_read" -> if mediated then 10 else 4
-  | "sva_cli" | "sva_sti" -> 2
-  | _ -> 2
+(* Cycle-model constants for the check runtime (DESIGN.md Section 6):
+   each splay-tree comparison actually performed costs [splay_cmp_cost];
+   a lookup answered by the object cache costs [cache_hit_cost] in total,
+   much cheaper than even a single tree comparison. *)
+let splay_cmp_cost = 3
+let cache_hit_cost = 1
 
-let rec run_intrinsic t regs name (arg_vals : Value.t list) : int64 option =
-  let mediated = t.im_sys.Svaos.mode = Svaos.Sva_mediated in
-  let splay0 = Sva_rt.Splay.comparisons () in
-  let r = run_intrinsic_inner t regs name arg_vals in
-  let splay_work = Sva_rt.Splay.comparisons () - splay0 in
-  t.ncycles <-
-    t.ncycles
-    + intrinsic_base_cost ~mediated name (List.length arg_vals)
-    + (3 * splay_work);
-  (* MMU space duplication costs a page-table walk. *)
-  (match name with
-  | "sva_mmu_clone_space" -> (
-      match r with
-      | Some sid ->
-          t.ncycles <-
-            t.ncycles + (2 * Svaos.mmu_page_count t.im_sys ~sid:(Int64.to_int sid))
-      | None -> ())
-  | _ -> ());
-  r
-
-and run_intrinsic_inner t regs name (arg_vals : Value.t list) : int64 option =
-  let args = Array.of_list (List.map (eval t regs) arg_vals) in
+let rec exec_intr t (regs : int64 array) intr (vargs : Value.t array) :
+    int64 option =
+  let args = Array.map (eval t regs) vargs in
   let a n = args.(n) in
   let addr n = to_addr (a n) in
   let sys = t.im_sys in
-  match name with
+  match intr with
   (* --- run-time checks --- *)
-  | "pchk_reg_obj" ->
+  | I_pchk_reg_obj ->
       let mp = get_mp t (to_addr (a 0)) in
       Metapool_rt.register mp ~cls:(cls_of_code (to_addr (a 3))) ~start:(addr 1)
         ~len:(to_addr (a 2));
       None
-  | "pchk_drop_obj" ->
+  | I_pchk_drop_obj ->
       Metapool_rt.drop (get_mp t (to_addr (a 0))) ~start:(addr 1);
       None
-  | "pchk_drop_obj_opt" ->
+  | I_pchk_drop_obj_opt ->
       ignore (Metapool_rt.drop_if_present (get_mp t (to_addr (a 0))) ~start:(addr 1));
       None
-  | "pchk_bounds" ->
+  | I_pchk_bounds ->
       Metapool_rt.boundscheck
         (get_mp t (to_addr (a 0)))
         ~src:(addr 1) ~dst:(addr 2)
         ~access_len:(to_addr (a 3));
       None
-  | "pchk_bounds_known" ->
+  | I_pchk_bounds_known ->
       Metapool_rt.boundscheck_known ~start:(addr 0) ~len:(to_addr (a 1))
         ~dst:(addr 2) ~access_len:(to_addr (a 3)) ~pool:"<static>";
       None
-  | "pchk_lscheck" ->
+  | I_pchk_lscheck ->
       Metapool_rt.lscheck
         (get_mp t (to_addr (a 0)))
         ~addr:(addr 1) ~access_len:(to_addr (a 2));
       None
-  | "pchk_funccheck" ->
+  | I_pchk_funccheck fc ->
       let target = addr 0 in
-      let allowed =
-        List.filteri (fun i _ -> i > 0) arg_vals
-        |> List.map (fun v ->
-               match v with
-               | Value.Fn (fn, _) -> (to_addr (eval t regs v), fn)
-               | _ -> (to_addr (eval t regs v), "<addr>"))
+      let build () =
+        let s = Hashtbl.create (max 4 (Array.length vargs)) in
+        Array.iteri
+          (fun k v ->
+            if k > 0 then
+              let nm =
+                match v with Value.Fn (fn, _) -> fn | _ -> "<addr>"
+              in
+              let key = to_addr args.(k) in
+              if not (Hashtbl.mem s key) then Hashtbl.add s key nm)
+          vargs;
+        s
       in
-      Metapool_rt.funccheck ~allowed ~target;
+      let allowed =
+        match fc with
+        | Some c -> (
+            match c.fc_set with
+            | Some s -> s
+            | None ->
+                let s = build () in
+                c.fc_set <- Some s;
+                s)
+        | None -> build ()
+      in
+      Metapool_rt.funccheck_hashed ~allowed ~target;
       None
-  | "pchk_getbounds_start" ->
+  | I_pchk_getbounds_start ->
       (* Returns the base of the object containing the pointer, 0 if
          unknown. *)
       Some
         (match Metapool_rt.getbounds (get_mp t (to_addr (a 0))) (addr 1) with
         | Some (s, _) -> Int64.of_int s
         | None -> 0L)
-  | "pchk_getbounds_len" ->
+  | I_pchk_getbounds_len ->
       Some
         (match Metapool_rt.getbounds (get_mp t (to_addr (a 0))) (addr 1) with
         | Some (_, l) -> Int64.of_int l
         | None -> 0L)
-  | "sva_pseudo_alloc" ->
+  | I_sva_pseudo_alloc ->
       (* Unchecked build: just manufacture the pointer. *)
       Some (a 0)
-  | "pchk_pseudo_alloc" ->
+  | I_pchk_pseudo_alloc ->
       let mp = get_mp t (to_addr (a 0)) in
       let start = addr 1 and len = to_addr (a 2) in
       (match Metapool_rt.getbounds mp start with
@@ -518,34 +728,34 @@ and run_intrinsic_inner t regs name (arg_vals : Value.t list) : int64 option =
       | None -> Metapool_rt.register mp ~cls:Metapool_rt.Bios ~start ~len);
       Some (a 1)
   (* --- Table 1: state save/restore --- *)
-  | "llva_save_integer" ->
+  | I_save_integer ->
       Svaos.save_integer sys ~buffer:(addr 0);
       None
-  | "llva_load_integer" ->
+  | I_load_integer ->
       Svaos.load_integer sys ~buffer:(addr 0);
       None
-  | "llva_save_fp" ->
+  | I_save_fp ->
       Some (if Svaos.save_fp sys ~buffer:(addr 0) ~always:(a 1 <> 0L) then 1L else 0L)
-  | "llva_load_fp" ->
+  | I_load_fp ->
       Svaos.load_fp sys ~buffer:(addr 0);
       None
   (* --- Table 2: interrupt contexts --- *)
-  | "llva_icontext_save" ->
+  | I_icontext_save ->
       Svaos.icontext_save sys ~icp:(addr 0) ~isp:(addr 1);
       None
-  | "llva_icontext_load" ->
+  | I_icontext_load ->
       Svaos.icontext_load sys ~icp:(addr 0) ~isp:(addr 1);
       None
-  | "llva_icontext_commit" ->
+  | I_icontext_commit ->
       Svaos.icontext_commit sys ~icp:(addr 0);
       None
-  | "llva_ipush_function" ->
+  | I_ipush_function ->
       Svaos.ipush_function sys ~icp:(addr 0) ~fn:(addr 1) ~arg:(a 2);
       None
-  | "llva_was_privileged" ->
+  | I_was_privileged ->
       Some (if Svaos.was_privileged sys ~icp:(addr 0) then 1L else 0L)
   (* --- registration and dispatch --- *)
-  | "sva_register_syscall" ->
+  | I_register_syscall ->
       let handler =
         match func_name t (addr 1) with
         | Some fn -> fn
@@ -553,7 +763,7 @@ and run_intrinsic_inner t regs name (arg_vals : Value.t list) : int64 option =
       in
       Svaos.register_syscall sys ~num:(to_addr (a 0)) ~handler;
       None
-  | "sva_register_interrupt" ->
+  | I_register_interrupt ->
       let handler =
         match func_name t (addr 1) with
         | Some fn -> fn
@@ -561,7 +771,7 @@ and run_intrinsic_inner t regs name (arg_vals : Value.t list) : int64 option =
       in
       Svaos.register_interrupt sys ~vector:(to_addr (a 0)) ~handler;
       None
-  | "sva_syscall" -> (
+  | I_syscall -> (
       (* Internal system call: dispatch through the registered handler
          using the same mechanism as a userspace trap, minus the privilege
          transition. *)
@@ -572,56 +782,56 @@ and run_intrinsic_inner t regs name (arg_vals : Value.t list) : int64 option =
           Some (Option.value res ~default:0L)
       | None -> Some (-38L) (* -ENOSYS *))
   (* --- MMU --- *)
-  | "sva_mmu_new_space" -> Some (Int64.of_int (Svaos.mmu_new_space sys))
-  | "sva_mmu_clone_space" ->
+  | I_mmu_new_space -> Some (Int64.of_int (Svaos.mmu_new_space sys))
+  | I_mmu_clone_space ->
       Some (Int64.of_int (Svaos.mmu_clone_space sys ~sid:(to_addr (a 0))))
-  | "sva_mmu_destroy_space" ->
+  | I_mmu_destroy_space ->
       Svaos.mmu_destroy_space sys ~sid:(to_addr (a 0));
       None
-  | "sva_mmu_activate" ->
+  | I_mmu_activate ->
       Svaos.mmu_activate sys ~sid:(to_addr (a 0));
       None
-  | "sva_mmu_map_page" ->
+  | I_mmu_map_page ->
       Svaos.mmu_map_page sys ~sid:(to_addr (a 0)) ~vpn:(to_addr (a 1))
         ~ppn:(to_addr (a 2))
         ~writable:(a 3 <> 0L);
       None
-  | "sva_mmu_unmap_page" ->
+  | I_mmu_unmap_page ->
       Svaos.mmu_unmap_page sys ~sid:(to_addr (a 0)) ~vpn:(to_addr (a 1));
       None
-  | "sva_mmu_page_count" ->
+  | I_mmu_page_count ->
       Some (Int64.of_int (Svaos.mmu_page_count sys ~sid:(to_addr (a 0))))
   (* --- I/O --- *)
-  | "sva_io_console_write" ->
+  | I_io_console_write ->
       Svaos.io_console_write sys ~addr:(addr 0) ~len:(to_addr (a 1));
       None
-  | "sva_io_disk_read" ->
+  | I_io_disk_read ->
       Svaos.io_disk_read sys ~block:(to_addr (a 0)) ~addr:(addr 1);
       None
-  | "sva_io_disk_write" ->
+  | I_io_disk_write ->
       Svaos.io_disk_write sys ~block:(to_addr (a 0)) ~addr:(addr 1);
       None
-  | "sva_io_nic_send" ->
+  | I_io_nic_send ->
       Svaos.io_nic_send sys ~proto:(to_addr (a 0)) ~addr:(addr 1)
         ~len:(to_addr (a 2));
       None
-  | "sva_io_nic_recv" ->
+  | I_io_nic_recv ->
       Some (Int64.of_int (Svaos.io_nic_recv sys ~addr:(addr 0) ~maxlen:(to_addr (a 1))))
-  | "sva_timer_read" -> Some (Svaos.timer_read sys)
-  | "sva_cli" ->
+  | I_timer_read -> Some (Svaos.timer_read sys)
+  | I_cli ->
       Svaos.cli sys;
       None
-  | "sva_sti" ->
+  | I_sti ->
       Svaos.sti sys;
       None
   (* --- constants --- *)
-  | "sva_heap_base" -> Some (Int64.of_int (Svaos.heap_base sys))
-  | "sva_heap_size" -> Some (Int64.of_int (Svaos.heap_size sys / 2))
+  | I_heap_base -> Some (Int64.of_int (Svaos.heap_base sys))
+  | I_heap_size -> Some (Int64.of_int (Svaos.heap_size sys / 2))
     (* lower half only: the upper half belongs to the malloc instruction *)
-  | "sva_user_base" -> Some (Int64.of_int (Svaos.user_base sys))
-  | "sva_user_size" -> Some (Int64.of_int (Svaos.user_size sys))
-  | "sva_panic" -> vm_err "kernel panic: code %Ld" (a 0)
-  | _ -> vm_err "unknown intrinsic @%s" name
+  | I_user_base -> Some (Int64.of_int (Svaos.user_base sys))
+  | I_user_size -> Some (Int64.of_int (Svaos.user_size sys))
+  | I_panic -> vm_err "kernel panic: code %Ld" (a 0)
+  | I_unknown name -> vm_err "unknown intrinsic @%s" name
 
 (* ---------- the main execution loop ---------- *)
 
@@ -635,41 +845,84 @@ and exec_func t (pf : prepared_func) (args : int64 list) : int64 option =
   let result = ref None in
   let running = ref true in
   let cur = ref 0 in
-  let prev_label = ref "" in
-  let goto label =
-    match Hashtbl.find_opt pf.pf_index label with
-    | Some i ->
-        cur := i;
-        true
-    | None -> vm_err "branch to unknown label %%%s in @%s" label f.Func.f_name
-  in
+  let prev = ref (-1) in
+  let phi_scratch = Array.make (max 1 pf.pf_max_phis) 0L in
   while !running do
     let blk = pf.pf_blocks.(!cur) in
     (* Phase 1: evaluate all phis against the predecessor simultaneously. *)
-    let rec phi_values acc = function
-      | ({ Instr.kind = Instr.Phi incoming; _ } as i) :: rest ->
-          let v =
-            match List.assoc_opt !prev_label incoming with
-            | Some v -> eval t regs v
-            | None ->
-                vm_err "phi in %%%s has no incoming for %%%s" blk.Func.label
-                  !prev_label
-          in
-          phi_values ((i.Instr.id, v) :: acc) rest
-      | rest -> (acc, rest)
-    in
-    let phis, body = phi_values [] blk.Func.insns in
-    List.iter (fun (id, v) -> regs.(id) <- v) phis;
-    t.nsteps <- t.nsteps + List.length phis;
-    t.ncycles <- t.ncycles + List.length phis;
+    let nphis = Array.length blk.pb_phis in
+    if nphis > 0 then begin
+      for k = 0 to nphis - 1 do
+        let _, incoming = blk.pb_phis.(k) in
+        match (if !prev >= 0 then incoming.(!prev) else None) with
+        | Some v -> phi_scratch.(k) <- eval t regs v
+        | None ->
+            vm_err "phi in %%%s has no incoming for %%%s" blk.pb_label
+              (if !prev >= 0 then pf.pf_blocks.(!prev).pb_label else "")
+      done;
+      for k = 0 to nphis - 1 do
+        regs.(fst blk.pb_phis.(k)) <- phi_scratch.(k)
+      done
+    end;
+    t.nsteps <- t.nsteps + nphis;
+    t.ncycles <- t.ncycles + nphis;
     (* Phase 2: straight-line instructions. *)
-    List.iter
-      (fun (i : Instr.t) ->
-        t.nsteps <- t.nsteps + 1;
-        t.ncycles <- t.ncycles + 1;
-        (match t.limit with
-        | Some l when t.nsteps > l -> vm_err "step limit exceeded"
-        | _ -> ());
+    let body = blk.pb_body in
+    for bi = 0 to Array.length body - 1 do
+      t.nsteps <- t.nsteps + 1;
+      t.ncycles <- t.ncycles + 1;
+      (match t.limit with
+      | Some l when t.nsteps > l -> vm_err "step limit exceeded"
+      | _ -> ());
+      match body.(bi) with
+      | P_intr (i, intr, vargs, cost_native, cost_mediated) -> (
+          let mediated = t.im_sys.Svaos.mode = Svaos.Sva_mediated in
+          let splay0 = Sva_rt.Splay.comparisons () in
+          let hits0 = Sva_rt.Stats.cache_hits () in
+          let r = exec_intr t regs intr vargs in
+          t.ncycles <-
+            t.ncycles
+            + (if mediated then cost_mediated else cost_native)
+            + (splay_cmp_cost * (Sva_rt.Splay.comparisons () - splay0))
+            + (cache_hit_cost * (Sva_rt.Stats.cache_hits () - hits0));
+          (* MMU space duplication costs a page-table walk. *)
+          (match (intr, r) with
+          | I_mmu_clone_space, Some sid ->
+              t.ncycles <-
+                t.ncycles
+                + (2 * Svaos.mmu_page_count t.im_sys ~sid:(Int64.to_int sid))
+          | _ -> ());
+          match r with
+          | Some v -> if i.Instr.ty <> Ty.Void then regs.(i.Instr.id) <- v
+          | None -> ())
+      | P_call (i, callee, cargs, cache) -> (
+          let argv = Array.to_list (Array.map (eval t regs) cargs) in
+          let res =
+            match cache.cc with
+            | Cc_func cpf -> exec_func t cpf argv
+            | Cc_builtin name -> builtin t name (Array.of_list argv)
+            | Cc_unresolved -> (
+                match callee with
+                | Value.Fn (name, _) -> (
+                    match Hashtbl.find_opt t.funcs name with
+                    | Some cpf ->
+                        cache.cc <- Cc_func cpf;
+                        exec_func t cpf argv
+                    | None ->
+                        if is_builtin name then begin
+                          cache.cc <- Cc_builtin name;
+                          builtin t name (Array.of_list argv)
+                        end
+                        else vm_err "call to undefined function @%s" name)
+                | _ -> (
+                    let target = to_addr (eval t regs callee) in
+                    match func_name t target with
+                    | Some name -> dispatch_call t name argv
+                    | None ->
+                        vm_err "indirect call to non-code address 0x%x" target))
+          in
+          match res with Some v -> regs.(i.Instr.id) <- v | None -> ())
+      | P_base i -> (
         let set v = regs.(i.Instr.id) <- v in
         match i.Instr.kind with
         | Instr.Binop (op, x, y) -> (
@@ -730,19 +983,6 @@ and exec_func t (pf : prepared_func) (args : int64 list) : int64 option =
             | Instr.Sitofp -> set (Int64.bits_of_float (Int64.to_float v)))
         | Instr.Select (c, x, y) ->
             set (if eval t regs c <> 0L then eval t regs x else eval t regs y)
-        | Instr.Call (callee, cargs) -> (
-            let argv = List.map (eval t regs) cargs in
-            let res =
-              match callee with
-              | Value.Fn (name, _) -> dispatch_call t name argv
-              | _ -> (
-                  let target = to_addr (eval t regs callee) in
-                  match func_name t target with
-                  | Some name -> dispatch_call t name argv
-                  | None -> vm_err "indirect call to non-code address 0x%x" target)
-            in
-            match res with Some v -> set v | None -> ())
-        | Instr.Phi _ -> vm_err "phi after non-phi instruction"
         | Instr.Malloc (ty, count) ->
             let n = Int64.to_int (eval t regs count) in
             set (Int64.of_int (heap_alloc t (sizeof t ty * max 1 n)))
@@ -761,38 +1001,33 @@ and exec_func t (pf : prepared_func) (args : int64 list) : int64 option =
             mem_write_int t ~addr ~width:w (Int64.add old (eval t regs d));
             set old
         | Instr.Membar -> ()
-        | Instr.Intrinsic (name, iargs) -> (
-            match run_intrinsic t regs name iargs with
-            | Some v -> if i.Instr.ty <> Ty.Void then set v
-            | None -> ()))
-      body;
+        (* Pre-decoded at prepare time into P_intr / P_call / pb_phis. *)
+        | Instr.Intrinsic _ | Instr.Call _ | Instr.Phi _ -> assert false)
+    done;
     (* Terminator. *)
     t.nsteps <- t.nsteps + 1;
     t.ncycles <- t.ncycles + 1;
     (match t.limit with
     | Some l when t.nsteps > l -> vm_err "step limit exceeded"
     | _ -> ());
-    prev_label := blk.Func.label;
-    (match blk.Func.term with
-    | Instr.Ret v ->
+    prev := !cur;
+    (match blk.pb_term with
+    | P_ret v ->
         result := Option.map (eval t regs) v;
         running := false
-    | Instr.Jmp l -> ignore (goto l)
-    | Instr.Br (c, th, el) -> ignore (goto (if eval t regs c <> 0L then th else el))
-    | Instr.Switch (v, cases, default) ->
+    | P_jmp ix -> cur := ix
+    | P_br (c, th, el) -> cur := (if eval t regs c <> 0L then th else el)
+    | P_switch (v, cases, default) ->
         let x = eval t regs v in
-        let w = width_of_value v in
-        let target =
-          match
-            List.find_opt
-              (fun (n, _) -> Int64.equal (Constfold.truncate_to_width w n) x)
-              cases
-          with
-          | Some (_, l) -> l
-          | None -> default
+        let n = Array.length cases in
+        let rec go k =
+          if k >= n then default
+          else
+            let c, ix = cases.(k) in
+            if Int64.equal c x then ix else go (k + 1)
         in
-        ignore (goto target)
-    | Instr.Unreachable -> vm_err "reached 'unreachable' in @%s" f.Func.f_name)
+        cur := go 0
+    | P_unreachable -> vm_err "reached 'unreachable' in @%s" f.Func.f_name)
   done;
   t.sp <- sp_save;
   !result

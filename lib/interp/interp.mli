@@ -79,8 +79,9 @@ val reset_steps : t -> unit
 val cycles : t -> int
 (** The deterministic cycle model: one cycle per virtual instruction plus
     charged costs for SVA-OS operations (higher in mediated mode — the
-    privilege-boundary work of Section 3.3), run-time checks (base cost
-    plus two cycles per splay-tree comparison actually performed), bulk
+    privilege-boundary work of Section 3.3), run-time checks (base cost,
+    plus 3 cycles per splay-tree comparison actually performed, plus
+    1 cycle per object-lookup cache hit — see DESIGN.md Section 6), bulk
     builtins and the trap path.  The performance tables are computed from
     this metric (deterministic and noise-free); wall-clock timing is the
     cross-check. *)

@@ -8,16 +8,29 @@ type t = {
   mutable mp_complete : bool;
   mutable mp_elem_size : int;
   mp_objects : obj Splay.t;
+  mp_cache : obj Objcache.t;
+  mp_cached : bool;
 }
 
-let create ?(type_homog = false) ?(complete = true) ?(elem_size = 0) name =
+let create ?(type_homog = false) ?(complete = true) ?(elem_size = 0)
+    ?(cached = true) name =
   {
     mp_name = name;
     mp_type_homog = type_homog;
     mp_complete = complete;
     mp_elem_size = elem_size;
     mp_objects = Splay.create ();
+    mp_cache = Objcache.create ();
+    mp_cached = cached;
   }
+
+(* Every containment query goes through here: cache first, splay on miss.
+   Cached entries are always live — every removal path invalidates — and
+   insertion cannot make one stale (ranges are disjoint), so registration
+   needs no invalidation. *)
+let find mp addr =
+  if mp.mp_cached then Objcache.find mp.mp_cache mp.mp_objects addr
+  else Splay.find_containing mp.mp_objects addr
 
 let register mp ~cls ~start ~len =
   Stats.bump_reg ();
@@ -31,13 +44,13 @@ let register mp ~cls ~start ~len =
 let drop mp ~start =
   Stats.bump_drop ();
   match Splay.remove mp.mp_objects ~start with
-  | Some _ -> ()
+  | Some _ -> Objcache.invalidate_start mp.mp_cache start
   | None ->
       Stats.bump_violation ();
       (* Distinguish a pointer into the middle of a live object (illegal
          free) from a pointer to nothing (double free). *)
       let kind =
-        match Splay.find_containing mp.mp_objects start with
+        match find mp start with
         | Some _ -> Violation.Illegal_free
         | None -> Violation.Double_free
       in
@@ -45,11 +58,15 @@ let drop mp ~start =
         "pchk.drop.obj of a non-live object"
 
 let drop_if_present mp ~start =
-  match Splay.remove mp.mp_objects ~start with Some _ -> true | None -> false
+  match Splay.remove mp.mp_objects ~start with
+  | Some _ ->
+      Objcache.invalidate_start mp.mp_cache start;
+      true
+  | None -> false
 
 let getbounds mp addr =
   Stats.bump_getbounds ();
-  match Splay.find_containing mp.mp_objects addr with
+  match find mp addr with
   | Some n -> Some (n.Splay.n_start, n.Splay.n_len)
   | None -> None
 
@@ -68,7 +85,7 @@ let boundscheck_known ~start ~len ~dst ~access_len ~pool =
 
 let boundscheck mp ~src ~dst ~access_len =
   Stats.bump_bounds ();
-  match Splay.find_containing mp.mp_objects src with
+  match find mp src with
   | Some n ->
       if not (in_range ~start:n.Splay.n_start ~len:n.Splay.n_len dst access_len)
       then begin
@@ -79,7 +96,7 @@ let boundscheck mp ~src ~dst ~access_len =
              access_len n.Splay.n_start n.Splay.n_len)
       end
   | None -> (
-      match Splay.find_containing mp.mp_objects dst with
+      match find mp dst with
       | Some _ when not mp.mp_complete ->
           (* Source unregistered in an incomplete pool: nothing can be
              said (Section 4.5). *)
@@ -105,35 +122,50 @@ let lscheck mp ~addr ~access_len =
     Stats.bump_ls ();
     if addr = 0 then begin
       Stats.bump_violation ();
+      (* Null is reported once and the check ends here — no second
+         Load_store lookup/violation for the same access. *)
       Violation.violation Violation.Uninit_pointer ~metapool:mp.mp_name
         ~addr "load/store through null pointer"
-    end;
-    match Splay.find_containing mp.mp_objects addr with
-    | Some n ->
-        if not (in_range ~start:n.Splay.n_start ~len:n.Splay.n_len addr access_len)
-        then begin
+    end
+    else
+      match find mp addr with
+      | Some n ->
+          if
+            not
+              (in_range ~start:n.Splay.n_start ~len:n.Splay.n_len addr
+                 access_len)
+          then begin
+            Stats.bump_violation ();
+            Violation.violation Violation.Load_store ~metapool:mp.mp_name ~addr
+              (Printf.sprintf
+                 "access [0x%x,+%d) straddles object [0x%x,+%d)" addr
+                 access_len n.Splay.n_start n.Splay.n_len)
+          end
+      | None ->
           Stats.bump_violation ();
           Violation.violation Violation.Load_store ~metapool:mp.mp_name ~addr
-            (Printf.sprintf
-               "access [0x%x,+%d) straddles object [0x%x,+%d)" addr access_len
-               n.Splay.n_start n.Splay.n_len)
-        end
-    | None ->
-        Stats.bump_violation ();
-        Violation.violation Violation.Load_store ~metapool:mp.mp_name ~addr
-          "load/store outside every registered object"
+            "load/store outside every registered object"
   end
+
+let funccheck_fail ~target names =
+  Stats.bump_violation ();
+  Violation.violation Violation.Indirect_call ~metapool:"" ~addr:target
+    (Printf.sprintf "indirect call to 0x%x not in the call graph set {%s}"
+       target (String.concat ", " names))
 
 let funccheck ~allowed ~target =
   Stats.bump_funccheck ();
-  if not (List.exists (fun (addr, _) -> addr = target) allowed) then begin
-    Stats.bump_violation ();
-    Violation.violation Violation.Indirect_call ~metapool:"" ~addr:target
-      (Printf.sprintf "indirect call to 0x%x not in the call graph set {%s}"
-         target
-         (String.concat ", " (List.map snd allowed)))
-  end
+  if not (List.exists (fun (addr, _) -> addr = target) allowed) then
+    funccheck_fail ~target (List.map snd allowed)
+
+let funccheck_hashed ~allowed ~target =
+  Stats.bump_funccheck ();
+  if not (Hashtbl.mem allowed target) then
+    funccheck_fail ~target
+      (List.sort compare (Hashtbl.fold (fun _ nm acc -> nm :: acc) allowed []))
 
 let live_objects mp = Splay.size mp.mp_objects
 
-let reset mp = Splay.clear mp.mp_objects
+let reset mp =
+  Splay.clear mp.mp_objects;
+  Objcache.clear mp.mp_cache

@@ -37,10 +37,19 @@ type t = {
   mutable mp_elem_size : int;
       (** inferred element size for TH pools (alignment contract, §4.4) *)
   mp_objects : obj Splay.t;
+  mp_cache : obj Objcache.t;
+      (** direct-mapped lookup cache consulted before the splay tree *)
+  mp_cached : bool;  (** whether this pool uses its cache at all *)
 }
 
 val create :
-  ?type_homog:bool -> ?complete:bool -> ?elem_size:int -> string -> t
+  ?type_homog:bool -> ?complete:bool -> ?elem_size:int -> ?cached:bool ->
+  string -> t
+(** [cached] (default true) wires the per-pool object-lookup cache in
+    front of the splay tree.  The cache is semantically invisible — an
+    uncached pool gives byte-identical verdicts and bounds — and exists
+    purely to short-circuit the splay lookup on repeated hits (the cheaper
+    lookups Section 7.1.3 proposes). *)
 
 val register : t -> cls:memclass -> start:int -> len:int -> unit
 (** [pchk.reg.obj]: record a live object.  Registering a range that
@@ -78,6 +87,11 @@ val lscheck : t -> addr:int -> access_len:int -> unit
 val funccheck : allowed:(int * string) list -> target:int -> unit
 (** Indirect call check against the call-graph-derived target set
     [(address, name)].  @raise Violation.Safety_violation on miss. *)
+
+val funccheck_hashed : allowed:(int, string) Hashtbl.t -> target:int -> unit
+(** Same check against a pre-built address set — the interpreter's
+    pre-decoded fast path builds the table once per call site instead of
+    walking an assoc list per call. *)
 
 val live_objects : t -> int
 (** Number of currently registered objects. *)

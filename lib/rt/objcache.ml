@@ -1,0 +1,40 @@
+(* Slots hold the last range that contained an address hashing to them.
+   A large object touched at several offsets occupies several slots, which
+   is what makes streaming accesses (memcpy over a buffer) hit. *)
+
+type 'a t = { slots : 'a Splay.node option array }
+
+let slot_count = 64
+let bucket_shift = 4 (* 16-byte buckets: adjacent word accesses share a slot *)
+
+let create () = { slots = Array.make slot_count None }
+
+let enabled = ref true
+
+let slot_of addr = (addr lsr bucket_shift) land (slot_count - 1)
+
+let find c tree addr =
+  if not !enabled then Splay.find_containing tree addr
+  else
+    let i = slot_of addr in
+    match c.slots.(i) with
+    | Some n when addr >= n.Splay.n_start && addr < n.Splay.n_start + n.Splay.n_len
+      ->
+        Stats.bump_cache_hit ();
+        Some n
+    | _ -> (
+        Stats.bump_cache_miss ();
+        match Splay.find_containing tree addr with
+        | Some n as r ->
+            c.slots.(i) <- Some n;
+            r
+        | None -> None)
+
+let invalidate_start c start =
+  for i = 0 to slot_count - 1 do
+    match c.slots.(i) with
+    | Some n when n.Splay.n_start = start -> c.slots.(i) <- None
+    | _ -> ()
+  done
+
+let clear c = Array.fill c.slots 0 slot_count None

@@ -1,0 +1,43 @@
+(** Direct-mapped object-lookup cache in front of a splay tree.
+
+    The paper's own evaluation (Section 7.1.3) observes that SVA-Safe
+    overhead concentrates in the run-time checks, every one of which
+    funnels through a splay-tree lookup, and names cheaper lookups as the
+    first future performance improvement.  This cache is that improvement:
+    a small direct-mapped table of recently hit object ranges, keyed by
+    address bucket and consulted before {!Splay.find_containing}.
+
+    Only {e positive} results are cached.  Because registered ranges are
+    disjoint, inserting a new object can never make a cached range stale,
+    so registration needs no invalidation; removal does (see
+    {!invalidate_start}) and pool destruction clears the table.
+
+    Hits and misses are counted in {!Stats} ([cache_hits]/[cache_misses]);
+    the interpreter's cycle model charges a hit far less than the
+    per-comparison splay charge (see DESIGN.md Section 6). *)
+
+type 'a t
+
+val slot_count : int
+(** Number of direct-mapped slots (a power of two). *)
+
+val create : unit -> 'a t
+
+val enabled : bool ref
+(** Global kill switch for A/B measurement ([bench/main.exe fastpath]).
+    When false every lookup falls through to the splay tree and neither
+    counter moves.  Deterministic: the flag only redirects lookups. *)
+
+val find : 'a t -> 'a Splay.t -> int -> 'a Splay.node option
+(** [find cache tree addr] answers "which registered range contains
+    [addr]?", consulting the cache first and filling it from the splay
+    tree on a miss.  Byte-identical to [Splay.find_containing tree addr]
+    in all circumstances — the cache is invisible except to the
+    hit/miss counters and the splay's comparison counter. *)
+
+val invalidate_start : 'a t -> int -> unit
+(** Drop every cached entry for the range starting at the given address.
+    Must be called whenever a range is removed from the backing tree. *)
+
+val clear : 'a t -> unit
+(** Drop everything (backing tree was cleared). *)

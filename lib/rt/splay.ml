@@ -112,15 +112,27 @@ let find_start t addr =
 let overlaps t ~start ~len =
   if len <= 0 then false
   else
-    match find_containing t start with
-    | Some _ -> true
-    | None -> (
-        (* No range contains [start]; check whether one begins inside. *)
-        let small, big = partition start t.root in
-        t.root <- join small big;
-        match splay_min big with
-        | Node (Leaf, m, _) -> m.n_start < start + len
-        | _ -> false)
+    (* One partition pass answers both halves of the question: the
+       greatest range starting <= start may extend over it, and the least
+       range starting > start may begin inside [start, start+len). *)
+    let small, big = partition start t.root in
+    let small = splay_max small in
+    let big = splay_min big in
+    let left_hit =
+      match small with
+      | Node (_, m, Leaf) -> m.n_start + m.n_len > start
+      | _ -> false
+    in
+    let right_hit =
+      match big with
+      | Node (Leaf, m, _) -> m.n_start < start + len
+      | _ -> false
+    in
+    (match small with
+    | Leaf -> t.root <- big
+    | Node (l, m, Leaf) -> t.root <- Node (l, m, big)
+    | Node _ -> assert false);
+    left_hit || right_hit
 
 let rec iter_tree g = function
   | Leaf -> ()

@@ -7,6 +7,8 @@ type snapshot = {
   drops : int;
   reduced_checks : int;
   violations : int;
+  cache_hits : int;
+  cache_misses : int;
 }
 
 let zero =
@@ -19,6 +21,8 @@ let zero =
     drops = 0;
     reduced_checks = 0;
     violations = 0;
+    cache_hits = 0;
+    cache_misses = 0;
   }
 
 let bounds = ref 0
@@ -29,6 +33,8 @@ let regs = ref 0
 let drps = ref 0
 let reduced = ref 0
 let viols = ref 0
+let chits = ref 0
+let cmisses = ref 0
 
 let bump_bounds () = incr bounds
 let bump_getbounds () = incr gb
@@ -38,6 +44,11 @@ let bump_reg () = incr regs
 let bump_drop () = incr drps
 let bump_reduced () = incr reduced
 let bump_violation () = incr viols
+let bump_cache_hit () = incr chits
+let bump_cache_miss () = incr cmisses
+
+let cache_hits () = !chits
+let cache_misses () = !cmisses
 
 let read () =
   {
@@ -49,6 +60,8 @@ let read () =
     drops = !drps;
     reduced_checks = !reduced;
     violations = !viols;
+    cache_hits = !chits;
+    cache_misses = !cmisses;
   }
 
 let reset () =
@@ -59,7 +72,9 @@ let reset () =
   regs := 0;
   drps := 0;
   reduced := 0;
-  viols := 0
+  viols := 0;
+  chits := 0;
+  cmisses := 0
 
 let diff a b =
   {
@@ -71,13 +86,21 @@ let diff a b =
     drops = a.drops - b.drops;
     reduced_checks = a.reduced_checks - b.reduced_checks;
     violations = a.violations - b.violations;
+    cache_hits = a.cache_hits - b.cache_hits;
+    cache_misses = a.cache_misses - b.cache_misses;
   }
 
 let total_checks s = s.bounds_checks + s.ls_checks + s.funcchecks
 
+let hit_rate s =
+  let probes = s.cache_hits + s.cache_misses in
+  if probes = 0 then 0.0
+  else float_of_int s.cache_hits /. float_of_int probes *. 100.0
+
 let to_string s =
   Printf.sprintf
     "bounds=%d getbounds=%d ls=%d funccheck=%d reg=%d drop=%d reduced=%d \
-     violations=%d"
+     violations=%d cache=%d/%d"
     s.bounds_checks s.getbounds s.ls_checks s.funcchecks s.registrations
-    s.drops s.reduced_checks s.violations
+    s.drops s.reduced_checks s.violations s.cache_hits
+    (s.cache_hits + s.cache_misses)

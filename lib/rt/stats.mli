@@ -16,6 +16,8 @@ type snapshot = {
   drops : int;  (** [pchk.drop.obj] *)
   reduced_checks : int;  (** checks skipped because the pool is incomplete *)
   violations : int;  (** safety violations raised *)
+  cache_hits : int;  (** object lookups answered by the per-pool cache *)
+  cache_misses : int;  (** object lookups that fell through to the splay *)
 }
 
 val zero : snapshot
@@ -28,6 +30,14 @@ val bump_reg : unit -> unit
 val bump_drop : unit -> unit
 val bump_reduced : unit -> unit
 val bump_violation : unit -> unit
+val bump_cache_hit : unit -> unit
+val bump_cache_miss : unit -> unit
+
+val cache_hits : unit -> int
+(** Current value of the cache-hit counter — cheap accessor for the cycle
+    model, which charges a hit far less than a splay comparison. *)
+
+val cache_misses : unit -> int
 
 val read : unit -> snapshot
 val reset : unit -> unit
@@ -37,5 +47,8 @@ val diff : snapshot -> snapshot -> snapshot
 
 val total_checks : snapshot -> int
 (** Bounds + load/store + indirect-call checks. *)
+
+val hit_rate : snapshot -> float
+(** Object-cache hit rate in percent (0 when no lookups were made). *)
 
 val to_string : snapshot -> string

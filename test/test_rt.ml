@@ -233,6 +233,96 @@ let test_stats_counting () =
   Alcotest.(check int) "getbounds" 1 s.Stats.getbounds;
   Alcotest.(check int) "violations" 0 s.Stats.violations
 
+(* ---------- object-lookup cache ---------- *)
+
+(* The cache is pure memoization of the splay lookup: every observable —
+   verdicts, violation kinds, bounds — must be byte-identical with the
+   cache disabled.  Run the same random op sequence against a cached and
+   an uncached pool and compare outcome transcripts. *)
+let prop_cache_transparent =
+  let op_gen =
+    QCheck2.Gen.(
+      let addr = int_range 0 1024 in
+      let start = map (fun s -> s * 16) (int_range 1 40) in
+      let len = int_range 1 48 in
+      frequency
+        [
+          (3, map2 (fun s l -> `Reg (s, l)) start len);
+          (2, map (fun s -> `Drop s) start);
+          (3, map (fun a -> `Ls a) addr);
+          (2, map3 (fun s d l -> `Bounds (s, d, l)) addr addr len);
+          (2, map (fun a -> `Getbounds a) addr);
+        ])
+  in
+  let gen =
+    QCheck2.Gen.(pair bool (list_size (int_range 0 120) op_gen))
+  in
+  QCheck2.Test.make ~name:"cache is semantically invisible" ~count:300 gen
+    (fun (complete, ops) ->
+      let outcome f =
+        match f () with
+        | v -> Ok v
+        | exception Violation.Safety_violation v ->
+            Error (Violation.kind_to_string v.Violation.v_kind)
+        | exception Invalid_argument _ -> Error "invalid-arg"
+      in
+      let run cached =
+        let mp = Metapool_rt.create ~complete ~cached "MPX" in
+        List.map
+          (fun op ->
+            outcome (fun () ->
+                match op with
+                | `Reg (s, l) ->
+                    Metapool_rt.register mp ~cls:Metapool_rt.Heap ~start:s
+                      ~len:l;
+                    None
+                | `Drop s ->
+                    Metapool_rt.drop mp ~start:s;
+                    None
+                | `Ls a ->
+                    Metapool_rt.lscheck mp ~addr:a ~access_len:4;
+                    None
+                | `Bounds (s, d, l) ->
+                    Metapool_rt.boundscheck mp ~src:s ~dst:d ~access_len:l;
+                    None
+                | `Getbounds a -> Metapool_rt.getbounds mp a))
+          ops
+      in
+      run true = run false)
+
+let test_cache_invalidated_on_drop () =
+  Stats.reset ();
+  let mp = mk "MPC1" in
+  Metapool_rt.register mp ~cls:Metapool_rt.Heap ~start:0x1000 ~len:64;
+  (* Warm the cache, then confirm the second probe of the same bucket is a
+     hit. *)
+  Metapool_rt.lscheck mp ~addr:0x1008 ~access_len:4;
+  let h0 = Stats.cache_hits () in
+  Metapool_rt.lscheck mp ~addr:0x1008 ~access_len:4;
+  Alcotest.(check bool) "second lookup hits the cache" true
+    (Stats.cache_hits () > h0);
+  (* Dropping the object must evict it: a stale hit here would wrongly
+     pass the check. *)
+  Metapool_rt.drop mp ~start:0x1000;
+  expect_violation Violation.Load_store (fun () ->
+      Metapool_rt.lscheck mp ~addr:0x1008 ~access_len:4);
+  Alcotest.(check (option (pair int int))) "getbounds after drop" None
+    (Metapool_rt.getbounds mp 0x1008)
+
+let test_cache_invalidated_on_reset () =
+  let mp = mk "MPC2" in
+  Metapool_rt.register mp ~cls:Metapool_rt.Heap ~start:0x2000 ~len:64;
+  (* Warm the cache through getbounds... *)
+  Alcotest.(check bool) "warm lookup" true
+    (Metapool_rt.getbounds mp 0x2010 <> None);
+  ignore (Metapool_rt.getbounds mp 0x2010);
+  Metapool_rt.reset mp;
+  (* ...then a reset pool must not serve the evicted object. *)
+  Alcotest.(check (option (pair int int))) "getbounds after reset" None
+    (Metapool_rt.getbounds mp 0x2010);
+  expect_violation Violation.Load_store (fun () ->
+      Metapool_rt.lscheck mp ~addr:0x2010 ~access_len:4)
+
 let () =
   Alcotest.run "sva_rt"
     [
@@ -265,5 +355,13 @@ let () =
           Alcotest.test_case "known-bounds fast path" `Quick
             test_boundscheck_known_fast_path;
           Alcotest.test_case "stats counting" `Quick test_stats_counting;
+        ] );
+      ( "objcache",
+        [
+          QCheck_alcotest.to_alcotest prop_cache_transparent;
+          Alcotest.test_case "invalidated on drop" `Quick
+            test_cache_invalidated_on_drop;
+          Alcotest.test_case "invalidated on reset" `Quick
+            test_cache_invalidated_on_reset;
         ] );
     ]
