@@ -1,0 +1,36 @@
+(* Consumes the bench --json output back through the harness JSON parser
+   and checks the lint section's shape — the regression gate that keeps
+   the machine-readable results file well-formed. *)
+
+module J = Harness.Jsonout
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let get name = function
+  | Some v -> v
+  | None -> fail "missing field %s" name
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else fail "usage: json_check FILE" in
+  let text = In_channel.with_open_bin path In_channel.input_all in
+  let doc = try J.parse text with J.Parse_error m -> fail "%s: %s" path m in
+  (* round-trip: emitting and re-parsing must reproduce the document *)
+  if J.parse (J.emit doc) <> doc then fail "%s: emit/parse round-trip drifted" path;
+  let lint = get "lint" (J.member "lint" doc) in
+  let findings = get "lint.findings" (J.member "findings" lint) in
+  (match findings with
+  | J.Obj fields ->
+      List.iter
+        (fun (checker, v) ->
+          if J.to_int v <> 0 then
+            fail "%s: clean kernel has %d %s findings" path (J.to_int v) checker)
+        fields
+  | _ -> fail "%s: lint.findings is not an object" path);
+  let proofs = J.to_int (get "lint.accesses-proved-safe" (J.member "accesses-proved-safe" lint)) in
+  if proofs <= 0 then fail "%s: prover found no safe accesses" path;
+  let ls = get "lint.ls-checks" (J.member "ls-checks" lint) in
+  let field k = J.to_int (get ("lint.ls-checks." ^ k) (J.member k ls)) in
+  let off = field "lint-off" and on = field "lint-on" and proved = field "proved-static" in
+  if off - on <> proved then
+    fail "%s: check reduction %d-%d does not match proved-static %d" path off on proved;
+  Printf.printf "%s: OK (%d accesses proved, %d checks elided)\n" path proofs proved

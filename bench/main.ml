@@ -6,7 +6,12 @@
    Usage:
      dune exec bench/main.exe            -- everything (a few minutes)
      dune exec bench/main.exe -- --quick -- reduced repetition counts
-     dune exec bench/main.exe -- table7  -- a single experiment by name *)
+     dune exec bench/main.exe -- table7  -- a single experiment by name
+     dune exec bench/main.exe -- --json out.json
+                                         -- also write machine-readable
+                                            numbers for the data-bearing
+                                            sections (fastpath, table7,
+                                            lint) that were run *)
 
 module Tables = Harness.Tables
 module Pipeline = Sva_pipeline.Pipeline
@@ -14,18 +19,23 @@ module Boot = Ukern.Boot
 
 let quick = ref false
 let strict = ref false
+let json_out : string option ref = ref None
 let only : string list ref = ref []
 
 let () =
-  Array.iteri
-    (fun i arg ->
-      if i > 0 then
-        match arg with
-        | "--quick" -> quick := true
-        | "--strict" -> strict := true
-        | s when String.length s > 0 && s.[0] <> '-' -> only := s :: !only
-        | _ -> ())
-    Sys.argv
+  let argc = Array.length Sys.argv in
+  let i = ref 1 in
+  while !i < argc do
+    (match Sys.argv.(!i) with
+    | "--quick" -> quick := true
+    | "--strict" -> strict := true
+    | "--json" when !i + 1 < argc ->
+        incr i;
+        json_out := Some Sys.argv.(!i)
+    | s when String.length s > 0 && s.[0] <> '-' -> only := s :: !only
+    | _ -> ());
+    incr i
+  done
 
 let wanted name = !only = [] || List.mem name !only
 
@@ -146,6 +156,7 @@ let () =
   section "table4" (fun () -> Tables.table4 ());
   section "figure2" (fun () -> Tables.figure2 ());
   section "checks" (fun () -> Tables.check_summary ());
+  section "lint" (fun () -> Tables.lint_table ());
   section "table7" (fun () -> Tables.table7 ~quick:!quick ());
   section "table8" (fun () -> Tables.table8 ~quick:!quick ());
   section "table5" (fun () -> Tables.table5 ~quick:!quick ());
@@ -157,4 +168,37 @@ let () =
   section "exploits" (fun () -> Tables.exploits_table ());
   section "verifier" (fun () -> Tables.verifier_experiment ());
   section "bechamel" (fun () -> bechamel_crosscheck ());
+  (match !json_out with
+  | None -> ()
+  | Some path ->
+      let module J = Harness.Jsonout in
+      (* The measurements behind these payloads are memoized in Tables,
+         so a section that already printed is not re-measured here. *)
+      let parts =
+        List.filter_map
+          (fun (name, thunk) ->
+            if wanted name then
+              match thunk () with
+              | j -> Some (name, j)
+              | exception e ->
+                  Printf.printf "!! json %s failed: %s\n" name
+                    (Printexc.to_string e);
+                  if !strict then exit 1;
+                  None
+            else None)
+          [
+            ("fastpath", fun () -> Tables.fastpath_json ~quick:!quick ());
+            ("table7", fun () -> Tables.table7_json ~quick:!quick ());
+            ("lint", fun () -> Tables.lint_json ());
+          ]
+      in
+      let doc =
+        J.Obj
+          (("bench", J.Str "sva-eval")
+          :: ("quick", J.Bool !quick)
+          :: parts)
+      in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (J.emit doc));
+      Printf.printf "\njson: wrote %s (%d sections)\n" path (List.length parts));
   Printf.printf "\nDone.\n"

@@ -1,6 +1,6 @@
-(* pa-dump: run the safety-checking compiler's analysis on a MiniC file
-   and dump the points-to graph, metapool assignment and instrumented IR —
-   the Figure 2 view for arbitrary input.
+(* pa-dump: run the safety-checking compiler's analysis on a MiniC (or
+   SVA bytecode) file and dump the points-to graph, metapool assignment
+   and instrumented IR — the Figure 2 view for arbitrary input.
 
      pa_dump FILE [FUNC]
 
@@ -18,9 +18,7 @@ let () =
         prerr_endline "usage: pa_dump FILE [FUNC]";
         exit 2
   in
-  let source = In_channel.with_open_text file In_channel.input_all in
-  let m = Minic.Lower.compile_string ~name:(Filename.basename file) source in
-  Sva_ir.Passes.run Sva_ir.Passes.Llvm_like m;
+  let m = Sva_pipeline.Pipeline.load_file file in
   let config =
     {
       Pointsto.default_config with

@@ -1,0 +1,155 @@
+(* sva-lint: the static lint layer as a command-line sanitizer.
+
+     sva_lint FILE            lint a MiniC source (or SVA bytecode) file
+     sva_lint --ukern         lint the embedded kernel (expected clean)
+     sva_lint --fixture       lint the kernel plus the seeded-bug fixture
+     sva_lint --selftest      --ukern must be clean AND --fixture must
+                              report exactly the seeded defects
+
+   Findings print one per line in deterministic order; the exit code is
+   non-zero when any finding is reported (or, under --selftest, when the
+   results deviate from the expected set). *)
+
+open Cmdliner
+module Pipeline = Sva_pipeline.Pipeline
+module Lint = Sva_lint.Lint
+module Pointsto = Sva_analysis.Pointsto
+
+let file_config =
+  {
+    Pointsto.default_config with
+    Pointsto.syscall_register = Some "sva_register_syscall";
+    syscall_invoke = Some "sva_syscall";
+  }
+
+(* Lint runs standalone — compile, analyze, check — without the metapool
+   type checker or instrumentation, so even modules a full safe build
+   would reject can be linted. *)
+let lint_sources ~name ~aconfig ~config sources =
+  let m = Pipeline.compile ~name sources in
+  let pa = Pointsto.run ~config:aconfig m in
+  Lint.run ~config m pa
+
+let lint_kernel ~fixture =
+  let v = Ukern.Kbuild.as_tested in
+  let sources =
+    if fixture then Ukern.Kbuild.fixture_sources v else Ukern.Kbuild.sources v
+  in
+  let name = if fixture then "ukern-lint-fixture" else "ukern-lint" in
+  lint_sources ~name ~aconfig:(Ukern.Kbuild.aconfig v)
+    ~config:(Ukern.Kbuild.lint_config v) sources
+
+let print_result ?(quiet = false) (r : Lint.result) =
+  print_string (Lint.render r);
+  if not quiet then begin
+    let counts =
+      String.concat ", "
+        (List.map (fun (c, n) -> Printf.sprintf "%s %d" c n) r.Lint.lr_counts)
+    in
+    Printf.printf
+      "lint: %d findings (%s); %d accesses proved safe; %d functions, %d \
+       dataflow iterations\n"
+      (List.length r.Lint.lr_findings)
+      counts r.Lint.lr_proof_count r.Lint.lr_funcs r.Lint.lr_iterations
+  end
+
+let selftest () =
+  let clean = lint_kernel ~fixture:false in
+  let dirty = lint_kernel ~fixture:true in
+  let got =
+    List.map
+      (fun (f : Sva_lint.Report.finding) ->
+        (f.Sva_lint.Report.f_checker, f.Sva_lint.Report.f_func))
+      dirty.Lint.lr_findings
+    |> List.sort_uniq compare
+  in
+  let want = List.sort_uniq compare Ukern.Ksrc_lintbugs.expected in
+  let show l =
+    String.concat ", " (List.map (fun (c, fn) -> c ^ "@" ^ fn) l)
+  in
+  let ok = ref true in
+  if clean.Lint.lr_findings <> [] then begin
+    ok := false;
+    Printf.printf "FAIL: clean kernel has findings:\n";
+    print_string (Lint.render clean)
+  end;
+  if got <> want then begin
+    ok := false;
+    Printf.printf "FAIL: fixture findings mismatch\n  want: %s\n  got:  %s\n"
+      (show want) (show got)
+  end;
+  if dirty.Lint.lr_proof_count = 0 then begin
+    ok := false;
+    Printf.printf "FAIL: safe-access prover proved nothing on the kernel\n"
+  end;
+  if !ok then begin
+    Printf.printf
+      "selftest OK: clean kernel 0 findings; fixture reports exactly [%s]; \
+       %d accesses proved safe\n"
+      (show want) dirty.Lint.lr_proof_count;
+    0
+  end
+  else 1
+
+let run file ukern fixture selftest_flag quiet =
+  try
+    if selftest_flag then selftest ()
+    else begin
+      let r =
+        if ukern then lint_kernel ~fixture:false
+        else if fixture then lint_kernel ~fixture:true
+        else
+          match file with
+          | Some path ->
+              let m = Pipeline.load_file path in
+              let pa = Pointsto.run ~config:file_config m in
+              Lint.run ~config:(Lint.config_of_aconfig file_config) m pa
+          | None ->
+              prerr_endline
+                "usage: sva_lint FILE | --ukern | --fixture | --selftest";
+              exit 2
+      in
+      print_result ~quiet r;
+      if r.Lint.lr_findings = [] then 0 else 1
+    end
+  with
+  | Minic.Parser.Parse_error (msg, loc) ->
+      Printf.eprintf "%d:%d: parse error: %s\n" loc.Minic.Token.line
+        loc.Minic.Token.col msg;
+      2
+  | Minic.Lower.Lower_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      2
+  | Sva_bytecode.Codec.Decode_error msg ->
+      Printf.eprintf "undecodable bytecode: %s\n" msg;
+      2
+
+let file = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE")
+
+let ukern =
+  Arg.(value & flag & info [ "ukern" ] ~doc:"Lint the embedded kernel.")
+
+let fixture =
+  Arg.(
+    value & flag
+    & info [ "fixture" ]
+        ~doc:"Lint the embedded kernel plus the seeded-bug fixture.")
+
+let selftest_flag =
+  Arg.(
+    value & flag
+    & info [ "selftest" ]
+        ~doc:
+          "Check that the clean kernel lints clean and the fixture reports \
+           exactly the seeded defects.")
+
+let quiet =
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Findings only, no summary.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "sva_lint"
+       ~doc:"Static dataflow lint over the SVA safety pipeline")
+    Term.(const run $ file $ ukern $ fixture $ selftest_flag $ quiet)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,5 +1,8 @@
 (* sva-run: compile a MiniC source file through the SVA pipeline and
-   execute a function on the SVM.
+   execute a function on the SVM.  SVA bytecode input (recognized by its
+   magic) skips the front end; note that bytecode emitted from a safe
+   build is already instrumented, so run such files under `--conf llvm`
+   to avoid inserting a second set of checks.
 
      sva_run FILE [-f FUNC] [-a INT]... [--conf native|gcc|llvm|safe]
              [--dump-ir] [--emit-bytecode OUT]
@@ -20,9 +23,15 @@ let conf_of_string = function
   | s -> failwith ("unknown configuration " ^ s)
 
 let run file func args conf_name dump_ir emit_bytecode =
-  let source = In_channel.with_open_text file In_channel.input_all in
+  let source = In_channel.with_open_bin file In_channel.input_all in
   let conf = conf_of_string conf_name in
-  match Pipeline.build ~conf ~name:(Filename.basename file) [ source ] with
+  let name = Filename.basename file in
+  match
+    if Pipeline.is_bytecode source then
+      Pipeline.build_module ~conf ~name
+        (Pipeline.load_source ~name source)
+    else Pipeline.build ~conf ~name [ source ]
+  with
   | exception Minic.Parser.Parse_error (msg, loc) ->
       Printf.eprintf "%s:%d:%d: parse error: %s\n" file loc.Minic.Token.line
         loc.Minic.Token.col msg;

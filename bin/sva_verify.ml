@@ -1,18 +1,26 @@
 (* sva-verify: the load-time half of the SVM (Section 3.4).
 
-     sva_verify BYTECODE-FILE
+     sva_verify FILE
 
-   Decodes an SVA bytecode file, runs the IR well-formedness verifier,
-   and reports module statistics.  Exit code 0 = the module may be
-   translated and executed; 1 = rejected. *)
+   Loads an SVA module (bytecode, or MiniC compiled on the fly), runs
+   the IR well-formedness verifier, and reports module statistics.
+   Exit code 0 = the module may be translated and executed;
+   1 = rejected. *)
 
 let () =
   match Sys.argv with
   | [| _; path |] -> (
       let data = In_channel.with_open_bin path In_channel.input_all in
-      match Sva_bytecode.Codec.decode data with
+      match Sva_pipeline.Pipeline.load_source ~name:path data with
       | exception Sva_bytecode.Codec.Decode_error msg ->
           Printf.eprintf "%s: undecodable bytecode: %s\n" path msg;
+          exit 1
+      | exception Minic.Parser.Parse_error (msg, loc) ->
+          Printf.eprintf "%s:%d:%d: parse error: %s\n" path
+            loc.Minic.Token.line loc.Minic.Token.col msg;
+          exit 1
+      | exception Minic.Lower.Lower_error msg ->
+          Printf.eprintf "%s: error: %s\n" path msg;
           exit 1
       | m -> (
           match Sva_ir.Verify.verify_module m with

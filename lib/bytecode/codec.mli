@@ -11,6 +11,10 @@ open Sva_ir
 
 exception Decode_error of string
 
+val magic : string
+(** Leading bytes of every encoded module — callers sniff these to tell
+    bytecode from source text. *)
+
 val encode : Irmod.t -> string
 (** Serialize a module (deterministic: equal modules produce equal
     bytes). *)

@@ -55,3 +55,55 @@ val fastpath : ?quick:bool -> ?strict:bool -> unit -> string
     at least 2x and never costs model cycles; with [strict] a failed
     criterion raises instead of being reported in the output (the
     [@bench-smoke] regression gate). *)
+
+(** {1 Structured data + machine-readable output}
+
+    The sections consumed by [bench --json] expose their measurements as
+    data; the rendered tables and the JSON payload are two views of the
+    same (memoized) numbers. *)
+
+type t7_row = {
+  t7_op : string;
+  t7_native_cycles : float;
+  t7_overheads : (string * float * float) list;
+      (** configuration name, measured overhead %, paper overhead % *)
+}
+
+val table7_data : ?quick:bool -> unit -> t7_row list
+
+type fastpath_data = {
+  fp_cmp_off : float;
+  fp_cmp_on : float;
+  fp_cycles_off : float;
+  fp_cycles_on : float;
+  fp_checks_off : int;
+  fp_checks_on : int;
+  fp_hit_rate : float;
+  fp_reduction : float;
+}
+
+val fastpath_data : ?quick:bool -> unit -> fastpath_data
+
+type lint_data = {
+  ld_counts : (string * int) list;
+  ld_findings : int;
+  ld_proofs : int;
+  ld_funcs : int;
+  ld_iterations : int;
+  ld_ls_inserted_base : int;
+  ld_ls_inserted_lint : int;
+  ld_ls_proved_static : int;
+}
+
+val lint_data : unit -> lint_data
+(** Lint the embedded kernel ([~lint:true] build, cached) and pair the
+    result with the lint-off build's check counts. *)
+
+val lint_table : unit -> string
+(** The static-lint section: findings per checker (all zero on the
+    shipped kernel), prover statistics, and the load/store check
+    reduction the proofs buy. *)
+
+val fastpath_json : ?quick:bool -> unit -> Jsonout.t
+val table7_json : ?quick:bool -> unit -> Jsonout.t
+val lint_json : unit -> Jsonout.t

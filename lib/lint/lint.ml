@@ -1,0 +1,62 @@
+open Sva_ir
+open Sva_analysis
+
+type config = Checkers.config = {
+  lc_trusted : string list;
+  lc_sleeping : string list;
+  lc_interrupt_register : string;
+  lc_free_functions : string list;
+}
+
+let default_config = Checkers.default_config
+
+let config_of_aconfig ?(extra_trusted = []) (ac : Pointsto.config) =
+  {
+    default_config with
+    lc_trusted =
+      List.sort_uniq compare (ac.Pointsto.user_copy_functions @ extra_trusted);
+    lc_free_functions =
+      List.filter_map
+        (fun (a : Allocdecl.t) -> a.Allocdecl.a_free)
+        ac.Pointsto.allocators;
+  }
+
+let checkers = [ "user-taint"; "null-deref"; "irq-sleep" ]
+
+type result = {
+  lr_findings : Report.finding list;  (** sorted, deduplicated *)
+  lr_counts : (string * int) list;
+  lr_proofs : (string * int, unit) Hashtbl.t;
+  lr_proof_count : int;
+  lr_funcs : int;
+  lr_iterations : int;
+}
+
+let run ?(config = default_config) m pa =
+  let ctx = Checkers.make_ctx ~config m pa in
+  let findings =
+    Report.sort
+      (Checkers.user_taint ctx @ Checkers.null_deref ctx
+     @ Checkers.irq_sleep ctx)
+  in
+  let proofs = Checkers.safe_access ctx in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (p : Checkers.proof) ->
+      Hashtbl.replace tbl (p.Checkers.pr_func, p.Checkers.pr_instr) ())
+    proofs;
+  {
+    lr_findings = findings;
+    lr_counts = Report.count_by_checker ~checkers findings;
+    lr_proofs = tbl;
+    lr_proof_count = Hashtbl.length tbl;
+    lr_funcs =
+      List.length
+        (List.filter
+           (fun (f : Func.t) -> not (Func.has_attr f Func.Noanalyze))
+           m.Irmod.m_funcs);
+    lr_iterations = Checkers.iterations ctx;
+  }
+
+let proved_safe r ~fname id = Hashtbl.mem r.lr_proofs (fname, id)
+let render r = Report.render r.lr_findings

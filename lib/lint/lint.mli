@@ -1,0 +1,52 @@
+(** The static lint layer: runs every checker of {!Checkers} over an
+    analyzed module and packages the findings, per-checker counts and
+    safe-access proofs for the pipeline, the [sva_lint] CLI and the
+    benchmark harness.
+
+    Determinism: findings are sorted and de-duplicated ({!Report.sort})
+    and the underlying solvers visit blocks in reverse postorder, so two
+    runs over the same module render identically. *)
+
+open Sva_ir
+open Sva_analysis
+
+type config = Checkers.config = {
+  lc_trusted : string list;
+  lc_sleeping : string list;
+  lc_interrupt_register : string;
+  lc_free_functions : string list;
+}
+
+val default_config : config
+
+val config_of_aconfig :
+  ?extra_trusted:string list -> Pointsto.config -> config
+(** Derive a lint configuration from the points-to porting configuration:
+    the kernel's user-copy functions become the trusted deref list (plus
+    [extra_trusted]) and its allocator declarations supply the free
+    functions. *)
+
+val checkers : string list
+(** Slugs of the finding-producing checkers, in report order. *)
+
+type result = {
+  lr_findings : Report.finding list;  (** sorted, deduplicated *)
+  lr_counts : (string * int) list;  (** findings per checker *)
+  lr_proofs : (string * int, unit) Hashtbl.t;
+      (** (function, instruction) accesses proved safe *)
+  lr_proof_count : int;
+  lr_funcs : int;  (** analyzed functions *)
+  lr_iterations : int;  (** total dataflow block visits *)
+}
+
+val run : ?config:config -> Irmod.t -> Pointsto.result -> result
+(** Lint a module.  [pa] must be the points-to result computed over
+    [m] in its current form (the pipeline runs lint right after the
+    points-to stage, before instrumentation). *)
+
+val proved_safe : result -> fname:string -> int -> bool
+(** Did the safe-access prover cover instruction [id] of [fname]?
+    {!Sva_safety.Checkinsert} queries this to elide the run-time check. *)
+
+val render : result -> string
+(** All findings, one per line, deterministic order. *)

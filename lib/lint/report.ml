@@ -1,0 +1,46 @@
+type severity = Error | Warning
+
+type finding = {
+  f_checker : string;
+  f_func : string;
+  f_instr : int option;
+  f_message : string;
+  f_severity : severity;
+}
+
+let finding ?(severity = Error) ~checker ~func ?instr message =
+  {
+    f_checker = checker;
+    f_func = func;
+    f_instr = instr;
+    f_message = message;
+    f_severity = severity;
+  }
+
+let compare_finding a b =
+  let c = compare a.f_checker b.f_checker in
+  if c <> 0 then c
+  else
+    let c = compare a.f_func b.f_func in
+    if c <> 0 then c
+    else
+      let c = compare a.f_instr b.f_instr in
+      if c <> 0 then c else compare a.f_message b.f_message
+
+let sort findings = List.sort_uniq compare_finding findings
+
+let to_string f =
+  Printf.sprintf "%s: %s: @%s%s: %s" f.f_checker
+    (match f.f_severity with Error -> "error" | Warning -> "warning")
+    f.f_func
+    (match f.f_instr with Some i -> Printf.sprintf "[#%d]" i | None -> "")
+    f.f_message
+
+let render findings =
+  String.concat "" (List.map (fun f -> to_string f ^ "\n") (sort findings))
+
+let count_by_checker ~checkers findings =
+  List.map
+    (fun c ->
+      (c, List.length (List.filter (fun f -> f.f_checker = c) findings)))
+    checkers

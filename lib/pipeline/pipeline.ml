@@ -24,18 +24,36 @@ type built = {
   bl_cloned : int;
   bl_devirt : int;
   bl_checkopt : Checkopt.summary option;
+  bl_lint : Sva_lint.Lint.result option;
 }
 
-let build ?(conf = Sva_safe) ?(aconfig = Pointsto.default_config)
-    ?(options = Checkinsert.default_options) ?(typecheck = true)
-    ?(clone = false) ?(devirt = false) ?(checkopt = false) ~name sources =
+(* ---------- module loading ---------- *)
+
+let compile ?(pipeline = Passes.Llvm_like) ~name sources =
   let m = Minic.Lower.compile_strings ~name sources in
-  let pipeline =
-    match conf with
-    | Native | Sva_gcc -> Passes.Gcc_like
-    | Sva_llvm | Sva_safe -> Passes.Llvm_like
-  in
   Passes.run pipeline m;
+  m
+
+let is_bytecode data =
+  let magic = Sva_bytecode.Codec.magic in
+  String.length data >= String.length magic
+  && String.sub data 0 (String.length magic) = magic
+
+let load_source ~name data =
+  if is_bytecode data then Sva_bytecode.Codec.decode data
+  else compile ~name [ data ]
+
+let load_file path =
+  load_source
+    ~name:(Filename.basename path)
+    (In_channel.with_open_bin path In_channel.input_all)
+
+(* ---------- building ---------- *)
+
+let build_module ?(conf = Sva_safe) ?(aconfig = Pointsto.default_config)
+    ?(options = Checkinsert.default_options) ?(typecheck = true)
+    ?(clone = false) ?(devirt = false) ?(checkopt = false) ?(lint = false)
+    ?lint_config ~name m =
   match conf with
   | Native | Sva_gcc | Sva_llvm ->
       {
@@ -50,6 +68,7 @@ let build ?(conf = Sva_safe) ?(aconfig = Pointsto.default_config)
         bl_cloned = 0;
         bl_devirt = 0;
         bl_checkopt = None;
+        bl_lint = None;
       }
   | Sva_safe ->
       let cloned = if clone then Clone.run m else 0 in
@@ -74,7 +93,26 @@ let build ?(conf = Sva_safe) ?(aconfig = Pointsto.default_config)
         else None
       in
       let devirted = if devirt then Devirt.run m pa else 0 in
-      let summary = Checkinsert.run ~options m pa mps aconfig.Pointsto.allocators in
+      (* The static lint layer runs on the analyzed, still-uninstrumented
+         module; its safe-access proofs feed check insertion below. *)
+      let lint_res =
+        if lint then
+          let config =
+            match lint_config with
+            | Some c -> c
+            | None -> Sva_lint.Lint.config_of_aconfig aconfig
+          in
+          Some (Sva_lint.Lint.run ~config m pa)
+        else None
+      in
+      let proofs =
+        match lint_res with
+        | Some r -> fun ~fname id -> Sva_lint.Lint.proved_safe r ~fname id
+        | None -> fun ~fname:_ _ -> false
+      in
+      let summary =
+        Checkinsert.run ~options ~proofs m pa mps aconfig.Pointsto.allocators
+      in
       let co = if checkopt then Some (Checkopt.run m) else None in
       {
         bl_name = name;
@@ -88,7 +126,19 @@ let build ?(conf = Sva_safe) ?(aconfig = Pointsto.default_config)
         bl_cloned = cloned;
         bl_devirt = devirted;
         bl_checkopt = co;
+        bl_lint = lint_res;
       }
+
+let build ?conf ?aconfig ?options ?typecheck ?clone ?devirt ?checkopt ?lint
+    ?lint_config ~name sources =
+  let pipeline =
+    match conf with
+    | Some Native | Some Sva_gcc -> Passes.Gcc_like
+    | Some Sva_llvm | Some Sva_safe | None -> Passes.Llvm_like
+  in
+  let m = compile ~pipeline ~name sources in
+  build_module ?conf ?aconfig ?options ?typecheck ?clone ?devirt ?checkopt
+    ?lint ?lint_config ~name m
 
 let instantiate ?sys built =
   let mode =

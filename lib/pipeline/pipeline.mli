@@ -37,7 +37,26 @@ type built = {
   bl_devirt : int;  (** indirect calls devirtualized (Section 4.8) *)
   bl_checkopt : Checkopt.summary option;
       (** results of the check optimizations of Section 7.1.3, when enabled *)
+  bl_lint : Sva_lint.Lint.result option;
+      (** static lint findings and safe-access proofs, when enabled *)
 }
+
+val compile : ?pipeline:Passes.pipeline -> name:string -> string list -> Irmod.t
+(** Compile MiniC sources and run the optimization pass pipeline
+    (LLVM-like by default) — the shared front half of {!build}. *)
+
+val is_bytecode : string -> bool
+(** Does this data start with the SVA bytecode magic? *)
+
+val load_source : name:string -> string -> Irmod.t
+(** Load a module from raw bytes: SVA bytecode (recognized by its magic)
+    is decoded, anything else is compiled as MiniC via {!compile}.
+    @raise Sva_bytecode.Codec.Decode_error on corrupt bytecode
+    @raise Minic.Parser.Parse_error / Minic.Lower.Lower_error on bad
+    source *)
+
+val load_file : string -> Irmod.t
+(** {!load_source} on a file's contents, named after its basename. *)
 
 val build :
   ?conf:conf ->
@@ -47,6 +66,8 @@ val build :
   ?clone:bool ->
   ?devirt:bool ->
   ?checkopt:bool ->
+  ?lint:bool ->
+  ?lint_config:Sva_lint.Lint.config ->
   name:string ->
   string list ->
   built
@@ -54,10 +75,30 @@ val build :
     safety pipeline runs: optional function cloning (Section 4.8),
     points-to analysis, metapool inference, metapool type annotation
     extraction + trusted type checking (unless [~typecheck:false]),
-    optional devirtualization, run-time check insertion, the optional
-    check optimizations of Section 7.1.3, and IR re-verification.
+    optional devirtualization, the optional static lint stage (whose
+    safe-access proofs elide provably-redundant load/store checks),
+    run-time check insertion, the optional check optimizations of
+    Section 7.1.3, and IR re-verification.  [lint_config] defaults to
+    {!Sva_lint.Lint.config_of_aconfig} of [aconfig].
     @raise Failure if the type checker rejects the annotations (a
     safety-checking-compiler bug). *)
+
+val build_module :
+  ?conf:conf ->
+  ?aconfig:Pointsto.config ->
+  ?options:Checkinsert.options ->
+  ?typecheck:bool ->
+  ?clone:bool ->
+  ?devirt:bool ->
+  ?checkopt:bool ->
+  ?lint:bool ->
+  ?lint_config:Sva_lint.Lint.config ->
+  name:string ->
+  Irmod.t ->
+  built
+(** The analysis half of {!build}, for a module already loaded (e.g.
+    decoded from bytecode by {!load_source}).  The optimization passes
+    are assumed to have run. *)
 
 val instantiate : ?sys:Sva_os.Svaos.t -> built -> Sva_interp.Interp.t
 (** Load a built image into an SVM instance.  The SVA-OS mode follows the

@@ -27,6 +27,7 @@ type summary = {
   regs_inserted : int;
   drops_inserted : int;
   stack_promoted : int;
+  ls_proved_static : int;
 }
 
 let zero_summary =
@@ -41,6 +42,7 @@ let zero_summary =
     regs_inserted = 0;
     drops_inserted = 0;
     stack_promoted = 0;
+    ls_proved_static = 0;
   }
 
 (* ---------- helpers ---------- *)
@@ -163,6 +165,7 @@ type ctx = {
   mps : Metapool.t;
   adecls : Allocdecl.t list;
   opts : options;
+  proofs : fname:string -> int -> bool;
   mutable s : summary;
 }
 
@@ -174,7 +177,7 @@ let instrument_func c (f : Func.t) =
   let fname = f.Func.f_name in
   (* Stack registrations: collected so returns can drop them. *)
   let stack_regs = ref [] in
-  let lscheck before ptr len =
+  let lscheck before (at : Instr.t) ptr len =
     match decl_of c ~fname ptr with
     | None -> ()
     | Some d ->
@@ -182,6 +185,10 @@ let instrument_func c (f : Func.t) =
           c.s <- { c.s with ls_reduced_incomplete = c.s.ls_reduced_incomplete + 1 }
         else if c.opts.th_elides_lscheck && d.Metapool.mp_th then
           c.s <- { c.s with ls_elided_th = c.s.ls_elided_th + 1 }
+        else if c.proofs ~fname at.Instr.id then
+          (* The lint layer proved this access in bounds of a live
+             object: the check would otherwise have been inserted. *)
+          c.s <- { c.s with ls_proved_static = c.s.ls_proved_static + 1 }
         else begin
           c.s <- { c.s with ls_inserted = c.s.ls_inserted + 1 };
           before :=
@@ -217,10 +224,12 @@ let instrument_func c (f : Func.t) =
         (fun (i : Instr.t) ->
           let before = ref [] and after = ref [] in
           (match i.Instr.kind with
-          | Instr.Load p -> lscheck before p (scalar_size c i.Instr.ty)
-          | Instr.Store (v, p) -> lscheck before p (scalar_size c (Value.ty v))
-          | Instr.Atomic_cas (p, e, _) -> lscheck before p (scalar_size c (Value.ty e))
-          | Instr.Atomic_add (p, d) -> lscheck before p (scalar_size c (Value.ty d))
+          | Instr.Load p -> lscheck before i p (scalar_size c i.Instr.ty)
+          | Instr.Store (v, p) -> lscheck before i p (scalar_size c (Value.ty v))
+          | Instr.Atomic_cas (p, e, _) ->
+              lscheck before i p (scalar_size c (Value.ty e))
+          | Instr.Atomic_add (p, d) ->
+              lscheck before i p (scalar_size c (Value.ty d))
           | Instr.Gep (base, idxs) -> (
               match decl_of c ~fname base with
               | None -> ()
@@ -413,8 +422,9 @@ let add_global_registration c =
        at the kernel entry point). *)
   end
 
-let run ?(options = default_options) m pa mps adecls =
-  let c = { m; pa; mps; adecls; opts = options; s = zero_summary } in
+let run ?(options = default_options) ?(proofs = fun ~fname:_ _ -> false) m pa
+    mps adecls =
+  let c = { m; pa; mps; adecls; opts = options; proofs; s = zero_summary } in
   List.iter
     (fun (f : Func.t) ->
       if not (Func.has_attr f Func.Noanalyze) then begin

@@ -51,10 +51,26 @@ type summary = {
   regs_inserted : int;  (** object registration points *)
   drops_inserted : int;
   stack_promoted : int;  (** allocas promoted to the heap *)
+  ls_proved_static : int;
+      (** load/store checks elided on a static lint proof (would have
+          been inserted otherwise — TH/incomplete elisions are counted
+          under their own fields first) *)
 }
+
+val static_safe : Ty.ctx -> Value.t -> Value.t list -> bool
+(** Is a constant-indexed gep provably in bounds of the base's static
+    type?  The first index must be 0 (a pointer is treated as one
+    object); array indexes must lie within the static array length.
+    Shared with the lint layer's safe-access prover so both agree on
+    what "statically safe indexing" means. *)
+
+val gep_access_len : Ty.ctx -> Instr.t -> int
+(** The byte size accessed through a gep's result (the scalar or
+    aggregate the result points to); 1 when unsized. *)
 
 val run :
   ?options:options ->
+  ?proofs:(fname:string -> int -> bool) ->
   Irmod.t ->
   Pointsto.result ->
   Metapool.t ->
@@ -62,7 +78,14 @@ val run :
   summary
 (** Instrument the module in place.  The module must verify before and
     will verify after.  Functions with {!Func.attr.Noanalyze} are left
-    untouched. *)
+    untouched.
+
+    [proofs] is the static lint layer's safe-access oracle: when it
+    returns [true] for a load/store instruction, the [pchk_lscheck]
+    that would have been inserted is elided and counted in
+    [ls_proved_static].  Proofs are consulted only for checks that
+    survive the TH/incompleteness elisions, so the count measures
+    genuinely new elisions. *)
 
 val runtime_pools :
   ?user_range:int * int -> Metapool.t -> (int * Sva_rt.Metapool_rt.t) list

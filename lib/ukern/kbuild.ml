@@ -75,7 +75,18 @@ let aconfig v =
     externs_complete = v.v_externs_complete;
   }
 
-let build ?(conf = Sva_pipeline.Pipeline.Sva_safe) v =
-  Sva_pipeline.Pipeline.build ~conf ~aconfig:(aconfig v)
+let fixture_sources v = sources v @ [ Ksrc_lintbugs.source ]
+
+(* The user-copy library dereferences user pointers by design: its raw
+   copy loops are the only code allowed to touch userspace (Section 4.6),
+   so the taint checker treats them as trusted boundaries. *)
+let lint_config v =
+  Sva_lint.Lint.config_of_aconfig
+    ~extra_trusted:[ "__copy_user"; "strncpy_from_user" ]
+    (aconfig v)
+
+let build ?(conf = Sva_pipeline.Pipeline.Sva_safe) ?(lint = false) v =
+  Sva_pipeline.Pipeline.build ~conf ~aconfig:(aconfig v) ~lint
+    ~lint_config:(lint_config v)
     ~name:("ukern-" ^ v.v_name)
     (sources v)

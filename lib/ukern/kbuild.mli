@@ -44,5 +44,20 @@ val allocators : Allocdecl.t list
 val aconfig : variant -> Pointsto.config
 (** The analysis configuration for a variant. *)
 
-val build : ?conf:Sva_pipeline.Pipeline.conf -> variant -> Sva_pipeline.Pipeline.built
-(** Compile the kernel under a pipeline configuration. *)
+val fixture_sources : variant -> string list
+(** The kernel sources plus the seeded-bug lint fixture module
+    ({!Ksrc_lintbugs}) — the [sva_lint --fixture] input. *)
+
+val lint_config : variant -> Sva_lint.Lint.config
+(** The lint configuration for a variant: the analysis configuration's
+    user-copy functions plus the kernel's raw copy loops as trusted
+    user-pointer boundaries. *)
+
+val build :
+  ?conf:Sva_pipeline.Pipeline.conf ->
+  ?lint:bool ->
+  variant ->
+  Sva_pipeline.Pipeline.built
+(** Compile the kernel under a pipeline configuration.  [~lint:true]
+    enables the static lint stage (findings and safe-access proofs under
+    {!lint_config}). *)

@@ -1,0 +1,79 @@
+(** Seeded-bug fixture for the static lint layer.
+
+    A small "vendor module" appended to the kernel sources in the
+    [sva_lint --fixture] build: every function below contains exactly one
+    deliberate defect from the classes the checkers cover.  The fixture
+    code is registered but never invoked at run time, so it perturbs no
+    benchmark; {!expected} is the ground truth the lint self-test and the
+    regression suite compare against. *)
+
+let source =
+  {|
+/* ============ lint fixture: intentionally buggy module ============ */
+
+/* BUG 1b (interprocedural taint sink): dereferences its argument, which
+   sys_peek2_user below taints with a raw syscall argument. */
+long lint_fetch(long *p) {
+  return *p;                               /* user-taint: via sys_peek2_user */
+}
+
+/* BUG 1a: dereferences a user-supplied address directly instead of
+   going through copy_from_user. */
+long sys_peek_user(long uptr, long a1, long a2, long a3) {
+  long *p = (long *)uptr;
+  return *p;                               /* user-taint: direct deref */
+}
+
+long sys_peek2_user(long uptr, long a1, long a2, long a3) {
+  return lint_fetch((long *)uptr);
+}
+
+/* BUG 2: dereferences a pointer that is null on every path reaching the
+   load (the static side of guarantee T4). */
+long lint_null_deref(int flag) {
+  long *p = (long *)0;
+  if (flag) return 0;
+  return *p;                               /* null-deref: definite null */
+}
+
+/* BUG 3: dereferences on the branch that just established the pointer
+   IS null; the fall-through dereference is fine and must not be
+   flagged. */
+long lint_guard_deref(long *q) {
+  if (q == 0) {
+    return *q;                             /* null-deref: on == 0 branch */
+  }
+  return *q;                               /* clean: q non-null here */
+}
+
+/* BUG 4: an interrupt handler's helper calls a sleeping allocator. */
+long lint_irq_helper(long n) {
+  char *b = kmalloc(n);                    /* irq-sleep: kmalloc in irq */
+  if (!b) return -1;
+  kfree(b);
+  return 0;
+}
+
+long lint_storm_interrupt(long icp, long vec, long a2, long a3) {
+  return lint_irq_helper(64);
+}
+
+/* Registration makes the bugs reachable for the analysis (the syscall
+   table seeds the taint checker; the interrupt registration roots the
+   irq checker).  Never called at run time. */
+void lint_fixture_init(void) {
+  sva_register_syscall(90, sys_peek_user);                    /* SVA-PORT */
+  sva_register_syscall(91, sys_peek2_user);                   /* SVA-PORT */
+  sva_register_interrupt(9, lint_storm_interrupt);            /* SVA-PORT */
+}
+|}
+
+(* Ground truth: (checker, function) of every seeded defect. *)
+let expected =
+  [
+    ("irq-sleep", "lint_irq_helper");
+    ("null-deref", "lint_guard_deref");
+    ("null-deref", "lint_null_deref");
+    ("user-taint", "lint_fetch");
+    ("user-taint", "sys_peek_user");
+  ]

@@ -238,6 +238,84 @@ let test_hoisting_empty_loop_ok () =
   | Some v -> Alcotest.(check int64) "empty loop" (-1L) v (* kmalloc(0) = 0 *)
   | None -> Alcotest.fail "void"
 
+(* ---------- qcheck: Checkopt is a pure optimization ---------- *)
+
+(* Random MiniC functions over a kmalloc'd 8-long array: masked (always
+   in-bounds) accesses driven by random arithmetic, and in half the
+   programs a plain [p[i]] walk whose claimed bound is sometimes past the
+   allocation — so the optimized build must fault exactly where the plain
+   build does. *)
+
+let rec gen_arith rng depth =
+  if depth = 0 then
+    match Random.State.int rng 3 with 0 -> "a" | 1 -> "b" | _ -> "i"
+  else
+    let l = gen_arith rng (depth - 1) and r = gen_arith rng (depth - 1) in
+    match Random.State.int rng 5 with
+    | 0 -> Printf.sprintf "(%s + %s)" l r
+    | 1 -> Printf.sprintf "(%s - %s)" l r
+    | 2 -> Printf.sprintf "(%s * %s)" l r
+    | 3 -> Printf.sprintf "(%s ^ %s)" l r
+    | _ -> Printf.sprintf "(%s & %s)" l r
+
+let gen_checkopt_program seed =
+  let rng = Random.State.make [| seed |] in
+  let e1 = gen_arith rng 2 and e2 = gen_arith rng 2 in
+  let k1 = Random.State.int rng 8 and k2 = Random.State.int rng 8 in
+  let walk =
+    if Random.State.bool rng then
+      let claimed = if Random.State.bool rng then 8 else 10 in
+      Printf.sprintf "  for (long i = 0; i < %d; i++) s += p[i];\n" claimed
+    else ""
+  in
+  Printf.sprintf
+    "extern char *kmalloc(long n);\n\
+     long f(long a, long b) {\n\
+    \  long *p = (long*)kmalloc(64);\n\
+    \  long s = 0;\n\
+    \  for (long i = 0; i < 8; i++) {\n\
+    \    p[(i + %d) & 7] = %s;\n\
+    \    s = s + (p[(i + %d) & 7] ^ (%s));\n\
+    \  }\n\
+     %s\
+    \  return s;\n\
+     }"
+    k1 e1 k2 e2 walk
+
+let checkopt_outcome built a b =
+  Stats.reset ();
+  let verdict =
+    match run built "f" [ a; b ] with
+    | v -> Ok v
+    | exception Sva_rt.Violation.Safety_violation v ->
+        Error (Sva_rt.Violation.kind_to_string v.Sva_rt.Violation.v_kind)
+  in
+  (verdict, Stats.total_checks (Stats.read ()))
+
+let prop_checkopt_equivalent =
+  let gen =
+    QCheck2.Gen.(tup3 (int_range 0 2000) small_signed_int small_signed_int)
+  in
+  QCheck2.Test.make
+    ~name:"checkopt preserves verdicts and never adds dynamic checks"
+    ~count:40 gen
+    (fun (seed, a, b) ->
+      let src = gen_checkopt_program seed in
+      let build checkopt =
+        Pipeline.build ~conf:Pipeline.Sva_safe ~aconfig ~checkopt ~name:"qc"
+          [ allocator_src; src ]
+      in
+      let plain = build false and opt = build true in
+      let v_plain, c_plain = checkopt_outcome plain a b in
+      let v_opt, c_opt = checkopt_outcome opt a b in
+      if v_plain <> v_opt then
+        QCheck2.Test.fail_reportf "verdict drift on seed %d:\n%s" seed src;
+      if c_opt > c_plain then
+        QCheck2.Test.fail_reportf
+          "optimized build runs more checks (%d > %d) on seed %d" c_opt c_plain
+          seed;
+      true)
+
 let () =
   Alcotest.run "sva_opts"
     [
@@ -260,5 +338,6 @@ let () =
           Alcotest.test_case "hoisted check still catches" `Quick
             test_hoisting_still_catches_overrun;
           Alcotest.test_case "zero-trip loop" `Quick test_hoisting_empty_loop_ok;
+          QCheck_alcotest.to_alcotest prop_checkopt_equivalent;
         ] );
     ]
