@@ -33,4 +33,25 @@ let () =
   let off = field "lint-off" and on = field "lint-on" and proved = field "proved-static" in
   if off - on <> proved then
     fail "%s: check reduction %d-%d does not match proved-static %d" path off on proved;
-  Printf.printf "%s: OK (%d accesses proved, %d checks elided)\n" path proofs proved
+  (* tiered section: the second tier must be semantically invisible (the
+     modeled numbers agree bit-for-bit across engines) and faster. *)
+  let tiered = get "tiered" (J.member "tiered" doc) in
+  let pair section =
+    let o = get ("tiered." ^ section) (J.member section tiered) in
+    ( get (section ^ ".interp") (J.member "interp" o),
+      get (section ^ ".tiered") (J.member "tiered" o) )
+  in
+  let ci, ct = pair "cycles-per-op" in
+  if J.to_float ci <> J.to_float ct then
+    fail "%s: tiered engine changed modeled cycles (%f vs %f)" path
+      (J.to_float ci) (J.to_float ct);
+  let ki, kt = pair "checks-per-op" in
+  if J.to_int ki <> J.to_int kt then
+    fail "%s: tiered engine changed check counts (%d vs %d)" path
+      (J.to_int ki) (J.to_int kt);
+  let speedup = J.to_float (get "tiered.host-speedup" (J.member "host-speedup" tiered)) in
+  if speedup <= 0.0 then fail "%s: tiered host-speedup %f not positive" path speedup;
+  let promos = J.to_int (get "tiered.promotions" (J.member "promotions" tiered)) in
+  if promos <= 0 then fail "%s: tiered engine promoted no functions" path;
+  Printf.printf "%s: OK (%d accesses proved, %d checks elided, tiered %.2fx)\n"
+    path proofs proved speedup

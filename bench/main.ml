@@ -144,6 +144,26 @@ let bechamel_crosscheck () =
       with_cache false (fun () -> Harness.Workloads.op_open_close safe));
   med "open-close/sva-safe/cache-on" (fun () ->
       with_cache true (fun () -> Harness.Workloads.op_open_close safe));
+  (* Tiered-engine A/B: the same checked kernel image on the pre-decoded
+     interpreter vs the closure-compiled second tier (warmed so the hot
+     functions are already promoted). *)
+  let tiered =
+    let b = Ukern.Kbuild.build ~conf:Pipeline.Sva_safe Ukern.Kbuild.as_tested in
+    let t =
+      Boot.boot_built
+        ~engine:{ Pipeline.eng_kind = Pipeline.Tiered; eng_threshold = 2 }
+        b ~variant:Ukern.Kbuild.as_tested
+    in
+    let ctx = Harness.Workloads.prepare t in
+    for _ = 1 to 3 do
+      Harness.Workloads.op_open_close ctx
+    done;
+    ctx
+  in
+  med "open-close/sva-safe/interp" (fun () ->
+      Harness.Workloads.op_open_close safe);
+  med "open-close/sva-safe/tiered" (fun () ->
+      Harness.Workloads.op_open_close tiered);
   Buffer.contents buf
 
 let () =
@@ -165,6 +185,7 @@ let () =
   section "ablation" (fun () -> Tables.ablation ~quick:!quick ());
   section "fastpath" (fun () ->
       Tables.fastpath ~quick:!quick ~strict:!strict ());
+  section "tiered" (fun () -> Tables.tiered ~quick:!quick ~strict:!strict ());
   section "exploits" (fun () -> Tables.exploits_table ());
   section "verifier" (fun () -> Tables.verifier_experiment ());
   section "bechamel" (fun () -> bechamel_crosscheck ());
@@ -188,6 +209,7 @@ let () =
             else None)
           [
             ("fastpath", fun () -> Tables.fastpath_json ~quick:!quick ());
+            ("tiered", fun () -> Tables.tiered_json ~quick:!quick ());
             ("table7", fun () -> Tables.table7_json ~quick:!quick ());
             ("lint", fun () -> Tables.lint_json ());
           ]

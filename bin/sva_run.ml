@@ -5,6 +5,7 @@
    to avoid inserting a second set of checks.
 
      sva_run FILE [-f FUNC] [-a INT]... [--conf native|gcc|llvm|safe]
+             [--engine interp|tiered] [--jit-threshold N]
              [--dump-ir] [--emit-bytecode OUT]
 
    The default entry point is `main`.  Under `--conf safe` (the default)
@@ -22,9 +23,21 @@ let conf_of_string = function
   | "safe" -> Pipeline.Sva_safe
   | s -> failwith ("unknown configuration " ^ s)
 
-let run file func args conf_name dump_ir emit_bytecode =
+let engine_of_string = function
+  | "interp" -> Pipeline.Interp
+  | "tiered" -> Pipeline.Tiered
+  | s -> failwith ("unknown engine " ^ s)
+
+let run file func args conf_name engine_name jit_threshold dump_ir
+    emit_bytecode =
   let source = In_channel.with_open_bin file In_channel.input_all in
   let conf = conf_of_string conf_name in
+  let engine =
+    {
+      Pipeline.eng_kind = engine_of_string engine_name;
+      eng_threshold = jit_threshold;
+    }
+  in
   let name = Filename.basename file in
   match
     if Pipeline.is_bytecode source then
@@ -50,7 +63,12 @@ let run file func args conf_name dump_ir emit_bytecode =
             (String.length entry.Sva_bytecode.Signing.ce_bytecode)
             (Sva_bytecode.Sha256.hex entry.Sva_bytecode.Signing.ce_bytecode)
       | None -> ());
-      let vm = Pipeline.instantiate built in
+      let vm = Pipeline.instantiate ~engine built in
+      let report_tier () =
+        if engine.Pipeline.eng_kind = Pipeline.Tiered then
+          Printf.printf "tiered:   %s\n"
+            (Sva_rt.Stats.tier_to_string (Sva_rt.Stats.read_tier ()))
+      in
       match Sva_interp.Interp.call vm func (List.map Int64.of_int args) with
       | Some v ->
           Printf.printf "%s(%s) = %Ld   [%d instructions, %d cycles]\n" func
@@ -58,9 +76,11 @@ let run file func args conf_name dump_ir emit_bytecode =
             v
             (Sva_interp.Interp.steps vm)
             (Sva_interp.Interp.cycles vm);
+          report_tier ();
           exit 0
       | None ->
           Printf.printf "%s returned void\n" func;
+          report_tier ();
           exit 0
       | exception Sva_rt.Violation.Safety_violation v ->
           Printf.eprintf "%s\n" (Sva_rt.Violation.to_string v);
@@ -80,6 +100,17 @@ let conf =
   Arg.(value & opt string "safe" & info [ "conf" ] ~docv:"CONF"
          ~doc:"Pipeline configuration: native, gcc, llvm or safe.")
 
+let engine =
+  Arg.(value & opt string "interp" & info [ "engine" ] ~docv:"ENGINE"
+         ~doc:"Execution engine: interp (pre-decoded interpreter) or \
+               tiered (closure-compiled hot functions with a signed \
+               translation cache).")
+
+let jit_threshold =
+  Arg.(value & opt int Pipeline.default_jit_threshold
+       & info [ "jit-threshold" ] ~docv:"N"
+           ~doc:"Calls before the tiered engine promotes a function.")
+
 let dump_ir = Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print the final IR.")
 
 let emit_bytecode =
@@ -89,6 +120,8 @@ let cmd =
   Cmd.v
     (Cmd.info "sva_run"
        ~doc:"Compile MiniC through the SVA safety pipeline and execute it")
-    Term.(const run $ file $ func $ args $ conf $ dump_ir $ emit_bytecode)
+    Term.(
+      const run $ file $ func $ args $ conf $ engine $ jit_threshold $ dump_ir
+      $ emit_bytecode)
 
 let () = exit (Cmd.eval cmd)

@@ -1,9 +1,11 @@
 (* ukern-boot: boot the MiniC kernel on the SVM and run a smoke workload.
 
-     ukern_boot [native|gcc|llvm|safe]   (default: safe)
+     ukern_boot [native|gcc|llvm|safe] [--engine=interp|tiered]
+                [--jit-threshold=N]          (default: safe, interp)
 
    Prints the boot transcript, runs a small syscall workload, and reports
-   instruction/cycle counts plus run-time check statistics. *)
+   instruction/cycle counts plus run-time check statistics (and the tier
+   counters when the tiered engine is selected). *)
 
 module Boot = Ukern.Boot
 module Pipeline = Sva_pipeline.Pipeline
@@ -15,12 +17,20 @@ let conf_of_string = function
   | _ -> Pipeline.Sva_safe
 
 let () =
-  let conf =
-    if Array.length Sys.argv > 1 then conf_of_string Sys.argv.(1)
-    else Pipeline.Sva_safe
-  in
-  Printf.printf "building %s kernel...\n%!" (Pipeline.conf_name conf);
-  let t = Boot.boot ~conf () in
+  let conf = ref Pipeline.Sva_safe in
+  let engine = ref Pipeline.default_engine in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match Pipeline.engine_flag !engine arg with
+        | Some cfg -> engine := cfg
+        | None -> conf := conf_of_string arg)
+    Sys.argv;
+  let conf = !conf and engine = !engine in
+  Printf.printf "building %s kernel (%s engine)...\n%!"
+    (Pipeline.conf_name conf)
+    (Pipeline.engine_name engine.Pipeline.eng_kind);
+  let t = Boot.boot ~conf ~engine () in
   Printf.printf "booted: kernel_booted=%Ld (%d instructions)\n"
     (Boot.kernel_global t "kernel_booted")
     (Boot.steps t);
@@ -47,4 +57,7 @@ let () =
   Printf.printf "socket roundtrip -> %Ld: %S\n" n
     (Boot.read_user t 4096 (Int64.to_int n));
   Printf.printf "workload: %d cycles\n" (Boot.cycles t);
-  Printf.printf "checks:   %s\n" (Sva_rt.Stats.to_string (Sva_rt.Stats.read ()))
+  Printf.printf "checks:   %s\n" (Sva_rt.Stats.to_string (Sva_rt.Stats.read ()));
+  if engine.Pipeline.eng_kind = Pipeline.Tiered then
+    Printf.printf "tiered:   %s\n"
+      (Sva_rt.Stats.tier_to_string (Sva_rt.Stats.read_tier ()))

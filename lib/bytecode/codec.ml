@@ -542,3 +542,25 @@ let roundtrip_equal m =
   let e1 = encode m in
   let e2 = encode (decode e1) in
   String.equal e1 e2
+
+(* ---------- per-function bytecode ----------
+
+   The translate-and-cache tier keys translations by the SHA-256 of a
+   single function's bytecode, so functions must be serializable (and
+   checkable) independently of their module. *)
+
+let encode_func (f : Func.t) : string =
+  let b = Buffer.create 1024 in
+  w_func b f;
+  Buffer.contents b
+
+let decode_func (s : string) : Func.t =
+  let r = { src = s; pos = 0 } in
+  let f = r_func r in
+  if r.pos <> String.length s then fail_at r "trailing bytes";
+  f
+
+let func_roundtrip_equal (f : Func.t) =
+  let e1 = encode_func f in
+  let e2 = encode_func (decode_func e1) in
+  String.equal e1 e2

@@ -25,3 +25,14 @@ val decode : string -> Irmod.t
 val roundtrip_equal : Irmod.t -> bool
 (** [encode] then [decode] then [encode] again and compare — the codec's
     self-test. *)
+
+val encode_func : Func.t -> string
+(** Serialize one function independently of its module (deterministic) —
+    the unit the translation cache hashes and signs. *)
+
+val decode_func : string -> Func.t
+(** Reconstruct a function.  @raise Decode_error on malformed input. *)
+
+val func_roundtrip_equal : Func.t -> bool
+(** Per-function codec self-test, used as the translation-time bytecode
+    re-verification that a valid cache entry may skip. *)

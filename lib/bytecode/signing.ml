@@ -57,3 +57,54 @@ let tamper_bytecode e =
 
 let tamper_native e =
   { e with ce_native = flip_byte e.ce_native (String.length e.ce_native / 2) }
+
+(* ---------- per-function translation-cache entries ----------
+
+   The tiered execution engine caches translations of single hot
+   functions, keyed by the SHA-256 of the function's bytecode.  Each
+   entry is signed exactly like a module entry: the SVM re-verifies the
+   signature before reusing a cached translation, and a tampered entry is
+   discarded in favour of a fresh (re-verified, re-signed) translation. *)
+
+type fentry = {
+  fe_name : string;  (* function name; diagnostic only *)
+  fe_hash : string;  (* sha256 hex of fe_bytecode: the cache key *)
+  fe_bytecode : string;
+  fe_native : string;
+  fe_signature : string;
+}
+
+(* Domain-separated from module entries so a function cannot masquerade
+   as a module (or vice versa) under the same key. *)
+let fpayload name bytecode native = payload ("func:" ^ name) bytecode native
+
+let sign_function ~name ~bytecode ~native =
+  {
+    fe_name = name;
+    fe_hash = Sha256.hex bytecode;
+    fe_bytecode = bytecode;
+    fe_native = native;
+    fe_signature = Sha256.hmac ~key:!svm_key (fpayload name bytecode native);
+  }
+
+let verify_function e ~bytecode ~native =
+  let expect =
+    Sha256.hmac ~key:!svm_key (fpayload e.fe_name e.fe_bytecode e.fe_native)
+  in
+  if not (String.equal expect e.fe_signature) then
+    raise (Tampered ("signature mismatch for function " ^ e.fe_name));
+  if not (String.equal e.fe_bytecode bytecode) then
+    raise (Tampered ("cached bytecode differs for function " ^ e.fe_name));
+  if not (String.equal e.fe_hash (Sha256.hex bytecode)) then
+    raise (Tampered ("cache key mismatch for function " ^ e.fe_name));
+  if not (String.equal e.fe_native native) then
+    raise (Tampered ("stale native translation for function " ^ e.fe_name))
+
+let tamper_fentry_signature e =
+  { e with fe_signature = flip_byte e.fe_signature (String.length e.fe_signature / 2) }
+
+let tamper_fentry_native e =
+  { e with fe_native = flip_byte e.fe_native (String.length e.fe_native / 2) }
+
+let tamper_fentry_bytecode e =
+  { e with fe_bytecode = flip_byte e.fe_bytecode (String.length e.fe_bytecode / 2) }

@@ -39,3 +39,32 @@ val tamper_bytecode : entry -> entry
 (** Flip a byte in the bytecode (for tests and demos). *)
 
 val tamper_native : entry -> entry
+
+(** {1 Per-function translation-cache entries}
+
+    The tiered execution engine ({!Sva_interp.Closcomp}) caches the
+    translation of each hot function, keyed by the SHA-256 of the
+    function's bytecode and signed with the SVM key.  Reuse re-verifies
+    the signature (Section 3.4); a tampered entry is discarded and the
+    function re-translated from (re-verified) bytecode. *)
+
+type fentry = {
+  fe_name : string;  (** function name (diagnostic) *)
+  fe_hash : string;  (** SHA-256 hex of [fe_bytecode] — the cache key *)
+  fe_bytecode : string;  (** the function's serialized bytecode *)
+  fe_native : string;  (** deterministic translation artifact *)
+  fe_signature : string;  (** HMAC-SHA256 over name, bytecode and native *)
+}
+
+val sign_function : name:string -> bytecode:string -> native:string -> fentry
+
+val verify_function : fentry -> bytecode:string -> native:string -> unit
+(** Check an entry against the function about to be executed: the
+    signature must verify under the SVM key and the cached bytecode,
+    key and native artifact must match the presented ones.
+    @raise Tampered otherwise. *)
+
+val tamper_fentry_signature : fentry -> fentry
+val tamper_fentry_native : fentry -> fentry
+val tamper_fentry_bytecode : fentry -> fentry
+(** Byte-flipping helpers for tests and demos. *)

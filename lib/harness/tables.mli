@@ -56,6 +56,16 @@ val fastpath : ?quick:bool -> ?strict:bool -> unit -> string
     criterion raises instead of being reported in the output (the
     [@bench-smoke] regression gate). *)
 
+val tiered : ?quick:bool -> ?strict:bool -> unit -> string
+(** The tiered-engine experiment: the Table 7 syscall mix under SVA-Safe
+    on the pre-decoded interpreter and on the tiered engine
+    (closure-compiled hot functions, signed translation cache,
+    Section 3.4).  Verifies the second tier is semantically invisible —
+    modeled cycles, steps and check counts bit-identical — that it
+    actually promoted functions, and that it beats the interpreter on
+    host wall-clock; with [strict] a failed criterion raises instead of
+    being reported in the output (the [@bench-smoke] regression gate). *)
+
 (** {1 Structured data + machine-readable output}
 
     The sections consumed by [bench --json] expose their measurements as
@@ -84,6 +94,24 @@ type fastpath_data = {
 
 val fastpath_data : ?quick:bool -> unit -> fastpath_data
 
+type tiered_data = {
+  td_cycles_interp : float;
+  td_cycles_tiered : float;
+  td_steps_interp : float;
+  td_steps_tiered : float;
+  td_checks_interp : int;
+  td_checks_tiered : int;
+  td_ns_interp : float;
+  td_ns_tiered : float;
+  td_speedup : float;
+  td_promotions : int;
+  td_tcache_hits : int;
+  td_tcache_misses : int;
+  td_sig_verifications : int;
+}
+
+val tiered_data : ?quick:bool -> unit -> tiered_data
+
 type lint_data = {
   ld_counts : (string * int) list;
   ld_findings : int;
@@ -105,5 +133,6 @@ val lint_table : unit -> string
     reduction the proofs buy. *)
 
 val fastpath_json : ?quick:bool -> unit -> Jsonout.t
+val tiered_json : ?quick:bool -> unit -> Jsonout.t
 val table7_json : ?quick:bool -> unit -> Jsonout.t
 val lint_json : unit -> Jsonout.t

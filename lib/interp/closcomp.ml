@@ -1,0 +1,802 @@
+(* The SVM's second execution tier: a closure compiler.
+
+   Section 3.4's SVM "can cache translations" of verified bytecode; this
+   module is that translator for the OCaml substrate.  A promoted
+   function is compiled once into a tree of OCaml closures — one fused
+   chain per basic block, with operand fetches specialized per value
+   constructor, branch targets resolved to block indices, and
+   superinstruction fusion for compare+branch, gep+load/store and
+   check+access pairs — so the hot path never pays the interpreter's
+   per-instruction constructor dispatch again.
+
+   Translations are keyed by the SHA-256 of the function's bytecode and
+   recorded as signed cache entries ({!Sva_bytecode.Signing.fentry}).  A
+   cache hit re-verifies the signature before reuse and may then skip the
+   translation-time bytecode re-verification; a tampered entry is
+   discarded and the function re-translated from re-verified bytecode,
+   exactly the paper's cached-native-code story.
+
+   The tier must be semantically invisible.  Every compiled closure
+   reproduces the interpreter's bookkeeping bit-for-bit: steps, the
+   modeled cycle counts (including the splay-comparison and cache-hit
+   deltas charged around intrinsics), the step-limit check position, phi
+   simultaneity, stack-pointer save/restore, and all error messages.
+   The speedup is host wall-clock only. *)
+
+open Sva_ir
+module I = Interp
+module Machine = Sva_hw.Machine
+module Svaos = Sva_os.Svaos
+module Metapool_rt = Sva_rt.Metapool_rt
+module Stats = Sva_rt.Stats
+module Splay = Sva_rt.Splay
+module Codec = Sva_bytecode.Codec
+module Signing = Sva_bytecode.Signing
+module Sha256 = Sva_bytecode.Sha256
+
+(* ---------- per-invocation frame ---------- *)
+
+type frame = {
+  regs : int64 array;
+  scratch : int64 array;  (* phi staging, sized pf_max_phis *)
+  mutable prev : int;  (* predecessor block index; -1 on entry *)
+  mutable ret : int64 option;
+}
+
+type cvalf = frame -> int64
+type cop = frame -> unit
+
+(* Per-step bookkeeping, identical to the interpreter's prologue for
+   every instruction and terminator: count, charge one cycle, then the
+   step-limit check. *)
+let[@inline] tick (t : I.t) =
+  t.I.nsteps <- t.I.nsteps + 1;
+  t.I.ncycles <- t.I.ncycles + 1;
+  match t.I.limit with
+  | Some l when t.I.nsteps > l -> I.vm_err "step limit exceeded"
+  | _ -> ()
+
+(* ---------- operand fetch specialization ---------- *)
+
+let cval (t : I.t) (v : Value.t) : cvalf =
+  match v with
+  | Value.Reg (id, _, _) -> fun fr -> fr.regs.(id)
+  | Value.Imm (Ty.Int w, n) ->
+      let k = Constfold.truncate_to_width w n in
+      fun _ -> k
+  | Value.Imm (_, n) -> fun _ -> n
+  | Value.Fimm f ->
+      let k = Int64.bits_of_float f in
+      fun _ -> k
+  | Value.Null _ | Value.Undef _ -> fun _ -> 0L
+  | Value.Global (g, _) -> (
+      (* Resolve now when possible; a symbol a later link_module may
+         still provide falls back to the interpreter's lazy lookup
+         (addresses, once assigned, are never rebound). *)
+      match Hashtbl.find_opt t.I.g_addr g with
+      | Some a ->
+          let k = Int64.of_int a in
+          fun _ -> k
+      | None -> (
+          fun _ ->
+            match Hashtbl.find_opt t.I.g_addr g with
+            | Some a -> Int64.of_int a
+            | None -> I.vm_err "unknown global @%s" g))
+  | Value.Fn (f, _) -> (
+      match Hashtbl.find_opt t.I.fn_addr f with
+      | Some a ->
+          let k = Int64.of_int a in
+          fun _ -> k
+      | None -> (
+          fun _ ->
+            match Hashtbl.find_opt t.I.fn_addr f with
+            | Some a -> Int64.of_int a
+            | None -> I.vm_err "unknown function @%s" f))
+
+(* Compile-time constant, when the operand needs no frame and no symbol
+   table (exactly the cases [I.eval] computes without [t]). *)
+let const_of (v : Value.t) : int64 option =
+  match v with
+  | Value.Imm (Ty.Int w, n) -> Some (Constfold.truncate_to_width w n)
+  | Value.Imm (_, n) -> Some n
+  | Value.Fimm f -> Some (Int64.bits_of_float f)
+  | Value.Null _ | Value.Undef _ -> Some 0L
+  | _ -> None
+
+(* ---------- instruction compilation ---------- *)
+
+(* Specialized integer binops.  Add/Sub/Mul and the bitwise ops are pure
+   wrap-to-width and inlined; the trapping, shift and unsigned ops reuse
+   Constfold.eval_binop (the interpreter's own evaluator) so the
+   semantics cannot drift. *)
+let cbinop t fname (i : Instr.t) op x y : cop =
+  let id = i.Instr.id in
+  match op with
+  | Instr.Fadd | Instr.Fsub | Instr.Fmul | Instr.Fdiv ->
+      let cx = cval t x and cy = cval t y in
+      let fop =
+        match op with
+        | Instr.Fadd -> ( +. )
+        | Instr.Fsub -> ( -. )
+        | Instr.Fmul -> ( *. )
+        | _ -> ( /. )
+      in
+      fun fr ->
+        tick t;
+        let fx = Int64.float_of_bits (cx fr) in
+        let fy = Int64.float_of_bits (cy fr) in
+        fr.regs.(id) <- Int64.bits_of_float (fop fx fy)
+  | _ -> (
+      let w = I.width_of_value x in
+      let cx = cval t x and cy = cval t y in
+      let wrap =
+        if w >= 64 then fun v -> v
+        else if w = 1 then fun v -> Int64.logand v 1L
+        else
+          let sh = 64 - w in
+          fun v -> Int64.shift_right (Int64.shift_left v sh) sh
+      in
+      match op with
+      | Instr.Add ->
+          fun fr ->
+            tick t;
+            fr.regs.(id) <- wrap (Int64.add (cx fr) (cy fr))
+      | Instr.Sub ->
+          fun fr ->
+            tick t;
+            fr.regs.(id) <- wrap (Int64.sub (cx fr) (cy fr))
+      | Instr.Mul ->
+          fun fr ->
+            tick t;
+            fr.regs.(id) <- wrap (Int64.mul (cx fr) (cy fr))
+      | Instr.And ->
+          fun fr ->
+            tick t;
+            fr.regs.(id) <- wrap (Int64.logand (cx fr) (cy fr))
+      | Instr.Or ->
+          fun fr ->
+            tick t;
+            fr.regs.(id) <- wrap (Int64.logor (cx fr) (cy fr))
+      | Instr.Xor ->
+          fun fr ->
+            tick t;
+            fr.regs.(id) <- wrap (Int64.logxor (cx fr) (cy fr))
+      | _ ->
+          fun fr ->
+            tick t;
+            let a = cx fr in
+            let b = cy fr in
+            (match Constfold.eval_binop op w a b with
+            | Some r -> fr.regs.(id) <- r
+            | None -> I.vm_err "division by zero in @%s" fname))
+
+(* Gep: fold the index walk at compile time into a static byte offset
+   plus dynamic (scale * index) terms.  A dynamically-indexed struct (or
+   any walk this decomposition cannot prove out) falls back to the
+   interpreter's own gep_offset so errors and semantics match exactly. *)
+let cgep t (i : Instr.t) (base : Value.t) idxs : cop =
+  let id = i.Instr.id in
+  let pointee = Ty.pointee (Value.ty base) in
+  let cbase = cval t base in
+  let generic () =
+    (* offset first, base second — the interpreter's order *)
+    fun fr ->
+      tick t;
+      let off = I.gep_offset t pointee fr.regs idxs in
+      fr.regs.(id) <- Int64.add (cbase fr) off
+  in
+  match
+    let konst = ref 0L in
+    let terms = ref [] in
+    let add_idx scale v =
+      match const_of v with
+      | Some n -> konst := Int64.add !konst (Int64.mul n scale)
+      | None -> terms := (scale, cval t v) :: !terms
+    in
+    (match idxs with
+    | first :: rest ->
+        add_idx (Int64.of_int (I.sizeof t pointee)) first;
+        let rec descend ty = function
+          | [] -> ()
+          | idx :: more -> (
+              match ty with
+              | Ty.Array (e, _) ->
+                  add_idx (Int64.of_int (I.sizeof t e)) idx;
+                  descend e more
+              | Ty.Struct sname -> (
+                  match const_of idx with
+                  | Some n ->
+                      let foff, fty =
+                        Ty.field_at t.I.im_mod.Irmod.m_ctx sname
+                          (Int64.to_int n)
+                      in
+                      konst := Int64.add !konst (Int64.of_int foff);
+                      descend fty more
+                  | None -> raise Exit)
+              | _ -> raise Exit)
+        in
+        descend pointee rest
+    | [] -> raise Exit);
+    (!konst, List.rev !terms)
+  with
+  | exception _ -> generic ()
+  | k, [] ->
+      fun fr ->
+        tick t;
+        fr.regs.(id) <- Int64.add (cbase fr) k
+  | k, ts ->
+      fun fr ->
+        tick t;
+        let off =
+          List.fold_left
+            (fun acc (s, cv) -> Int64.add acc (Int64.mul (cv fr) s))
+            k ts
+        in
+        fr.regs.(id) <- Int64.add (cbase fr) off
+
+(* Calls.  A compiled call site shares the interpreter's per-site callee
+   cache: a callee already resolved by interpreted runs is inlined, and
+   one resolved later is memoized for both tiers.  Callees always
+   re-enter through [I.enter], so compiled code can call interpreted
+   functions and trigger their promotion. *)
+let ccall t (i : Instr.t) (callee : Value.t) (cargs : Value.t array)
+    (cache : I.prepared_func I.callee_cache) : cop =
+  let id = i.Instr.id in
+  let evs = Array.map (cval t) cargs in
+  let argv fr = Array.to_list (Array.map (fun ev -> ev fr) evs) in
+  let set fr res =
+    match res with Some v -> fr.regs.(id) <- v | None -> ()
+  in
+  let direct cpf fr =
+    tick t;
+    set fr (I.enter t cpf (argv fr))
+  in
+  match cache.I.cc with
+  | I.Cc_func cpf -> direct cpf
+  | I.Cc_builtin name ->
+      fun fr ->
+        tick t;
+        set fr (I.builtin t name (Array.of_list (argv fr)))
+  | I.Cc_unresolved -> (
+      match callee with
+      | Value.Fn (name, _) -> (
+          match Hashtbl.find_opt t.I.funcs name with
+          | Some cpf ->
+              cache.I.cc <- I.Cc_func cpf;
+              direct cpf
+          | None ->
+              (* Unresolved at translation time: the defining module may
+                 be linked later.  Resolve on first execution, memoizing
+                 into the shared per-site cache like the interpreter. *)
+              fun fr ->
+                tick t;
+                let args = argv fr in
+                let res =
+                  match cache.I.cc with
+                  | I.Cc_func cpf -> I.enter t cpf args
+                  | I.Cc_builtin nm -> I.builtin t nm (Array.of_list args)
+                  | I.Cc_unresolved -> (
+                      match Hashtbl.find_opt t.I.funcs name with
+                      | Some cpf ->
+                          cache.I.cc <- I.Cc_func cpf;
+                          I.enter t cpf args
+                      | None ->
+                          if I.is_builtin name then begin
+                            cache.I.cc <- I.Cc_builtin name;
+                            I.builtin t name (Array.of_list args)
+                          end
+                          else
+                            I.vm_err "call to undefined function @%s" name)
+                in
+                set fr res)
+      | _ ->
+          let ctarget = cval t callee in
+          fun fr ->
+            tick t;
+            let args = argv fr in
+            let target = I.to_addr (ctarget fr) in
+            (match I.func_name t target with
+            | Some name -> set fr (I.dispatch_call t name args)
+            | None ->
+                I.vm_err "indirect call to non-code address 0x%x" target))
+
+(* Intrinsics: pre-compiled operand fetches feeding the shared
+   [I.exec_intr], wrapped in the interpreter's exact charging sequence
+   (base cost by current SVA-OS mode, splay-comparison and cache-hit
+   deltas, the mmu_clone_space page-walk surcharge). *)
+let cintr t (i : Instr.t) intr (vargs : Value.t array) cost_native
+    cost_mediated : cop =
+  let id = i.Instr.id in
+  let has_result = i.Instr.ty <> Ty.Void in
+  let evs = Array.map (cval t) vargs in
+  fun fr ->
+    tick t;
+    let mediated = t.I.im_sys.Svaos.mode = Svaos.Sva_mediated in
+    let splay0 = Splay.comparisons () in
+    let hits0 = Stats.cache_hits () in
+    let r = I.exec_intr t intr vargs (Array.map (fun ev -> ev fr) evs) in
+    t.I.ncycles <-
+      t.I.ncycles
+      + (if mediated then cost_mediated else cost_native)
+      + (I.splay_cmp_cost * (Splay.comparisons () - splay0))
+      + (I.cache_hit_cost * (Stats.cache_hits () - hits0));
+    (match (intr, r) with
+    | I.I_mmu_clone_space, Some sid ->
+        t.I.ncycles <-
+          t.I.ncycles
+          + (2 * Svaos.mmu_page_count t.I.im_sys ~sid:(Int64.to_int sid))
+    | _ -> ());
+    match r with
+    | Some v -> if has_result then fr.regs.(id) <- v
+    | None -> ()
+
+(* One instruction to one closure.  A compile-time error (bad width, gep
+   into a scalar, ...) is deferred to execution time, where the
+   interpreter would raise it — after the same bookkeeping. *)
+let cinsn t fname (p : I.pinsn) : cop =
+  let compile () =
+    match p with
+    | I.P_intr (i, intr, vargs, cn, cm) -> cintr t i intr vargs cn cm
+    | I.P_call (i, callee, cargs, cache) -> ccall t i callee cargs cache
+    | I.P_base i -> (
+        let id = i.Instr.id in
+        match i.Instr.kind with
+        | Instr.Binop (op, x, y) -> cbinop t fname i op x y
+        | Instr.Icmp (op, x, y) ->
+            let w = I.width_of_value x in
+            let cx = cval t x and cy = cval t y in
+            fun fr ->
+              tick t;
+              let a = cx fr in
+              let b = cy fr in
+              fr.regs.(id) <-
+                (if Constfold.eval_icmp op w a b then 1L else 0L)
+        | Instr.Alloca (ty, count) ->
+            let es = I.sizeof t ty in
+            let ccount = cval t count in
+            fun fr ->
+              tick t;
+              let n = Int64.to_int (ccount fr) in
+              let size = max 1 (es * max 1 n) in
+              t.I.sp <- (t.I.sp + 15) / 16 * 16;
+              if t.I.sp + size > Machine.stack_base + Machine.stack_size
+              then I.vm_err "kernel stack overflow";
+              let addr = t.I.sp in
+              t.I.sp <- t.I.sp + size;
+              fr.regs.(id) <- Int64.of_int addr
+        | Instr.Load p ->
+            let w = I.ty_width i.Instr.ty in
+            let cp = cval t p in
+            fun fr ->
+              tick t;
+              fr.regs.(id) <-
+                I.mem_read_int t ~addr:(I.to_addr (cp fr)) ~width:w
+        | Instr.Store (v, p) ->
+            let w = I.ty_width (Value.ty v) in
+            let cv = cval t v and cp = cval t p in
+            fun fr ->
+              tick t;
+              I.mem_write_int t ~addr:(I.to_addr (cp fr)) ~width:w (cv fr)
+        | Instr.Gep (base, idxs) -> cgep t i base idxs
+        | Instr.Cast (op, x, ty) -> (
+            let cx = cval t x in
+            match op with
+            | Instr.Bitcast | Instr.Inttoptr | Instr.Ptrtoint | Instr.Sext ->
+                fun fr ->
+                  tick t;
+                  fr.regs.(id) <- cx fr
+            | Instr.Trunc -> (
+                match ty with
+                | Ty.Int w ->
+                    fun fr ->
+                      tick t;
+                      fr.regs.(id) <- Constfold.truncate_to_width w (cx fr)
+                | _ -> I.vm_err "trunc to non-integer")
+            | Instr.Zext ->
+                let sw = I.width_of_value x in
+                fun fr ->
+                  tick t;
+                  fr.regs.(id) <- Constfold.zext_of_width sw (cx fr)
+            | Instr.Fptosi ->
+                fun fr ->
+                  tick t;
+                  fr.regs.(id) <-
+                    Int64.of_float (Int64.float_of_bits (cx fr))
+            | Instr.Sitofp ->
+                fun fr ->
+                  tick t;
+                  fr.regs.(id) <-
+                    Int64.bits_of_float (Int64.to_float (cx fr)))
+        | Instr.Select (c, x, y) ->
+            let cc = cval t c and cx = cval t x and cy = cval t y in
+            fun fr ->
+              tick t;
+              fr.regs.(id) <- (if cc fr <> 0L then cx fr else cy fr)
+        | Instr.Malloc (ty, count) ->
+            let es = I.sizeof t ty in
+            let ccount = cval t count in
+            fun fr ->
+              tick t;
+              let n = Int64.to_int (ccount fr) in
+              fr.regs.(id) <- Int64.of_int (I.heap_alloc t (es * max 1 n))
+        | Instr.Free p ->
+            let cp = cval t p in
+            fun fr ->
+              tick t;
+              I.heap_free t (I.to_addr (cp fr))
+        | Instr.Atomic_cas (p, e, r) ->
+            let w = I.ty_width (Value.ty e) in
+            let cp = cval t p and ce = cval t e and cr = cval t r in
+            fun fr ->
+              tick t;
+              let addr = I.to_addr (cp fr) in
+              let old = I.mem_read_int t ~addr ~width:w in
+              if old = ce fr then I.mem_write_int t ~addr ~width:w (cr fr);
+              fr.regs.(id) <- old
+        | Instr.Atomic_add (p, d) ->
+            let w = I.ty_width (Value.ty d) in
+            let cp = cval t p and cd = cval t d in
+            fun fr ->
+              tick t;
+              let addr = I.to_addr (cp fr) in
+              let old = I.mem_read_int t ~addr ~width:w in
+              I.mem_write_int t ~addr ~width:w (Int64.add old (cd fr));
+              fr.regs.(id) <- old
+        | Instr.Membar -> fun _ -> tick t
+        | Instr.Intrinsic _ | Instr.Call _ | Instr.Phi _ -> assert false)
+  in
+  match compile () with
+  | c -> c
+  | exception e ->
+      fun _ ->
+        tick t;
+        raise e
+
+(* ---------- superinstruction fusion ---------- *)
+
+(* gep+load / gep+store: the computed address feeds the access directly.
+   Both halves keep their own bookkeeping prologue (the step-limit trap
+   can fire between them, exactly as in the interpreter), and the gep
+   result register is still written — later code may read it. *)
+let fuse_gep_access t (g : Instr.t) base idxs (acc : I.pinsn) : cop option =
+  let gid = g.Instr.id in
+  match acc with
+  | I.P_base a -> (
+      match a.Instr.kind with
+      | Instr.Load (Value.Reg (pid, _, _)) when pid = gid -> (
+          match I.ty_width a.Instr.ty with
+          | exception I.Vm_error _ -> None
+          | w ->
+              let cgep_op = cgep t g base idxs in
+              let did = a.Instr.id in
+              Some
+                (fun fr ->
+                  cgep_op fr;
+                  tick t;
+                  fr.regs.(did) <-
+                    I.mem_read_int t
+                      ~addr:(I.to_addr fr.regs.(gid))
+                      ~width:w))
+      | Instr.Store (v, Value.Reg (pid, _, _)) when pid = gid -> (
+          match I.ty_width (Value.ty v) with
+          | exception I.Vm_error _ -> None
+          | w ->
+              let cgep_op = cgep t g base idxs in
+              let cv = cval t v in
+              Some
+                (fun fr ->
+                  cgep_op fr;
+                  tick t;
+                  I.mem_write_int t
+                    ~addr:(I.to_addr fr.regs.(gid))
+                    ~width:w (cv fr)))
+      | _ -> None)
+  | _ -> None
+
+(* lscheck+access: the checked pointer is evaluated once and shared by
+   the check and the guarded load/store.  The check half replicates the
+   interpreter's full charging sequence for pchk_lscheck. *)
+let fuse_check_access t (ci : Instr.t) (vargs : Value.t array) cost_native
+    cost_mediated (acc : I.pinsn) : cop option =
+  if Array.length vargs <> 3 || ci.Instr.ty <> Ty.Void then None
+  else
+    let cmp_id = cval t vargs.(0) in
+    let cptr = cval t vargs.(1) in
+    let clen = cval t vargs.(2) in
+    (* bookkeeping + execution + charging of the lscheck itself; returns
+       the evaluated pointer for the fused access *)
+    let check fr =
+      tick t;
+      let mpid = cmp_id fr in
+      let ptr = cptr fr in
+      let len = clen fr in
+      let mediated = t.I.im_sys.Svaos.mode = Svaos.Sva_mediated in
+      let splay0 = Splay.comparisons () in
+      let hits0 = Stats.cache_hits () in
+      Metapool_rt.lscheck
+        (I.get_mp t (I.to_addr mpid))
+        ~addr:(I.to_addr ptr)
+        ~access_len:(I.to_addr len);
+      t.I.ncycles <-
+        t.I.ncycles
+        + (if mediated then cost_mediated else cost_native)
+        + (I.splay_cmp_cost * (Splay.comparisons () - splay0))
+        + (I.cache_hit_cost * (Stats.cache_hits () - hits0));
+      ptr
+    in
+    match acc with
+    | I.P_base a -> (
+        match a.Instr.kind with
+        | Instr.Load p when Value.equal p vargs.(1) -> (
+            match I.ty_width a.Instr.ty with
+            | exception I.Vm_error _ -> None
+            | w ->
+                let did = a.Instr.id in
+                Some
+                  (fun fr ->
+                    let ptr = check fr in
+                    tick t;
+                    fr.regs.(did) <-
+                      I.mem_read_int t ~addr:(I.to_addr ptr) ~width:w))
+        | Instr.Store (v, p) when Value.equal p vargs.(1) -> (
+            match I.ty_width (Value.ty v) with
+            | exception I.Vm_error _ -> None
+            | w ->
+                let cv = cval t v in
+                Some
+                  (fun fr ->
+                    let ptr = check fr in
+                    tick t;
+                    I.mem_write_int t ~addr:(I.to_addr ptr) ~width:w (cv fr)))
+        | _ -> None)
+    | _ -> None
+
+(* ---------- block compilation ---------- *)
+
+type cblock = {
+  cb_phis : cop option;
+  cb_body : cop array;
+  cb_term : frame -> int;  (* next block index; -1 = return *)
+}
+
+(* Compile a terminator.  [bi] is this block's index: the interpreter
+   records [prev] after the terminator's bookkeeping, before evaluating
+   its operand. *)
+let cterm t fname bi (term : I.pterm) : frame -> int =
+  match term with
+  | I.P_ret None ->
+      fun fr ->
+        tick t;
+        fr.prev <- bi;
+        fr.ret <- None;
+        -1
+  | I.P_ret (Some v) ->
+      let cv = cval t v in
+      fun fr ->
+        tick t;
+        fr.prev <- bi;
+        fr.ret <- Some (cv fr);
+        -1
+  | I.P_jmp ix ->
+      fun fr ->
+        tick t;
+        fr.prev <- bi;
+        ix
+  | I.P_br (c, th, el) ->
+      let cc = cval t c in
+      fun fr ->
+        tick t;
+        fr.prev <- bi;
+        if cc fr <> 0L then th else el
+  | I.P_switch (v, cases, default) ->
+      let cv = cval t v in
+      let n = Array.length cases in
+      fun fr ->
+        tick t;
+        fr.prev <- bi;
+        let x = cv fr in
+        let rec go k =
+          if k >= n then default
+          else
+            let c, ix = cases.(k) in
+            if Int64.equal c x then ix else go (k + 1)
+        in
+        go 0
+  | I.P_unreachable ->
+      fun fr ->
+        tick t;
+        fr.prev <- bi;
+        I.vm_err "reached 'unreachable' in @%s" fname
+
+(* Fused compare+branch: the icmp result is still written (later blocks
+   may read it through phis), and both halves keep their own bookkeeping
+   so the counters and the limit-trap position are unchanged. *)
+let fuse_icmp_br t bi (ic : Instr.t) op x y th el : frame -> int =
+  let w = I.width_of_value x in
+  let cx = cval t x and cy = cval t y in
+  let iid = ic.Instr.id in
+  fun fr ->
+    tick t;
+    let a = cx fr in
+    let b = cy fr in
+    let c = Constfold.eval_icmp op w a b in
+    fr.regs.(iid) <- (if c then 1L else 0L);
+    tick t;
+    fr.prev <- bi;
+    if c then th else el
+
+let cphis t (labels : string array) (pb : I.pblock) : cop option =
+  let phis = pb.I.pb_phis in
+  let n = Array.length phis in
+  if n = 0 then None
+  else
+    let dests = Array.map fst phis in
+    let comp =
+      Array.map
+        (fun (_, incoming) -> Array.map (Option.map (cval t)) incoming)
+        phis
+    in
+    let label = pb.I.pb_label in
+    Some
+      (fun fr ->
+        for k = 0 to n - 1 do
+          let inc = comp.(k) in
+          match (if fr.prev >= 0 then inc.(fr.prev) else None) with
+          | Some cv -> fr.scratch.(k) <- cv fr
+          | None ->
+              I.vm_err "phi in %%%s has no incoming for %%%s" label
+                (if fr.prev >= 0 then labels.(fr.prev) else "")
+        done;
+        for k = 0 to n - 1 do
+          fr.regs.(dests.(k)) <- fr.scratch.(k)
+        done;
+        t.I.nsteps <- t.I.nsteps + n;
+        t.I.ncycles <- t.I.ncycles + n)
+
+let cblock t fname (labels : string array) bi (pb : I.pblock) : cblock =
+  let body = pb.I.pb_body in
+  let nbody = Array.length body in
+  (* Fused compare+branch consumes the last body instruction when it
+     produces exactly the branch condition. *)
+  let term_fused, body_end =
+    match pb.I.pb_term with
+    | I.P_br (Value.Reg (cid, _, _), th, el) when nbody > 0 -> (
+        match body.(nbody - 1) with
+        | I.P_base ({ Instr.kind = Instr.Icmp (op, x, y); _ } as ic)
+          when ic.Instr.id = cid -> (
+            match fuse_icmp_br t bi ic op x y th el with
+            | f -> (Some f, nbody - 1)
+            | exception _ -> (None, nbody))
+        | _ -> (None, nbody))
+    | _ -> (None, nbody)
+  in
+  let ops = ref [] in
+  let k = ref 0 in
+  while !k < body_end do
+    let fused =
+      if !k + 1 < body_end then
+        match body.(!k) with
+        | I.P_base ({ Instr.kind = Instr.Gep (base, idxs); _ } as g) -> (
+            try fuse_gep_access t g base idxs body.(!k + 1) with _ -> None)
+        | I.P_intr (ci, I.I_pchk_lscheck, vargs, cn, cm) -> (
+            try fuse_check_access t ci vargs cn cm body.(!k + 1)
+            with _ -> None)
+        | _ -> None
+      else None
+    in
+    (match fused with
+    | Some op ->
+        ops := op :: !ops;
+        k := !k + 2
+    | None ->
+        ops := cinsn t fname body.(!k) :: !ops;
+        incr k)
+  done;
+  {
+    cb_phis = cphis t labels pb;
+    cb_body = Array.of_list (List.rev !ops);
+    cb_term =
+      (match term_fused with
+      | Some f -> f
+      | None -> cterm t fname bi pb.I.pb_term);
+  }
+
+(* ---------- function compilation ---------- *)
+
+let build (t : I.t) (pf : I.prepared_func) : int64 list -> int64 option =
+  let f = pf.I.pf in
+  let fname = f.Func.f_name in
+  let nregs = max 1 f.Func.f_next_reg in
+  let nscratch = max 1 pf.I.pf_max_phis in
+  let labels = Array.map (fun b -> b.I.pb_label) pf.I.pf_blocks in
+  let blocks = Array.mapi (cblock t fname labels) pf.I.pf_blocks in
+  fun args ->
+    let fr =
+      {
+        regs = Array.make nregs 0L;
+        scratch = Array.make nscratch 0L;
+        prev = -1;
+        ret = None;
+      }
+    in
+    List.iteri (fun i v -> if i < nregs then fr.regs.(i) <- v) args;
+    let sp_save = t.I.sp in
+    let cur = ref 0 in
+    let running = ref true in
+    while !running do
+      let cb = blocks.(!cur) in
+      (match cb.cb_phis with Some p -> p fr | None -> ());
+      let body = cb.cb_body in
+      for k = 0 to Array.length body - 1 do
+        body.(k) fr
+      done;
+      let nxt = cb.cb_term fr in
+      if nxt < 0 then running := false else cur := nxt
+    done;
+    (* Restored only on normal return, like the interpreter: a trap
+       unwinds through [I.call], which resets the stack allocator. *)
+    t.I.sp <- sp_save;
+    fr.ret
+
+(* ---------- the signed translation cache ---------- *)
+
+let cache : (string, Signing.fentry) Hashtbl.t = Hashtbl.create 64
+
+let native_artifact ~bytecode = Sha256.hex ("svm-closcomp-v1:" ^ bytecode)
+let key_of_func f = Sha256.hex (Codec.encode_func f)
+
+(* Translation-time bytecode re-verification: the function must decode
+   from its bytecode and round-trip bit-exactly.  This is the work a
+   valid signed cache entry lets the SVM skip. *)
+let reverify fname bytecode =
+  let ok =
+    match Codec.decode_func bytecode with
+    | f2 -> String.equal (Codec.encode_func f2) bytecode
+    | exception Codec.Decode_error _ -> false
+  in
+  if not ok then
+    I.vm_err "translation: bytecode re-verification failed for @%s" fname
+
+let clear_cache () = Hashtbl.reset cache
+let cache_size () = Hashtbl.length cache
+let cached_entry key = Hashtbl.find_opt cache key
+
+let tamper_cached key f =
+  match Hashtbl.find_opt cache key with
+  | None -> false
+  | Some e ->
+      Hashtbl.replace cache key (f e);
+      true
+
+let translate (t : I.t) (pf : I.prepared_func) : int64 list -> int64 option =
+  Stats.bump_promotion ();
+  let fname = pf.I.pf.Func.f_name in
+  let bytecode = Codec.encode_func pf.I.pf in
+  let key = Sha256.hex bytecode in
+  let native = native_artifact ~bytecode in
+  let fresh () =
+    reverify fname bytecode;
+    Hashtbl.replace cache key
+      (Signing.sign_function ~name:fname ~bytecode ~native)
+  in
+  (match Hashtbl.find_opt cache key with
+  | Some e -> (
+      Stats.bump_sig_verification ();
+      match Signing.verify_function e ~bytecode ~native with
+      | () -> Stats.bump_tcache_hit ()
+      | exception Signing.Tampered _ ->
+          (* Section 3.4: a cached translation whose signature does not
+             verify is discarded; the SVM falls back to re-translating
+             from (re-verified) bytecode and re-signs the result. *)
+          Stats.bump_tcache_miss ();
+          fresh ())
+  | None ->
+      Stats.bump_tcache_miss ();
+      fresh ());
+  build t pf
+
+let enable ?(threshold = 16) (t : I.t) =
+  I.set_jit t
+    (Some { I.jit_threshold = max 1 threshold; I.jit_translate = translate })
+
+let disable (t : I.t) = I.set_jit t None

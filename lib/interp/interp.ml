@@ -105,6 +105,10 @@ and prepared_func = {
   pf : Func.t;
   pf_blocks : pblock array;
   pf_max_phis : int;
+  mutable pf_calls : int;
+      (* profile counter: entries via [enter] while still interpreted *)
+  mutable pf_entry : (int64 list -> int64 option) option;
+      (* the compiled-tier entry point, once promoted *)
 }
 
 type t = {
@@ -127,6 +131,18 @@ type t = {
   mutable nsteps : int;
   mutable ncycles : int;
   mutable limit : int option;
+  mutable jit : jit option;
+}
+
+(* The second execution tier (Section 3.4's translate-and-cache SVM).
+   When installed, [enter] counts calls per function and hands hot
+   functions to the translator, which returns a compiled entry point.
+   Translation happens on the host and is never charged to the cycle
+   model: the compiled code must reproduce the interpreter's modeled
+   cycles, steps and check statistics bit-for-bit. *)
+and jit = {
+  jit_threshold : int;
+  jit_translate : t -> prepared_func -> int64 list -> int64 option;
 }
 
 let sizeof t ty =
@@ -350,7 +366,7 @@ let prepare_func (f : Func.t) =
     }
   in
   let pf_blocks = Array.map prep_block blocks in
-  { pf = f; pf_blocks; pf_max_phis = !max_phis }
+  { pf = f; pf_blocks; pf_max_phis = !max_phis; pf_calls = 0; pf_entry = None }
 
 let load ?sys ?(metapools = []) (m : Irmod.t) =
   let sys = match sys with Some s -> s | None -> Svaos.create () in
@@ -375,6 +391,7 @@ let load ?sys ?(metapools = []) (m : Irmod.t) =
       nsteps = 0;
       ncycles = 0;
       limit = None;
+      jit = None;
     }
   in
   let install_funcs t =
@@ -426,6 +443,7 @@ let reset_cycles t = t.ncycles <- 0
 let add_cycles t n = t.ncycles <- t.ncycles + n
 let set_step_limit t l = t.limit <- l
 let heap_live_bytes t = t.live_heap
+let set_jit t j = t.jit <- j
 
 (* ---------- memory access ---------- *)
 
@@ -643,9 +661,13 @@ let cls_of_code = function
 let splay_cmp_cost = 3
 let cache_hit_cost = 1
 
-let rec exec_intr t (regs : int64 array) intr (vargs : Value.t array) :
+(* Execute a decoded intrinsic on already-evaluated arguments.  [vargs]
+   (the original operands) are still needed by [pchk_funccheck], whose
+   allowed-set diagnostics use the constant [Value.Fn] names.  Shared by
+   the interpreter and the compiled tier (which pre-compiles the operand
+   fetches). *)
+let rec exec_intr t intr (vargs : Value.t array) (args : int64 array) :
     int64 option =
-  let args = Array.map (eval t regs) vargs in
   let a n = args.(n) in
   let addr n = to_addr (a n) in
   let sys = t.im_sys in
@@ -879,7 +901,7 @@ and exec_func t (pf : prepared_func) (args : int64 list) : int64 option =
           let mediated = t.im_sys.Svaos.mode = Svaos.Sva_mediated in
           let splay0 = Sva_rt.Splay.comparisons () in
           let hits0 = Sva_rt.Stats.cache_hits () in
-          let r = exec_intr t regs intr vargs in
+          let r = exec_intr t intr vargs (Array.map (eval t regs) vargs) in
           t.ncycles <-
             t.ncycles
             + (if mediated then cost_mediated else cost_native)
@@ -899,7 +921,7 @@ and exec_func t (pf : prepared_func) (args : int64 list) : int64 option =
           let argv = Array.to_list (Array.map (eval t regs) cargs) in
           let res =
             match cache.cc with
-            | Cc_func cpf -> exec_func t cpf argv
+            | Cc_func cpf -> enter t cpf argv
             | Cc_builtin name -> builtin t name (Array.of_list argv)
             | Cc_unresolved -> (
                 match callee with
@@ -907,7 +929,7 @@ and exec_func t (pf : prepared_func) (args : int64 list) : int64 option =
                     match Hashtbl.find_opt t.funcs name with
                     | Some cpf ->
                         cache.cc <- Cc_func cpf;
-                        exec_func t cpf argv
+                        enter t cpf argv
                     | None ->
                         if is_builtin name then begin
                           cache.cc <- Cc_builtin name;
@@ -1032,9 +1054,29 @@ and exec_func t (pf : prepared_func) (args : int64 list) : int64 option =
   t.sp <- sp_save;
   !result
 
+(* Tier dispatch: every function entry goes through here.  Without a JIT
+   installed this is one null test on top of the interpreter.  With one,
+   each interpreted entry bumps the function's profile counter; at the
+   threshold the function is translated (host work, zero modeled cycles)
+   and every subsequent entry runs the compiled closure tree. *)
+and enter t (pf : prepared_func) (args : int64 list) : int64 option =
+  match pf.pf_entry with
+  | Some compiled -> compiled args
+  | None -> (
+      match t.jit with
+      | None -> exec_func t pf args
+      | Some j ->
+          pf.pf_calls <- pf.pf_calls + 1;
+          if pf.pf_calls >= j.jit_threshold then begin
+            let compiled = j.jit_translate t pf in
+            pf.pf_entry <- Some compiled;
+            compiled args
+          end
+          else exec_func t pf args)
+
 and dispatch_call t name argv =
   match Hashtbl.find_opt t.funcs name with
-  | Some pf -> exec_func t pf argv
+  | Some pf -> enter t pf argv
   | None ->
       if is_builtin name then builtin t name (Array.of_list argv)
       else vm_err "call to undefined function @%s" name
@@ -1042,7 +1084,7 @@ and dispatch_call t name argv =
 and call t name args =
   match Hashtbl.find_opt t.funcs name with
   | Some pf -> (
-      try exec_func t pf args
+      try enter t pf args
       with e ->
         (* A trap aborts the VM invocation; unwind the stack allocator. *)
         t.sp <- Machine.stack_base;

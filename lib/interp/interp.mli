@@ -24,7 +24,126 @@ exception Vm_error of string
 (** Execution errors that are bugs in the executed program or the VM
     (unknown function, struct-typed load, step-limit exceeded, ...). *)
 
-type t
+(** {1 Internal representation}
+
+    The pre-decoded program form and the VM state are exposed concretely
+    for the second execution tier ({!Closcomp}), which compiles prepared
+    functions into closure trees and must reproduce the interpreter's
+    bookkeeping exactly.  Ordinary clients should treat {!t} as
+    abstract. *)
+
+type fc_cache = { mutable fc_set : (int, string) Hashtbl.t option }
+(** Per-call-site memo for [pchk_funccheck] constant target sets. *)
+
+type intr =
+  | I_pchk_reg_obj
+  | I_pchk_drop_obj
+  | I_pchk_drop_obj_opt
+  | I_pchk_bounds
+  | I_pchk_bounds_known
+  | I_pchk_lscheck
+  | I_pchk_funccheck of fc_cache option
+  | I_pchk_getbounds_start
+  | I_pchk_getbounds_len
+  | I_sva_pseudo_alloc
+  | I_pchk_pseudo_alloc
+  | I_save_integer
+  | I_load_integer
+  | I_save_fp
+  | I_load_fp
+  | I_icontext_save
+  | I_icontext_load
+  | I_icontext_commit
+  | I_ipush_function
+  | I_was_privileged
+  | I_register_syscall
+  | I_register_interrupt
+  | I_syscall
+  | I_mmu_new_space
+  | I_mmu_clone_space
+  | I_mmu_destroy_space
+  | I_mmu_activate
+  | I_mmu_map_page
+  | I_mmu_unmap_page
+  | I_mmu_page_count
+  | I_io_console_write
+  | I_io_disk_read
+  | I_io_disk_write
+  | I_io_nic_send
+  | I_io_nic_recv
+  | I_timer_read
+  | I_cli
+  | I_sti
+  | I_heap_base
+  | I_heap_size
+  | I_user_base
+  | I_user_size
+  | I_panic
+  | I_unknown of string
+
+type 'pf callee_cache = { mutable cc : 'pf cc_state }
+and 'pf cc_state = Cc_unresolved | Cc_func of 'pf | Cc_builtin of string
+
+type pinsn =
+  | P_base of Instr.t
+  | P_intr of Instr.t * intr * Value.t array * int * int
+      (** instr, decoded intrinsic, args, base cost (native, mediated) *)
+  | P_call of Instr.t * Value.t * Value.t array * prepared_func callee_cache
+
+and pterm =
+  | P_ret of Value.t option
+  | P_jmp of int
+  | P_br of Value.t * int * int
+  | P_switch of Value.t * (int64 * int) array * int
+  | P_unreachable
+
+and pblock = {
+  pb_label : string;
+  pb_phis : (int * Value.t option array) array;
+  pb_body : pinsn array;
+  pb_term : pterm;
+}
+
+and prepared_func = {
+  pf : Func.t;
+  pf_blocks : pblock array;
+  pf_max_phis : int;
+  mutable pf_calls : int;
+  mutable pf_entry : (int64 list -> int64 option) option;
+}
+
+type t = {
+  im_mod : Irmod.t;
+  im_sys : Sva_os.Svaos.t;
+  funcs : (string, prepared_func) Hashtbl.t;
+  fn_addr : (string, int) Hashtbl.t;
+  addr_fn : (int, string) Hashtbl.t;
+  g_addr : (string, int) Hashtbl.t;
+  g_size : (string, int) Hashtbl.t;
+  mps : (int, Sva_rt.Metapool_rt.t) Hashtbl.t;
+  size_cache : (Ty.t, int) Hashtbl.t;
+  mutable g_cursor : int;
+  mutable next_code : int;
+  mutable sp : int;
+  mutable heap_ptr : int;
+  free_lists : (int, int list ref) Hashtbl.t;
+  alloc_sizes : (int, int) Hashtbl.t;
+  mutable live_heap : int;
+  mutable nsteps : int;
+  mutable ncycles : int;
+  mutable limit : int option;
+  mutable jit : jit option;
+}
+
+and jit = {
+  jit_threshold : int;
+  jit_translate : t -> prepared_func -> int64 list -> int64 option;
+}
+(** The second execution tier (Section 3.4's translate-and-cache SVM):
+    [enter] profiles per-function call counts and promotes a function
+    past the threshold by calling [jit_translate], whose result becomes
+    the function's entry point.  Translation is host work — it must not
+    perturb the modeled cycles, steps, or check statistics. *)
 
 val load :
   ?sys:Sva_os.Svaos.t ->
@@ -96,3 +215,52 @@ val set_step_limit : t -> int option -> unit
 
 val heap_live_bytes : t -> int
 (** Bytes currently allocated by the [malloc] instruction's allocator. *)
+
+(** {1 Execution internals}
+
+    Exposed for {!Closcomp}, which compiles prepared functions to closure
+    trees sharing these primitives so the two tiers cannot drift. *)
+
+val vm_err : ('a, unit, string, 'b) format4 -> 'a
+(** Raise {!Vm_error} with a formatted message. *)
+
+val eval : t -> int64 array -> Value.t -> int64
+val to_addr : int64 -> int
+val sizeof : t -> Ty.t -> int
+val ty_width : Ty.t -> int
+val width_of_value : Value.t -> int
+val gep_offset : t -> Ty.t -> int64 array -> Value.t list -> int64
+val mem_read_int : t -> addr:int -> width:int -> int64
+val mem_write_int : t -> addr:int -> width:int -> int64 -> unit
+val heap_alloc : t -> int -> int
+val heap_free : t -> int -> unit
+
+val get_mp : t -> int -> Sva_rt.Metapool_rt.t
+(** Metapool by id.  @raise Vm_error on unknown ids. *)
+
+val builtin : t -> string -> int64 array -> int64 option
+val is_builtin : string -> bool
+
+val exec_intr : t -> intr -> Value.t array -> int64 array -> int64 option
+(** Execute a decoded intrinsic on already-evaluated arguments (the
+    [Value.t array] carries the original operands for [pchk_funccheck]
+    diagnostics).  Performs no cycle accounting — the caller charges the
+    base cost and the splay/cache deltas. *)
+
+val exec_func : t -> prepared_func -> int64 list -> int64 option
+(** The interpreter tier: run a prepared function body directly. *)
+
+val enter : t -> prepared_func -> int64 list -> int64 option
+(** Tier dispatch: run the compiled entry if the function was promoted,
+    otherwise interpret (bumping the profile counter when a JIT is
+    installed). *)
+
+val dispatch_call : t -> string -> int64 list -> int64 option
+(** Call by name through tier dispatch; falls back to builtins. *)
+
+val splay_cmp_cost : int
+val cache_hit_cost : int
+(** Cycle-model constants for the check runtime (DESIGN.md Section 6). *)
+
+val set_jit : t -> jit option -> unit
+(** Install (or remove) the second execution tier. *)

@@ -12,6 +12,39 @@ let conf_name = function
 
 let all_confs = [ Native; Sva_gcc; Sva_llvm; Sva_safe ]
 
+(* ---------- execution engine selection ---------- *)
+
+type engine = Interp | Tiered
+
+type engine_config = { eng_kind : engine; eng_threshold : int }
+
+let default_jit_threshold = 16
+let default_engine = { eng_kind = Interp; eng_threshold = default_jit_threshold }
+let tiered_engine = { eng_kind = Tiered; eng_threshold = default_jit_threshold }
+
+let engine_name = function Interp -> "interp" | Tiered -> "tiered"
+
+let engine_of_string = function
+  | "interp" -> Some Interp
+  | "tiered" -> Some Tiered
+  | _ -> None
+
+(* Shared argv-style flag parsing, so every binary accepts the same
+   --engine=interp|tiered and --jit-threshold=N spellings. *)
+let engine_flag cfg arg =
+  match String.index_opt arg '=' with
+  | Some i when String.sub arg 0 i = "--engine" -> (
+      let v = String.sub arg (i + 1) (String.length arg - i - 1) in
+      match engine_of_string v with
+      | Some k -> Some { cfg with eng_kind = k }
+      | None -> invalid_arg ("unknown engine '" ^ v ^ "' (interp|tiered)"))
+  | Some i when String.sub arg 0 i = "--jit-threshold" -> (
+      let v = String.sub arg (i + 1) (String.length arg - i - 1) in
+      match int_of_string_opt v with
+      | Some n when n >= 1 -> Some { cfg with eng_threshold = n }
+      | _ -> invalid_arg ("bad --jit-threshold '" ^ v ^ "' (positive integer)"))
+  | _ -> None
+
 type built = {
   bl_name : string;
   bl_conf : conf;
@@ -140,7 +173,7 @@ let build ?conf ?aconfig ?options ?typecheck ?clone ?devirt ?checkopt ?lint
   build_module ?conf ?aconfig ?options ?typecheck ?clone ?devirt ?checkopt
     ?lint ?lint_config ~name m
 
-let instantiate ?sys built =
+let instantiate ?sys ?(engine = default_engine) built =
   let mode =
     match built.bl_conf with
     | Native -> Sva_os.Svaos.Native_inline
@@ -162,6 +195,11 @@ let instantiate ?sys built =
     | None -> []
   in
   let t = Sva_interp.Interp.load ~sys ~metapools built.bl_mod in
+  (* Second execution tier, if selected: installed before any code runs
+     so even the boot-time registration pass is profiled. *)
+  (match engine.eng_kind with
+  | Interp -> ()
+  | Tiered -> Sva_interp.Closcomp.enable ~threshold:engine.eng_threshold t);
   (* SVM boot step: register every global object in its metapool before
      control first enters the program. *)
   if Irmod.find_func built.bl_mod "__sva_register_globals" <> None then

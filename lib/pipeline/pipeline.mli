@@ -22,6 +22,37 @@ type conf = Native | Sva_gcc | Sva_llvm | Sva_safe
 val conf_name : conf -> string
 val all_confs : conf list
 
+(** {1 Execution engine selection}
+
+    The SVM runs bytecode on one of two tiers (Section 3.4): the
+    pre-decoded interpreter, or the tiered engine that promotes hot
+    functions to closure-compiled code cached in a signed translation
+    cache ({!Sva_interp.Closcomp}).  The tiers are semantically
+    identical — same results, traps, check statistics and modeled
+    cycles; only host wall-clock time differs. *)
+
+type engine = Interp | Tiered
+
+type engine_config = {
+  eng_kind : engine;
+  eng_threshold : int;  (** calls before a function is promoted *)
+}
+
+val default_jit_threshold : int
+val default_engine : engine_config  (** [Interp] *)
+
+val tiered_engine : engine_config
+(** [Tiered] at {!default_jit_threshold}. *)
+
+val engine_name : engine -> string
+val engine_of_string : string -> engine option
+
+val engine_flag : engine_config -> string -> engine_config option
+(** Parse one [--engine=interp|tiered] or [--jit-threshold=N] argument
+    into an updated config; [None] if the argument is neither flag.
+    @raise Invalid_argument on a malformed value.  Shared by the CLI
+    binaries so the flags are spelled identically everywhere. *)
+
 type built = {
   bl_name : string;
   bl_conf : conf;
@@ -100,8 +131,12 @@ val build_module :
     decoded from bytecode by {!load_source}).  The optimization passes
     are assumed to have run. *)
 
-val instantiate : ?sys:Sva_os.Svaos.t -> built -> Sva_interp.Interp.t
+val instantiate :
+  ?sys:Sva_os.Svaos.t -> ?engine:engine_config -> built -> Sva_interp.Interp.t
 (** Load a built image into an SVM instance.  The SVA-OS mode follows the
     configuration (Native_inline for [Native], mediated otherwise); the
     run-time metapools are created and userspace is pre-registered in
-    pools reachable from syscall arguments. *)
+    pools reachable from syscall arguments.  [engine] (default
+    {!default_engine}) selects the execution tier; [Tiered] installs the
+    closure compiler before any code — including the global-registration
+    boot pass — runs. *)

@@ -104,3 +104,58 @@ let to_string s =
     s.bounds_checks s.getbounds s.ls_checks s.funcchecks s.registrations
     s.drops s.reduced_checks s.violations s.cache_hits
     (s.cache_hits + s.cache_misses)
+
+(* ---------- execution-tier counters ----------
+
+   Kept out of [snapshot] deliberately: the tiered engine must leave every
+   check statistic identical to the interpreter's, and the differential
+   tests compare [read ()] across engines while promotion counts differ
+   by design. *)
+
+type tier_snapshot = {
+  promotions : int;
+  tcache_hits : int;
+  tcache_misses : int;
+  sig_verifications : int;
+}
+
+let tier_zero =
+  { promotions = 0; tcache_hits = 0; tcache_misses = 0; sig_verifications = 0 }
+
+let promo = ref 0
+let tc_hits = ref 0
+let tc_misses = ref 0
+let sig_verifies = ref 0
+
+let bump_promotion () = incr promo
+let bump_tcache_hit () = incr tc_hits
+let bump_tcache_miss () = incr tc_misses
+let bump_sig_verification () = incr sig_verifies
+
+let read_tier () =
+  {
+    promotions = !promo;
+    tcache_hits = !tc_hits;
+    tcache_misses = !tc_misses;
+    sig_verifications = !sig_verifies;
+  }
+
+let reset_tier () =
+  promo := 0;
+  tc_hits := 0;
+  tc_misses := 0;
+  sig_verifies := 0
+
+let diff_tier a b =
+  {
+    promotions = a.promotions - b.promotions;
+    tcache_hits = a.tcache_hits - b.tcache_hits;
+    tcache_misses = a.tcache_misses - b.tcache_misses;
+    sig_verifications = a.sig_verifications - b.sig_verifications;
+  }
+
+let tier_to_string s =
+  Printf.sprintf "promotions=%d tcache=%d/%d sigverify=%d" s.promotions
+    s.tcache_hits
+    (s.tcache_hits + s.tcache_misses)
+    s.sig_verifications

@@ -52,3 +52,34 @@ val hit_rate : snapshot -> float
 (** Object-cache hit rate in percent (0 when no lookups were made). *)
 
 val to_string : snapshot -> string
+
+(** {1 Execution-tier counters}
+
+    Accounting for the SVM's second execution tier (closure-compiled hot
+    functions with a signed translation cache, Section 3.4).  Kept in a
+    separate snapshot: the tiered engine leaves every field of
+    {!snapshot} identical to the interpreter's — the differential tests
+    rely on that — while these counters differ by design. *)
+
+type tier_snapshot = {
+  promotions : int;  (** functions promoted to the compiled tier *)
+  tcache_hits : int;  (** translations reused from the signed cache *)
+  tcache_misses : int;
+      (** fresh translations (cold cache or rejected signature) *)
+  sig_verifications : int;
+      (** signature re-verifications performed on cache probes *)
+}
+
+val tier_zero : tier_snapshot
+val bump_promotion : unit -> unit
+val bump_tcache_hit : unit -> unit
+val bump_tcache_miss : unit -> unit
+val bump_sig_verification : unit -> unit
+val read_tier : unit -> tier_snapshot
+
+val reset_tier : unit -> unit
+(** Independent of {!reset}: check counters and tier counters are reset
+    separately. *)
+
+val diff_tier : tier_snapshot -> tier_snapshot -> tier_snapshot
+val tier_to_string : tier_snapshot -> string

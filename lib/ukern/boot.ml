@@ -17,8 +17,8 @@ exception Boot_failure of string
    above the executor's frame allocations. *)
 let icontext_scratch = Machine.stack_base + Machine.stack_size - 4096
 
-let boot_built built ~variant =
-  let vm = Pipeline.instantiate built in
+let boot_built ?engine built ~variant =
+  let vm = Pipeline.instantiate ?engine built in
   let sys = Interp.sys vm in
   (match Interp.call vm "kmain" [] with
   | Some _ -> ()
@@ -26,8 +26,8 @@ let boot_built built ~variant =
   | exception e -> raise (Boot_failure (Printexc.to_string e)));
   { built; vm; sys; variant; signal_fired = [] }
 
-let boot ?(conf = Pipeline.Sva_safe) ?(variant = Kbuild.as_tested) () =
-  boot_built (Kbuild.build ~conf variant) ~variant
+let boot ?(conf = Pipeline.Sva_safe) ?(variant = Kbuild.as_tested) ?engine () =
+  boot_built ?engine (Kbuild.build ~conf variant) ~variant
 
 (* Trap entry + exit cost in the cycle model: the SVM's interrupt-context
    creation/teardown (Table 2).  Mediated mode spills and validates the

@@ -24,12 +24,20 @@ type t = {
 exception Boot_failure of string
 
 val boot :
-  ?conf:Sva_pipeline.Pipeline.conf -> ?variant:Kbuild.variant -> unit -> t
-(** Build, load and boot the kernel.  @raise Boot_failure if [kmain]
+  ?conf:Sva_pipeline.Pipeline.conf ->
+  ?variant:Kbuild.variant ->
+  ?engine:Sva_pipeline.Pipeline.engine_config ->
+  unit ->
+  t
+(** Build, load and boot the kernel.  [engine] selects the SVM execution
+    tier (interpreter by default).  @raise Boot_failure if [kmain]
     fails. *)
 
 val boot_built :
-  Sva_pipeline.Pipeline.built -> variant:Kbuild.variant -> t
+  ?engine:Sva_pipeline.Pipeline.engine_config ->
+  Sva_pipeline.Pipeline.built ->
+  variant:Kbuild.variant ->
+  t
 (** Boot an already-compiled kernel image (lets benchmarks compile once
     and boot many times). *)
 

@@ -190,6 +190,83 @@ let prop_roundtrip =
     QCheck2.Gen.(int_range 0 10_000)
     (fun seed -> Codec.roundtrip_equal (random_module seed))
 
+(* ---------- per-function encoding + signed translation-cache entries ---------- *)
+
+let sample_func name =
+  let m = sample_module () in
+  match Sva_ir.Irmod.find_func m name with
+  | Some f -> f
+  | None -> Alcotest.failf "sample module has no %s" name
+
+let test_func_roundtrip () =
+  List.iter
+    (fun name ->
+      let f = sample_func name in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s roundtrips" name)
+        true
+        (Codec.func_roundtrip_equal f);
+      let bytes = Codec.encode_func f in
+      let f' = Codec.decode_func bytes in
+      Alcotest.(check string) "name preserved" f.Sva_ir.Func.f_name
+        f'.Sva_ir.Func.f_name;
+      Alcotest.(check string) "re-encoding is stable" bytes
+        (Codec.encode_func f'))
+    [ "pick"; "combine"; "maxi"; "looped" ]
+
+let test_func_decode_garbage_rejected () =
+  List.iter
+    (fun s ->
+      match Codec.decode_func s with
+      | _ -> Alcotest.fail "garbage function bytecode accepted"
+      | exception _ -> ())
+    [ ""; "x"; String.make 64 '\255' ]
+
+let fentry_fixture () =
+  let f = sample_func "looped" in
+  let bytecode = Codec.encode_func f in
+  let native = Sha256.hex ("native:" ^ bytecode) in
+  (Signing.sign_function ~name:"looped" ~bytecode ~native, bytecode, native)
+
+let test_fentry_sign_verify () =
+  let fe, bytecode, native = fentry_fixture () in
+  Signing.verify_function fe ~bytecode ~native;
+  Alcotest.(check string) "hash is of the bytecode" (Sha256.hex bytecode)
+    fe.Signing.fe_hash
+
+let expect_tampered what f =
+  match f () with
+  | () -> Alcotest.failf "%s accepted" what
+  | exception Signing.Tampered _ -> ()
+
+let test_fentry_tampered_rejected () =
+  let fe, bytecode, native = fentry_fixture () in
+  expect_tampered "tampered signature" (fun () ->
+      Signing.verify_function
+        (Signing.tamper_fentry_signature fe)
+        ~bytecode ~native);
+  expect_tampered "tampered cached bytecode" (fun () ->
+      Signing.verify_function
+        (Signing.tamper_fentry_bytecode fe)
+        ~bytecode ~native);
+  expect_tampered "tampered native artifact" (fun () ->
+      Signing.verify_function (Signing.tamper_fentry_native fe) ~bytecode ~native);
+  (* entry is genuine but no longer matches what the VM is about to run *)
+  expect_tampered "stale bytecode" (fun () ->
+      Signing.verify_function fe ~bytecode:(bytecode ^ "\000") ~native);
+  expect_tampered "stale native artifact" (fun () ->
+      Signing.verify_function fe ~bytecode ~native:(native ^ "x"))
+
+let test_fentry_wrong_key_rejected () =
+  let fe, bytecode, native = fentry_fixture () in
+  let saved = !Signing.svm_key in
+  Signing.svm_key := "some-other-svm-instance";
+  Fun.protect
+    ~finally:(fun () -> Signing.svm_key := saved)
+    (fun () ->
+      expect_tampered "entry signed under another key" (fun () ->
+          Signing.verify_function fe ~bytecode ~native))
+
 let () =
   Alcotest.run "sva_bytecode"
     [
@@ -219,5 +296,16 @@ let () =
             test_tampered_bytecode_rejected;
           Alcotest.test_case "tampered native" `Quick test_tampered_native_rejected;
           Alcotest.test_case "wrong key" `Quick test_wrong_key_rejected;
+        ] );
+      ( "function-entries",
+        [
+          Alcotest.test_case "function roundtrip" `Quick test_func_roundtrip;
+          Alcotest.test_case "garbage function rejected" `Quick
+            test_func_decode_garbage_rejected;
+          Alcotest.test_case "fentry sign/verify" `Quick test_fentry_sign_verify;
+          Alcotest.test_case "fentry tampering rejected" `Quick
+            test_fentry_tampered_rejected;
+          Alcotest.test_case "fentry wrong key" `Quick
+            test_fentry_wrong_key_rejected;
         ] );
     ]

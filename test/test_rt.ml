@@ -290,6 +290,63 @@ let prop_cache_transparent =
       in
       run true = run false)
 
+(* Coherence oracle at the Objcache/Splay layer itself: drive a cached
+   tree and a splay-only twin through the same interleaved
+   insert/remove/lookup sequence.  Every lookup must return the same
+   containing range; a stale cache slot surviving a removal (the one
+   hazard the direct-mapped table has) would show up as a divergence. *)
+let prop_cache_coheres_with_splay_oracle =
+  let op_gen =
+    QCheck2.Gen.(
+      let start = map (fun s -> s * 16) (int_range 0 48) in
+      let len = int_range 1 32 in
+      frequency
+        [
+          (3, map2 (fun s l -> `Ins (s, l)) start len);
+          (2, map (fun s -> `Rem s) start);
+          (4, map (fun a -> `Find a) (int_range 0 800));
+        ])
+  in
+  let gen = QCheck2.Gen.(list_size (int_range 0 150) op_gen) in
+  QCheck2.Test.make
+    ~name:"object cache coheres with a splay-only oracle" ~count:300 gen
+    (fun ops ->
+      let cached_tree = Splay.create ()
+      and cache = Objcache.create ()
+      and oracle = Splay.create () in
+      let range = function
+        | Some n -> Some (n.Splay.n_start, n.Splay.n_len)
+        | None -> None
+      in
+      let saved = !Objcache.enabled in
+      Objcache.enabled := true;
+      Fun.protect
+        ~finally:(fun () -> Objcache.enabled := saved)
+        (fun () ->
+          List.for_all
+            (fun op ->
+              match op with
+              | `Ins (s, l) ->
+                  let a =
+                    match Splay.insert cached_tree ~start:s ~len:l () with
+                    | () -> true
+                    | exception _ -> false
+                  and b =
+                    match Splay.insert oracle ~start:s ~len:l () with
+                    | () -> true
+                    | exception _ -> false
+                  in
+                  a = b
+              | `Rem s ->
+                  let a = range (Splay.remove cached_tree ~start:s) in
+                  Objcache.invalidate_start cache s;
+                  let b = range (Splay.remove oracle ~start:s) in
+                  a = b
+              | `Find a ->
+                  range (Objcache.find cache cached_tree a)
+                  = range (Splay.find_containing oracle a))
+            ops))
+
 let test_cache_invalidated_on_drop () =
   Stats.reset ();
   let mp = mk "MPC1" in
@@ -359,6 +416,7 @@ let () =
       ( "objcache",
         [
           QCheck_alcotest.to_alcotest prop_cache_transparent;
+          QCheck_alcotest.to_alcotest prop_cache_coheres_with_splay_oracle;
           Alcotest.test_case "invalidated on drop" `Quick
             test_cache_invalidated_on_drop;
           Alcotest.test_case "invalidated on reset" `Quick

@@ -1,0 +1,256 @@
+(* The tiered execution engine (closure-compiled hot functions with a
+   signed translation cache) must be semantically invisible: identical
+   results, traps, exploit verdicts, check statistics and modeled cycle
+   counts as the pre-decoded interpreter.  Plus the Section 3.4 cache
+   integrity story: entries are signed, reuse verifies the signature, and
+   a tampered entry falls back to re-translation. *)
+
+module Pipeline = Sva_pipeline.Pipeline
+module Interp = Sva_interp.Interp
+module Closcomp = Sva_interp.Closcomp
+module Signing = Sva_bytecode.Signing
+module Stats = Sva_rt.Stats
+module Boot = Ukern.Boot
+
+let tiered_engine ?(threshold = 1) () =
+  { Pipeline.eng_kind = Pipeline.Tiered; eng_threshold = threshold }
+
+(* ---------- differential property: random programs ---------- *)
+
+(* Random arithmetic over a, b, c with non-trapping operators (same shape
+   as the test_diff generator), inside a loop so the function gets hot. *)
+let rec gen_expr rng depth =
+  if depth = 0 then
+    match Random.State.int rng 4 with
+    | 0 -> "a"
+    | 1 -> "b"
+    | 2 -> "c"
+    | _ -> string_of_int (Random.State.int rng 2000 - 1000)
+  else
+    let l = gen_expr rng (depth - 1) and r = gen_expr rng (depth - 1) in
+    match Random.State.int rng 9 with
+    | 0 -> Printf.sprintf "(%s + %s)" l r
+    | 1 -> Printf.sprintf "(%s - %s)" l r
+    | 2 -> Printf.sprintf "(%s * %s)" l r
+    | 3 -> Printf.sprintf "(%s & %s)" l r
+    | 4 -> Printf.sprintf "(%s | %s)" l r
+    | 5 -> Printf.sprintf "(%s ^ %s)" l r
+    | 6 -> Printf.sprintf "(%s << %d)" l (Random.State.int rng 8)
+    | 7 -> Printf.sprintf "(%s >> %d)" l (Random.State.int rng 8)
+    | _ -> Printf.sprintf "(%s < %s ? %s : %s)" l r l r
+
+let gen_program seed =
+  let rng = Random.State.make [| seed |] in
+  let e1 = gen_expr rng 3 in
+  let e2 = gen_expr rng 3 in
+  let e3 = gen_expr rng 2 in
+  let shift = Random.State.int rng 8 in
+  Printf.sprintf
+    "int helper(int x, int i) { return (x ^ (x << %d)) + i * 3; }\n\
+     int f(int a, int b) {\n\
+    \  int c = %s;\n\
+    \  int acc = 0;\n\
+    \  for (int i = 0; i < 8; i++) {\n\
+    \    if ((%s) > acc) acc += helper(c, i); else acc ^= (%s);\n\
+    \    c = c + i;\n\
+    \  }\n\
+    \  return acc;\n\
+     }"
+    shift e1 e2 e3
+
+(* Run a safe-built module's [f] on an engine: result (or trap message),
+   step count, modeled cycles and the check-stat snapshot. *)
+let run_built built engine args =
+  Stats.reset ();
+  let t = Pipeline.instantiate ?engine built in
+  let r =
+    match Interp.call t "f" args with
+    | v -> Ok v
+    | exception Interp.Vm_error m -> Error ("vm: " ^ m)
+    | exception Sva_rt.Violation.Safety_violation v ->
+        Error ("violation: " ^ Sva_rt.Violation.to_string v)
+  in
+  (r, Interp.steps t, Interp.cycles t, Stats.read ())
+
+let prop_engines_agree =
+  let gen =
+    QCheck2.Gen.(tup3 (int_range 0 5000) small_signed_int small_signed_int)
+  in
+  QCheck2.Test.make ~name:"tiered engine agrees with the interpreter"
+    ~count:30 gen (fun (seed, a, b) ->
+      let src = gen_program seed in
+      let built =
+        Pipeline.build ~conf:Pipeline.Sva_safe ~name:"rand" [ src ]
+      in
+      let args = [ Int64.of_int a; Int64.of_int b ] in
+      let ri = run_built built None args in
+      Closcomp.clear_cache ();
+      let rt = run_built built (Some (tiered_engine ())) args in
+      ri = rt)
+
+(* ---------- the five exploits agree on both engines ---------- *)
+
+let built_cache = Hashtbl.create 4
+
+let kernel ?engine conf =
+  let b =
+    match Hashtbl.find_opt built_cache conf with
+    | Some b -> b
+    | None ->
+        let b = Ukern.Kbuild.build ~conf Ukern.Kbuild.as_tested in
+        Hashtbl.replace built_cache conf b;
+        b
+  in
+  Boot.boot_built ?engine b ~variant:Ukern.Kbuild.as_tested
+
+let test_exploit_verdicts_agree () =
+  List.iter
+    (fun ex ->
+      let verdict engine =
+        let t = kernel ?engine Pipeline.Sva_safe in
+        Exploits.outcome_to_string (Exploits.attack t ex)
+      in
+      let vi = verdict None in
+      Closcomp.clear_cache ();
+      let vt = verdict (Some (tiered_engine ())) in
+      Alcotest.(check string)
+        (Printf.sprintf "verdict for %s" (Exploits.name ex))
+        vi vt)
+    Exploits.all
+
+(* ---------- syscall mix: cycles, steps and stats bit-identical ---------- *)
+
+let syscall_mix t =
+  ignore (Boot.syscall t 1 []);
+  Boot.write_user t 0 "tiered.txt\000";
+  let fd = Boot.syscall t 4 [ Boot.user_addr t 0; 1L ] in
+  Boot.write_user t 1024 "secure virtual architecture";
+  ignore (Boot.syscall t 7 [ fd; Boot.user_addr t 1024; 27L ]);
+  ignore (Boot.syscall t 20 [ fd; 0L; 0L ]);
+  ignore (Boot.syscall t 6 [ fd; Boot.user_addr t 2048; 64L ]);
+  ignore (Boot.syscall t 9 [])
+
+let measure_mix engine =
+  let t = kernel ?engine Pipeline.Sva_safe in
+  Stats.reset ();
+  Boot.reset_cycles t;
+  Boot.reset_steps t;
+  for _ = 1 to 4 do
+    syscall_mix t
+  done;
+  (Boot.cycles t, Boot.steps t, Stats.to_string (Stats.read ()))
+
+let test_syscall_mix_identical () =
+  let ci, si, ki = measure_mix None in
+  Closcomp.clear_cache ();
+  Stats.reset_tier ();
+  let ct, st, kt = measure_mix (Some (tiered_engine ~threshold:2 ())) in
+  let tier = Stats.read_tier () in
+  Alcotest.(check int) "modeled cycles" ci ct;
+  Alcotest.(check int) "steps" si st;
+  Alcotest.(check string) "check stats" ki kt;
+  Alcotest.(check bool) "functions were promoted" true
+    (tier.Stats.promotions > 0)
+
+(* ---------- signed translation cache ---------- *)
+
+let sum_src =
+  "int helper(int x) { return x * 3 + 1; }\n\
+   int f(int a, int b) {\n\
+  \  int acc = 0;\n\
+  \  for (int i = 0; i < 8; i++) acc += helper(a + b + i);\n\
+  \  return acc;\n\
+   }"
+
+let build_sum () = Pipeline.build ~conf:Pipeline.Sva_safe ~name:"sum" [ sum_src ]
+
+let key_of built name =
+  match Sva_ir.Irmod.find_func built.Pipeline.bl_mod name with
+  | Some fn -> Closcomp.key_of_func fn
+  | None -> Alcotest.failf "no function %s in the built module" name
+
+let test_cache_hit_across_instances () =
+  let built = build_sum () in
+  Closcomp.clear_cache ();
+  Stats.reset_tier ();
+  let t1 = Pipeline.instantiate ~engine:(tiered_engine ()) built in
+  let r1 = Interp.call t1 "f" [ 5L; 7L ] in
+  let after_first = Stats.read_tier () in
+  Alcotest.(check bool) "first run populates the cache" true
+    (after_first.Stats.tcache_misses > 0);
+  Alcotest.(check bool) "cache holds entries" true (Closcomp.cache_size () > 0);
+  (* a second VM instance reuses the signed translations *)
+  let t2 = Pipeline.instantiate ~engine:(tiered_engine ()) built in
+  let r2 = Interp.call t2 "f" [ 5L; 7L ] in
+  let after_second = Stats.read_tier () in
+  Alcotest.(check bool) "same result" true (r1 = r2);
+  Alcotest.(check bool) "cache hits on reuse" true
+    (after_second.Stats.tcache_hits > after_first.Stats.tcache_hits);
+  Alcotest.(check bool) "signatures were re-verified" true
+    (after_second.Stats.sig_verifications > after_first.Stats.sig_verifications)
+
+let test_tampered_entry_falls_back () =
+  let built = build_sum () in
+  (* reference result from the interpreter *)
+  let ti = Pipeline.instantiate built in
+  let expected = Interp.call ti "f" [ 5L; 7L ] in
+  Closcomp.clear_cache ();
+  let t1 = Pipeline.instantiate ~engine:(tiered_engine ()) built in
+  Alcotest.(check bool) "clean tiered run" true
+    (Interp.call t1 "f" [ 5L; 7L ] = expected);
+  let key = key_of built "f" in
+  Alcotest.(check bool) "entry for f is cached" true
+    (Closcomp.cached_entry key <> None);
+  Alcotest.(check bool) "tampering succeeds" true
+    (Closcomp.tamper_cached key Signing.tamper_fentry_signature);
+  Stats.reset_tier ();
+  let t2 = Pipeline.instantiate ~engine:(tiered_engine ()) built in
+  let r2 = Interp.call t2 "f" [ 5L; 7L ] in
+  let tier = Stats.read_tier () in
+  Alcotest.(check bool) "tampered entry detected (cache miss + resign)" true
+    (tier.Stats.tcache_misses > 0);
+  Alcotest.(check bool) "semantics unchanged after fallback" true
+    (r2 = expected);
+  (* the fallback re-signed the entry: it verifies again *)
+  (match Closcomp.cached_entry key with
+  | Some fe ->
+      Signing.verify_function fe ~bytecode:fe.Signing.fe_bytecode
+        ~native:fe.Signing.fe_native
+  | None -> Alcotest.fail "entry missing after fallback")
+
+let test_tampered_native_falls_back () =
+  let built = build_sum () in
+  Closcomp.clear_cache ();
+  let t1 = Pipeline.instantiate ~engine:(tiered_engine ()) built in
+  let expected = Interp.call t1 "f" [ 2L; 3L ] in
+  let key = key_of built "f" in
+  Alcotest.(check bool) "tampering succeeds" true
+    (Closcomp.tamper_cached key Signing.tamper_fentry_native);
+  Stats.reset_tier ();
+  let t2 = Pipeline.instantiate ~engine:(tiered_engine ()) built in
+  Alcotest.(check bool) "fallback reproduces the result" true
+    (Interp.call t2 "f" [ 2L; 3L ] = expected);
+  Alcotest.(check bool) "tamper counted as a miss" true
+    ((Stats.read_tier ()).Stats.tcache_misses > 0)
+
+let () =
+  Alcotest.run "sva_tiered"
+    [
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest prop_engines_agree;
+          Alcotest.test_case "exploit verdicts agree" `Slow
+            test_exploit_verdicts_agree;
+          Alcotest.test_case "syscall mix bit-identical" `Quick
+            test_syscall_mix_identical;
+        ] );
+      ( "translation-cache",
+        [
+          Alcotest.test_case "signed entries reused across instances" `Quick
+            test_cache_hit_across_instances;
+          Alcotest.test_case "tampered signature falls back" `Quick
+            test_tampered_entry_falls_back;
+          Alcotest.test_case "tampered native artifact falls back" `Quick
+            test_tampered_native_falls_back;
+        ] );
+    ]
