@@ -53,5 +53,32 @@ let () =
   if speedup <= 0.0 then fail "%s: tiered host-speedup %f not positive" path speedup;
   let promos = J.to_int (get "tiered.promotions" (J.member "promotions" tiered)) in
   if promos <= 0 then fail "%s: tiered engine promoted no functions" path;
-  Printf.printf "%s: OK (%d accesses proved, %d checks elided, tiered %.2fx)\n"
-    path proofs proved speedup
+  (* ranges section: certified elision must only ever remove checks, the
+     bounds drop must equal the certified-gep count, and the build-time
+     certificate gate must have re-verified the bundle. *)
+  let ranges = get "ranges" (J.member "ranges" doc) in
+  let rint sec k =
+    let o = get ("ranges." ^ sec) (J.member sec ranges) in
+    J.to_int (get ("ranges." ^ sec ^ "." ^ k) (J.member k o))
+  in
+  let ls_off = rint "ls-checks" "ranges-off"
+  and ls_on = rint "ls-checks" "ranges-on" in
+  if ls_on >= ls_off then
+    fail "%s: range elision did not reduce ls checks (%d -> %d)" path ls_off
+      ls_on;
+  let b_off = rint "bounds-checks" "ranges-off"
+  and b_on = rint "bounds-checks" "ranges-on"
+  and b_cert = rint "bounds-checks" "cert-elided" in
+  if b_off - b_on <> b_cert then
+    fail "%s: bounds reduction %d-%d does not match certified geps %d" path
+      b_off b_on b_cert;
+  let certs = get "ranges.certificates" (J.member "certificates" ranges) in
+  (match J.member "verified" certs with
+  | Some (J.Bool true) -> ()
+  | _ -> fail "%s: range certificates not marked verified" path);
+  if rint "certificates" "bounds" + rint "certificates" "lscheck" <= 0 then
+    fail "%s: range analysis emitted no certificates" path;
+  Printf.printf
+    "%s: OK (%d accesses proved, %d checks elided, tiered %.2fx, range ls \
+     %d->%d bounds %d->%d)\n"
+    path proofs proved speedup ls_off ls_on b_off b_on

@@ -11,7 +11,7 @@
                                          -- also write machine-readable
                                             numbers for the data-bearing
                                             sections (fastpath, table7,
-                                            lint) that were run *)
+                                            lint, ranges) that were run *)
 
 module Tables = Harness.Tables
 module Pipeline = Sva_pipeline.Pipeline
@@ -177,6 +177,7 @@ let () =
   section "figure2" (fun () -> Tables.figure2 ());
   section "checks" (fun () -> Tables.check_summary ());
   section "lint" (fun () -> Tables.lint_table ());
+  section "ranges" (fun () -> Tables.ranges_table ());
   section "table7" (fun () -> Tables.table7 ~quick:!quick ());
   section "table8" (fun () -> Tables.table8 ~quick:!quick ());
   section "table5" (fun () -> Tables.table5 ~quick:!quick ());
@@ -212,6 +213,7 @@ let () =
             ("tiered", fun () -> Tables.tiered_json ~quick:!quick ());
             ("table7", fun () -> Tables.table7_json ~quick:!quick ());
             ("lint", fun () -> Tables.lint_json ());
+            ("ranges", fun () -> Tables.ranges_json ());
           ]
       in
       let doc =

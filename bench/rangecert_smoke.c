@@ -1,0 +1,16 @@
+/* bench-smoke input for sva_verify --rangecert: loop-guarded and
+   clamp-guarded variable indexing the interval analysis certifies. */
+int tbl[64];
+long clamp(long v) {
+  if (v < 0) return 0;
+  if (v > 63) return 63;
+  return v;
+}
+int read_at(long v) { long j = clamp(v); return tbl[j]; }
+int kmain(void) {
+  long s = 0;
+  for (long i = 0; i < 64; i = i + 1) tbl[i] = (int)i;
+  for (long i = 0; i < 64; i = i + 1) s = s + tbl[i];
+  s = s + read_at(5) + read_at(60);
+  return (int)s;
+}

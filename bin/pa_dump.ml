@@ -3,19 +3,94 @@
    and instrumented IR — the Figure 2 view for arbitrary input.
 
      pa_dump FILE [FUNC]
+     pa_dump --ranges FILE [FUNC]
 
-   With FUNC, only that function's IR is printed (the whole graph is
-   always printed). *)
+   With FUNC, only that function's IR (or range facts) is printed (the
+   whole graph is always printed).  --ranges dumps the value-range
+   analysis instead: per-function interval fixpoints, interprocedural
+   summaries and the in-extent gep certificates, re-verified by the
+   trusted checker. *)
 
 module Pointsto = Sva_analysis.Pointsto
+module Interval = Sva_analysis.Interval
+
+let dump_ranges m config func =
+  let pa = Pointsto.run ~config m in
+  let res = Interval.run m pa in
+  List.iter
+    (fun (f : Sva_ir.Func.t) ->
+      Sva_ir.Func.iter_instrs f (fun _ i ->
+          if Interval.certifiable res ~fname:f.Sva_ir.Func.f_name i then
+            ignore
+              (Interval.elide res ~fname:f.Sva_ir.Func.f_name i
+                 Interval.Cbounds)))
+    m.Sva_ir.Irmod.m_funcs;
+  let b = Interval.bundle res in
+  let wanted fn = match func with Some f -> f = fn | None -> true in
+  List.iter
+    (fun fn ->
+      if wanted fn then begin
+        Printf.printf "== ranges @%s ==\n" fn;
+        (match Interval.func_summary res fn with
+        | Some (ps, ret) ->
+            Printf.printf "  summary: (%s) -> %s\n"
+              (String.concat ", "
+                 (Array.to_list (Array.map Interval.ival_to_string ps)))
+              (Interval.ival_to_string ret)
+        | None -> ());
+        List.iter
+          (fun (r, iv) ->
+            Printf.printf "  %%%d : %s\n" r (Interval.ival_to_string iv))
+          (Interval.plain_facts res ~fname:fn)
+      end)
+    (Interval.analyzed_funcs res);
+  print_endline "\n== range certificates ==";
+  List.iter
+    (fun (c : Interval.cert) ->
+      if wanted c.Interval.ce_func then begin
+        Printf.printf "  @%s %s: gep %%%d in %s [%s]\n" c.Interval.ce_func
+          c.Interval.ce_block c.Interval.ce_gep
+          (Interval.cert_kind_to_string c.Interval.ce_kind)
+          (String.concat "; "
+             (List.map
+                (fun (pos, fi) ->
+                  match Hashtbl.find_opt b.Interval.cb_facts c.Interval.ce_func with
+                  | Some facts when fi >= 0 && fi < Array.length facts ->
+                      let fa = facts.(fi) in
+                      Printf.sprintf "op%d: %%%d %s via %s" pos
+                        fa.Interval.fa_reg
+                        (Interval.ival_to_string fa.Interval.fa_ival)
+                        (Interval.just_to_string fa.Interval.fa_just)
+                  | _ -> Printf.sprintf "op%d: fact #%d" pos fi)
+                c.Interval.ce_idx))
+      end)
+    b.Interval.cb_certs;
+  let cb, cl = Interval.cert_counts res in
+  (match
+     Sva_tyck.Rangecert.check ~entries:(Interval.entry_config res) m b
+   with
+  | [] ->
+      Printf.printf
+        "\nrange analysis: %d facts, %d bounds + %d lscheck certificates, \
+         all re-verified by the trusted checker\n"
+        (Interval.fact_count res) cb cl
+  | errs ->
+      Printf.printf "\nrange certificates REJECTED:\n";
+      List.iter
+        (fun e ->
+          Printf.printf "  %s\n" (Sva_tyck.Rangecert.string_of_error e))
+        errs;
+      exit 1)
 
 let () =
-  let file, func =
+  let ranges, file, func =
     match Sys.argv with
-    | [| _; f |] -> (f, None)
-    | [| _; f; fn |] -> (f, Some fn)
+    | [| _; "--ranges"; f |] -> (true, f, None)
+    | [| _; "--ranges"; f; fn |] -> (true, f, Some fn)
+    | [| _; f |] -> (false, f, None)
+    | [| _; f; fn |] -> (false, f, Some fn)
     | _ ->
-        prerr_endline "usage: pa_dump FILE [FUNC]";
+        prerr_endline "usage: pa_dump [--ranges] FILE [FUNC]";
         exit 2
   in
   let m = Sva_pipeline.Pipeline.load_file file in
@@ -26,6 +101,10 @@ let () =
       syscall_invoke = Some "sva_syscall";
     }
   in
+  if ranges then begin
+    dump_ranges m config func;
+    exit 0
+  end;
   let pa = Pointsto.run ~config m in
   let mps = Sva_safety.Metapool.infer m pa [] in
   print_endline "== points-to graph ==";

@@ -25,18 +25,24 @@ let file_config =
 (* Lint runs standalone — compile, analyze, check — without the metapool
    type checker or instrumentation, so even modules a full safe build
    would reject can be linted. *)
-let lint_sources ~name ~aconfig ~config sources =
+let range_oracle m pa =
+  let res = Sva_analysis.Interval.run m pa in
+  fun ~fname i ->
+    Sva_analysis.Interval.elide res ~fname i Sva_analysis.Interval.Cls
+
+let lint_sources ?(ranges = false) ~name ~aconfig ~config sources =
   let m = Pipeline.compile ~name sources in
   let pa = Pointsto.run ~config:aconfig m in
-  Lint.run ~config m pa
+  if ranges then Lint.run ~config ~ranges:(range_oracle m pa) m pa
+  else Lint.run ~config m pa
 
-let lint_kernel ~fixture =
+let lint_kernel ?ranges ~fixture () =
   let v = Ukern.Kbuild.as_tested in
   let sources =
     if fixture then Ukern.Kbuild.fixture_sources v else Ukern.Kbuild.sources v
   in
   let name = if fixture then "ukern-lint-fixture" else "ukern-lint" in
-  lint_sources ~name ~aconfig:(Ukern.Kbuild.aconfig v)
+  lint_sources ?ranges ~name ~aconfig:(Ukern.Kbuild.aconfig v)
     ~config:(Ukern.Kbuild.lint_config v) sources
 
 let print_result ?(quiet = false) (r : Lint.result) =
@@ -46,16 +52,21 @@ let print_result ?(quiet = false) (r : Lint.result) =
       String.concat ", "
         (List.map (fun (c, n) -> Printf.sprintf "%s %d" c n) r.Lint.lr_counts)
     in
+    let ranges =
+      if r.Lint.lr_range_geps > 0 then
+        Printf.sprintf " (%d via range certificates)" r.Lint.lr_range_geps
+      else ""
+    in
     Printf.printf
-      "lint: %d findings (%s); %d accesses proved safe; %d functions, %d \
+      "lint: %d findings (%s); %d accesses proved safe%s; %d functions, %d \
        dataflow iterations\n"
       (List.length r.Lint.lr_findings)
-      counts r.Lint.lr_proof_count r.Lint.lr_funcs r.Lint.lr_iterations
+      counts r.Lint.lr_proof_count ranges r.Lint.lr_funcs r.Lint.lr_iterations
   end
 
 let selftest () =
-  let clean = lint_kernel ~fixture:false in
-  let dirty = lint_kernel ~fixture:true in
+  let clean = lint_kernel ~fixture:false () in
+  let dirty = lint_kernel ~fixture:true () in
   let got =
     List.map
       (fun (f : Sva_lint.Report.finding) ->
@@ -91,19 +102,22 @@ let selftest () =
   end
   else 1
 
-let run file ukern fixture selftest_flag quiet =
+let run file ukern fixture selftest_flag ranges quiet =
   try
     if selftest_flag then selftest ()
     else begin
       let r =
-        if ukern then lint_kernel ~fixture:false
-        else if fixture then lint_kernel ~fixture:true
+        if ukern then lint_kernel ~ranges ~fixture:false ()
+        else if fixture then lint_kernel ~ranges ~fixture:true ()
         else
           match file with
           | Some path ->
               let m = Pipeline.load_file path in
               let pa = Pointsto.run ~config:file_config m in
-              Lint.run ~config:(Lint.config_of_aconfig file_config) m pa
+              let config = Lint.config_of_aconfig file_config in
+              if ranges then
+                Lint.run ~config ~ranges:(range_oracle m pa) m pa
+              else Lint.run ~config m pa
           | None ->
               prerr_endline
                 "usage: sva_lint FILE | --ukern | --fixture | --selftest";
@@ -143,6 +157,15 @@ let selftest_flag =
           "Check that the clean kernel lints clean and the fixture reports \
            exactly the seeded defects.")
 
+let ranges =
+  Arg.(
+    value & flag
+    & info [ "ranges" ]
+        ~doc:
+          "Feed value-range certificates ($(b,Sva_analysis.Interval)) to \
+           the safe-access prover, widening proofs to variable-index geps \
+           certified in extent.")
+
 let quiet =
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Findings only, no summary.")
 
@@ -150,6 +173,6 @@ let cmd =
   Cmd.v
     (Cmd.info "sva_lint"
        ~doc:"Static dataflow lint over the SVA safety pipeline")
-    Term.(const run $ file $ ukern $ fixture $ selftest_flag $ quiet)
+    Term.(const run $ file $ ukern $ fixture $ selftest_flag $ ranges $ quiet)
 
 let () = exit (Cmd.eval' cmd)

@@ -5,7 +5,7 @@
    to avoid inserting a second set of checks.
 
      sva_run FILE [-f FUNC] [-a INT]... [--conf native|gcc|llvm|safe]
-             [--engine interp|tiered] [--jit-threshold N]
+             [--engine interp|tiered] [--jit-threshold N] [--ranges]
              [--dump-ir] [--emit-bytecode OUT]
 
    The default entry point is `main`.  Under `--conf safe` (the default)
@@ -28,7 +28,7 @@ let engine_of_string = function
   | "tiered" -> Pipeline.Tiered
   | s -> failwith ("unknown engine " ^ s)
 
-let run file func args conf_name engine_name jit_threshold dump_ir
+let run file func args conf_name engine_name jit_threshold ranges dump_ir
     emit_bytecode =
   let source = In_channel.with_open_bin file In_channel.input_all in
   let conf = conf_of_string conf_name in
@@ -41,9 +41,9 @@ let run file func args conf_name engine_name jit_threshold dump_ir
   let name = Filename.basename file in
   match
     if Pipeline.is_bytecode source then
-      Pipeline.build_module ~conf ~name
+      Pipeline.build_module ~conf ~ranges ~name
         (Pipeline.load_source ~name source)
-    else Pipeline.build ~conf ~name [ source ]
+    else Pipeline.build ~conf ~ranges ~name [ source ]
   with
   | exception Minic.Parser.Parse_error (msg, loc) ->
       Printf.eprintf "%s:%d:%d: parse error: %s\n" file loc.Minic.Token.line
@@ -67,7 +67,10 @@ let run file func args conf_name engine_name jit_threshold dump_ir
       let report_tier () =
         if engine.Pipeline.eng_kind = Pipeline.Tiered then
           Printf.printf "tiered:   %s\n"
-            (Sva_rt.Stats.tier_to_string (Sva_rt.Stats.read_tier ()))
+            (Sva_rt.Stats.tier_to_string (Sva_rt.Stats.read_tier ()));
+        if ranges then
+          Printf.printf "ranges:   %s\n"
+            (Sva_rt.Stats.range_to_string (Sva_rt.Stats.read_range ()))
       in
       match Sva_interp.Interp.call vm func (List.map Int64.of_int args) with
       | Some v ->
@@ -111,6 +114,11 @@ let jit_threshold =
        & info [ "jit-threshold" ] ~docv:"N"
            ~doc:"Calls before the tiered engine promotes a function.")
 
+let ranges =
+  Arg.(value & flag & info [ "ranges" ]
+         ~doc:"Run the value-range analysis and elide checks on verified \
+               interval certificates (safe configuration only).")
+
 let dump_ir = Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print the final IR.")
 
 let emit_bytecode =
@@ -121,7 +129,7 @@ let cmd =
     (Cmd.info "sva_run"
        ~doc:"Compile MiniC through the SVA safety pipeline and execute it")
     Term.(
-      const run $ file $ func $ args $ conf $ engine $ jit_threshold $ dump_ir
-      $ emit_bytecode)
+      const run $ file $ func $ args $ conf $ engine $ jit_threshold $ ranges
+      $ dump_ir $ emit_bytecode)
 
 let () = exit (Cmd.eval cmd)

@@ -1,27 +1,90 @@
 (* sva-verify: the load-time half of the SVM (Section 3.4).
 
      sva_verify FILE
+     sva_verify --rangecert FILE
+     sva_verify --range-selftest
 
    Loads an SVA module (bytecode, or MiniC compiled on the fly), runs
    the IR well-formedness verifier, and reports module statistics.
    Exit code 0 = the module may be translated and executed;
-   1 = rejected. *)
+   1 = rejected.
+
+   --rangecert runs the value-range analysis over the module, has the
+   trusted checker re-verify every certificate it can emit, and then
+   runs the certificate-bug injection experiment: every injected bug
+   must be rejected.  --range-selftest exercises the interval kernel
+   against the concrete constant folder. *)
+
+module Interval = Sva_analysis.Interval
+module Rangecert = Sva_tyck.Rangecert
+
+let load path =
+  let data = In_channel.with_open_bin path In_channel.input_all in
+  match Sva_pipeline.Pipeline.load_source ~name:path data with
+  | exception Sva_bytecode.Codec.Decode_error msg ->
+      Printf.eprintf "%s: undecodable bytecode: %s\n" path msg;
+      exit 1
+  | exception Minic.Parser.Parse_error (msg, loc) ->
+      Printf.eprintf "%s:%d:%d: parse error: %s\n" path loc.Minic.Token.line
+        loc.Minic.Token.col msg;
+      exit 1
+  | exception Minic.Lower.Lower_error msg ->
+      Printf.eprintf "%s: error: %s\n" path msg;
+      exit 1
+  | m -> (m, data)
+
+let range_selftest () =
+  let n = Interval.selftest () in
+  Printf.printf "interval kernel selftest: OK (%d checks against the \
+                 constant folder)\n" n
+
+let rangecert path =
+  let m, _ = load path in
+  let pa = Sva_analysis.Pointsto.run m in
+  let res = Interval.run m pa in
+  (* materialize every certificate the analysis can justify *)
+  List.iter
+    (fun (f : Sva_ir.Func.t) ->
+      Sva_ir.Func.iter_instrs f (fun _ i ->
+          if Interval.certifiable res ~fname:f.Sva_ir.Func.f_name i then
+            ignore
+              (Interval.elide res ~fname:f.Sva_ir.Func.f_name i
+                 Interval.Cbounds)))
+    m.Sva_ir.Irmod.m_funcs;
+  let b = Interval.bundle res in
+  let entries = Interval.entry_config res in
+  let cb, cl = Interval.cert_counts res in
+  (match Rangecert.check ~entries m b with
+  | [] ->
+      Printf.printf
+        "%s: range certificates OK (%d facts, %d bounds + %d lscheck \
+         certificates)\n"
+        path (Interval.fact_count res) cb cl
+  | errs ->
+      Printf.eprintf "%s: range certificates REJECTED (%d errors)\n" path
+        (List.length errs);
+      List.iter
+        (fun e -> Printf.eprintf "  %s\n" (Rangecert.string_of_error e))
+        errs;
+      exit 1);
+  let results = Rangecert.experiment ~entries m b ~instances:3 in
+  let caught = List.length (List.filter (fun (_, _, c) -> c) results) in
+  Printf.printf "  injected certificate bugs: %d/%d caught\n" caught
+    (List.length results);
+  List.iter
+    (fun (bug, desc, c) ->
+      if not c then
+        Printf.eprintf "  MISSED %s: %s\n" (Rangecert.bug_name bug) desc)
+    results;
+  if caught <> List.length results then exit 1
 
 let () =
   match Sys.argv with
+  | [| _; "--range-selftest" |] -> range_selftest ()
+  | [| _; "--rangecert"; path |] -> rangecert path
   | [| _; path |] -> (
-      let data = In_channel.with_open_bin path In_channel.input_all in
-      match Sva_pipeline.Pipeline.load_source ~name:path data with
-      | exception Sva_bytecode.Codec.Decode_error msg ->
-          Printf.eprintf "%s: undecodable bytecode: %s\n" path msg;
-          exit 1
-      | exception Minic.Parser.Parse_error (msg, loc) ->
-          Printf.eprintf "%s:%d:%d: parse error: %s\n" path
-            loc.Minic.Token.line loc.Minic.Token.col msg;
-          exit 1
-      | exception Minic.Lower.Lower_error msg ->
-          Printf.eprintf "%s: error: %s\n" path msg;
-          exit 1
+      let m, data = load path in
+      match m with
       | m -> (
           match Sva_ir.Verify.verify_module m with
           | [] ->
@@ -42,5 +105,7 @@ let () =
                 errs;
               exit 1))
   | _ ->
-      prerr_endline "usage: sva_verify BYTECODE-FILE";
+      prerr_endline
+        "usage: sva_verify FILE | sva_verify --rangecert FILE | sva_verify \
+         --range-selftest";
       exit 2

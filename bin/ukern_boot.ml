@@ -1,7 +1,7 @@
 (* ukern-boot: boot the MiniC kernel on the SVM and run a smoke workload.
 
      ukern_boot [native|gcc|llvm|safe] [--engine=interp|tiered]
-                [--jit-threshold=N]          (default: safe, interp)
+                [--jit-threshold=N] [--ranges]   (default: safe, interp)
 
    Prints the boot transcript, runs a small syscall workload, and reports
    instruction/cycle counts plus run-time check statistics (and the tier
@@ -19,18 +19,22 @@ let conf_of_string = function
 let () =
   let conf = ref Pipeline.Sva_safe in
   let engine = ref Pipeline.default_engine in
+  let ranges = ref false in
   Array.iteri
     (fun i arg ->
       if i > 0 then
-        match Pipeline.engine_flag !engine arg with
-        | Some cfg -> engine := cfg
-        | None -> conf := conf_of_string arg)
+        if arg = "--ranges" then ranges := true
+        else
+          match Pipeline.engine_flag !engine arg with
+          | Some cfg -> engine := cfg
+          | None -> conf := conf_of_string arg)
     Sys.argv;
-  let conf = !conf and engine = !engine in
-  Printf.printf "building %s kernel (%s engine)...\n%!"
+  let conf = !conf and engine = !engine and ranges = !ranges in
+  Printf.printf "building %s kernel (%s engine%s)...\n%!"
     (Pipeline.conf_name conf)
-    (Pipeline.engine_name engine.Pipeline.eng_kind);
-  let t = Boot.boot ~conf ~engine () in
+    (Pipeline.engine_name engine.Pipeline.eng_kind)
+    (if ranges then ", range elision" else "");
+  let t = Boot.boot ~conf ~engine ~ranges () in
   Printf.printf "booted: kernel_booted=%Ld (%d instructions)\n"
     (Boot.kernel_global t "kernel_booted")
     (Boot.steps t);
@@ -60,4 +64,7 @@ let () =
   Printf.printf "checks:   %s\n" (Sva_rt.Stats.to_string (Sva_rt.Stats.read ()));
   if engine.Pipeline.eng_kind = Pipeline.Tiered then
     Printf.printf "tiered:   %s\n"
-      (Sva_rt.Stats.tier_to_string (Sva_rt.Stats.read_tier ()))
+      (Sva_rt.Stats.tier_to_string (Sva_rt.Stats.read_tier ()));
+  if ranges then
+    Printf.printf "ranges:   %s\n"
+      (Sva_rt.Stats.range_to_string (Sva_rt.Stats.read_range ()))

@@ -613,10 +613,11 @@ let ablation_workload ctx =
 let ablation ?(quick = false) () =
   let reps = if quick then 10 else 40 in
   let build ?(options = Sva_safety.Checkinsert.default_options)
-      ?(clone = false) ?(devirt = false) ?(checkopt = false) ?(lint = false) () =
+      ?(clone = false) ?(devirt = false) ?(checkopt = false) ?(lint = false)
+      ?(ranges = false) () =
     Pipeline.build ~conf:Pipeline.Sva_safe
       ~aconfig:(Kbuild.aconfig Kbuild.as_tested)
-      ~options ~clone ~devirt ~checkopt ~lint
+      ~options ~clone ~devirt ~checkopt ~lint ~ranges
       ~lint_config:(Kbuild.lint_config Kbuild.as_tested)
       ~name:"ukern-ablation"
       (Kbuild.sources Kbuild.as_tested)
@@ -659,6 +660,7 @@ let ablation ?(quick = false) () =
               Sva_safety.Checkinsert.th_elides_lscheck = false }
           ~lint:true () );
       ("+ cloning + devirtualization (Sec 4.8)", build ~clone:true ~devirt:true ());
+      ("+ range-certified elision (Sec 5)", build ~lint:true ~ranges:true ());
     ]
   in
   let baseline_cycles = ref 0.0 in
@@ -687,6 +689,11 @@ let ablation ?(quick = false) () =
                 Printf.sprintf " (lint-proved %d)"
                   s.Sva_safety.Checkinsert.ls_proved_static
             | _ -> "")
+          ^ (match built.Pipeline.bl_summary with
+            | Some s when s.Sva_safety.Checkinsert.bounds_static_range > 0 ->
+                Printf.sprintf " (range-elided %d)"
+                  s.Sva_safety.Checkinsert.bounds_static_range
+            | _ -> "")
           ^
           if built.Pipeline.bl_cloned > 0 || built.Pipeline.bl_devirt > 0 then
             Printf.sprintf " (cloned %d, devirt %d)" built.Pipeline.bl_cloned
@@ -706,7 +713,7 @@ let ablation ?(quick = false) () =
   T.render
     ~title:"Ablation: the paper's proposed/used compiler optimizations"
     ~note:
-      "Workload: open/close + write + pipe round-trip + getpid per rep.         Section 7.1.3 predicts the check optimizations 'should greatly        improve the performance overheads for kernel operations'; disabling        the baseline's static proofs or TH elision shows how much they        already save.  The lint row re-enables the safe-access prover on        top of the no-TH build: its proofs recover most of the load/store        checks TH elision was covering."
+      "Workload: open/close + write + pipe round-trip + getpid per rep.         Section 7.1.3 predicts the check optimizations 'should greatly        improve the performance overheads for kernel operations'; disabling        the baseline's static proofs or TH elision shows how much they        already save.  The lint row re-enables the safe-access prover on        top of the no-TH build: its proofs recover most of the load/store        checks TH elision was covering.  The range row adds the certified        value-range elision (removing it = the '- range elision' ablation        of EXPERIMENTS.md)."
     [ T.L; T.L; T.R; T.R; T.R ]
     [ "Variant"; "Static instrumentation"; "Checks/op"; "Cycles/op"; "vs base" ]
     rows
@@ -1091,6 +1098,97 @@ let lint_table () =
     [ "Metric"; "Count" ]
     rows
 
+(* ---------- value-range elision (Section 5 certificates) ---------- *)
+
+type ranges_data = {
+  rd_ls_off : int;  (** ls checks, entire kernel, lint on, ranges off *)
+  rd_ls_on : int;  (** same build with certified range elision *)
+  rd_ls_range_geps : int;  (** lint proofs whose in-bounds step used ranges *)
+  rd_bounds_off : int;
+  rd_bounds_on : int;
+  rd_bounds_cert : int;  (** geps elided via a verified bounds certificate *)
+  rd_certs_bounds : int;  (** certificates re-verified by Rangecert *)
+  rd_certs_ls : int;
+  rd_facts : int;
+  rd_iterations : int;
+}
+
+(* ranges-off is the lint-on entire-kernel build already cached by
+   [entire_pair]; ranges-on rebuilds it with the interval analysis, its
+   certified elisions, and the trusted-checker gate (the build fails if
+   any certificate is rejected, so a successful pair implies the whole
+   bundle re-verified). *)
+let range_pair_cache : (Pipeline.built * Pipeline.built) option ref = ref None
+
+let range_pair () =
+  match !range_pair_cache with
+  | Some p -> p
+  | None ->
+      let _, off = entire_pair () in
+      let on =
+        Kbuild.build ~conf:Pipeline.Sva_safe ~lint:true ~ranges:true
+          Kbuild.entire_kernel
+      in
+      range_pair_cache := Some (off, on);
+      (off, on)
+
+let rd_cache : ranges_data option ref = ref None
+
+let ranges_data () =
+  match !rd_cache with
+  | Some d -> d
+  | None ->
+      let off, on = range_pair () in
+      let s0 = Option.get off.Pipeline.bl_summary in
+      let s1 = Option.get on.Pipeline.bl_summary in
+      let lr = Option.get on.Pipeline.bl_lint in
+      let rr = Option.get on.Pipeline.bl_ranges in
+      let cb, cl = Sva_analysis.Interval.cert_counts rr in
+      let d =
+        {
+          rd_ls_off = s0.Sva_safety.Checkinsert.ls_inserted;
+          rd_ls_on = s1.Sva_safety.Checkinsert.ls_inserted;
+          rd_ls_range_geps = lr.Sva_lint.Lint.lr_range_geps;
+          rd_bounds_off = s0.Sva_safety.Checkinsert.bounds_inserted;
+          rd_bounds_on = s1.Sva_safety.Checkinsert.bounds_inserted;
+          rd_bounds_cert = s1.Sva_safety.Checkinsert.bounds_static_range;
+          rd_certs_bounds = cb;
+          rd_certs_ls = cl;
+          rd_facts = Sva_analysis.Interval.fact_count rr;
+          rd_iterations = Sva_analysis.Interval.iterations rr;
+        }
+      in
+      rd_cache := Some d;
+      d
+
+let ranges_table () =
+  let d = ranges_data () in
+  T.render
+    ~title:
+      "Value-range elision: interval analysis + verified certificates \
+       (entire kernel, lint on)"
+    ~note:
+      "Every elision is backed by a per-gep range certificate that the \
+       trusted checker (Sva_tyck.Rangecert) re-verified during the build \
+       - the analysis itself stays outside the TCB (Section 5).  Shape \
+       to check: both static check columns drop when ranges are on, and \
+       the bounds drop equals the certified-gep count."
+    [ T.L; T.R ]
+    [ "Metric"; "Count" ]
+    [
+      [ "ls checks inserted (ranges off)"; string_of_int d.rd_ls_off ];
+      [ "ls checks inserted (ranges on)"; string_of_int d.rd_ls_on ];
+      [ "ls-check geps proved via range facts";
+        string_of_int d.rd_ls_range_geps ];
+      [ "bounds checks inserted (ranges off)"; string_of_int d.rd_bounds_off ];
+      [ "bounds checks inserted (ranges on)"; string_of_int d.rd_bounds_on ];
+      [ "bounds elided via certificates"; string_of_int d.rd_bounds_cert ];
+      [ "certificates verified (bounds + lscheck)";
+        Printf.sprintf "%d + %d" d.rd_certs_bounds d.rd_certs_ls ];
+      [ "interval facts exported"; string_of_int d.rd_facts ];
+      [ "dataflow block visits"; string_of_int d.rd_iterations ];
+    ]
+
 (* ---------- machine-readable results (--json) ---------- *)
 
 module J = Jsonout
@@ -1153,6 +1251,35 @@ let tiered_json ?(quick = false) () =
        J.Obj [ ("hits", J.Int d.td_tcache_hits);
                ("misses", J.Int d.td_tcache_misses);
                ("signature-verifications", J.Int d.td_sig_verifications) ]);
+    ]
+
+let ranges_json () =
+  let d = ranges_data () in
+  J.Obj
+    [
+      ("ls-checks",
+       J.Obj
+         [
+           ("ranges-off", J.Int d.rd_ls_off);
+           ("ranges-on", J.Int d.rd_ls_on);
+           ("range-geps", J.Int d.rd_ls_range_geps);
+         ]);
+      ("bounds-checks",
+       J.Obj
+         [
+           ("ranges-off", J.Int d.rd_bounds_off);
+           ("ranges-on", J.Int d.rd_bounds_on);
+           ("cert-elided", J.Int d.rd_bounds_cert);
+         ]);
+      ("certificates",
+       J.Obj
+         [
+           ("bounds", J.Int d.rd_certs_bounds);
+           ("lscheck", J.Int d.rd_certs_ls);
+           ("verified", J.Bool true);
+         ]);
+      ("facts", J.Int d.rd_facts);
+      ("iterations", J.Int d.rd_iterations);
     ]
 
 let lint_json () =

@@ -132,7 +132,31 @@ val lint_table : unit -> string
     shipped kernel), prover statistics, and the load/store check
     reduction the proofs buy. *)
 
+type ranges_data = {
+  rd_ls_off : int;
+  rd_ls_on : int;
+  rd_ls_range_geps : int;
+  rd_bounds_off : int;
+  rd_bounds_on : int;
+  rd_bounds_cert : int;
+  rd_certs_bounds : int;
+  rd_certs_ls : int;
+  rd_facts : int;
+  rd_iterations : int;
+}
+
+val ranges_data : unit -> ranges_data
+(** Build the entire kernel (lint on) with and without the value-range
+    analysis and compare the static check counts.  The ranges-on build
+    runs the trusted certificate checker as a gate, so a successful pair
+    implies every elision certificate re-verified. *)
+
+val ranges_table : unit -> string
+(** The value-range elision section: check counts with ranges off/on,
+    certificate counts, and the exported fact total. *)
+
 val fastpath_json : ?quick:bool -> unit -> Jsonout.t
 val tiered_json : ?quick:bool -> unit -> Jsonout.t
 val table7_json : ?quick:bool -> unit -> Jsonout.t
 val lint_json : unit -> Jsonout.t
+val ranges_json : unit -> Jsonout.t

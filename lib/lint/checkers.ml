@@ -552,7 +552,7 @@ let unsafe_globals ctx =
     (analyzed ctx);
   !bad
 
-let safe_access ctx =
+let safe_access ?(ranges = fun ~fname:_ _ -> false) ctx =
   let tctx = ctx.m.Irmod.m_ctx in
   let bad_globals = unsafe_globals ctx in
   let proofs = ref [] in
@@ -610,7 +610,11 @@ let safe_access ctx =
               when (match sizeof_opt tctx pointee with
                    | Some psz -> n >= psz
                    | None -> false)
-                   && Sva_safety.Checkinsert.static_safe tctx base idxs ->
+                   && (Sva_safety.Checkinsert.static_safe tctx base idxs
+                      (* variable indexing certified in extent by the
+                         interval analysis (certificate re-verified by
+                         the trusted checker) *)
+                      || ranges ~fname:fn i) ->
                 set (Safe (Sva_safety.Checkinsert.gep_access_len tctx i))
             | _ -> set SUnsafe)
         | Instr.Cast (_, v, _) -> set (safe_of fact v)

@@ -51,7 +51,12 @@ val irq_sleep : ctx -> Report.finding list
 
 type proof = { pr_func : string; pr_instr : int }
 
-val safe_access : ctx -> proof list
+val safe_access :
+  ?ranges:(fname:string -> Instr.t -> bool) -> ctx -> proof list
 (** Loads/stores provably inside a known-size, known-live object:
     non-escaping constant-size allocas and (module-wide never-freed)
-    globals, through statically-in-bounds geps. *)
+    globals, through statically-in-bounds geps.  [ranges] widens the
+    in-bounds test to variable-index geps the interval analysis
+    certified in extent ({!Sva_analysis.Interval}); each [true] answer
+    is expected to be backed by a certificate the trusted checker
+    re-verifies. *)

@@ -1,85 +1,6 @@
-(** A generic iterative dataflow framework over {!Sva_ir.Cfg}.
-
-    The solver is a worklist algorithm on basic blocks: block facts are
-    joined over the incoming edges (forward) or outgoing edges
-    (backward), pushed through a client transfer function, and the
-    block's dependents are revisited until the facts stop changing.
-    Blocks are visited in reverse post-order (forward) or its reverse
-    (backward), which makes convergence fast on reducible flow graphs
-    and the result order-deterministic.
-
-    The lattice is a client module: the solver only needs [bottom],
-    [join] and [equal].  Monotone transfer functions over a
-    finite-height lattice terminate; the solver additionally caps the
-    number of sweeps as a defence against a buggy client and reports the
-    iteration count so tests can assert convergence behaviour.
-
-    Two extension points cover the checkers' needs:
-
-    - [edge]: an optional refinement applied to a fact as it flows along
-      one CFG edge — how conditional-branch information ("[p] is null on
-      the true edge") enters the analysis;
-    - {!Summaries}: a worklist fixpoint over function names used for
-      interprocedural propagation through {!Sva_analysis.Callgraph}
-      summaries. *)
-
-open Sva_ir
-
-module type LATTICE = sig
-  type t
-
-  val bottom : t
-  (** The "no information yet" element; the initial in-fact of every
-      block except the entry. *)
-
-  val equal : t -> t -> bool
-  val join : t -> t -> t
-end
-
-type direction = Forward | Backward
-
-module Make (L : LATTICE) : sig
-  type result = {
-    input : string -> L.t;
-        (** fact at block entry (forward) / block exit (backward) *)
-    output : string -> L.t;
-        (** fact at block exit (forward) / block entry (backward) *)
-    iterations : int;
-        (** total block visits performed before the fixpoint *)
-  }
-
-  val solve :
-    ?direction:direction ->
-    ?entry:L.t ->
-    ?edge:(src:string -> dst:string -> L.t -> L.t) ->
-    transfer:(Func.block -> L.t -> L.t) ->
-    Func.t ->
-    Cfg.t ->
-    result
-  (** [solve ~transfer f cfg] computes the fixpoint over [f]'s reachable
-      blocks.  [entry] (default [L.bottom]) is the boundary fact of the
-      entry block (forward) or of every exit block (backward).  [edge]
-      (default identity) refines a fact flowing along a specific edge
-      {e before} it is joined into the destination. *)
-end
-
-(** Interprocedural summary fixpoint: each function owns a summary value;
-    [transfer] recomputes one function's view and may update any other
-    function's summary through [update] (e.g. a caller tainting its
-    callee's parameters).  Every function whose summary changes is
-    re-queued, as are its callers, until nothing moves. *)
-module Summaries : sig
-  type 'a t
-
-  val solve :
-    Sva_analysis.Callgraph.t ->
-    funcs:string list ->
-    init:(string -> 'a) ->
-    equal:('a -> 'a -> bool) ->
-    transfer:(get:(string -> 'a) -> update:(string -> 'a -> unit) ->
-              string -> unit) ->
-    'a t
-
-  val get : 'a t -> string -> 'a
-  (** @raise Not_found for names outside [funcs]. *)
-end
+(** Alias of {!Sva_analysis.Dataflow} — the generic worklist dataflow
+    solver originally lived here and moved down a layer so the
+    value-range analysis ({!Sva_analysis.Interval}) can share it.  The
+    checkers and existing clients keep referring to [Dataflow]
+    unqualified; see the aliased module for documentation. *)
+include module type of Sva_analysis.Dataflow

@@ -28,18 +28,27 @@ type result = {
   lr_counts : (string * int) list;
   lr_proofs : (string * int, unit) Hashtbl.t;
   lr_proof_count : int;
+  lr_range_geps : int;
   lr_funcs : int;
   lr_iterations : int;
 }
 
-let run ?(config = default_config) m pa =
+let run ?(config = default_config) ?(ranges = fun ~fname:_ _ -> false) m pa =
   let ctx = Checkers.make_ctx ~config m pa in
   let findings =
     Report.sort
       (Checkers.user_taint ctx @ Checkers.null_deref ctx
      @ Checkers.irq_sleep ctx)
   in
-  let proofs = Checkers.safe_access ctx in
+  (* count distinct geps the range oracle vouched for (the prover may
+     consult it several times per instruction across solver sweeps) *)
+  let range_used = Hashtbl.create 16 in
+  let ranges ~fname (i : Sva_ir.Instr.t) =
+    let ok = ranges ~fname i in
+    if ok then Hashtbl.replace range_used (fname, i.Sva_ir.Instr.id) ();
+    ok
+  in
+  let proofs = Checkers.safe_access ~ranges ctx in
   let tbl = Hashtbl.create 64 in
   List.iter
     (fun (p : Checkers.proof) ->
@@ -50,6 +59,7 @@ let run ?(config = default_config) m pa =
     lr_counts = Report.count_by_checker ~checkers findings;
     lr_proofs = tbl;
     lr_proof_count = Hashtbl.length tbl;
+    lr_range_geps = Hashtbl.length range_used;
     lr_funcs =
       List.length
         (List.filter

@@ -35,14 +35,26 @@ type result = {
   lr_proofs : (string * int, unit) Hashtbl.t;
       (** (function, instruction) accesses proved safe *)
   lr_proof_count : int;
+  lr_range_geps : int;
+      (** distinct geps whose in-bounds step of a proof came from the
+          interval analysis's [ranges] oracle *)
   lr_funcs : int;  (** analyzed functions *)
   lr_iterations : int;  (** total dataflow block visits *)
 }
 
-val run : ?config:config -> Irmod.t -> Pointsto.result -> result
+val run :
+  ?config:config ->
+  ?ranges:(fname:string -> Instr.t -> bool) ->
+  Irmod.t ->
+  Pointsto.result ->
+  result
 (** Lint a module.  [pa] must be the points-to result computed over
     [m] in its current form (the pipeline runs lint right after the
-    points-to stage, before instrumentation). *)
+    points-to stage, before instrumentation).  [ranges] is forwarded to
+    the safe-access prover ({!Checkers.safe_access}): it widens proofs
+    to variable-index geps certified in extent by
+    {!Sva_analysis.Interval}, and every elision it enables is backed by
+    a certificate the trusted checker re-verifies. *)
 
 val proved_safe : result -> fname:string -> int -> bool
 (** Did the safe-access prover cover instruction [id] of [fname]?

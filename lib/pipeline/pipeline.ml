@@ -58,6 +58,7 @@ type built = {
   bl_devirt : int;
   bl_checkopt : Checkopt.summary option;
   bl_lint : Sva_lint.Lint.result option;
+  bl_ranges : Interval.result option;
 }
 
 (* ---------- module loading ---------- *)
@@ -86,7 +87,7 @@ let load_file path =
 let build_module ?(conf = Sva_safe) ?(aconfig = Pointsto.default_config)
     ?(options = Checkinsert.default_options) ?(typecheck = true)
     ?(clone = false) ?(devirt = false) ?(checkopt = false) ?(lint = false)
-    ?lint_config ~name m =
+    ?lint_config ?(ranges = false) ~name m =
   match conf with
   | Native | Sva_gcc | Sva_llvm ->
       {
@@ -102,6 +103,7 @@ let build_module ?(conf = Sva_safe) ?(aconfig = Pointsto.default_config)
         bl_devirt = 0;
         bl_checkopt = None;
         bl_lint = None;
+        bl_ranges = None;
       }
   | Sva_safe ->
       let cloned = if clone then Clone.run m else 0 in
@@ -126,8 +128,18 @@ let build_module ?(conf = Sva_safe) ?(aconfig = Pointsto.default_config)
         else None
       in
       let devirted = if devirt then Devirt.run m pa else 0 in
+      (* Value-range abstract interpretation (untrusted): runs on the
+         final pre-instrumentation IR; every elision it grants below is
+         recorded as a certificate and re-verified by the trusted
+         checker after instrumentation. *)
+      let rres = if ranges then Some (Interval.run m pa) else None in
       (* The static lint layer runs on the analyzed, still-uninstrumented
          module; its safe-access proofs feed check insertion below. *)
+      let range_oracle kind =
+        match rres with
+        | Some rr -> fun ~fname i -> Interval.elide rr ~fname i kind
+        | None -> fun ~fname:_ _ -> false
+      in
       let lint_res =
         if lint then
           let config =
@@ -135,7 +147,7 @@ let build_module ?(conf = Sva_safe) ?(aconfig = Pointsto.default_config)
             | Some c -> c
             | None -> Sva_lint.Lint.config_of_aconfig aconfig
           in
-          Some (Sva_lint.Lint.run ~config m pa)
+          Some (Sva_lint.Lint.run ~config ~ranges:(range_oracle Interval.Cls) m pa)
         else None
       in
       let proofs =
@@ -144,9 +156,35 @@ let build_module ?(conf = Sva_safe) ?(aconfig = Pointsto.default_config)
         | None -> fun ~fname:_ _ -> false
       in
       let summary =
-        Checkinsert.run ~options ~proofs m pa mps aconfig.Pointsto.allocators
+        Checkinsert.run ~options ~proofs
+          ~ranges:(range_oracle Interval.Cbounds) m pa mps
+          aconfig.Pointsto.allocators
       in
       let co = if checkopt then Some (Checkopt.run m) else None in
+      (* Section 5 gate for the range pipeline: the trusted checker must
+         accept every certificate behind an elision actually taken, or
+         the build is rejected as a compiler bug. *)
+      (match rres with
+      | None -> ()
+      | Some rr -> (
+          let b = Interval.bundle rr in
+          match
+            Sva_tyck.Rangecert.check ~entries:(Interval.entry_config rr) m b
+          with
+          | [] ->
+              let cb, cl = Interval.cert_counts rr in
+              Sva_rt.Stats.add_range_bounds_elided summary.Checkinsert.bounds_static_range;
+              Sva_rt.Stats.add_range_ls_elided
+                (match lint_res with
+                | Some r -> r.Sva_lint.Lint.lr_range_geps
+                | None -> 0);
+              Sva_rt.Stats.add_range_facts (Interval.fact_count rr);
+              Sva_rt.Stats.add_range_cert_checks (cb + cl)
+          | errs ->
+              failwith
+                ("range certificate checking failed:\n"
+                ^ String.concat "\n"
+                    (List.map Sva_tyck.Rangecert.string_of_error errs))));
       {
         bl_name = name;
         bl_conf = conf;
@@ -160,10 +198,11 @@ let build_module ?(conf = Sva_safe) ?(aconfig = Pointsto.default_config)
         bl_devirt = devirted;
         bl_checkopt = co;
         bl_lint = lint_res;
+        bl_ranges = rres;
       }
 
 let build ?conf ?aconfig ?options ?typecheck ?clone ?devirt ?checkopt ?lint
-    ?lint_config ~name sources =
+    ?lint_config ?ranges ~name sources =
   let pipeline =
     match conf with
     | Some Native | Some Sva_gcc -> Passes.Gcc_like
@@ -171,7 +210,7 @@ let build ?conf ?aconfig ?options ?typecheck ?clone ?devirt ?checkopt ?lint
   in
   let m = compile ~pipeline ~name sources in
   build_module ?conf ?aconfig ?options ?typecheck ?clone ?devirt ?checkopt
-    ?lint ?lint_config ~name m
+    ?lint ?lint_config ?ranges ~name m
 
 let instantiate ?sys ?(engine = default_engine) built =
   let mode =

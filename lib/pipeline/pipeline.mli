@@ -70,6 +70,10 @@ type built = {
       (** results of the check optimizations of Section 7.1.3, when enabled *)
   bl_lint : Sva_lint.Lint.result option;
       (** static lint findings and safe-access proofs, when enabled *)
+  bl_ranges : Interval.result option;
+      (** the value-range analysis result, when [~ranges:true]; its
+          certificate bundle has been verified by the trusted checker
+          ([Sva_tyck.Rangecert]) against the instrumented module *)
 }
 
 val compile : ?pipeline:Passes.pipeline -> name:string -> string list -> Irmod.t
@@ -99,6 +103,7 @@ val build :
   ?checkopt:bool ->
   ?lint:bool ->
   ?lint_config:Sva_lint.Lint.config ->
+  ?ranges:bool ->
   name:string ->
   string list ->
   built
@@ -111,7 +116,16 @@ val build :
     run-time check insertion, the optional check optimizations of
     Section 7.1.3, and IR re-verification.  [lint_config] defaults to
     {!Sva_lint.Lint.config_of_aconfig} of [aconfig].
-    @raise Failure if the type checker rejects the annotations (a
+
+    [~ranges:true] additionally runs the value-range abstract
+    interpretation ({!Sva_analysis.Interval}) on the analyzed module:
+    the lint prover consults it to widen safe-access proofs to
+    variable-index geps, check insertion elides [pchk_bounds] for
+    certified geps, and after instrumentation the trusted checker
+    re-verifies every materialized certificate — the build fails if any
+    is rejected (Section 5 discipline).
+    @raise Failure if the type checker rejects the annotations or the
+    range-certificate checker rejects a certificate (a
     safety-checking-compiler bug). *)
 
 val build_module :
@@ -124,6 +138,7 @@ val build_module :
   ?checkopt:bool ->
   ?lint:bool ->
   ?lint_config:Sva_lint.Lint.config ->
+  ?ranges:bool ->
   name:string ->
   Irmod.t ->
   built

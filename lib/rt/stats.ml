@@ -159,3 +159,63 @@ let tier_to_string s =
     s.tcache_hits
     (s.tcache_hits + s.tcache_misses)
     s.sig_verifications
+
+(* ---------- range-elision counters ----------
+
+   Static accounting for the value-range certificate pipeline: how many
+   checks the interval analysis elided at build time and how many
+   certificates the trusted checker re-verified.  Kept out of [snapshot]
+   for the same reason as the tier counters: the differential tests
+   compare [read ()] between range-elision-on and -off builds, and these
+   counters differ by design. *)
+
+type range_snapshot = {
+  range_bounds_elided : int;
+  range_ls_elided : int;
+  range_facts : int;
+  range_cert_checks : int;
+}
+
+let range_zero =
+  {
+    range_bounds_elided = 0;
+    range_ls_elided = 0;
+    range_facts = 0;
+    range_cert_checks = 0;
+  }
+
+let r_bounds = ref 0
+let r_ls = ref 0
+let r_facts = ref 0
+let r_certs = ref 0
+
+let add_range_bounds_elided n = r_bounds := !r_bounds + n
+let add_range_ls_elided n = r_ls := !r_ls + n
+let add_range_facts n = r_facts := !r_facts + n
+let add_range_cert_checks n = r_certs := !r_certs + n
+
+let read_range () =
+  {
+    range_bounds_elided = !r_bounds;
+    range_ls_elided = !r_ls;
+    range_facts = !r_facts;
+    range_cert_checks = !r_certs;
+  }
+
+let reset_range () =
+  r_bounds := 0;
+  r_ls := 0;
+  r_facts := 0;
+  r_certs := 0
+
+let diff_range a b =
+  {
+    range_bounds_elided = a.range_bounds_elided - b.range_bounds_elided;
+    range_ls_elided = a.range_ls_elided - b.range_ls_elided;
+    range_facts = a.range_facts - b.range_facts;
+    range_cert_checks = a.range_cert_checks - b.range_cert_checks;
+  }
+
+let range_to_string s =
+  Printf.sprintf "range-elided bounds=%d ls=%d facts=%d certs-verified=%d"
+    s.range_bounds_elided s.range_ls_elided s.range_facts s.range_cert_checks

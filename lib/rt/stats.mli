@@ -83,3 +83,33 @@ val reset_tier : unit -> unit
 
 val diff_tier : tier_snapshot -> tier_snapshot -> tier_snapshot
 val tier_to_string : tier_snapshot -> string
+
+(** {1 Range-elision counters}
+
+    Static accounting for the value-range certificate pipeline
+    ({!Sva_analysis.Interval} / the trusted checker in [Sva_tyck]):
+    checks elided at build time on verified interval certificates, and
+    the number of certificates the trusted checker re-verified.  Kept in
+    a separate snapshot so the range-elision-on and -off builds keep
+    {!snapshot} comparable in the differential tests. *)
+
+type range_snapshot = {
+  range_bounds_elided : int;
+      (** [pchk_bounds] elided on a verified in-extent certificate *)
+  range_ls_elided : int;
+      (** [pchk_lscheck] elided via range-widened safe-access proofs *)
+  range_facts : int;  (** interval facts emitted by the analysis *)
+  range_cert_checks : int;
+      (** certificates re-verified by the trusted checker *)
+}
+
+val range_zero : range_snapshot
+val add_range_bounds_elided : int -> unit
+val add_range_ls_elided : int -> unit
+val add_range_facts : int -> unit
+val add_range_cert_checks : int -> unit
+val read_range : unit -> range_snapshot
+val reset_range : unit -> unit
+
+val diff_range : range_snapshot -> range_snapshot -> range_snapshot
+val range_to_string : range_snapshot -> string

@@ -28,6 +28,7 @@ type summary = {
   drops_inserted : int;
   stack_promoted : int;
   ls_proved_static : int;
+  bounds_static_range : int;
 }
 
 let zero_summary =
@@ -43,6 +44,7 @@ let zero_summary =
     drops_inserted = 0;
     stack_promoted = 0;
     ls_proved_static = 0;
+    bounds_static_range = 0;
   }
 
 (* ---------- helpers ---------- *)
@@ -166,6 +168,7 @@ type ctx = {
   adecls : Allocdecl.t list;
   opts : options;
   proofs : fname:string -> int -> bool;
+  ranges : fname:string -> Instr.t -> bool;
   mutable s : summary;
 }
 
@@ -236,6 +239,15 @@ let instrument_func c (f : Func.t) =
               | Some d ->
                   if c.opts.static_bounds && static_safe c.m.Irmod.m_ctx base idxs
                   then c.s <- { c.s with bounds_static = c.s.bounds_static + 1 }
+                  else if c.ranges ~fname i then
+                    (* The interval analysis certified every variable
+                       index in extent; the certificate is re-verified by
+                       the trusted checker downstream. *)
+                    c.s <-
+                      {
+                        c.s with
+                        bounds_static_range = c.s.bounds_static_range + 1;
+                      }
                   else (
                     match Instr.result i with
                     | Some r ->
@@ -422,9 +434,11 @@ let add_global_registration c =
        at the kernel entry point). *)
   end
 
-let run ?(options = default_options) ?(proofs = fun ~fname:_ _ -> false) m pa
-    mps adecls =
-  let c = { m; pa; mps; adecls; opts = options; proofs; s = zero_summary } in
+let run ?(options = default_options) ?(proofs = fun ~fname:_ _ -> false)
+    ?(ranges = fun ~fname:_ _ -> false) m pa mps adecls =
+  let c =
+    { m; pa; mps; adecls; opts = options; proofs; ranges; s = zero_summary }
+  in
   List.iter
     (fun (f : Func.t) ->
       if not (Func.has_attr f Func.Noanalyze) then begin

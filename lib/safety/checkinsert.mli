@@ -55,6 +55,10 @@ type summary = {
       (** load/store checks elided on a static lint proof (would have
           been inserted otherwise — TH/incomplete elisions are counted
           under their own fields first) *)
+  bounds_static_range : int;
+      (** variable-index geps whose bounds check was elided on a
+          verified interval-analysis certificate (the [ranges] oracle);
+          the constant-index cases are counted under [bounds_static] *)
 }
 
 val static_safe : Ty.ctx -> Value.t -> Value.t list -> bool
@@ -71,6 +75,7 @@ val gep_access_len : Ty.ctx -> Instr.t -> int
 val run :
   ?options:options ->
   ?proofs:(fname:string -> int -> bool) ->
+  ?ranges:(fname:string -> Instr.t -> bool) ->
   Irmod.t ->
   Pointsto.result ->
   Metapool.t ->
@@ -85,7 +90,14 @@ val run :
     that would have been inserted is elided and counted in
     [ls_proved_static].  Proofs are consulted only for checks that
     survive the TH/incompleteness elisions, so the count measures
-    genuinely new elisions. *)
+    genuinely new elisions.
+
+    [ranges] is the interval analysis's certificate oracle
+    ({!Sva_analysis.Interval.elide} partially applied): when it returns
+    [true] for a variable-index gep, the [pchk_bounds] that would have
+    been inserted is elided and counted in [bounds_static_range].  The
+    oracle is expected to materialize a certificate for each elision it
+    grants, so the trusted checker can re-verify every one. *)
 
 val runtime_pools :
   ?user_range:int * int -> Metapool.t -> (int * Sva_rt.Metapool_rt.t) list

@@ -1,6 +1,10 @@
 open Sva_ir
 
-type summary = { co_ls_deduped : int; co_bounds_hoisted : int }
+type summary = {
+  co_ls_deduped : int;
+  co_bounds_hoisted : int;
+  co_avail_eliminated : int;
+}
 
 (* ---------- redundant load/store check elimination ---------- *)
 
@@ -304,8 +308,117 @@ let hoist_bounds (m : Irmod.t) (f : Func.t) =
     !hoisted
   end
 
+(* ---------- available-check elimination across blocks ---------- *)
+
+(* The ABCD-style counterpart of {!dedup_lschecks}: a check is
+   {e available} at a program point when an equal-or-stronger check
+   against the same pool and pointer has executed on {e every} path from
+   the entry with no intervening call or deallocation.  A must-dataflow
+   computes block-entry availability (key -> largest length checked);
+   checks that are available on arrival are deleted.  Unreached blocks
+   carry [All] so joins only narrow over paths that exist. *)
+
+module SM = Map.Make (String)
+
+module AvailL = struct
+  type t = All | Avail of int64 SM.t
+
+  let bottom = All
+
+  let equal a b =
+    match (a, b) with
+    | All, All -> true
+    | Avail x, Avail y -> SM.equal Int64.equal x y
+    | _ -> false
+
+  let join a b =
+    match (a, b) with
+    | All, x | x, All -> x
+    | Avail x, Avail y ->
+        Avail
+          (SM.merge
+             (fun _ la lb ->
+               match (la, lb) with
+               | Some la, Some lb -> Some (Int64.min la lb)
+               | _ -> None)
+             x y)
+end
+
+module AvailSolver = Sva_analysis.Dataflow.Make (AvailL)
+
+(* The availability key and checked length of a check intrinsic, when it
+   is of a shape the analysis can reason about. *)
+let check_key (i : Instr.t) =
+  match i.Instr.kind with
+  | Instr.Intrinsic
+      ("pchk_lscheck", [ Value.Imm (_, mp); ptr; Value.Imm (_, len) ]) ->
+      Some (Printf.sprintf "l|%Ld|%s" mp (value_key ptr), len)
+  | Instr.Intrinsic
+      ( "pchk_bounds",
+        [ Value.Imm (_, mp); base; dst; Value.Imm (_, len) ] ) ->
+      Some
+        ( Printf.sprintf "b|%Ld|%s|%s" mp (value_key base) (value_key dst),
+          len )
+  | _ -> None
+
+let avail_step avail (i : Instr.t) =
+  match check_key i with
+  | Some (key, len) ->
+      let prior = Option.value ~default:Int64.min_int (SM.find_opt key avail) in
+      SM.add key (Int64.max prior len) avail
+  | None -> if invalidates i.Instr.kind then SM.empty else avail
+
+let eliminate_available (f : Func.t) =
+  if f.Func.f_blocks = [] then 0
+  else begin
+    let cfg = Cfg.build f in
+    let transfer (b : Func.block) st =
+      match st with
+      | AvailL.All -> AvailL.All
+      | AvailL.Avail avail ->
+          AvailL.Avail (List.fold_left avail_step avail b.Func.insns)
+    in
+    let r =
+      AvailSolver.solve ~entry:(AvailL.Avail SM.empty) ~transfer f cfg
+    in
+    let removed = ref 0 in
+    List.iter
+      (fun (b : Func.block) ->
+        match r.AvailSolver.input b.Func.label with
+        | AvailL.All -> () (* unreachable: leave untouched *)
+        | AvailL.Avail entry ->
+            let avail = ref entry in
+            b.Func.insns <-
+              List.filter
+                (fun (i : Instr.t) ->
+                  match check_key i with
+                  | Some (key, len)
+                    when (match SM.find_opt key !avail with
+                         | Some prior -> Int64.compare len prior <= 0
+                         | None -> false) ->
+                      incr removed;
+                      false
+                  | _ ->
+                      avail := avail_step !avail i;
+                      true)
+                b.Func.insns)
+      f.Func.f_blocks;
+    !removed
+  end
+
 let run_func m f =
-  { co_ls_deduped = dedup_lschecks f; co_bounds_hoisted = hoist_bounds m f }
+  (* Pass order matters: local dedup first, then loop hoisting, then the
+     global availability pass over whatever the cheaper passes left
+     behind.  Record fields evaluate right-to-left, so sequence the
+     passes explicitly. *)
+  let deduped = dedup_lschecks f in
+  let hoisted = hoist_bounds m f in
+  let avail = eliminate_available f in
+  {
+    co_ls_deduped = deduped;
+    co_bounds_hoisted = hoisted;
+    co_avail_eliminated = avail;
+  }
 
 let run (m : Irmod.t) =
   let total =
@@ -315,8 +428,10 @@ let run (m : Irmod.t) =
         {
           co_ls_deduped = acc.co_ls_deduped + s.co_ls_deduped;
           co_bounds_hoisted = acc.co_bounds_hoisted + s.co_bounds_hoisted;
+          co_avail_eliminated =
+            acc.co_avail_eliminated + s.co_avail_eliminated;
         })
-      { co_ls_deduped = 0; co_bounds_hoisted = 0 }
+      { co_ls_deduped = 0; co_bounds_hoisted = 0; co_avail_eliminated = 0 }
       m.Irmod.m_funcs
   in
   Verify.check m;

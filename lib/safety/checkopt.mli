@@ -9,7 +9,14 @@
       with a positive constant step, [base] and [N] loop-invariant, is
       replaced by a single whole-range check in the loop preheader
       ("hoisting checks out of loops with monotonic index ranges (a
-      common case)").
+      common case)");
+    - {e available-check elimination}: the cross-block (ABCD-style)
+      generalization of redundant-check elimination — a must-dataflow
+      over the CFG computes which checks have already executed on every
+      path from the entry (with no intervening call or deallocation),
+      and deletes checks that arrive available.  Within-block
+      repetitions are credited to [co_ls_deduped] first; this pass
+      counts only the cross-block eliminations.
 
     The third improvement the paper lists — static array bounds checking —
     is {!Checkinsert.options.static_bounds}.  These passes run {e after}
@@ -21,6 +28,9 @@ open Sva_ir
 type summary = {
   co_ls_deduped : int;  (** redundant load/store checks removed *)
   co_bounds_hoisted : int;  (** per-iteration bounds checks hoisted *)
+  co_avail_eliminated : int;
+      (** checks deleted because an equal-or-stronger check dominates
+          every path to them *)
 }
 
 val run_func : Irmod.t -> Func.t -> summary

@@ -26,8 +26,9 @@ let boot_built ?engine built ~variant =
   | exception e -> raise (Boot_failure (Printexc.to_string e)));
   { built; vm; sys; variant; signal_fired = [] }
 
-let boot ?(conf = Pipeline.Sva_safe) ?(variant = Kbuild.as_tested) ?engine () =
-  boot_built ?engine (Kbuild.build ~conf variant) ~variant
+let boot ?(conf = Pipeline.Sva_safe) ?(variant = Kbuild.as_tested) ?engine
+    ?(ranges = false) () =
+  boot_built ?engine (Kbuild.build ~conf ~ranges variant) ~variant
 
 (* Trap entry + exit cost in the cycle model: the SVM's interrupt-context
    creation/teardown (Table 2).  Mediated mode spills and validates the

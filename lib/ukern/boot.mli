@@ -27,11 +27,13 @@ val boot :
   ?conf:Sva_pipeline.Pipeline.conf ->
   ?variant:Kbuild.variant ->
   ?engine:Sva_pipeline.Pipeline.engine_config ->
+  ?ranges:bool ->
   unit ->
   t
 (** Build, load and boot the kernel.  [engine] selects the SVM execution
-    tier (interpreter by default).  @raise Boot_failure if [kmain]
-    fails. *)
+    tier (interpreter by default); [~ranges:true] builds with the
+    certificate-verified value-range check elision.  @raise Boot_failure
+    if [kmain] fails. *)
 
 val boot_built :
   ?engine:Sva_pipeline.Pipeline.engine_config ->

@@ -85,8 +85,9 @@ let lint_config v =
     ~extra_trusted:[ "__copy_user"; "strncpy_from_user" ]
     (aconfig v)
 
-let build ?(conf = Sva_pipeline.Pipeline.Sva_safe) ?(lint = false) v =
+let build ?(conf = Sva_pipeline.Pipeline.Sva_safe) ?(lint = false)
+    ?(ranges = false) v =
   Sva_pipeline.Pipeline.build ~conf ~aconfig:(aconfig v) ~lint
-    ~lint_config:(lint_config v)
+    ~lint_config:(lint_config v) ~ranges
     ~name:("ukern-" ^ v.v_name)
     (sources v)

@@ -56,8 +56,10 @@ val lint_config : variant -> Sva_lint.Lint.config
 val build :
   ?conf:Sva_pipeline.Pipeline.conf ->
   ?lint:bool ->
+  ?ranges:bool ->
   variant ->
   Sva_pipeline.Pipeline.built
 (** Compile the kernel under a pipeline configuration.  [~lint:true]
     enables the static lint stage (findings and safe-access proofs under
-    {!lint_config}). *)
+    {!lint_config}); [~ranges:true] enables the value-range analysis and
+    its certificate-verified check elision. *)

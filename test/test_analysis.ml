@@ -325,6 +325,85 @@ let test_callsig_assert_narrows () =
   (* the annotated site is narrowed to signature-compatible targets *)
   Alcotest.(check (list int)) "asserted narrowed" [ 1 ] (fan "call_int")
 
+
+(* ---------- value-range interval analysis ---------- *)
+
+module Interval = Sva_analysis.Interval
+
+let iv = Alcotest.testable
+    (fun ppf v -> Format.pp_print_string ppf (Interval.ival_to_string v))
+    Interval.equal_ival
+
+let test_interval_selftest () =
+  let n = Interval.selftest () in
+  Alcotest.(check bool) "ran checks" true (n > 100_000)
+
+let test_interval_guard_ranges () =
+  (* the loop guard bounds the induction variable; certificates prove
+     the variable-index gep in-extent *)
+  let m, pa =
+    compile
+      [
+        "long vec[64];\n\
+         void fill(void) { int i; for (i = 0; i < 64; i = i + 1) vec[i] = i; }";
+      ]
+  in
+  let res = Interval.run m pa in
+  let f = Option.get (Sva_ir.Irmod.find_func m "fill") in
+  let certified = ref 0 in
+  Sva_ir.Func.iter_instrs f (fun _ i ->
+      match i.Sva_ir.Instr.kind with
+      | Sva_ir.Instr.Gep (_, _) when Interval.certifiable res ~fname:"fill" i ->
+          incr certified
+      | _ -> ());
+  Alcotest.(check bool) "some gep certified" true (!certified > 0)
+
+let test_interval_summaries () =
+  (* with a closed module (no entries), argument ranges flow into the
+     callee's parameter summary and the return range flows back *)
+  let m, pa =
+    compile
+      [
+        "long n_global;\n\
+         static long clampf(long x) { if (x > 7) return 7; return x; }\n\
+         long driver(void) { n_global = clampf(3) + clampf(5); return n_global; }";
+      ]
+  in
+  let res = Interval.run ~entries:(fun f -> f = "driver") m pa in
+  (match Interval.func_summary res "clampf" with
+  | Some (params, ret) ->
+      Alcotest.check iv "arg range" (Interval.range 3L 5L) params.(0);
+      Alcotest.check iv "ret range" (Interval.range 3L 7L) ret
+  | None -> Alcotest.fail "no summary for clampf");
+  (* as an entry, the same callee's i64 param must stay unbounded *)
+  let res2 = Interval.run m pa in
+  match Interval.func_summary res2 "clampf" with
+  | Some (params, _) ->
+      Alcotest.(check bool) "entry param top" true (Interval.is_top params.(0))
+  | None -> Alcotest.fail "no summary for clampf"
+
+let test_interval_certificates_validate () =
+  (* every emitted certificate index fact proves the in-extent range *)
+  let m, pa =
+    compile
+      [
+        "long buf[16];\n\
+         long rd(int i) { if (i >= 0) { if (i < 16) return buf[i]; } return 0; }";
+      ]
+  in
+  let res = Interval.run m pa in
+  let f = Option.get (Sva_ir.Irmod.find_func m "rd") in
+  let seen = ref false in
+  Sva_ir.Func.iter_instrs f (fun _ i ->
+      if Interval.certifiable res ~fname:"rd" i then begin
+        seen := true;
+        Alcotest.(check bool) "elide materializes" true
+          (Interval.elide res ~fname:"rd" i Interval.Cbounds)
+      end);
+  Alcotest.(check bool) "guarded gep certified" true !seen;
+  let b = Interval.bundle res in
+  Alcotest.(check bool) "cert emitted" true (List.length b.Interval.cb_certs = 1)
+
 let () =
   Alcotest.run "sva_analysis"
     [
@@ -359,6 +438,16 @@ let () =
         [
           Alcotest.test_case "size classes" `Quick test_size_classes_group_sites;
           Alcotest.test_case "sites recorded" `Quick test_alloc_sites_recorded_once;
+        ] );
+      ( "interval",
+        [
+          Alcotest.test_case "kernel selftest" `Quick test_interval_selftest;
+          Alcotest.test_case "guard ranges certify" `Quick
+            test_interval_guard_ranges;
+          Alcotest.test_case "interprocedural summaries" `Quick
+            test_interval_summaries;
+          Alcotest.test_case "certificates validate" `Quick
+            test_interval_certificates_validate;
         ] );
       ( "callgraph",
         [

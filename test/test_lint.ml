@@ -289,6 +289,44 @@ let test_prover_escape_blocks_proof () =
   Alcotest.(check int) "escaped array proves nothing" 0
     (proofs_in r "escapes")
 
+let range_prover_src =
+  "int tbl[64];\n\
+   int kmain(void) {\n\
+  \  long s = 0;\n\
+  \  for (long i = 0; i < 64; i = i + 1) tbl[i] = (int)i;\n\
+  \  for (long i = 0; i < 64; i = i + 1) s = s + tbl[i];\n\
+  \  return (int)s;\n\
+   }\n"
+
+let test_prover_range_oracle () =
+  (* the loop-guarded variable index is beyond static_safe; the interval
+     analysis certifies it in extent and the prover widens accordingly *)
+  let m = Pipeline.compile ~name:"lint-range-test" [ range_prover_src ] in
+  let pa = Pointsto.run ~config:aconfig m in
+  let config = Lint.config_of_aconfig aconfig in
+  let plain = Lint.run ~config m pa in
+  let res = Sva_analysis.Interval.run m pa in
+  let ranges ~fname i =
+    Sva_analysis.Interval.elide res ~fname i Sva_analysis.Interval.Cls
+  in
+  let wide = Lint.run ~config ~ranges m pa in
+  Alcotest.(check int) "no range proofs without the oracle" 0
+    plain.Lint.lr_range_geps;
+  Alcotest.(check bool) "oracle proves variable-index geps" true
+    (wide.Lint.lr_range_geps > 0);
+  Alcotest.(check bool) "strictly more accesses proved" true
+    (wide.Lint.lr_proof_count > plain.Lint.lr_proof_count);
+  (* every elision the oracle granted is backed by a certificate the
+     trusted checker accepts *)
+  let b = Sva_analysis.Interval.bundle res in
+  Alcotest.(check bool) "certificates materialized" true
+    (b.Sva_analysis.Interval.cb_certs <> []);
+  Alcotest.(check (list string)) "and they all re-verify" []
+    (List.map Sva_tyck.Rangecert.string_of_error
+       (Sva_tyck.Rangecert.check
+          ~entries:(Sva_analysis.Interval.entry_config res)
+          m b))
+
 (* ---------- kernel-level guarantees ---------- *)
 
 let lint_kernel ~fixture =
@@ -353,6 +391,57 @@ let test_json_parse_basics () =
       Alcotest.(check bool) "nested null" true (J.member "b" inner = Some J.Null)
   | _ -> Alcotest.fail "unexpected shape"
 
+let str_contains hay needle =
+  let hl = String.length hay and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl > 0 && go 0
+
+let test_json_control_chars () =
+  (* every byte below 0x20 must leave the emitter escaped — either a
+     short escape or \u00xx — and decode back to itself *)
+  let s = String.init 0x20 Char.chr in
+  let doc = J.Obj [ (s, J.Str s) ] in
+  let text = J.emit doc in
+  String.iter
+    (fun c ->
+      if Char.code c < 0x20 && c <> '\n' then
+        Alcotest.failf "raw control byte %#x in emitted JSON" (Char.code c))
+    text;
+  Alcotest.(check bool) "NUL as \\u0000" true (str_contains text "\\u0000");
+  Alcotest.(check bool) "0x1f as \\u001f" true (str_contains text "\\u001f");
+  Alcotest.(check bool) "newline uses the short escape" true
+    (str_contains text "\\n");
+  Alcotest.(check bool) "round-trip through the parser" true
+    (J.parse text = doc)
+
+let test_json_backslash_quote_runs () =
+  (* pathological backslash/quote runs, including a trailing backslash
+     (the classic escape-the-closing-quote bug) and escaped keys *)
+  let cases =
+    [ "\\"; "\\\\"; "\\\""; "\"\"\""; "a\\"; "\\\"\\\"\\"; "\\u0041"; "" ]
+  in
+  List.iter
+    (fun s ->
+      let doc = J.Obj [ (s, J.List [ J.Str s ]) ] in
+      if J.parse (J.emit doc) <> doc then
+        Alcotest.failf "round-trip drifted for %S" s)
+    cases;
+  (* "A" the *content* must not be re-interpreted as an escape *)
+  Alcotest.(check string) "literal backslash-u survives" "\\u0041"
+    (J.to_string (J.parse (J.emit (J.Str "\\u0041"))))
+
+let test_json_non_ascii_bytes () =
+  (* UTF-8 (and arbitrary high) bytes pass through unescaped *)
+  let s = "caf\xc3\xa9 \xe2\x86\x92 \xf0\x9f\x90\xab \x80\xff" in
+  let doc = J.Obj [ ("k", J.Str s) ] in
+  let text = J.emit doc in
+  Alcotest.(check bool) "bytes emitted verbatim" true
+    (str_contains text "caf\xc3\xa9");
+  Alcotest.(check bool) "round-trip" true (J.parse text = doc);
+  (* \u escapes on the parse side decode to UTF-8 *)
+  Alcotest.(check string) "2- and 3-byte code points" "\xc3\xa9\xe0\xa4\x85"
+    (J.to_string (J.parse "\"\\u00e9\\u0905\""))
+
 let test_json_rejects_garbage () =
   let bad s =
     match J.parse s with
@@ -402,6 +491,8 @@ let () =
             test_prover_local_array;
           Alcotest.test_case "escape blocks proof" `Quick
             test_prover_escape_blocks_proof;
+          Alcotest.test_case "range oracle widens proofs" `Quick
+            test_prover_range_oracle;
         ] );
       ( "kernel",
         [
@@ -413,6 +504,11 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
           Alcotest.test_case "parse basics" `Quick test_json_parse_basics;
+          Alcotest.test_case "control-char escaping" `Quick
+            test_json_control_chars;
+          Alcotest.test_case "backslash/quote runs" `Quick
+            test_json_backslash_quote_runs;
+          Alcotest.test_case "non-ASCII bytes" `Quick test_json_non_ascii_bytes;
           Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
         ] );
     ]

@@ -164,6 +164,79 @@ let test_lscheck_dedup () =
     (Printf.sprintf "fewer ls checks (%d < %d)" ls_opt ls_plain)
     true (ls_opt < ls_plain)
 
+(* ---------- cross-block available-check elimination ---------- *)
+
+let avail_src =
+  "extern char *kmalloc(long n);\n\
+   long drive(int flag) {\n\
+  \  long *p = (long*)kmalloc(8);\n\
+  \  int *r = (int*)p;\n\
+  \  *r = 3;             /* collapse the pool: accesses stay checked */\n\
+  \  *p = 21;            /* the dominating check */\n\
+  \  long x = 0;\n\
+  \  if (flag) { x = *p; } else { x = *p + 1; }\n\
+  \  long y = *p;        /* available on every path to the join */\n\
+  \  return x + y;\n\
+   }"
+
+let test_avail_elimination () =
+  let build checkopt =
+    Pipeline.build ~conf:Pipeline.Sva_safe ~aconfig ~checkopt ~name:"av"
+      [ allocator_src; avail_src ]
+  in
+  let plain = build false and opt = build true in
+  (match opt.Pipeline.bl_checkopt with
+  | Some s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "cross-block checks eliminated (%d >= 2)"
+           s.Checkopt.co_avail_eliminated)
+        true
+        (s.Checkopt.co_avail_eliminated >= 2)
+  | None -> Alcotest.fail "no checkopt summary");
+  List.iter
+    (fun flag ->
+      Alcotest.(check (option int64))
+        (Printf.sprintf "same result (flag=%d)" flag)
+        (run plain "drive" [ flag ])
+        (run opt "drive" [ flag ]))
+    [ 0; 1 ];
+  Stats.reset ();
+  ignore (run plain "drive" [ 1 ]);
+  let ls_plain = (Stats.read ()).Stats.ls_checks in
+  Stats.reset ();
+  ignore (run opt "drive" [ 1 ]);
+  let ls_opt = (Stats.read ()).Stats.ls_checks in
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer dynamic ls checks (%d < %d)" ls_opt ls_plain)
+    true (ls_opt < ls_plain)
+
+let test_avail_killed_by_call () =
+  (* an unknown call between the check and the re-access may free the
+     object: availability must not survive it *)
+  let src =
+    "extern char *kmalloc(long n);\n\
+     extern void mystery(void);\n\
+     long drive(int flag) {\n\
+    \  long *p = (long*)kmalloc(8);\n\
+    \  int *r = (int*)p;\n\
+    \  *r = 3;\n\
+    \  *p = 21;\n\
+    \  mystery();\n\
+    \  long y = 0;\n\
+    \  if (flag) y = *p;\n\
+    \  return y;\n\
+     }"
+  in
+  let b =
+    Pipeline.build ~conf:Pipeline.Sva_safe ~aconfig ~checkopt:true ~name:"avk"
+      [ allocator_src; src ]
+  in
+  match b.Pipeline.bl_checkopt with
+  | Some s ->
+      Alcotest.(check int) "nothing eliminated past the call" 0
+        s.Checkopt.co_avail_eliminated
+  | None -> Alcotest.fail "no checkopt summary"
+
 (* ---------- monotonic-loop hoisting ---------- *)
 
 let hoist_src =
@@ -334,6 +407,10 @@ let () =
       ( "checkopt",
         [
           Alcotest.test_case "lscheck dedup" `Quick test_lscheck_dedup;
+          Alcotest.test_case "available-check elimination" `Quick
+            test_avail_elimination;
+          Alcotest.test_case "availability killed by calls" `Quick
+            test_avail_killed_by_call;
           Alcotest.test_case "loop hoisting" `Quick test_hoisting;
           Alcotest.test_case "hoisted check still catches" `Quick
             test_hoisting_still_catches_overrun;

@@ -231,6 +231,132 @@ let test_dangling_harmless () =
   | Some v -> Alcotest.failf "unexpected value %Ld" v
   | None -> Alcotest.fail "void"
 
+(* ---------- certified range elision is semantically invisible ---------- *)
+
+(* Random arithmetic over a, b, c with non-trapping operators (same shape
+   as the test_tiered generator). *)
+let rec gen_expr rng depth =
+  if depth = 0 then
+    match Random.State.int rng 4 with
+    | 0 -> "a"
+    | 1 -> "b"
+    | 2 -> "c"
+    | _ -> string_of_int (Random.State.int rng 2000 - 1000)
+  else
+    let l = gen_expr rng (depth - 1) and r = gen_expr rng (depth - 1) in
+    match Random.State.int rng 7 with
+    | 0 -> Printf.sprintf "(%s + %s)" l r
+    | 1 -> Printf.sprintf "(%s - %s)" l r
+    | 2 -> Printf.sprintf "(%s * %s)" l r
+    | 3 -> Printf.sprintf "(%s & %s)" l r
+    | 4 -> Printf.sprintf "(%s | %s)" l r
+    | 5 -> Printf.sprintf "(%s ^ %s)" l r
+    | _ -> Printf.sprintf "(%s < %s ? %s : %s)" l r l r
+
+(* Array-heavy programs: loop-guarded indexes the interval analysis can
+   certify, a clamp-guarded index, a masked index, and (sometimes) a raw
+   parameter index that must keep its check and may trap. *)
+let gen_arr_program seed =
+  let rng = Random.State.make [| seed |] in
+  let e1 = gen_expr rng 2 in
+  let e2 = gen_expr rng 2 in
+  let mask = (1 lsl (1 + Random.State.int rng 6)) - 1 in
+  let raw = Random.State.int rng 2 = 0 in
+  Printf.sprintf
+    "int tbl[64];\n\
+     int f(int a, int b) {\n\
+    \  int c = %s;\n\
+    \  long acc = 0;\n\
+    \  for (long i = 0; i < 64; i = i + 1) tbl[i] = (int)(i + c);\n\
+    \  for (long i = 0; i < 64; i = i + 1) acc = acc + tbl[i];\n\
+    \  long j = (long)(%s);\n\
+    \  if (j < 0) j = 0;\n\
+    \  if (j > 63) j = 63;\n\
+    \  acc = acc + tbl[j];\n\
+    \  long k = (long)a & %d;\n\
+    \  acc = acc + tbl[k];\n\
+    \  %s\n\
+    \  return (int)acc;\n\
+     }"
+    e1 e2 mask
+    (if raw then "if (a > 100) acc = acc + tbl[b];" else "")
+
+(* Result (or trap), modeled cycles and executed-check total of [f]. *)
+let run_f built args =
+  Stats.reset ();
+  let t = Pipeline.instantiate built in
+  let r =
+    match Sva_interp.Interp.call t "f" args with
+    | v -> Ok v
+    | exception Sva_interp.Interp.Vm_error m -> Error ("vm: " ^ m)
+    | exception Violation.Safety_violation v ->
+        Error ("violation: " ^ Violation.to_string v)
+  in
+  (r, Sva_interp.Interp.cycles t, Stats.total_checks (Stats.read ()))
+
+let prop_range_elision_invisible =
+  let gen =
+    QCheck2.Gen.(tup3 (int_range 0 5000) small_signed_int small_signed_int)
+  in
+  QCheck2.Test.make
+    ~name:
+      "range elision: identical results/traps, fewer-or-equal checks and \
+       cycles"
+    ~count:25 gen
+    (fun (seed, a, b) ->
+      let src = gen_arr_program seed in
+      let off = Pipeline.build ~conf:Pipeline.Sva_safe ~name:"roff" [ src ] in
+      let on =
+        Pipeline.build ~conf:Pipeline.Sva_safe ~ranges:true ~name:"ron" [ src ]
+      in
+      let args = [ Int64.of_int a; Int64.of_int b ] in
+      let ro, co, ko = run_f off args in
+      let rn, cn, kn = run_f on args in
+      ro = rn && cn <= co && kn <= ko)
+
+let test_ranges_kernel_static () =
+  (* the Table 9 ablation row: on the entire-kernel build (lint on) the
+     certified elision must push the static ls-check count below the
+     lint-only baseline of 252 and account for every removed bounds check *)
+  let off =
+    Ukern.Kbuild.build ~conf:Pipeline.Sva_safe ~lint:true
+      Ukern.Kbuild.entire_kernel
+  in
+  let on =
+    Ukern.Kbuild.build ~conf:Pipeline.Sva_safe ~lint:true ~ranges:true
+      Ukern.Kbuild.entire_kernel
+  in
+  let s0 = Option.get off.Pipeline.bl_summary in
+  let s1 = Option.get on.Pipeline.bl_summary in
+  Alcotest.(check bool) "below the lint-on baseline of 252" true
+    (s1.Sva_safety.Checkinsert.ls_inserted < 252);
+  Alcotest.(check bool) "strictly fewer ls checks than ranges-off" true
+    (s1.Sva_safety.Checkinsert.ls_inserted
+    < s0.Sva_safety.Checkinsert.ls_inserted);
+  Alcotest.(check int) "bounds drop equals the certified-gep count"
+    s1.Sva_safety.Checkinsert.bounds_static_range
+    (s0.Sva_safety.Checkinsert.bounds_inserted
+    - s1.Sva_safety.Checkinsert.bounds_inserted);
+  Alcotest.(check bool) "certificates were emitted and verified" true
+    (match on.Pipeline.bl_ranges with
+    | Some rr ->
+        let cb, cl = Sva_analysis.Interval.cert_counts rr in
+        cb + cl > 0
+    | None -> false)
+
+let test_ranges_exploit_verdicts () =
+  (* the five Section 7.2 exploits: verdicts bit-identical with range
+     elision on and off *)
+  let verdicts ranges =
+    List.map
+      (fun ex ->
+        let t = Ukern.Boot.boot ~conf:Pipeline.Sva_safe ~ranges () in
+        Exploits.outcome_to_string (Exploits.attack t ex))
+      Exploits.all
+  in
+  Alcotest.(check (list string)) "verdicts identical" (verdicts false)
+    (verdicts true)
+
 (* ---------- analysis sanity on the compiled module ---------- *)
 
 let test_analysis_results_present () =
@@ -267,5 +393,13 @@ let () =
           Alcotest.test_case "checks execute" `Quick test_checks_actually_execute;
           Alcotest.test_case "dangling harmless" `Quick test_dangling_harmless;
           Alcotest.test_case "analysis present" `Quick test_analysis_results_present;
+        ] );
+      ( "range-elision",
+        [
+          QCheck_alcotest.to_alcotest prop_range_elision_invisible;
+          Alcotest.test_case "entire-kernel static counts" `Slow
+            test_ranges_kernel_static;
+          Alcotest.test_case "exploit verdicts identical" `Slow
+            test_ranges_exploit_verdicts;
         ] );
     ]

@@ -88,6 +88,44 @@ let prop_engines_agree =
       let rt = run_built built (Some (tiered_engine ())) args in
       ri = rt)
 
+(* Same property with the certified range elision on: the elided-check
+   module must behave identically on both engines too. *)
+let gen_range_program seed =
+  let rng = Random.State.make [| seed |] in
+  let e = gen_expr rng 2 in
+  let mask = (1 lsl (1 + Random.State.int rng 6)) - 1 in
+  Printf.sprintf
+    "int tbl[64];\n\
+     int f(int a, int b) {\n\
+    \  int c = %s;\n\
+    \  long acc = 0;\n\
+    \  for (long i = 0; i < 64; i = i + 1) tbl[i] = (int)(i + c);\n\
+    \  for (long i = 0; i < 64; i = i + 1) acc = acc + tbl[i];\n\
+    \  long k = (long)(a + b) & %d;\n\
+    \  acc = acc + tbl[k];\n\
+    \  return (int)acc;\n\
+     }"
+    e mask
+
+let prop_engines_agree_with_ranges =
+  let gen =
+    QCheck2.Gen.(tup3 (int_range 0 5000) small_signed_int small_signed_int)
+  in
+  QCheck2.Test.make
+    ~name:"tiered engine agrees with the interpreter under range elision"
+    ~count:15 gen
+    (fun (seed, a, b) ->
+      let src = gen_range_program seed in
+      let built =
+        Pipeline.build ~conf:Pipeline.Sva_safe ~ranges:true ~name:"rand-rg"
+          [ src ]
+      in
+      let args = [ Int64.of_int a; Int64.of_int b ] in
+      let ri = run_built built None args in
+      Closcomp.clear_cache ();
+      let rt = run_built built (Some (tiered_engine ())) args in
+      ri = rt)
+
 (* ---------- the five exploits agree on both engines ---------- *)
 
 let built_cache = Hashtbl.create 4
@@ -239,6 +277,7 @@ let () =
       ( "differential",
         [
           QCheck_alcotest.to_alcotest prop_engines_agree;
+          QCheck_alcotest.to_alcotest prop_engines_agree_with_ranges;
           Alcotest.test_case "exploit verdicts agree" `Slow
             test_exploit_verdicts_agree;
           Alcotest.test_case "syscall mix bit-identical" `Quick

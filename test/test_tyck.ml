@@ -143,6 +143,83 @@ let test_copy_is_deep () =
   (* The original must still check clean after injections created copies. *)
   Alcotest.(check bool) "original untouched" true (Tyck.check_ok m an)
 
+(* ------------------------------------------------------------------ *)
+(* Range certificates: the same PCC discipline for the interval
+   analysis.  The producer's bundle must pass the trusted checker
+   verbatim, and every injected certificate bug must be rejected.       *)
+(* ------------------------------------------------------------------ *)
+
+module Interval = Sva_analysis.Interval
+module Rangecert = Sva_tyck.Rangecert
+
+let range_src =
+  "int tbl[64];\n\
+   int get(long i) { return tbl[i]; }\n\
+   long clamp(long v) {\n\
+  \  if (v < 0) return 0;\n\
+  \  if (v > 63) return 63;\n\
+  \  return v;\n\
+   }\n\
+   int read_at(long v) { long j = clamp(v); return tbl[j]; }\n\
+   int kmain(void) {\n\
+  \  long s = 0;\n\
+  \  for (long i = 0; i < 64; i = i + 1) tbl[i] = (int)i;\n\
+  \  s = get(3) + get(7) + get(11);\n\
+  \  s = s + read_at(5) + read_at(60);\n\
+  \  return (int)s;\n\
+   }\n"
+
+let range_parts () =
+  let m = Minic.Lower.compile_strings ~name:"rc" [ range_src ] in
+  Sva_ir.Passes.run Sva_ir.Passes.Llvm_like m;
+  let pa = Pointsto.run m in
+  let entries fn = fn = "kmain" in
+  let res = Interval.run ~entries m pa in
+  List.iter
+    (fun (f : Sva_ir.Func.t) ->
+      Sva_ir.Func.iter_instrs f (fun _ i ->
+          if Interval.certifiable res ~fname:f.Sva_ir.Func.f_name i then
+            ignore
+              (Interval.elide res ~fname:f.Sva_ir.Func.f_name i
+                 Interval.Cbounds)))
+    m.Sva_ir.Irmod.m_funcs;
+  (m, Interval.bundle res, entries)
+
+let test_rangecert_accepts_producer () =
+  let m, b, entries = range_parts () in
+  Alcotest.(check (list string))
+    "producer bundle passes the trusted checker" []
+    (List.map Rangecert.string_of_error (Rangecert.check ~entries m b));
+  (* the fixture must exercise every justification the checker rules on *)
+  Alcotest.(check bool) "has facts" true (Hashtbl.length b.Interval.cb_facts > 0);
+  Alcotest.(check bool) "has certificates" true (b.Interval.cb_certs <> []);
+  Alcotest.(check bool) "has a parameter claim" true
+    (Hashtbl.length b.Interval.cb_params > 0);
+  Alcotest.(check bool) "has a return claim" true
+    (Hashtbl.length b.Interval.cb_rets > 0)
+
+let test_rangecert_rejects_injections () =
+  let m, b, entries = range_parts () in
+  let results = Rangecert.experiment ~entries m b ~instances:5 in
+  List.iter
+    (fun bug ->
+      if not (List.exists (fun (k, _, _) -> k = bug) results) then
+        Alcotest.failf "no injection site for %s" (Rangecert.bug_name bug))
+    Rangecert.all_bugs;
+  List.iter
+    (fun (bug, desc, caught) ->
+      if not caught then
+        Alcotest.failf "missed %s: %s" (Rangecert.bug_name bug) desc)
+    results
+
+let test_rangecert_copy_is_deep () =
+  let m, b, entries = range_parts () in
+  List.iter
+    (fun bug -> ignore (Rangecert.inject m b bug ~seed:0))
+    Rangecert.all_bugs;
+  Alcotest.(check bool) "original bundle untouched" true
+    (Rangecert.check_ok ~entries m b)
+
 let () =
   Alcotest.run "sva_tyck"
     [
@@ -161,5 +238,14 @@ let () =
           Alcotest.test_case "each kind detected" `Quick test_each_kind_injectable;
           Alcotest.test_case "injection copies annotations" `Quick
             test_copy_is_deep;
+        ] );
+      ( "rangecert",
+        [
+          Alcotest.test_case "producer certificates accepted" `Quick
+            test_rangecert_accepts_producer;
+          Alcotest.test_case "injected certificate bugs rejected" `Quick
+            test_rangecert_rejects_injections;
+          Alcotest.test_case "injection copies bundle" `Quick
+            test_rangecert_copy_is_deep;
         ] );
     ]
