@@ -78,7 +78,69 @@ let () =
   | _ -> fail "%s: range certificates not marked verified" path);
   if rint "certificates" "bounds" + rint "certificates" "lscheck" <= 0 then
     fail "%s: range analysis emitted no certificates" path;
+  (* trace section: the observability layer must be semantically
+     invisible (obs-on and obs-off agree bit-for-bit), must actually
+     record events, must attribute >= 95%% of modeled cycles to syscall
+     scopes, and its Chrome export must be well-formed trace-event
+     JSON. *)
+  let trace = get "trace" (J.member "trace" doc) in
+  let inv = get "trace.invariance" (J.member "invariance" trace) in
+  let inv_pair k =
+    let o = get ("trace.invariance." ^ k) (J.member k inv) in
+    ( J.to_int (get (k ^ ".obs-off") (J.member "obs-off" o)),
+      J.to_int (get (k ^ ".obs-on") (J.member "obs-on" o)) )
+  in
+  let cyc_off, cyc_on = inv_pair "cycles" in
+  if cyc_off <> cyc_on then
+    fail "%s: tracing changed modeled cycles (%d vs %d)" path cyc_off cyc_on;
+  let chk_off, chk_on = inv_pair "checks" in
+  if chk_off <> chk_on then
+    fail "%s: tracing changed check counts (%d vs %d)" path chk_off chk_on;
+  let tevents = get "trace.events" (J.member "events" trace) in
+  let emitted =
+    J.to_int (get "trace.events.emitted" (J.member "emitted" tevents))
+  in
+  let retained =
+    J.to_int (get "trace.events.retained" (J.member "retained" tevents))
+  in
+  let dropped =
+    J.to_int (get "trace.events.dropped" (J.member "dropped" tevents))
+  in
+  if emitted <= 0 then fail "%s: trace recorded no events" path;
+  if retained + dropped <> emitted then
+    fail "%s: trace accounting drift (%d retained + %d dropped <> %d emitted)"
+      path retained dropped emitted;
+  let attr =
+    J.to_float (get "trace.attribution-pct" (J.member "attribution-pct" trace))
+  in
+  if attr < 95.0 then
+    fail "%s: profiler attributed only %.1f%% of cycles to syscalls" path attr;
+  let chrome = get "trace.chrome" (J.member "chrome" trace) in
+  let tev =
+    J.to_list (get "trace.chrome.traceEvents" (J.member "traceEvents" chrome))
+  in
+  if List.length tev <> retained then
+    fail "%s: chrome export has %d events, trace retained %d" path
+      (List.length tev) retained;
+  let balance = ref 0 in
+  List.iter
+    (fun ev ->
+      let s k = J.to_string (get ("traceEvents[]." ^ k) (J.member k ev)) in
+      ignore (J.to_int (get "traceEvents[].ts" (J.member "ts" ev)));
+      ignore (s "name");
+      (match s "ph" with
+      | "B" -> incr balance
+      | "E" -> decr balance
+      | "i" -> ()
+      | ph -> fail "%s: unexpected trace-event phase %S" path ph);
+      if !balance < 0 then
+        fail "%s: trace-event E without matching B" path)
+    tev;
+  (* The ring may truncate the oldest events, so an unmatched trailing B
+     is possible only under drop; with no drops the spans must pair. *)
+  if dropped = 0 && !balance <> 0 then
+    fail "%s: %d unmatched B trace-events" path !balance;
   Printf.printf
     "%s: OK (%d accesses proved, %d checks elided, tiered %.2fx, range ls \
-     %d->%d bounds %d->%d)\n"
-    path proofs proved speedup ls_off ls_on b_off b_on
+     %d->%d bounds %d->%d, trace %d events %.1f%% attributed)\n"
+    path proofs proved speedup ls_off ls_on b_off b_on emitted attr

@@ -11,7 +11,13 @@
                                          -- also write machine-readable
                                             numbers for the data-bearing
                                             sections (fastpath, table7,
-                                            lint, ranges) that were run *)
+                                            lint, ranges, trace) that
+                                            were run
+
+   Unknown flags and unknown section names are errors (exit 2): a typo
+   must not silently select nothing and report success.  A section that
+   fails makes the run exit nonzero even without --strict; --strict
+   additionally stops at the first failure. *)
 
 module Tables = Harness.Tables
 module Pipeline = Sva_pipeline.Pipeline
@@ -22,6 +28,29 @@ let strict = ref false
 let json_out : string option ref = ref None
 let only : string list ref = ref []
 
+(* Every runnable section name; positional arguments are validated
+   against this list.  Must match the [section] calls below. *)
+let known_sections =
+  [
+    "table4"; "figure2"; "checks"; "lint"; "ranges"; "table7"; "table8";
+    "table5"; "table6"; "table9"; "ablation"; "fastpath"; "tiered"; "trace";
+    "exploits"; "verifier"; "bechamel";
+  ]
+
+let usage () =
+  Printf.eprintf
+    "usage: bench [SECTION]... [--quick] [--strict] [--json FILE]\n\
+     sections: %s\n"
+    (String.concat " " known_sections)
+
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "bench: %s\n" msg;
+      usage ();
+      exit 2)
+    fmt
+
 let () =
   let argc = Array.length Sys.argv in
   let i = ref 1 in
@@ -29,15 +58,23 @@ let () =
     (match Sys.argv.(!i) with
     | "--quick" -> quick := true
     | "--strict" -> strict := true
-    | "--json" when !i + 1 < argc ->
-        incr i;
-        json_out := Some Sys.argv.(!i)
-    | s when String.length s > 0 && s.[0] <> '-' -> only := s :: !only
-    | _ -> ());
+    | "--json" ->
+        if !i + 1 < argc then begin
+          incr i;
+          json_out := Some Sys.argv.(!i)
+        end
+        else die "--json requires a file argument"
+    | s when String.length s > 0 && s.[0] = '-' -> die "unknown flag '%s'" s
+    | s when List.mem s known_sections -> only := s :: !only
+    | s -> die "unknown section '%s'" s);
     incr i
   done
 
 let wanted name = !only = [] || List.mem name !only
+
+(* Sections that printed a failure; a nonempty list means a nonzero exit
+   even without --strict (which instead stops at the first failure). *)
+let failed_sections : string list ref = ref []
 
 let section name f =
   if wanted name then begin
@@ -45,6 +82,7 @@ let section name f =
     (try print_string (f ())
      with e ->
        Printf.printf "!! %s failed: %s\n" name (Printexc.to_string e);
+       failed_sections := name :: !failed_sections;
        if !strict then begin
          flush stdout;
          exit 1
@@ -187,6 +225,7 @@ let () =
   section "fastpath" (fun () ->
       Tables.fastpath ~quick:!quick ~strict:!strict ());
   section "tiered" (fun () -> Tables.tiered ~quick:!quick ~strict:!strict ());
+  section "trace" (fun () -> Tables.trace ~quick:!quick ~strict:!strict ());
   section "exploits" (fun () -> Tables.exploits_table ());
   section "verifier" (fun () -> Tables.verifier_experiment ());
   section "bechamel" (fun () -> bechamel_crosscheck ());
@@ -205,6 +244,7 @@ let () =
               | exception e ->
                   Printf.printf "!! json %s failed: %s\n" name
                     (Printexc.to_string e);
+                  failed_sections := ("json:" ^ name) :: !failed_sections;
                   if !strict then exit 1;
                   None
             else None)
@@ -214,6 +254,7 @@ let () =
             ("table7", fun () -> Tables.table7_json ~quick:!quick ());
             ("lint", fun () -> Tables.lint_json ());
             ("ranges", fun () -> Tables.ranges_json ());
+            ("trace", fun () -> Tables.trace_json ~quick:!quick ());
           ]
       in
       let doc =
@@ -225,4 +266,8 @@ let () =
       Out_channel.with_open_bin path (fun oc ->
           Out_channel.output_string oc (J.emit doc));
       Printf.printf "\njson: wrote %s (%d sections)\n" path (List.length parts));
-  Printf.printf "\nDone.\n"
+  match List.rev !failed_sections with
+  | [] -> Printf.printf "\nDone.\n"
+  | fs ->
+      Printf.printf "\nDone with FAILURES: %s\n" (String.concat ", " fs);
+      exit 1

@@ -6,6 +6,7 @@
 
      sva_run FILE [-f FUNC] [-a INT]... [--conf native|gcc|llvm|safe]
              [--engine interp|tiered] [--jit-threshold N] [--ranges]
+             [--trace[=N]] [--trace-out FILE] [--profile]
              [--dump-ir] [--emit-bytecode OUT]
 
    The default entry point is `main`.  Under `--conf safe` (the default)
@@ -28,8 +29,8 @@ let engine_of_string = function
   | "tiered" -> Pipeline.Tiered
   | s -> failwith ("unknown engine " ^ s)
 
-let run file func args conf_name engine_name jit_threshold ranges dump_ir
-    emit_bytecode =
+let run file func args conf_name engine_name jit_threshold ranges trace
+    trace_out profile dump_ir emit_bytecode =
   let source = In_channel.with_open_bin file In_channel.input_all in
   let conf = conf_of_string conf_name in
   let engine =
@@ -38,6 +39,18 @@ let run file func args conf_name engine_name jit_threshold ranges dump_ir
       eng_threshold = jit_threshold;
     }
   in
+  let obs =
+    {
+      Pipeline.obs_trace =
+        (match (trace, trace_out) with
+        | Some cap, _ -> Some cap
+        | None, Some _ -> Some Sva_rt.Trace.default_capacity
+        | None, None -> None);
+      obs_trace_out = trace_out;
+      obs_profile = profile;
+    }
+  in
+  Pipeline.install_obs obs;
   let name = Filename.basename file in
   match
     if Pipeline.is_bytecode source then
@@ -72,6 +85,22 @@ let run file func args conf_name engine_name jit_threshold ranges dump_ir
           Printf.printf "ranges:   %s\n"
             (Sva_rt.Stats.range_to_string (Sva_rt.Stats.read_range ()))
       in
+      (* Emitted on every outcome: the trace is most useful when the run
+         ended in a violation. *)
+      let report_obs () =
+        if Sva_rt.Trace.enabled () then begin
+          print_string (Harness.Traceout.summary_table ());
+          match obs.Pipeline.obs_trace_out with
+          | Some path ->
+              Harness.Traceout.write_chrome path;
+              Printf.printf "trace:    %d events -> %s\n"
+                (List.length (Sva_rt.Trace.events ()))
+                path
+          | None -> ()
+        end;
+        if !Sva_rt.Trace.profiling then
+          print_string (Harness.Traceout.profile_table ())
+      in
       match Sva_interp.Interp.call vm func (List.map Int64.of_int args) with
       | Some v ->
           Printf.printf "%s(%s) = %Ld   [%d instructions, %d cycles]\n" func
@@ -80,16 +109,20 @@ let run file func args conf_name engine_name jit_threshold ranges dump_ir
             (Sva_interp.Interp.steps vm)
             (Sva_interp.Interp.cycles vm);
           report_tier ();
+          report_obs ();
           exit 0
       | None ->
           Printf.printf "%s returned void\n" func;
           report_tier ();
+          report_obs ();
           exit 0
       | exception Sva_rt.Violation.Safety_violation v ->
           Printf.eprintf "%s\n" (Sva_rt.Violation.to_string v);
+          report_obs ();
           exit 2
       | exception Sva_interp.Interp.Vm_error msg ->
           Printf.eprintf "vm error: %s\n" msg;
+          report_obs ();
           exit 3)
 
 let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
@@ -119,6 +152,28 @@ let ranges =
          ~doc:"Run the value-range analysis and elide checks on verified \
                interval certificates (safe configuration only).")
 
+let trace =
+  Arg.(value
+       & opt ~vopt:(Some Sva_rt.Trace.default_capacity) (some int) None
+       & info [ "trace" ] ~docv:"N"
+           ~doc:"Record runtime events (checks, violations, object \
+                 registration, SVA-OS operations, tier activity) into a \
+                 ring buffer of $(docv) entries (default 4096) and print \
+                 a summary.  Semantically invisible: results, verdicts \
+                 and modeled cycles are unchanged.")
+
+let trace_out =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write the recorded trace as Chrome trace-event JSON to \
+                 $(docv) (implies $(b,--trace)).")
+
+let profile =
+  Arg.(value & flag
+       & info [ "profile" ]
+           ~doc:"Attribute modeled cycles and check counts to functions \
+                 and print a top-N hot report.")
+
 let dump_ir = Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print the final IR.")
 
 let emit_bytecode =
@@ -130,6 +185,6 @@ let cmd =
        ~doc:"Compile MiniC through the SVA safety pipeline and execute it")
     Term.(
       const run $ file $ func $ args $ conf $ engine $ jit_threshold $ ranges
-      $ dump_ir $ emit_bytecode)
+      $ trace $ trace_out $ profile $ dump_ir $ emit_bytecode)
 
 let () = exit (Cmd.eval cmd)

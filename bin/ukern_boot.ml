@@ -1,11 +1,15 @@
 (* ukern-boot: boot the MiniC kernel on the SVM and run a smoke workload.
 
      ukern_boot [native|gcc|llvm|safe] [--engine=interp|tiered]
-                [--jit-threshold=N] [--ranges]   (default: safe, interp)
+                [--jit-threshold=N] [--ranges] [--trace[=N]]
+                [--trace-out=FILE] [--profile]   (default: safe, interp)
 
    Prints the boot transcript, runs a small syscall workload, and reports
    instruction/cycle counts plus run-time check statistics (and the tier
-   counters when the tiered engine is selected). *)
+   counters when the tiered engine is selected).  With --trace/--profile
+   the event-trace summary, per-metapool metrics and hot-function/syscall
+   attribution are appended; --trace-out exports the trace as Chrome
+   trace-event JSON. *)
 
 module Boot = Ukern.Boot
 module Pipeline = Sva_pipeline.Pipeline
@@ -19,6 +23,7 @@ let conf_of_string = function
 let () =
   let conf = ref Pipeline.Sva_safe in
   let engine = ref Pipeline.default_engine in
+  let obs = ref Pipeline.default_obs in
   let ranges = ref false in
   Array.iteri
     (fun i arg ->
@@ -27,9 +32,15 @@ let () =
         else
           match Pipeline.engine_flag !engine arg with
           | Some cfg -> engine := cfg
-          | None -> conf := conf_of_string arg)
+          | None -> (
+              match Pipeline.obs_flag !obs arg with
+              | Some o -> obs := o
+              | None -> conf := conf_of_string arg))
     Sys.argv;
-  let conf = !conf and engine = !engine and ranges = !ranges in
+  let conf = !conf and engine = !engine and obs = !obs and ranges = !ranges in
+  (* Observability goes live before the build so build-time events
+     (range-certified elisions) and boot are captured too. *)
+  Pipeline.install_obs obs;
   Printf.printf "building %s kernel (%s engine%s)...\n%!"
     (Pipeline.conf_name conf)
     (Pipeline.engine_name engine.Pipeline.eng_kind)
@@ -38,7 +49,12 @@ let () =
   Printf.printf "booted: kernel_booted=%Ld (%d instructions)\n"
     (Boot.kernel_global t "kernel_booted")
     (Boot.steps t);
-  Sva_rt.Stats.reset ();
+  (* Range counters are build-time facts — snapshot them before the
+     measurement boundary, which resets every counter family at once.
+     (A check-only Stats.reset here used to leave boot-time promotions
+     in the workload tier report.) *)
+  let range_stats = Sva_rt.Stats.read_range () in
+  Sva_rt.Stats.reset_all ();
   Boot.reset_cycles t;
   (* smoke workload: files, pipes, fork, sockets *)
   Printf.printf "getpid -> %Ld\n" (Boot.syscall t 1 []);
@@ -66,5 +82,25 @@ let () =
     Printf.printf "tiered:   %s\n"
       (Sva_rt.Stats.tier_to_string (Sva_rt.Stats.read_tier ()));
   if ranges then
-    Printf.printf "ranges:   %s\n"
-      (Sva_rt.Stats.range_to_string (Sva_rt.Stats.read_range ()))
+    Printf.printf "ranges:   %s\n" (Sva_rt.Stats.range_to_string range_stats);
+  if Sva_rt.Trace.enabled () then begin
+    print_string (Harness.Traceout.summary_table ());
+    print_string
+      (Harness.Traceout.pool_metrics_table
+         (List.filter
+            (fun (m : Sva_rt.Metapool_rt.metrics) ->
+              m.Sva_rt.Metapool_rt.m_regs > 0
+              || m.Sva_rt.Metapool_rt.m_lookups > 0)
+            (List.map
+               (fun (_, mp) -> Sva_rt.Metapool_rt.metrics mp)
+               (Sva_interp.Interp.metapools t.Boot.vm))));
+    match obs.Pipeline.obs_trace_out with
+    | Some path ->
+        Harness.Traceout.write_chrome path;
+        Printf.printf "trace:    %d events -> %s\n"
+          (List.length (Sva_rt.Trace.events ()))
+          path
+    | None -> ()
+  end;
+  if !Sva_rt.Trace.profiling then
+    print_string (Harness.Traceout.profile_table ())

@@ -1039,6 +1039,217 @@ let tiered ?(quick = false) ?(strict = false) () =
       if strict then failwith ("tiered check FAILED: " ^ msg)
       else table ^ "  tiered check: FAIL - " ^ msg ^ "\n"
 
+(* ---------- observability: event trace + profiler ---------- *)
+
+type trace_data = {
+  tr_reps : int;
+  tr_cycles_off : int;  (** total modeled cycles, observability off *)
+  tr_cycles_on : int;  (** same workload, trace + profiler on *)
+  tr_checks_off : int;
+  tr_checks_on : int;
+  tr_emitted : int;
+  tr_retained : int;
+  tr_dropped : int;
+  tr_counts : (string * int) list;  (** retained events per kind *)
+  tr_attr_pct : float;  (** syscall-attributed share of modeled cycles *)
+  tr_fn_rows : Sva_rt.Trace.prow list;
+  tr_sys_rows : Sva_rt.Trace.prow list;
+  tr_pools : Sva_rt.Metapool_rt.metrics list;
+  tr_chrome : Jsonout.t;  (** Chrome trace-event document *)
+}
+
+(* One measured run of the Table 7 syscall mix on a fresh SVA-Safe
+   kernel.  Identical reset discipline with observability on and off —
+   the whole point is that the two runs must agree bit-for-bit on
+   modeled cycles and check counts. *)
+let trace_measure ~reps ~obs =
+  if obs then begin
+    Sva_rt.Trace.enable ();
+    Sva_rt.Trace.enable_profile ()
+  end;
+  Fun.protect
+    ~finally:(fun () ->
+      if obs then begin
+        Sva_rt.Trace.disable ();
+        Sva_rt.Trace.disable_profile ()
+      end)
+    (fun () ->
+      let t = Boot.boot_built (image Pipeline.Sva_safe) ~variant:Kbuild.as_tested in
+      let ctx = Workloads.prepare t in
+      ablation_workload ctx;
+      Boot.reset_cycles t;
+      (* Full reset at a measurement boundary: check, tier and range
+         counter families together (reset_all, not the check-only
+         reset). *)
+      Sva_rt.Stats.reset_all ();
+      if obs then begin
+        Sva_rt.Trace.clear ();
+        (* enable_profile doubles as the accumulator reset *)
+        Sva_rt.Trace.enable_profile ()
+      end;
+      List.iter
+        (fun (_, mp) -> Sva_rt.Metapool_rt.reset_metrics mp)
+        (Sva_interp.Interp.metapools t.Boot.vm);
+      for _ = 1 to reps do
+        ablation_workload ctx
+      done;
+      let cycles = Boot.cycles t in
+      let checks = Sva_rt.Stats.total_checks (Sva_rt.Stats.read ()) in
+      let extras =
+        if not obs then None
+        else
+          let take n l = List.filteri (fun i _ -> i < n) l in
+          Some
+            ( Sva_rt.Trace.emitted (),
+              List.length (Sva_rt.Trace.events ()),
+              Sva_rt.Trace.dropped (),
+              List.filter_map
+                (fun k ->
+                  let n = Sva_rt.Trace.count k in
+                  if n = 0 then None
+                  else Some (Sva_rt.Trace.ekind_name k, n))
+                Traceout.all_kinds,
+              (if cycles = 0 then 0.0
+               else
+                 100.0
+                 *. float_of_int (Sva_rt.Trace.sys_self_cycles ())
+                 /. float_of_int cycles),
+              take 10 (Sva_rt.Trace.fn_report ()),
+              take 10 (Sva_rt.Trace.sys_report ()),
+              List.filter
+                (fun (m : Sva_rt.Metapool_rt.metrics) ->
+                  m.Sva_rt.Metapool_rt.m_regs > 0
+                  || m.Sva_rt.Metapool_rt.m_lookups > 0)
+                (List.map
+                   (fun (_, mp) -> Sva_rt.Metapool_rt.metrics mp)
+                   (Sva_interp.Interp.metapools t.Boot.vm)),
+              Traceout.chrome_json () )
+      in
+      (cycles, checks, extras))
+
+let tr_cache : (bool, trace_data) Hashtbl.t = Hashtbl.create 2
+
+let trace_data ?(quick = false) () =
+  match Hashtbl.find_opt tr_cache quick with
+  | Some d -> d
+  | None ->
+      let reps = if quick then 5 else 20 in
+      let cycles_off, checks_off, _ = trace_measure ~reps ~obs:false in
+      let cycles_on, checks_on, extras = trace_measure ~reps ~obs:true in
+      let emitted, retained, dropped, counts, attr, fn_rows, sys_rows, pools,
+          chrome =
+        Option.get extras
+      in
+      let d =
+        {
+          tr_reps = reps;
+          tr_cycles_off = cycles_off;
+          tr_cycles_on = cycles_on;
+          tr_checks_off = checks_off;
+          tr_checks_on = checks_on;
+          tr_emitted = emitted;
+          tr_retained = retained;
+          tr_dropped = dropped;
+          tr_counts = counts;
+          tr_attr_pct = attr;
+          tr_fn_rows = fn_rows;
+          tr_sys_rows = sys_rows;
+          tr_pools = pools;
+          tr_chrome = chrome;
+        }
+      in
+      Hashtbl.replace tr_cache quick d;
+      d
+
+let trace_attribution_floor = 95.0
+
+let trace ?(quick = false) ?(strict = false) () =
+  let d = trace_data ~quick () in
+  let invariance =
+    T.render
+      ~title:"Observability invariance: Table 7 syscall mix, trace+profiler"
+      ~note:
+        (Printf.sprintf
+           "Same fresh kernel and reset discipline; recording %d events \
+            (%d retained, %d dropped by ring wrap) must not move a single \
+            modeled cycle or check."
+           d.tr_emitted d.tr_retained d.tr_dropped)
+      [ T.L; T.R; T.R ]
+      [ "Metric"; "obs off"; "obs on" ]
+      [
+        [ "modeled cycles"; string_of_int d.tr_cycles_off;
+          string_of_int d.tr_cycles_on ];
+        [ "run-time checks"; string_of_int d.tr_checks_off;
+          string_of_int d.tr_checks_on ];
+      ]
+  in
+  let events =
+    T.render ~title:"Event trace summary"
+      ~note:
+        (Printf.sprintf "%d reps of open/close + write + pipe + getpid"
+           d.tr_reps)
+      [ T.L; T.R ]
+      [ "event kind"; "retained" ]
+      (List.map (fun (k, n) -> [ k; string_of_int n ]) d.tr_counts)
+  in
+  let prof_rows rows =
+    List.map
+      (fun (r : Sva_rt.Trace.prow) ->
+        [
+          r.Sva_rt.Trace.p_name;
+          string_of_int r.Sva_rt.Trace.p_calls;
+          string_of_int r.Sva_rt.Trace.p_self_cycles;
+          string_of_int r.Sva_rt.Trace.p_total_cycles;
+          string_of_int r.Sva_rt.Trace.p_self_checks;
+        ])
+      rows
+  in
+  let prof_aligns = [ T.L; T.R; T.R; T.R; T.R ] in
+  let prof_header = [ "scope"; "calls"; "self cyc"; "total cyc"; "checks" ] in
+  let hot_sys =
+    T.render ~title:"Hot syscalls (top 10 by self cycles)"
+      ~note:
+        (Printf.sprintf
+           "syscall scopes attribute %s of all modeled cycles (>= %s \
+            required); the remainder is boot/idle work outside any trap"
+           (T.pct d.tr_attr_pct)
+           (T.pct trace_attribution_floor))
+      prof_aligns prof_header (prof_rows d.tr_sys_rows)
+  in
+  let hot_fn =
+    T.render ~title:"Hot kernel functions (top 10 by self cycles)"
+      ~note:"self = inclusive minus callees; totals double-count recursion"
+      prof_aligns prof_header (prof_rows d.tr_fn_rows)
+  in
+  let pools = Traceout.pool_metrics_table d.tr_pools in
+  let table = invariance ^ events ^ hot_sys ^ hot_fn ^ pools in
+  let failures =
+    List.concat
+      [
+        (if d.tr_cycles_on = d.tr_cycles_off then []
+         else
+           [ Printf.sprintf "tracing changed modeled cycles (%d vs %d)"
+               d.tr_cycles_on d.tr_cycles_off ]);
+        (if d.tr_checks_on = d.tr_checks_off then []
+         else
+           [ Printf.sprintf "tracing changed check counts (%d vs %d)"
+               d.tr_checks_on d.tr_checks_off ]);
+        (if d.tr_emitted > 0 then [] else [ "no events were recorded" ]);
+        (if d.tr_attr_pct >= trace_attribution_floor then []
+         else
+           [ Printf.sprintf
+               "profiler attributed only %.1f%% of cycles to syscalls \
+                (>= %.0f%% required)"
+               d.tr_attr_pct trace_attribution_floor ]);
+      ]
+  in
+  match failures with
+  | [] -> table ^ "  trace check: PASS\n"
+  | fs ->
+      let msg = String.concat "; " fs in
+      if strict then failwith ("trace check FAILED: " ^ msg)
+      else table ^ "  trace check: FAIL - " ^ msg ^ "\n"
+
 (* ---------- static lint layer ---------- *)
 
 type lint_data = {
@@ -1280,6 +1491,58 @@ let ranges_json () =
          ]);
       ("facts", J.Int d.rd_facts);
       ("iterations", J.Int d.rd_iterations);
+    ]
+
+let trace_json ?(quick = false) () =
+  let d = trace_data ~quick () in
+  let prow_json (r : Sva_rt.Trace.prow) =
+    J.Obj
+      [
+        ("name", J.Str r.Sva_rt.Trace.p_name);
+        ("calls", J.Int r.Sva_rt.Trace.p_calls);
+        ("self-cycles", J.Int r.Sva_rt.Trace.p_self_cycles);
+        ("total-cycles", J.Int r.Sva_rt.Trace.p_total_cycles);
+        ("self-checks", J.Int r.Sva_rt.Trace.p_self_checks);
+      ]
+  in
+  let pool_json (m : Sva_rt.Metapool_rt.metrics) =
+    J.Obj
+      [
+        ("name", J.Str m.Sva_rt.Metapool_rt.m_name);
+        ("live", J.Int m.Sva_rt.Metapool_rt.m_live);
+        ("peak", J.Int m.Sva_rt.Metapool_rt.m_peak);
+        ("regs", J.Int m.Sva_rt.Metapool_rt.m_regs);
+        ("drops", J.Int m.Sva_rt.Metapool_rt.m_drops);
+        ("depth", J.Int m.Sva_rt.Metapool_rt.m_depth);
+        ("lookups", J.Int m.Sva_rt.Metapool_rt.m_lookups);
+        ("cache-hits", J.Int m.Sva_rt.Metapool_rt.m_cache_hits);
+      ]
+  in
+  J.Obj
+    [
+      ("invariance",
+       J.Obj
+         [
+           ("cycles",
+            J.Obj [ ("obs-off", J.Int d.tr_cycles_off);
+                    ("obs-on", J.Int d.tr_cycles_on) ]);
+           ("checks",
+            J.Obj [ ("obs-off", J.Int d.tr_checks_off);
+                    ("obs-on", J.Int d.tr_checks_on) ]);
+         ]);
+      ("events",
+       J.Obj
+         [
+           ("emitted", J.Int d.tr_emitted);
+           ("retained", J.Int d.tr_retained);
+           ("dropped", J.Int d.tr_dropped);
+           ("by-kind", J.Obj (List.map (fun (k, n) -> (k, J.Int n)) d.tr_counts));
+         ]);
+      ("attribution-pct", J.Float d.tr_attr_pct);
+      ("hot-syscalls", J.List (List.map prow_json d.tr_sys_rows));
+      ("hot-functions", J.List (List.map prow_json d.tr_fn_rows));
+      ("pools", J.List (List.map pool_json d.tr_pools));
+      ("chrome", d.tr_chrome);
     ]
 
 let lint_json () =

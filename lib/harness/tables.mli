@@ -66,6 +66,17 @@ val tiered : ?quick:bool -> ?strict:bool -> unit -> string
     host wall-clock; with [strict] a failed criterion raises instead of
     being reported in the output (the [@bench-smoke] regression gate). *)
 
+val trace : ?quick:bool -> ?strict:bool -> unit -> string
+(** The observability experiment: the Table 7 syscall mix under SVA-Safe
+    with the event trace + cycle-attribution profiler off, then on.
+    Verifies the layer is semantically invisible — modeled cycles and
+    check counts bit-identical — that events were actually recorded, and
+    that the profiler attributes at least 95% of modeled cycles to
+    syscall scopes.  Reports the event summary, top-10 hot syscalls and
+    functions, and per-metapool metrics; with [strict] a failed
+    criterion raises instead of being reported in the output (the
+    [@bench-smoke] regression gate). *)
+
 (** {1 Structured data + machine-readable output}
 
     The sections consumed by [bench --json] expose their measurements as
@@ -112,6 +123,29 @@ type tiered_data = {
 
 val tiered_data : ?quick:bool -> unit -> tiered_data
 
+type trace_data = {
+  tr_reps : int;
+  tr_cycles_off : int;
+  tr_cycles_on : int;
+  tr_checks_off : int;
+  tr_checks_on : int;
+  tr_emitted : int;
+  tr_retained : int;
+  tr_dropped : int;
+  tr_counts : (string * int) list;
+  tr_attr_pct : float;
+  tr_fn_rows : Sva_rt.Trace.prow list;
+  tr_sys_rows : Sva_rt.Trace.prow list;
+  tr_pools : Sva_rt.Metapool_rt.metrics list;
+  tr_chrome : Jsonout.t;
+}
+
+val trace_data : ?quick:bool -> unit -> trace_data
+(** Run the trace experiment (cached per [quick]): one observability-off
+    and one observability-on pass over the same workload, plus the
+    recorded trace (as a Chrome trace-event document), profiler reports
+    and per-metapool metrics from the on pass. *)
+
 type lint_data = {
   ld_counts : (string * int) list;
   ld_findings : int;
@@ -157,6 +191,7 @@ val ranges_table : unit -> string
 
 val fastpath_json : ?quick:bool -> unit -> Jsonout.t
 val tiered_json : ?quick:bool -> unit -> Jsonout.t
+val trace_json : ?quick:bool -> unit -> Jsonout.t
 val table7_json : ?quick:bool -> unit -> Jsonout.t
 val lint_json : unit -> Jsonout.t
 val ranges_json : unit -> Jsonout.t

@@ -771,6 +771,10 @@ let tamper_cached key f =
 let translate (t : I.t) (pf : I.prepared_func) : int64 list -> int64 option =
   Stats.bump_promotion ();
   let fname = pf.I.pf.Func.f_name in
+  (* Tier events are the one deliberate divergence between the two
+     engines' traces: the interpreter never promotes.  The event-identity
+     tests filter them out before comparing streams. *)
+  if !Sva_rt.Trace.active then Sva_rt.Trace.emit_tier_promote fname;
   let bytecode = Codec.encode_func pf.I.pf in
   let key = Sha256.hex bytecode in
   let native = native_artifact ~bytecode in
@@ -783,15 +787,19 @@ let translate (t : I.t) (pf : I.prepared_func) : int64 list -> int64 option =
   | Some e -> (
       Stats.bump_sig_verification ();
       match Signing.verify_function e ~bytecode ~native with
-      | () -> Stats.bump_tcache_hit ()
+      | () ->
+          Stats.bump_tcache_hit ();
+          if !Sva_rt.Trace.active then Sva_rt.Trace.emit_tcache_hit fname
       | exception Signing.Tampered _ ->
           (* Section 3.4: a cached translation whose signature does not
              verify is discarded; the SVM falls back to re-translating
              from (re-verified) bytecode and re-signs the result. *)
           Stats.bump_tcache_miss ();
+          if !Sva_rt.Trace.active then Sva_rt.Trace.emit_tcache_miss fname;
           fresh ())
   | None ->
       Stats.bump_tcache_miss ();
+      if !Sva_rt.Trace.active then Sva_rt.Trace.emit_tcache_miss fname;
       fresh ());
   build t pf
 

@@ -300,6 +300,45 @@ let decode_intr name (args : Value.t list) =
   | "sva_panic" -> I_panic
   | other -> I_unknown other
 
+(* Source-level name of an SVA-OS operation for the event trace; [None]
+   for run-time checks (those emit their own events inside [Metapool_rt])
+   and for the pure constant accessors, which mediate nothing. *)
+let svaos_name = function
+  | I_pchk_reg_obj | I_pchk_drop_obj | I_pchk_drop_obj_opt | I_pchk_bounds
+  | I_pchk_bounds_known | I_pchk_lscheck | I_pchk_funccheck _
+  | I_pchk_getbounds_start | I_pchk_getbounds_len | I_heap_base | I_heap_size
+  | I_user_base | I_user_size | I_panic | I_unknown _ ->
+      None
+  | I_sva_pseudo_alloc -> Some "sva_pseudo_alloc"
+  | I_pchk_pseudo_alloc -> Some "pchk_pseudo_alloc"
+  | I_save_integer -> Some "llva_save_integer"
+  | I_load_integer -> Some "llva_load_integer"
+  | I_save_fp -> Some "llva_save_fp"
+  | I_load_fp -> Some "llva_load_fp"
+  | I_icontext_save -> Some "llva_icontext_save"
+  | I_icontext_load -> Some "llva_icontext_load"
+  | I_icontext_commit -> Some "llva_icontext_commit"
+  | I_ipush_function -> Some "llva_ipush_function"
+  | I_was_privileged -> Some "llva_was_privileged"
+  | I_register_syscall -> Some "sva_register_syscall"
+  | I_register_interrupt -> Some "sva_register_interrupt"
+  | I_syscall -> Some "sva_syscall"
+  | I_mmu_new_space -> Some "sva_mmu_new_space"
+  | I_mmu_clone_space -> Some "sva_mmu_clone_space"
+  | I_mmu_destroy_space -> Some "sva_mmu_destroy_space"
+  | I_mmu_activate -> Some "sva_mmu_activate"
+  | I_mmu_map_page -> Some "sva_mmu_map_page"
+  | I_mmu_unmap_page -> Some "sva_mmu_unmap_page"
+  | I_mmu_page_count -> Some "sva_mmu_page_count"
+  | I_io_console_write -> Some "sva_io_console_write"
+  | I_io_disk_read -> Some "sva_io_disk_read"
+  | I_io_disk_write -> Some "sva_io_disk_write"
+  | I_io_nic_send -> Some "sva_io_nic_send"
+  | I_io_nic_recv -> Some "sva_io_nic_recv"
+  | I_timer_read -> Some "sva_timer_read"
+  | I_cli -> Some "sva_cli"
+  | I_sti -> Some "sva_sti"
+
 let prepare_func (f : Func.t) =
   let blocks = Array.of_list f.Func.f_blocks in
   let nblocks = Array.length blocks in
@@ -410,6 +449,10 @@ let load ?sys ?(metapools = []) (m : Irmod.t) =
   List.iter (fun (id, mp) -> Hashtbl.replace t.mps id mp) metapools;
   let fresh = layout_globals t in
   write_global_inits t fresh;
+  (* Trace timestamps are this VM's modeled-cycle clock.  Reading a
+     mutable field through a closure keeps disabled-mode cost at zero:
+     nothing here runs unless an event is actually recorded. *)
+  Sva_rt.Trace.clock := (fun () -> t.ncycles);
   t
 
 (* Dynamic module loading: link, place code, lay out and initialize the
@@ -436,6 +479,11 @@ let func_name t addr = Hashtbl.find_opt t.addr_fn addr
 let global_addr t name = Hashtbl.find t.g_addr name
 let global_size t name = Hashtbl.find t.g_size name
 let metapool t id = Hashtbl.find_opt t.mps id
+
+let metapools t =
+  List.sort
+    (fun (a, _) (b, _) -> compare (a : int) b)
+    (Hashtbl.fold (fun id mp acc -> (id, mp) :: acc) t.mps [])
 let steps t = t.nsteps
 let reset_steps t = t.nsteps <- 0
 let cycles t = t.ncycles
@@ -668,6 +716,13 @@ let cache_hit_cost = 1
    fetches). *)
 let rec exec_intr t intr (vargs : Value.t array) (args : int64 array) :
     int64 option =
+  (* Emitting here (rather than per-tier) is what makes the interpreter
+     and the compiled tier produce identical SVA-OS event streams: both
+     reach every mediated operation through this one function. *)
+  (if !Sva_rt.Trace.active then
+     match svaos_name intr with
+     | Some nm -> Sva_rt.Trace.emit_svaos nm
+     | None -> ());
   let a n = args.(n) in
   let addr n = to_addr (a n) in
   let sys = t.im_sys in
@@ -1060,6 +1115,26 @@ and exec_func t (pf : prepared_func) (args : int64 list) : int64 option =
    threshold the function is translated (host work, zero modeled cycles)
    and every subsequent entry runs the compiled closure tree. *)
 and enter t (pf : prepared_func) (args : int64 list) : int64 option =
+  if not !Sva_rt.Trace.profiling then enter_raw t pf args
+  else begin
+    (* Cycle-attribution profiling: bracket the whole tier dispatch so
+       compiled and interpreted entries are charged identically.  The
+       frames must balance even when a check traps out of the function. *)
+    let name = pf.pf.Func.f_name in
+    Sva_rt.Trace.fn_enter name ~cycles:t.ncycles
+      ~checks:(Sva_rt.Stats.checks_now ());
+    match enter_raw t pf args with
+    | r ->
+        Sva_rt.Trace.fn_exit name ~cycles:t.ncycles
+          ~checks:(Sva_rt.Stats.checks_now ());
+        r
+    | exception e ->
+        Sva_rt.Trace.fn_exit name ~cycles:t.ncycles
+          ~checks:(Sva_rt.Stats.checks_now ());
+        raise e
+  end
+
+and enter_raw t (pf : prepared_func) (args : int64 list) : int64 option =
   match pf.pf_entry with
   | Some compiled -> compiled args
   | None -> (

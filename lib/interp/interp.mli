@@ -190,6 +190,10 @@ val global_size : t -> string -> int
 
 val metapool : t -> int -> Sva_rt.Metapool_rt.t option
 
+val metapools : t -> (int * Sva_rt.Metapool_rt.t) list
+(** All runtime metapools in id order — the per-pool metrics report walks
+    this. *)
+
 val steps : t -> int
 (** Instructions executed since load (or the last {!reset_steps}). *)
 
@@ -253,7 +257,9 @@ val exec_func : t -> prepared_func -> int64 list -> int64 option
 val enter : t -> prepared_func -> int64 list -> int64 option
 (** Tier dispatch: run the compiled entry if the function was promoted,
     otherwise interpret (bumping the profile counter when a JIT is
-    installed). *)
+    installed).  When {!Sva_rt.Trace.profiling} is on, the dispatch is
+    bracketed with profiler frames — identically for both tiers, and
+    balanced even when a safety violation unwinds through it. *)
 
 val dispatch_call : t -> string -> int64 list -> int64 option
 (** Call by name through tier dispatch; falls back to builtins. *)

@@ -45,6 +45,50 @@ let engine_flag cfg arg =
       | _ -> invalid_arg ("bad --jit-threshold '" ^ v ^ "' (positive integer)"))
   | _ -> None
 
+(* ---------- observability selection ---------- *)
+
+type obs_config = {
+  obs_trace : int option;  (* ring capacity when tracing is requested *)
+  obs_trace_out : string option;
+  obs_profile : bool;
+}
+
+let default_obs = { obs_trace = None; obs_trace_out = None; obs_profile = false }
+
+(* Same contract as [engine_flag]: every binary accepts the same
+   --trace[=N], --trace-out=FILE and --profile spellings, and a
+   recognized-but-malformed flag is an error rather than silently
+   ignored. *)
+let obs_flag cfg arg =
+  if arg = "--trace" then
+    Some { cfg with obs_trace = Some Sva_rt.Trace.default_capacity }
+  else if arg = "--profile" then Some { cfg with obs_profile = true }
+  else
+    match String.index_opt arg '=' with
+    | Some i when String.sub arg 0 i = "--trace" -> (
+        let v = String.sub arg (i + 1) (String.length arg - i - 1) in
+        match int_of_string_opt v with
+        | Some n when n >= 1 -> Some { cfg with obs_trace = Some n }
+        | _ -> invalid_arg ("bad --trace '" ^ v ^ "' (positive ring capacity)"))
+    | Some i when String.sub arg 0 i = "--trace-out" ->
+        let v = String.sub arg (i + 1) (String.length arg - i - 1) in
+        if v = "" then invalid_arg "bad --trace-out: empty path"
+        else
+          (* Writing a trace implies recording one. *)
+          let cap =
+            match cfg.obs_trace with
+            | None -> Some Sva_rt.Trace.default_capacity
+            | some -> some
+          in
+          Some { cfg with obs_trace_out = Some v; obs_trace = cap }
+    | _ -> None
+
+let install_obs cfg =
+  (match cfg.obs_trace with
+  | Some cap -> Sva_rt.Trace.enable ~capacity:cap ()
+  | None -> ());
+  if cfg.obs_profile then Sva_rt.Trace.enable_profile ()
+
 type built = {
   bl_name : string;
   bl_conf : conf;
@@ -173,13 +217,20 @@ let build_module ?(conf = Sva_safe) ?(aconfig = Pointsto.default_config)
           with
           | [] ->
               let cb, cl = Interval.cert_counts rr in
-              Sva_rt.Stats.add_range_bounds_elided summary.Checkinsert.bounds_static_range;
-              Sva_rt.Stats.add_range_ls_elided
-                (match lint_res with
+              let ls_elided =
+                match lint_res with
                 | Some r -> r.Sva_lint.Lint.lr_range_geps
-                | None -> 0);
+                | None -> 0
+              in
+              Sva_rt.Stats.add_range_bounds_elided summary.Checkinsert.bounds_static_range;
+              Sva_rt.Stats.add_range_ls_elided ls_elided;
               Sva_rt.Stats.add_range_facts (Interval.fact_count rr);
-              Sva_rt.Stats.add_range_cert_checks (cb + cl)
+              Sva_rt.Stats.add_range_cert_checks (cb + cl);
+              if !Sva_rt.Trace.active then begin
+                Sva_rt.Trace.emit_range_elide ~what:"bounds"
+                  ~count:summary.Checkinsert.bounds_static_range;
+                Sva_rt.Trace.emit_range_elide ~what:"ls" ~count:ls_elided
+              end
           | errs ->
               failwith
                 ("range certificate checking failed:\n"

@@ -53,6 +53,36 @@ val engine_flag : engine_config -> string -> engine_config option
     @raise Invalid_argument on a malformed value.  Shared by the CLI
     binaries so the flags are spelled identically everywhere. *)
 
+(** {1 Observability selection}
+
+    The event trace and cycle-attribution profiler
+    ({!Sva_rt.Trace}) are off by default and semantically invisible
+    when enabled: results, verdicts, check counts and modeled cycles
+    are unchanged (the differential tests assert this bit-exactly).
+    These helpers give every binary the same flag spellings. *)
+
+type obs_config = {
+  obs_trace : int option;
+      (** [Some capacity]: record events into a ring of that size *)
+  obs_trace_out : string option;
+      (** write the trace as Chrome trace-event JSON to this file *)
+  obs_profile : bool;  (** attribute cycles/checks to functions+syscalls *)
+}
+
+val default_obs : obs_config
+(** Everything off. *)
+
+val obs_flag : obs_config -> string -> obs_config option
+(** Parse one [--trace], [--trace=N], [--trace-out=FILE] or [--profile]
+    argument into an updated config; [None] if the argument is none of
+    these.  [--trace-out] implies tracing at the default capacity.
+    @raise Invalid_argument on a malformed value. *)
+
+val install_obs : obs_config -> unit
+(** Apply the config to the global {!Sva_rt.Trace} state (enable the
+    ring and/or the profiler).  Does not write any file — the caller
+    exports after the workload runs. *)
+
 type built = {
   bl_name : string;
   bl_conf : conf;

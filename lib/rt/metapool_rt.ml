@@ -10,6 +10,13 @@ type t = {
   mp_objects : obj Splay.t;
   mp_cache : obj Objcache.t;
   mp_cached : bool;
+  (* Per-pool observability counters (always on: plain int bumps, no
+     effect on verdicts or the cycle model). *)
+  mutable mp_peak : int;
+  mutable mp_regs : int;
+  mutable mp_drops : int;
+  mutable mp_lookups : int;
+  mutable mp_hits : int;
 }
 
 let create ?(type_homog = false) ?(complete = true) ?(elem_size = 0)
@@ -22,27 +29,46 @@ let create ?(type_homog = false) ?(complete = true) ?(elem_size = 0)
     mp_objects = Splay.create ();
     mp_cache = Objcache.create ();
     mp_cached = cached;
+    mp_peak = 0;
+    mp_regs = 0;
+    mp_drops = 0;
+    mp_lookups = 0;
+    mp_hits = 0;
   }
 
 (* Every containment query goes through here: cache first, splay on miss.
    Cached entries are always live — every removal path invalidates — and
    insertion cannot make one stale (ranges are disjoint), so registration
-   needs no invalidation. *)
+   needs no invalidation.  The per-pool hit counter is derived from the
+   global one's delta so the two can never disagree. *)
 let find mp addr =
-  if mp.mp_cached then Objcache.find mp.mp_cache mp.mp_objects addr
+  mp.mp_lookups <- mp.mp_lookups + 1;
+  if mp.mp_cached then begin
+    let h0 = Stats.cache_hits () in
+    let r = Objcache.find mp.mp_cache mp.mp_objects addr in
+    if Stats.cache_hits () > h0 then mp.mp_hits <- mp.mp_hits + 1;
+    r
+  end
   else Splay.find_containing mp.mp_objects addr
 
 let register mp ~cls ~start ~len =
   Stats.bump_reg ();
+  mp.mp_regs <- mp.mp_regs + 1;
+  if !Trace.active then Trace.emit_register ~pool:mp.mp_name ~start ~len;
   (* A failed allocation (null) or a non-positive requested size (integer
      overflow/underflow in the caller) registers nothing: later checks
      through the pointer then fail, which is exactly the exploit-catching
      behaviour (Section 7.2's too-small-object overruns). *)
-  if start <> 0 && len > 0 then
-    Splay.insert mp.mp_objects ~start ~len { ob_class = cls; ob_live = ref true }
+  if start <> 0 && len > 0 then begin
+    Splay.insert mp.mp_objects ~start ~len { ob_class = cls; ob_live = ref true };
+    let live = Splay.size mp.mp_objects in
+    if live > mp.mp_peak then mp.mp_peak <- live
+  end
 
 let drop mp ~start =
   Stats.bump_drop ();
+  mp.mp_drops <- mp.mp_drops + 1;
+  if !Trace.active then Trace.emit_drop ~pool:mp.mp_name ~start;
   match Splay.remove mp.mp_objects ~start with
   | Some _ -> Objcache.invalidate_start mp.mp_cache start
   | None ->
@@ -60,12 +86,16 @@ let drop mp ~start =
 let drop_if_present mp ~start =
   match Splay.remove mp.mp_objects ~start with
   | Some _ ->
+      mp.mp_drops <- mp.mp_drops + 1;
+      if !Trace.active then Trace.emit_drop ~pool:mp.mp_name ~start;
       Objcache.invalidate_start mp.mp_cache start;
       true
   | None -> false
 
 let getbounds mp addr =
   Stats.bump_getbounds ();
+  if !Trace.active then
+    Trace.emit_check "getbounds" ~pool:mp.mp_name ~addr ~len:0;
   match find mp addr with
   | Some n -> Some (n.Splay.n_start, n.Splay.n_len)
   | None -> None
@@ -75,6 +105,8 @@ let in_range ~start ~len addr access_len =
 
 let boundscheck_known ~start ~len ~dst ~access_len ~pool =
   Stats.bump_bounds ();
+  if !Trace.active then
+    Trace.emit_check "bounds-known" ~pool ~addr:dst ~len:access_len;
   if not (in_range ~start ~len dst access_len) then begin
     Stats.bump_violation ();
     Violation.violation Violation.Bounds ~metapool:pool ~addr:dst
@@ -85,6 +117,8 @@ let boundscheck_known ~start ~len ~dst ~access_len ~pool =
 
 let boundscheck mp ~src ~dst ~access_len =
   Stats.bump_bounds ();
+  if !Trace.active then
+    Trace.emit_check "bounds" ~pool:mp.mp_name ~addr:dst ~len:access_len;
   match find mp src with
   | Some n ->
       if not (in_range ~start:n.Splay.n_start ~len:n.Splay.n_len dst access_len)
@@ -120,6 +154,8 @@ let lscheck mp ~addr ~access_len =
   if not mp.mp_complete then Stats.bump_reduced ()
   else begin
     Stats.bump_ls ();
+    if !Trace.active then
+      Trace.emit_check "ls" ~pool:mp.mp_name ~addr ~len:access_len;
     if addr = 0 then begin
       Stats.bump_violation ();
       (* Null is reported once and the check ends here — no second
@@ -155,16 +191,54 @@ let funccheck_fail ~target names =
 
 let funccheck ~allowed ~target =
   Stats.bump_funccheck ();
+  if !Trace.active then
+    Trace.emit_check "funccheck" ~pool:"" ~addr:target ~len:0;
   if not (List.exists (fun (addr, _) -> addr = target) allowed) then
     funccheck_fail ~target (List.map snd allowed)
 
 let funccheck_hashed ~allowed ~target =
   Stats.bump_funccheck ();
+  if !Trace.active then
+    Trace.emit_check "funccheck" ~pool:"" ~addr:target ~len:0;
   if not (Hashtbl.mem allowed target) then
     funccheck_fail ~target
       (List.sort compare (Hashtbl.fold (fun _ nm acc -> nm :: acc) allowed []))
 
 let live_objects mp = Splay.size mp.mp_objects
+
+type metrics = {
+  m_name : string;
+  m_live : int;
+  m_peak : int;
+  m_regs : int;
+  m_drops : int;
+  m_depth : int;
+  m_lookups : int;
+  m_cache_hits : int;
+}
+
+let metrics mp =
+  {
+    m_name = mp.mp_name;
+    m_live = Splay.size mp.mp_objects;
+    m_peak = mp.mp_peak;
+    m_regs = mp.mp_regs;
+    m_drops = mp.mp_drops;
+    m_depth = Splay.depth mp.mp_objects;
+    m_lookups = mp.mp_lookups;
+    m_cache_hits = mp.mp_hits;
+  }
+
+let metrics_hit_rate m =
+  if m.m_lookups = 0 then 0.0
+  else float_of_int m.m_cache_hits /. float_of_int m.m_lookups *. 100.0
+
+let reset_metrics mp =
+  mp.mp_peak <- Splay.size mp.mp_objects;
+  mp.mp_regs <- 0;
+  mp.mp_drops <- 0;
+  mp.mp_lookups <- 0;
+  mp.mp_hits <- 0
 
 let reset mp =
   Splay.clear mp.mp_objects;

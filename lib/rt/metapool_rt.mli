@@ -40,6 +40,11 @@ type t = {
   mp_cache : obj Objcache.t;
       (** direct-mapped lookup cache consulted before the splay tree *)
   mp_cached : bool;  (** whether this pool uses its cache at all *)
+  mutable mp_peak : int;  (** high-water mark of live objects *)
+  mutable mp_regs : int;  (** registrations performed on this pool *)
+  mutable mp_drops : int;  (** deregistrations performed on this pool *)
+  mutable mp_lookups : int;  (** containment queries (checks + getbounds) *)
+  mutable mp_hits : int;  (** lookups answered by this pool's cache *)
 }
 
 val create :
@@ -95,6 +100,36 @@ val funccheck_hashed : allowed:(int, string) Hashtbl.t -> target:int -> unit
 
 val live_objects : t -> int
 (** Number of currently registered objects. *)
+
+(** {1 Per-metapool metrics}
+
+    Observability counters maintained unconditionally — they are plain
+    integer bumps on paths that already mutate pool state, never consulted
+    by any check, and invisible to the cycle model.  The trace/profile
+    layer reads them out; nothing in the TCB does. *)
+
+type metrics = {
+  m_name : string;
+  m_live : int;  (** objects currently registered *)
+  m_peak : int;  (** high-water mark of live objects *)
+  m_regs : int;  (** total registrations *)
+  m_drops : int;  (** total deregistrations *)
+  m_depth : int;  (** current splay-tree height *)
+  m_lookups : int;  (** containment queries issued *)
+  m_cache_hits : int;  (** queries answered by this pool's cache *)
+}
+
+val metrics : t -> metrics
+(** Snapshot this pool's counters (live count and splay depth are read
+    from the tree at call time). *)
+
+val metrics_hit_rate : metrics -> float
+(** Pool-local object-cache hit rate in percent (0 with no lookups). *)
+
+val reset_metrics : t -> unit
+(** Zero the cumulative counters; the peak restarts at the current live
+    count.  Registered objects are untouched — measurement boundaries
+    must not alter pool contents. *)
 
 val reset : t -> unit
 (** Drop all objects (pool destruction). *)

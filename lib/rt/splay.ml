@@ -151,3 +151,9 @@ let fold t g init =
 let to_list t = List.rev (fold t (fun acc n -> n :: acc) [])
 
 let comparisons () = !ncomparisons
+
+let rec depth_tree = function
+  | Leaf -> 0
+  | Node (l, _, r) -> 1 + max (depth_tree l) (depth_tree r)
+
+let depth t = depth_tree t.root

@@ -54,3 +54,8 @@ val comparisons : unit -> int
     the work metric the SVM's cycle model charges for run-time checks
     (splay lookups are where the Jones-Kelly-style checking spends its
     time, Section 4.1). *)
+
+val depth : 'a t -> int
+(** Current height of the tree (0 for empty).  A diagnostic for the
+    per-metapool metrics report; splaying keeps it shallow on skewed
+    access patterns but it is not bounded. *)

@@ -49,6 +49,7 @@ let bump_cache_miss () = incr cmisses
 
 let cache_hits () = !chits
 let cache_misses () = !cmisses
+let checks_now () = !bounds + !ls + !fc
 
 let read () =
   {
@@ -219,3 +220,12 @@ let diff_range a b =
 let range_to_string s =
   Printf.sprintf "range-elided bounds=%d ls=%d facts=%d certs-verified=%d"
     s.range_bounds_elided s.range_ls_elided s.range_facts s.range_cert_checks
+
+(* Full reset across all three counter families.  The individual resets
+   stay available for the measurements that deliberately reset one family
+   (e.g. the tiered bench resets check counters per run but accumulates
+   tier counters across warm-up and measurement). *)
+let reset_all () =
+  reset ();
+  reset_tier ();
+  reset_range ()

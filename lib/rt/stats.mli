@@ -39,8 +39,17 @@ val cache_hits : unit -> int
 
 val cache_misses : unit -> int
 
+val checks_now : unit -> int
+(** Current bounds + load/store + indirect-call check count, without
+    allocating a snapshot — the profiler samples this on every function
+    entry/exit. *)
+
 val read : unit -> snapshot
+
 val reset : unit -> unit
+(** Reset the check counters only.  Tier and range counters are separate
+    families with their own resets; use {!reset_all} when a full reset is
+    intended. *)
 
 val diff : snapshot -> snapshot -> snapshot
 (** [diff later earlier] — per-field subtraction. *)
@@ -113,3 +122,10 @@ val reset_range : unit -> unit
 
 val diff_range : range_snapshot -> range_snapshot -> range_snapshot
 val range_to_string : range_snapshot -> string
+
+val reset_all : unit -> unit
+(** {!reset} + {!reset_tier} + {!reset_range}: clear every counter
+    family.  This is what "reset the statistics" should almost always
+    mean at a measurement boundary; forgetting a companion reset (the
+    original [ukern_boot] bug) leaves stale tier/range counts in the
+    report. *)

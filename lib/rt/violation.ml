@@ -11,9 +11,6 @@ type t = { v_kind : kind; v_metapool : string; v_addr : int; v_msg : string }
 
 exception Safety_violation of t
 
-let violation k ~metapool ~addr msg =
-  raise (Safety_violation { v_kind = k; v_metapool = metapool; v_addr = addr; v_msg = msg })
-
 let kind_to_string = function
   | Bounds -> "bounds"
   | Load_store -> "load-store"
@@ -22,6 +19,11 @@ let kind_to_string = function
   | Illegal_free -> "illegal-free"
   | Uninit_pointer -> "uninitialized-pointer"
   | Userspace_escape -> "userspace-escape"
+
+let violation k ~metapool ~addr msg =
+  if !Trace.active then
+    Trace.emit_violation ~kind:(kind_to_string k) ~pool:metapool ~addr;
+  raise (Safety_violation { v_kind = k; v_metapool = metapool; v_addr = addr; v_msg = msg })
 
 let to_string v =
   Printf.sprintf "SVA safety violation [%s] pool=%s addr=0x%x: %s"

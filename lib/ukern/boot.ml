@@ -38,9 +38,7 @@ let trap_cost sys =
   | Svaos.Sva_mediated -> 90
   | Svaos.Native_inline -> 48
 
-let syscall t num args =
-  let pad = args @ List.init (max 0 (4 - List.length args)) (fun _ -> 0L) in
-  let a = Array.of_list pad in
+let syscall_body t num (a : int64 array) =
   Interp.add_cycles t.vm (trap_cost t.sys);
   let icp =
     Svaos.icontext_create t.sys ~sp:icontext_scratch ~was_privileged:false
@@ -64,6 +62,28 @@ let syscall t num args =
           | None -> ())
       | None -> ());
       Option.value r ~default:0L)
+
+let syscall t num args =
+  let pad = args @ List.init (max 0 (4 - List.length args)) (fun _ -> 0L) in
+  let a = Array.of_list pad in
+  if not (!Sva_rt.Trace.active || !Sva_rt.Trace.profiling) then
+    syscall_body t num a
+  else begin
+    (* The observation scope is the whole trap path — enter before the
+       trap cost is charged so the profiler attributes it to the syscall,
+       exit after teardown; balanced even when a check traps out. *)
+    if !Sva_rt.Trace.active then Sva_rt.Trace.emit_syscall_enter ~num;
+    if !Sva_rt.Trace.profiling then
+      Sva_rt.Trace.sys_enter num ~cycles:(Interp.cycles t.vm)
+        ~checks:(Sva_rt.Stats.checks_now ());
+    Fun.protect
+      ~finally:(fun () ->
+        if !Sva_rt.Trace.profiling then
+          Sva_rt.Trace.sys_exit num ~cycles:(Interp.cycles t.vm)
+            ~checks:(Sva_rt.Stats.checks_now ());
+        if !Sva_rt.Trace.active then Sva_rt.Trace.emit_syscall_exit ~num)
+      (fun () -> syscall_body t num a)
+  end
 
 let interrupt t vector =
   Interp.add_cycles t.vm (trap_cost t.sys);
