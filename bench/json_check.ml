@@ -78,6 +78,49 @@ let () =
   | _ -> fail "%s: range certificates not marked verified" path);
   if rint "certificates" "bounds" + rint "certificates" "lscheck" <= 0 then
     fail "%s: range analysis emitted no certificates" path;
+  (* race section: the shipped kernel must audit clean, every atomicity
+     certificate must have re-verified, the seeded-bug fixture must match
+     its ground truth exactly, the certificate-injection experiment must
+     catch every corruption, and the workload must have exercised the
+     spinlock ops (balanced with their releases). *)
+  let race = get "race" (J.member "race" doc) in
+  (match get "race.findings" (J.member "findings" race) with
+  | J.Obj fields ->
+      List.iter
+        (fun (checker, v) ->
+          if J.to_int v <> 0 then
+            fail "%s: clean kernel has %d %s findings" path (J.to_int v)
+              checker)
+        fields
+  | _ -> fail "%s: race.findings is not an object" path);
+  let acerts = get "race.certificates" (J.member "certificates" race) in
+  (match J.member "verified" acerts with
+  | Some (J.Bool true) -> ()
+  | _ -> fail "%s: atomicity certificates not marked verified" path);
+  let n_acerts =
+    J.to_int (get "race.certificates.access" (J.member "access" acerts))
+  in
+  if n_acerts <= 0 then
+    fail "%s: concurrency pass certified no accesses" path;
+  let fixture = get "race.fixture" (J.member "fixture" race) in
+  (match J.member "exact-match" fixture with
+  | Some (J.Bool true) -> ()
+  | _ -> fail "%s: race fixture diverged from its seeded ground truth" path);
+  let inj = get "race.injection" (J.member "injection" race) in
+  let injected =
+    J.to_int (get "race.injection.injected" (J.member "injected" inj))
+  and inj_caught =
+    J.to_int (get "race.injection.caught" (J.member "caught" inj))
+  in
+  if injected <= 0 || inj_caught <> injected then
+    fail "%s: atomicity-certificate injection caught %d/%d bugs" path
+      inj_caught injected;
+  let conc = get "race.conc" (J.member "conc" race) in
+  let cint k = J.to_int (get ("race.conc." ^ k) (J.member k conc)) in
+  let acq = cint "lock-acquires" in
+  if acq <= 0 then fail "%s: workload executed no sva_lock_acquire" path;
+  if acq <> cint "lock-releases" || cint "cli" <> cint "sti" then
+    fail "%s: workload conc ops are unbalanced" path;
   (* trace section: the observability layer must be semantically
      invisible (obs-on and obs-off agree bit-for-bit), must actually
      record events, must attribute >= 95%% of modeled cycles to syscall
@@ -142,5 +185,7 @@ let () =
     fail "%s: %d unmatched B trace-events" path !balance;
   Printf.printf
     "%s: OK (%d accesses proved, %d checks elided, tiered %.2fx, range ls \
-     %d->%d bounds %d->%d, trace %d events %.1f%% attributed)\n"
-    path proofs proved speedup ls_off ls_on b_off b_on emitted attr
+     %d->%d bounds %d->%d, race %d certs %d/%d injections, trace %d events \
+     %.1f%% attributed)\n"
+    path proofs proved speedup ls_off ls_on b_off b_on n_acerts inj_caught
+    injected emitted attr

@@ -11,8 +11,8 @@
                                          -- also write machine-readable
                                             numbers for the data-bearing
                                             sections (fastpath, table7,
-                                            lint, ranges, trace) that
-                                            were run
+                                            lint, ranges, race, trace)
+                                            that were run
 
    Unknown flags and unknown section names are errors (exit 2): a typo
    must not silently select nothing and report success.  A section that
@@ -32,9 +32,9 @@ let only : string list ref = ref []
    against this list.  Must match the [section] calls below. *)
 let known_sections =
   [
-    "table4"; "figure2"; "checks"; "lint"; "ranges"; "table7"; "table8";
-    "table5"; "table6"; "table9"; "ablation"; "fastpath"; "tiered"; "trace";
-    "exploits"; "verifier"; "bechamel";
+    "table4"; "figure2"; "checks"; "lint"; "ranges"; "race"; "table7";
+    "table8"; "table5"; "table6"; "table9"; "ablation"; "fastpath"; "tiered";
+    "trace"; "exploits"; "verifier"; "bechamel";
   ]
 
 let usage () =
@@ -216,6 +216,7 @@ let () =
   section "checks" (fun () -> Tables.check_summary ());
   section "lint" (fun () -> Tables.lint_table ());
   section "ranges" (fun () -> Tables.ranges_table ());
+  section "race" (fun () -> Tables.race_table ~strict:!strict ());
   section "table7" (fun () -> Tables.table7 ~quick:!quick ());
   section "table8" (fun () -> Tables.table8 ~quick:!quick ());
   section "table5" (fun () -> Tables.table5 ~quick:!quick ());
@@ -254,6 +255,7 @@ let () =
             ("table7", fun () -> Tables.table7_json ~quick:!quick ());
             ("lint", fun () -> Tables.lint_json ());
             ("ranges", fun () -> Tables.ranges_json ());
+            ("race", fun () -> Tables.race_json ());
             ("trace", fun () -> Tables.trace_json ~quick:!quick ());
           ]
       in

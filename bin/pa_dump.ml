@@ -4,15 +4,20 @@
 
      pa_dump FILE [FUNC]
      pa_dump --ranges FILE [FUNC]
+     pa_dump --races FILE [FUNC]
 
-   With FUNC, only that function's IR (or range facts) is printed (the
-   whole graph is always printed).  --ranges dumps the value-range
-   analysis instead: per-function interval fixpoints, interprocedural
-   summaries and the in-extent gep certificates, re-verified by the
-   trusted checker. *)
+   With FUNC, only that function's IR (or range/lockset facts) is
+   printed (the whole graph is always printed).  --ranges dumps the
+   value-range analysis instead: per-function interval fixpoints,
+   interprocedural summaries and the in-extent gep certificates,
+   re-verified by the trusted checker.  --races dumps the concurrency
+   pass: per-function entry protections, the lock-order graph, the
+   atomicity certificates (re-verified by the trusted checker) and any
+   findings. *)
 
 module Pointsto = Sva_analysis.Pointsto
 module Interval = Sva_analysis.Interval
+module Lockset = Sva_analysis.Lockset
 
 let dump_ranges m config func =
   let pa = Pointsto.run ~config m in
@@ -82,15 +87,60 @@ let dump_ranges m config func =
         errs;
       exit 1)
 
+let dump_races m config func =
+  let pa = Pointsto.run ~config m in
+  let res = Lockset.run m pa in
+  let wanted fn = match func with Some f -> f = fn | None -> true in
+  print_endline "== entry protection ==";
+  List.iter
+    (fun (f : Sva_ir.Func.t) ->
+      let fn = f.Sva_ir.Func.f_name in
+      if wanted fn then
+        match Lockset.entry_config res fn with
+        | Some p -> Printf.printf "  @%s : %s\n" fn (Lockset.prot_to_string p)
+        | None -> ())
+    m.Sva_ir.Irmod.m_funcs;
+  print_endline "\n== lock-order graph ==";
+  List.iter
+    (fun (l1, l2) -> Printf.printf "  %s -> %s\n" l1 l2)
+    (Lockset.lock_edges res);
+  print_endline "\n== atomicity certificates ==";
+  let b = Lockset.bundle res in
+  List.iter
+    (fun (c : Lockset.acert) ->
+      if wanted c.Lockset.ac_func then
+        Printf.printf "  @%s %%%d: %s under %s\n" c.Lockset.ac_func
+          c.Lockset.ac_instr c.Lockset.ac_global
+          (Lockset.prot_to_string c.Lockset.ac_prot))
+    b.Lockset.cb_acerts;
+  List.iter
+    (fun f -> Printf.printf "\n%s\n" (Lockset.render_finding f))
+    (Lockset.findings res);
+  match Sva_tyck.Atomcert.check ~entries:(Lockset.entry_config res) m b with
+  | [] ->
+      Printf.printf
+        "\nconcurrency analysis: %d shared classes, %d accesses, %d \
+         certificates, all re-verified by the trusted checker\n"
+        (Lockset.shared_count res) (Lockset.access_count res)
+        (Lockset.cert_count res)
+  | errs ->
+      Printf.printf "\natomicity certificates REJECTED:\n";
+      List.iter
+        (fun e -> Printf.printf "  %s\n" (Sva_tyck.Atomcert.string_of_error e))
+        errs;
+      exit 1
+
 let () =
-  let ranges, file, func =
+  let mode, file, func =
     match Sys.argv with
-    | [| _; "--ranges"; f |] -> (true, f, None)
-    | [| _; "--ranges"; f; fn |] -> (true, f, Some fn)
-    | [| _; f |] -> (false, f, None)
-    | [| _; f; fn |] -> (false, f, Some fn)
+    | [| _; "--ranges"; f |] -> (`Ranges, f, None)
+    | [| _; "--ranges"; f; fn |] -> (`Ranges, f, Some fn)
+    | [| _; "--races"; f |] -> (`Races, f, None)
+    | [| _; "--races"; f; fn |] -> (`Races, f, Some fn)
+    | [| _; f |] -> (`Pa, f, None)
+    | [| _; f; fn |] -> (`Pa, f, Some fn)
     | _ ->
-        prerr_endline "usage: pa_dump [--ranges] FILE [FUNC]";
+        prerr_endline "usage: pa_dump [--ranges | --races] FILE [FUNC]";
         exit 2
   in
   let m = Sva_pipeline.Pipeline.load_file file in
@@ -101,10 +151,14 @@ let () =
       syscall_invoke = Some "sva_syscall";
     }
   in
-  if ranges then begin
-    dump_ranges m config func;
-    exit 0
-  end;
+  (match mode with
+  | `Ranges ->
+      dump_ranges m config func;
+      exit 0
+  | `Races ->
+      dump_races m config func;
+      exit 0
+  | `Pa -> ());
   let pa = Pointsto.run ~config m in
   let mps = Sva_safety.Metapool.infer m pa [] in
   print_endline "== points-to graph ==";

@@ -6,6 +6,12 @@
      sva_lint --selftest      --ukern must be clean AND --fixture must
                               report exactly the seeded defects
 
+   With --races the concurrency-safety pass runs instead of the lint
+   checkers: the interprocedural lockset analysis reports races,
+   deadlocks and masking-discipline defects, and the trusted atomicity
+   checker re-verifies the certificate bundle.  --races composes with
+   FILE, --ukern, --fixture (the ksrc_racebugs module) and --selftest.
+
    Findings print one per line in deterministic order; the exit code is
    non-zero when any finding is reported (or, under --selftest, when the
    results deviate from the expected set). *)
@@ -14,6 +20,8 @@ open Cmdliner
 module Pipeline = Sva_pipeline.Pipeline
 module Lint = Sva_lint.Lint
 module Pointsto = Sva_analysis.Pointsto
+module Lockset = Sva_analysis.Lockset
+module Atomcert = Sva_tyck.Atomcert
 
 let file_config =
   {
@@ -64,6 +72,96 @@ let print_result ?(quiet = false) (r : Lint.result) =
       counts r.Lint.lr_proof_count ranges r.Lint.lr_funcs r.Lint.lr_iterations
   end
 
+(* ---------- the concurrency-safety pass ---------- *)
+
+let race_sources ~name ~aconfig sources =
+  let m = Pipeline.compile ~name sources in
+  let pa = Pointsto.run ~config:aconfig m in
+  let r = Lockset.run m pa in
+  let errs =
+    Atomcert.check ~entries:(Lockset.entry_config r) m (Lockset.bundle r)
+  in
+  (r, errs)
+
+let race_kernel ~fixture () =
+  let v = Ukern.Kbuild.as_tested in
+  let sources =
+    if fixture then Ukern.Kbuild.race_fixture_sources v
+    else Ukern.Kbuild.sources v
+  in
+  let name = if fixture then "ukern-races-fixture" else "ukern-races" in
+  race_sources ~name ~aconfig:(Ukern.Kbuild.aconfig v) sources
+
+let race_checkers =
+  [ "race"; "deadlock"; "cli-imbalance"; "lock-imbalance"; "atomic-sleep" ]
+
+let print_races ?(quiet = false) (r, errs) =
+  List.iter
+    (fun f -> print_endline (Lockset.render_finding f))
+    (Lockset.findings r);
+  List.iter
+    (fun e -> Printf.printf "atomcert: %s\n" (Atomcert.string_of_error e))
+    errs;
+  if not quiet then begin
+    let counts =
+      String.concat ", "
+        (List.map
+           (fun c -> Printf.sprintf "%s %d" c (Lockset.count_findings r c))
+           race_checkers)
+    in
+    Printf.printf
+      "races: %d findings (%s); %d shared classes, %d accesses, %d certified \
+       (%d certificate errors); %d functions, %d dataflow iterations\n"
+      (List.length (Lockset.findings r))
+      counts (Lockset.shared_count r) (Lockset.access_count r)
+      (Lockset.cert_count r) (List.length errs) (Lockset.funcs_analyzed r)
+      (Lockset.iterations r)
+  end
+
+let race_selftest () =
+  let clean, clean_errs = race_kernel ~fixture:false () in
+  let dirty, dirty_errs = race_kernel ~fixture:true () in
+  let got =
+    List.map
+      (fun (f : Lockset.finding) -> (f.Lockset.lf_checker, f.Lockset.lf_func))
+      (Lockset.findings dirty)
+    |> List.sort_uniq compare
+  in
+  let want = List.sort_uniq compare Ukern.Ksrc_racebugs.expected in
+  let show l =
+    String.concat ", " (List.map (fun (c, fn) -> c ^ "@" ^ fn) l)
+  in
+  let ok = ref true in
+  if Lockset.findings clean <> [] then begin
+    ok := false;
+    Printf.printf "FAIL: clean kernel has concurrency findings:\n";
+    print_races ~quiet:true (clean, [])
+  end;
+  if got <> want then begin
+    ok := false;
+    Printf.printf "FAIL: race fixture findings mismatch\n  want: %s\n  got:  %s\n"
+      (show want) (show got)
+  end;
+  if clean_errs <> [] || dirty_errs <> [] then begin
+    ok := false;
+    Printf.printf "FAIL: atomicity certificates rejected:\n";
+    List.iter
+      (fun e -> Printf.printf "  %s\n" (Atomcert.string_of_error e))
+      (clean_errs @ dirty_errs)
+  end;
+  if Lockset.cert_count clean = 0 then begin
+    ok := false;
+    Printf.printf "FAIL: no access was certified on the clean kernel\n"
+  end;
+  if !ok then begin
+    Printf.printf
+      "races selftest OK: clean kernel 0 findings, %d certified accesses; \
+       fixture reports exactly [%s]\n"
+      (Lockset.cert_count clean) (show want);
+    0
+  end
+  else 1
+
 let selftest () =
   let clean = lint_kernel ~fixture:false () in
   let dirty = lint_kernel ~fixture:true () in
@@ -102,9 +200,36 @@ let selftest () =
   end
   else 1
 
-let run file ukern fixture selftest_flag ranges quiet =
+let run file ukern fixture selftest_flag ranges races quiet =
   try
-    if selftest_flag then selftest ()
+    if races then begin
+      if selftest_flag then race_selftest ()
+      else begin
+        let ((r, errs) as res) =
+          if ukern then race_kernel ~fixture:false ()
+          else if fixture then race_kernel ~fixture:true ()
+          else
+            match file with
+            | Some path ->
+                let m = Pipeline.load_file path in
+                let pa = Pointsto.run ~config:file_config m in
+                let r = Lockset.run m pa in
+                let errs =
+                  Atomcert.check ~entries:(Lockset.entry_config r) m
+                    (Lockset.bundle r)
+                in
+                (r, errs)
+            | None ->
+                prerr_endline
+                  "usage: sva_lint --races [FILE | --ukern | --fixture | \
+                   --selftest]";
+                exit 2
+        in
+        print_races ~quiet res;
+        if Lockset.findings r = [] && errs = [] then 0 else 1
+      end
+    end
+    else if selftest_flag then selftest ()
     else begin
       let r =
         if ukern then lint_kernel ~ranges ~fixture:false ()
@@ -166,6 +291,17 @@ let ranges =
            the safe-access prover, widening proofs to variable-index geps \
            certified in extent.")
 
+let races_flag =
+  Arg.(
+    value & flag
+    & info [ "races" ]
+        ~doc:
+          "Run the concurrency-safety pass ($(b,Sva_analysis.Lockset)) \
+           instead of the lint checkers: interprocedural lockset + \
+           interrupt-mask dataflow, race/deadlock/masking-discipline \
+           findings, and trusted re-verification of the atomicity \
+           certificates.")
+
 let quiet =
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Findings only, no summary.")
 
@@ -173,6 +309,10 @@ let cmd =
   Cmd.v
     (Cmd.info "sva_lint"
        ~doc:"Static dataflow lint over the SVA safety pipeline")
-    Term.(const run $ file $ ukern $ fixture $ selftest_flag $ ranges $ quiet)
+    Term.(
+      const run $ file $ ukern $ fixture $ selftest_flag $ ranges $ races_flag
+      $ quiet)
 
-let () = exit (Cmd.eval' cmd)
+(* Unknown flags must produce usage + exit 2 (parity with bench/main.ml);
+   Cmdliner's default "term error" exit is 124, so pin it. *)
+let () = exit (Cmd.eval' ~term_err:2 cmd)

@@ -3,6 +3,7 @@
      sva_verify FILE
      sva_verify --rangecert FILE
      sva_verify --range-selftest
+     sva_verify --atomcert
 
    Loads an SVA module (bytecode, or MiniC compiled on the fly), runs
    the IR well-formedness verifier, and reports module statistics.
@@ -13,10 +14,18 @@
    trusted checker re-verify every certificate it can emit, and then
    runs the certificate-bug injection experiment: every injected bug
    must be rejected.  --range-selftest exercises the interval kernel
-   against the concrete constant folder. *)
+   against the concrete constant folder.
+
+   --atomcert does the same for the concurrency pass: the lockset
+   analysis runs over the embedded kernel plus the race fixture, the
+   trusted atomicity checker re-verifies the certificate bundle, and the
+   certificate-bug injection experiment corrupts it in every supported
+   way — each corruption must be rejected. *)
 
 module Interval = Sva_analysis.Interval
 module Rangecert = Sva_tyck.Rangecert
+module Lockset = Sva_analysis.Lockset
+module Atomcert = Sva_tyck.Atomcert
 
 let load path =
   let data = In_channel.with_open_bin path In_channel.input_all in
@@ -78,10 +87,47 @@ let rangecert path =
     results;
   if caught <> List.length results then exit 1
 
+let atomcert () =
+  let v = Ukern.Kbuild.as_tested in
+  let m =
+    Sva_pipeline.Pipeline.compile ~name:"ukern-atomcert"
+      (Ukern.Kbuild.race_fixture_sources v)
+  in
+  let pa = Sva_analysis.Pointsto.run ~config:(Ukern.Kbuild.aconfig v) m in
+  let res = Lockset.run m pa in
+  let b = Lockset.bundle res in
+  let entries = Lockset.entry_config res in
+  (match Atomcert.check ~entries m b with
+  | [] ->
+      Printf.printf
+        "ukern+fixture: atomicity certificates OK (%d access certificates, \
+         %d function claims, %d shared classes)\n"
+        (Lockset.cert_count res) (Lockset.fact_count res)
+        (Lockset.shared_count res)
+  | errs ->
+      Printf.eprintf "ukern+fixture: atomicity certificates REJECTED (%d \
+                      errors)\n"
+        (List.length errs);
+      List.iter
+        (fun e -> Printf.eprintf "  %s\n" (Atomcert.string_of_error e))
+        errs;
+      exit 1);
+  let results = Atomcert.experiment ~entries m b ~instances:3 in
+  let caught = List.length (List.filter (fun (_, _, c) -> c) results) in
+  Printf.printf "  injected certificate bugs: %d/%d caught\n" caught
+    (List.length results);
+  List.iter
+    (fun (bug, desc, c) ->
+      if not c then
+        Printf.eprintf "  MISSED %s: %s\n" (Atomcert.bug_name bug) desc)
+    results;
+  if caught <> List.length results then exit 1
+
 let () =
   match Sys.argv with
   | [| _; "--range-selftest" |] -> range_selftest ()
   | [| _; "--rangecert"; path |] -> rangecert path
+  | [| _; "--atomcert" |] -> atomcert ()
   | [| _; path |] -> (
       let m, data = load path in
       match m with
@@ -107,5 +153,5 @@ let () =
   | _ ->
       prerr_endline
         "usage: sva_verify FILE | sva_verify --rangecert FILE | sva_verify \
-         --range-selftest";
+         --range-selftest | sva_verify --atomcert";
       exit 2

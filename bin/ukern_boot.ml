@@ -1,7 +1,7 @@
 (* ukern-boot: boot the MiniC kernel on the SVM and run a smoke workload.
 
      ukern_boot [native|gcc|llvm|safe] [--engine=interp|tiered]
-                [--jit-threshold=N] [--ranges] [--trace[=N]]
+                [--jit-threshold=N] [--ranges] [--races] [--trace[=N]]
                 [--trace-out=FILE] [--profile]   (default: safe, interp)
 
    Prints the boot transcript, runs a small syscall workload, and reports
@@ -25,10 +25,12 @@ let () =
   let engine = ref Pipeline.default_engine in
   let obs = ref Pipeline.default_obs in
   let ranges = ref false in
+  let races = ref false in
   Array.iteri
     (fun i arg ->
       if i > 0 then
         if arg = "--ranges" then ranges := true
+        else if arg = "--races" then races := true
         else
           match Pipeline.engine_flag !engine arg with
           | Some cfg -> engine := cfg
@@ -37,15 +39,17 @@ let () =
               | Some o -> obs := o
               | None -> conf := conf_of_string arg))
     Sys.argv;
-  let conf = !conf and engine = !engine and obs = !obs and ranges = !ranges in
+  let conf = !conf and engine = !engine and obs = !obs in
+  let ranges = !ranges and races = !races in
   (* Observability goes live before the build so build-time events
      (range-certified elisions) and boot are captured too. *)
   Pipeline.install_obs obs;
-  Printf.printf "building %s kernel (%s engine%s)...\n%!"
+  Printf.printf "building %s kernel (%s engine%s%s)...\n%!"
     (Pipeline.conf_name conf)
     (Pipeline.engine_name engine.Pipeline.eng_kind)
-    (if ranges then ", range elision" else "");
-  let t = Boot.boot ~conf ~engine ~ranges () in
+    (if ranges then ", range elision" else "")
+    (if races then ", concurrency audit" else "");
+  let t = Boot.boot ~conf ~engine ~ranges ~races () in
   Printf.printf "booted: kernel_booted=%Ld (%d instructions)\n"
     (Boot.kernel_global t "kernel_booted")
     (Boot.steps t);
@@ -83,6 +87,18 @@ let () =
       (Sva_rt.Stats.tier_to_string (Sva_rt.Stats.read_tier ()));
   if ranges then
     Printf.printf "ranges:   %s\n" (Sva_rt.Stats.range_to_string range_stats);
+  if races then begin
+    Printf.printf "conc:     %s\n"
+      (Sva_rt.Stats.conc_to_string (Sva_rt.Stats.read_conc ()));
+    match t.Boot.built.Pipeline.bl_races with
+    | Some r ->
+        Printf.printf
+          "races:    %d findings; %d shared classes, %d certified accesses\n"
+          (List.length (Sva_analysis.Lockset.findings r))
+          (Sva_analysis.Lockset.shared_count r)
+          (Sva_analysis.Lockset.cert_count r)
+    | None -> ()
+  end;
   if Sva_rt.Trace.enabled () then begin
     print_string (Harness.Traceout.summary_table ());
     print_string

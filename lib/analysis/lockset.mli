@@ -1,0 +1,161 @@
+(** Interprocedural concurrency-safety analysis: must-hold locksets and
+    interrupt-atomicity race detection.
+
+    The kernel's concurrency mechanisms are SVA-OS operations —
+    [sva_cli]/[sva_sti] and the spinlock pair
+    [sva_lock_acquire]/[sva_lock_release] — so protection state is fully
+    visible in the virtual instruction stream and can be computed
+    statically.  This pass runs a forward must-dataflow whose lattice is
+    (interrupt-masked bit) x (set of held locks), interprocedurally via
+    call-graph summaries keyed on each function's entry protection.
+    Shared state is classified with the unification points-to analysis:
+    a memory class is {e shared} when it is accessed both from code
+    reachable from an interrupt handler and from code reachable from a
+    syscall handler.
+
+    Finding checkers: [race] (shared access pair with disjoint
+    protection, or lock-free write to a lock-disciplined class),
+    [deadlock] (lock-order-graph cycle), [cli-imbalance] /
+    [lock-imbalance] (return path with changed protection), and
+    [atomic-sleep] (sleeping allocation while masked or holding a lock).
+
+    The analysis is untrusted: every discharged obligation is emitted as
+    an atomicity certificate ({!bundle}), re-verified by the small
+    trusted checker {!Sva_tyck.Atomcert}.  The two share only the
+    one-instruction transfer kernel ({!step}) and the call-effect
+    summaries ({!effects}) — the Rangecert TCB split. *)
+
+open Sva_ir
+
+module SS : Set.S with type elt = string
+
+(** {1 The protection lattice}
+
+    Exposed concretely so the property tests can exercise lattice laws
+    and the trusted checker can replay transfers. *)
+
+type prot = { p_masked : bool; p_locks : SS.t }
+
+type fact = Unreached | Known of prot
+
+val unprotected : prot
+val prot_equal : prot -> prot -> bool
+
+val prot_join : prot -> prot -> prot
+(** Must-information meet: conjunction of the mask bits, intersection of
+    the locksets. *)
+
+val prot_leq : prot -> prot -> bool
+(** [prot_leq claim fact]: the claim is justified by the fact ([claim]
+    promises no more than [fact] guarantees). *)
+
+val prot_to_string : prot -> string
+val fact_equal : fact -> fact -> bool
+val fact_join : fact -> fact -> fact
+
+(** {1 Configuration} *)
+
+type config = {
+  ls_interrupt_register : string;
+  ls_syscall_register : string;
+      (** the SVM syscall registration intrinsic; scanned syntactically
+          in addition to the points-to syscall table, which cannot see
+          handlers that were cast before registration *)
+  ls_sleeping : string list;
+      (** functions that may sleep (block), per the lint layer *)
+  ls_extra_roots : string list;
+      (** additional unmasked entry points (the syscall dispatcher) *)
+}
+
+val default_config : config
+
+(** {1 The shared transfer kernel}
+
+    Used by both the analysis and the trusted certificate checker. *)
+
+type eff
+(** May-effect of a call on the caller's protection state. *)
+
+val effects : Irmod.t -> (string, eff) Hashtbl.t
+(** Syntactic fixpoint over direct calls.  Bodyless externs are SVM
+    builtins with no effect on protection state; indirect calls and
+    [sva_syscall] clobber the whole fact. *)
+
+val defs_of : Func.t -> (int, Instr.t) Hashtbl.t
+(** Instruction-id -> defining instruction, for operand resolution. *)
+
+val root_global : (int, Instr.t) Hashtbl.t -> Value.t -> string option
+(** The global a value is rooted at, through casts and geps. *)
+
+val step :
+  defs:(int, Instr.t) Hashtbl.t ->
+  effs:(string, eff) Hashtbl.t ->
+  fact ->
+  Instr.t ->
+  fact
+(** The one-instruction transfer function. *)
+
+(** {1 Findings} *)
+
+type finding = {
+  lf_checker : string;  (** race | deadlock | cli-imbalance | lock-imbalance | atomic-sleep *)
+  lf_func : string;
+  lf_instr : int option;
+  lf_message : string;
+}
+
+val render_finding : finding -> string
+
+(** {1 Atomicity certificates} *)
+
+type fcert = {
+  fc_func : string;
+  fc_entry : prot;  (** claimed entry protection *)
+  fc_blocks : (string * fact) list;  (** claimed fact at each block entry *)
+}
+
+type acert = {
+  ac_func : string;
+  ac_instr : int;  (** the access instruction *)
+  ac_global : string;  (** root global of the accessed address *)
+  ac_prot : prot;  (** claimed protection at the access *)
+}
+
+type bundle = { cb_fcerts : fcert list; cb_acerts : acert list }
+
+(** {1 Running the analysis} *)
+
+type result
+
+val run : ?config:config -> Irmod.t -> Pointsto.result -> result
+
+val findings : result -> finding list
+(** Sorted and deduplicated. *)
+
+val bundle : result -> bundle
+
+val entry_config : result -> string -> prot option
+(** Root entry points (interrupt handlers, syscall handlers, kernel
+    entries) and their boundary protection — the trusted checker's
+    ground truth for entry claims. *)
+
+val count_findings : result -> string -> int
+(** Findings reported by one checker. *)
+
+val shared_count : result -> int
+(** Memory classes reachable from both sides. *)
+
+val access_count : result -> int
+(** Classified direct global accesses in the handler-reachable universe. *)
+
+val cert_count : result -> int
+(** Atomicity (access) certificates emitted. *)
+
+val fact_count : result -> int
+(** Block-entry facts claimed across all function certificates. *)
+
+val lock_edges : result -> (string * string) list
+(** Deduplicated lock-order edges (held, acquired). *)
+
+val funcs_analyzed : result -> int
+val iterations : result -> int

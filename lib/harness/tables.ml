@@ -1400,6 +1400,199 @@ let ranges_table () =
       [ "dataflow block visits"; string_of_int d.rd_iterations ];
     ]
 
+(* ---------- concurrency-safety pass (lockset + atomicity certs) ---------- *)
+
+module Lockset = Sva_analysis.Lockset
+module Atomcert = Sva_tyck.Atomcert
+
+type race_data = {
+  rc_counts : (string * int) list;
+      (** findings per checker, shipped kernel (must all be 0) *)
+  rc_shared : int;
+  rc_accesses : int;
+  rc_certs : int;
+  rc_fact_claims : int;
+  rc_cert_errors : int;  (** trusted-checker rejections, clean kernel *)
+  rc_lock_edges : int;
+  rc_funcs : int;
+  rc_iterations : int;
+  rc_fixture_findings : int;
+  rc_fixture_match : bool;  (** fixture findings = seeded ground truth *)
+  rc_injected : int;  (** certificate-bug injection experiment *)
+  rc_caught : int;
+  rc_conc : Sva_rt.Stats.conc_snapshot;  (** runtime ops, smoke workload *)
+}
+
+let race_checkers =
+  [ "race"; "deadlock"; "cli-imbalance"; "lock-imbalance"; "atomic-sleep" ]
+
+(* The shipped kernel built with the concurrency gate on: Pipeline.build
+   runs the lockset analysis and fails the build outright if the trusted
+   checker rejects any atomicity certificate, so a cached image implies
+   the clean-kernel bundle re-verified. *)
+let race_image_cache : Pipeline.built option ref = ref None
+
+let race_image () =
+  match !race_image_cache with
+  | Some b -> b
+  | None ->
+      let b =
+        Kbuild.build ~conf:Pipeline.Sva_safe ~races:true Kbuild.as_tested
+      in
+      race_image_cache := Some b;
+      b
+
+let rc_cache : race_data option ref = ref None
+
+let race_data () =
+  match !rc_cache with
+  | Some d -> d
+  | None ->
+      let b = race_image () in
+      let clean = Option.get b.Pipeline.bl_races in
+      let clean_errs =
+        Sva_tyck.Atomcert.check
+          ~entries:(Lockset.entry_config clean)
+          b.Pipeline.bl_mod (Lockset.bundle clean)
+      in
+      (* The race fixture is analyzed standalone (kernel + seeded bugs);
+         it cannot go through the pipeline gate, which refuses to build
+         modules with findings worth gating on. *)
+      let v = Kbuild.as_tested in
+      let fm =
+        Pipeline.compile ~name:"bench-races-fixture"
+          (Kbuild.race_fixture_sources v)
+      in
+      let fpa = Pointsto.run ~config:(Kbuild.aconfig v) fm in
+      let dirty = Lockset.run fm fpa in
+      let got =
+        List.map
+          (fun (f : Lockset.finding) ->
+            (f.Lockset.lf_checker, f.Lockset.lf_func))
+          (Lockset.findings dirty)
+        |> List.sort_uniq compare
+      in
+      let want = List.sort_uniq compare Ukern.Ksrc_racebugs.expected in
+      let entries = Lockset.entry_config dirty in
+      let results =
+        Atomcert.experiment ~entries fm (Lockset.bundle dirty) ~instances:3
+      in
+      let caught = List.length (List.filter (fun (_, _, c) -> c) results) in
+      (* Runtime counters: boot the gated image and run the lock-heavy
+         slice of the smoke workload (file create, socket, packet
+         delivery through the masked netpoll section). *)
+      let t = Boot.boot_built b ~variant:v in
+      Sva_rt.Stats.reset_all ();
+      Boot.write_user t 0 "conc.txt\000";
+      ignore (Boot.syscall t 4 [ Boot.user_addr t 0; 1L ]);
+      let sd = Boot.syscall t 14 [ 17L ] in
+      ignore (Boot.syscall t 15 [ sd; 4242L ]);
+      let hdr = Bytes.create 4 in
+      Bytes.set_int32_le hdr 0 4242l;
+      Boot.inject_frame t ~proto:17 (Bytes.to_string hdr ^ "ping");
+      ignore (Boot.syscall t 22 []);
+      let conc = Sva_rt.Stats.read_conc () in
+      let d =
+        {
+          rc_counts =
+            List.map (fun c -> (c, Lockset.count_findings clean c)) race_checkers;
+          rc_shared = Lockset.shared_count clean;
+          rc_accesses = Lockset.access_count clean;
+          rc_certs = Lockset.cert_count clean;
+          rc_fact_claims = Lockset.fact_count clean;
+          rc_cert_errors = List.length clean_errs;
+          rc_lock_edges = List.length (Lockset.lock_edges clean);
+          rc_funcs = Lockset.funcs_analyzed clean;
+          rc_iterations = Lockset.iterations clean;
+          rc_fixture_findings = List.length (Lockset.findings dirty);
+          rc_fixture_match = got = want;
+          rc_injected = List.length results;
+          rc_caught = caught;
+          rc_conc = conc;
+        }
+      in
+      rc_cache := Some d;
+      d
+
+let race_table ?(strict = false) () =
+  let d = race_data () in
+  let rows =
+    List.map
+      (fun (checker, n) -> [ "findings: " ^ checker; string_of_int n ])
+      d.rc_counts
+    @ [
+        [ "shared memory classes (irq- and sys-reachable)";
+          string_of_int d.rc_shared ];
+        [ "classified accesses"; string_of_int d.rc_accesses ];
+        [ "atomicity certificates (re-verified)"; string_of_int d.rc_certs ];
+        [ "block-entry fact claims"; string_of_int d.rc_fact_claims ];
+        [ "certificate errors"; string_of_int d.rc_cert_errors ];
+        [ "lock-order edges"; string_of_int d.rc_lock_edges ];
+        [ "functions analyzed"; string_of_int d.rc_funcs ];
+        [ "dataflow block visits"; string_of_int d.rc_iterations ];
+        [ "fixture findings (seeded bugs)";
+          Printf.sprintf "%d (%s ground truth)" d.rc_fixture_findings
+            (if d.rc_fixture_match then "matches" else "DIVERGES from") ];
+        [ "injected certificate bugs caught";
+          Printf.sprintf "%d/%d" d.rc_caught d.rc_injected ];
+        [ "runtime conc ops (workload)";
+          Sva_rt.Stats.conc_to_string d.rc_conc ];
+      ]
+  in
+  let table =
+    T.render
+      ~title:
+        "Concurrency-safety pass: interprocedural lockset + \
+         interrupt-atomicity race detector"
+      ~note:
+        "The shipped kernel must audit clean (every findings row 0) and \
+         every discharged atomicity obligation carries a certificate the \
+         trusted checker (Sva_tyck.Atomcert) re-verified; the analysis \
+         itself stays outside the TCB.  The fixture row covers the \
+         seeded-bug positives and the injection row shows the checker \
+         rejects every corrupted certificate bundle."
+      [ T.L; T.R ]
+      [ "Metric"; "Count" ]
+      rows
+  in
+  let failures =
+    List.concat
+      [
+        List.filter_map
+          (fun (c, n) ->
+            if n = 0 then None
+            else Some (Printf.sprintf "clean kernel has %d %s findings" n c))
+          d.rc_counts;
+        (if d.rc_cert_errors = 0 then []
+         else
+           [ Printf.sprintf "trusted checker rejected %d certificates"
+               d.rc_cert_errors ]);
+        (if d.rc_certs > 0 then []
+         else [ "no access was certified on the clean kernel" ]);
+        (if d.rc_fixture_match then []
+         else [ "fixture findings diverge from the seeded ground truth" ]);
+        (if d.rc_caught = d.rc_injected && d.rc_injected > 0 then []
+         else
+           [ Printf.sprintf "injection experiment caught %d/%d bugs"
+               d.rc_caught d.rc_injected ]);
+        (if d.rc_conc.Sva_rt.Stats.lock_acquires > 0 then []
+         else [ "workload executed no sva_lock_acquire" ]);
+        (if
+           d.rc_conc.Sva_rt.Stats.lock_acquires
+           = d.rc_conc.Sva_rt.Stats.lock_releases
+           && d.rc_conc.Sva_rt.Stats.cli_count
+              = d.rc_conc.Sva_rt.Stats.sti_count
+         then []
+         else [ "workload conc ops are unbalanced" ]);
+      ]
+  in
+  match failures with
+  | [] -> table ^ "  race check: PASS\n"
+  | fs ->
+      let msg = String.concat "; " fs in
+      if strict then failwith ("race check FAILED: " ^ msg)
+      else table ^ "  race check: FAIL - " ^ msg ^ "\n"
+
 (* ---------- machine-readable results (--json) ---------- *)
 
 module J = Jsonout
@@ -1561,5 +1754,46 @@ let lint_json () =
            ("lint-off", J.Int d.ld_ls_inserted_base);
            ("lint-on", J.Int d.ld_ls_inserted_lint);
            ("proved-static", J.Int d.ld_ls_proved_static);
+         ]);
+    ]
+
+let race_json () =
+  let d = race_data () in
+  J.Obj
+    [
+      ("findings",
+       J.Obj (List.map (fun (c, n) -> (c, J.Int n)) d.rc_counts));
+      ("shared-classes", J.Int d.rc_shared);
+      ("accesses", J.Int d.rc_accesses);
+      ("certificates",
+       J.Obj
+         [
+           ("access", J.Int d.rc_certs);
+           ("fact-claims", J.Int d.rc_fact_claims);
+           ("errors", J.Int d.rc_cert_errors);
+           ("verified", J.Bool (d.rc_cert_errors = 0));
+         ]);
+      ("lock-order-edges", J.Int d.rc_lock_edges);
+      ("functions-analyzed", J.Int d.rc_funcs);
+      ("dataflow-iterations", J.Int d.rc_iterations);
+      ("fixture",
+       J.Obj
+         [
+           ("findings", J.Int d.rc_fixture_findings);
+           ("exact-match", J.Bool d.rc_fixture_match);
+         ]);
+      ("injection",
+       J.Obj
+         [
+           ("injected", J.Int d.rc_injected);
+           ("caught", J.Int d.rc_caught);
+         ]);
+      ("conc",
+       J.Obj
+         [
+           ("cli", J.Int d.rc_conc.Sva_rt.Stats.cli_count);
+           ("sti", J.Int d.rc_conc.Sva_rt.Stats.sti_count);
+           ("lock-acquires", J.Int d.rc_conc.Sva_rt.Stats.lock_acquires);
+           ("lock-releases", J.Int d.rc_conc.Sva_rt.Stats.lock_releases);
          ]);
     ]

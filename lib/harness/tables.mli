@@ -189,9 +189,41 @@ val ranges_table : unit -> string
 (** The value-range elision section: check counts with ranges off/on,
     certificate counts, and the exported fact total. *)
 
+type race_data = {
+  rc_counts : (string * int) list;
+  rc_shared : int;
+  rc_accesses : int;
+  rc_certs : int;
+  rc_fact_claims : int;
+  rc_cert_errors : int;
+  rc_lock_edges : int;
+  rc_funcs : int;
+  rc_iterations : int;
+  rc_fixture_findings : int;
+  rc_fixture_match : bool;
+  rc_injected : int;
+  rc_caught : int;
+  rc_conc : Sva_rt.Stats.conc_snapshot;
+}
+
+val race_data : unit -> race_data
+(** Run the concurrency-safety experiment (cached): audit the shipped
+    kernel through the [~races:true] pipeline gate, analyze the
+    seeded-bug fixture standalone and compare against its ground truth,
+    run the atomicity-certificate bug-injection experiment, and execute
+    a lock-heavy workload slice to snapshot the runtime cli/sti and
+    spinlock counters. *)
+
+val race_table : ?strict:bool -> unit -> string
+(** The concurrency section: findings per checker (all zero on the
+    shipped kernel), certificate statistics, fixture exact-match,
+    injection coverage and the runtime conc counters.  Ends in a
+    PASS/FAIL verdict line; with [~strict:true] any failure raises. *)
+
 val fastpath_json : ?quick:bool -> unit -> Jsonout.t
 val tiered_json : ?quick:bool -> unit -> Jsonout.t
 val trace_json : ?quick:bool -> unit -> Jsonout.t
 val table7_json : ?quick:bool -> unit -> Jsonout.t
 val lint_json : unit -> Jsonout.t
 val ranges_json : unit -> Jsonout.t
+val race_json : unit -> Jsonout.t

@@ -65,6 +65,8 @@ type intr =
   | I_timer_read
   | I_cli
   | I_sti
+  | I_lock_acquire
+  | I_lock_release
   | I_heap_base
   | I_heap_size
   | I_user_base
@@ -244,6 +246,7 @@ let intrinsic_base_cost ~mediated name nargs =
   | "sva_io_nic_send" | "sva_io_nic_recv" -> 30
   | "sva_timer_read" -> if mediated then 10 else 4
   | "sva_cli" | "sva_sti" -> 2
+  | "sva_lock_acquire" | "sva_lock_release" -> if mediated then 12 else 4
   | _ -> 2
 
 let decode_intr name (args : Value.t list) =
@@ -293,6 +296,8 @@ let decode_intr name (args : Value.t list) =
   | "sva_timer_read" -> I_timer_read
   | "sva_cli" -> I_cli
   | "sva_sti" -> I_sti
+  | "sva_lock_acquire" -> I_lock_acquire
+  | "sva_lock_release" -> I_lock_release
   | "sva_heap_base" -> I_heap_base
   | "sva_heap_size" -> I_heap_size
   | "sva_user_base" -> I_user_base
@@ -338,6 +343,8 @@ let svaos_name = function
   | I_timer_read -> Some "sva_timer_read"
   | I_cli -> Some "sva_cli"
   | I_sti -> Some "sva_sti"
+  | I_lock_acquire -> Some "sva_lock_acquire"
+  | I_lock_release -> Some "sva_lock_release"
 
 let prepare_func (f : Func.t) =
   let blocks = Array.of_list f.Func.f_blocks in
@@ -900,6 +907,12 @@ let rec exec_intr t intr (vargs : Value.t array) (args : int64 array) :
       None
   | I_sti ->
       Svaos.sti sys;
+      None
+  | I_lock_acquire ->
+      Svaos.lock_acquire sys ~lock:(to_addr (a 0));
+      None
+  | I_lock_release ->
+      Svaos.lock_release sys ~lock:(to_addr (a 0));
       None
   (* --- constants --- *)
   | I_heap_base -> Some (Int64.of_int (Svaos.heap_base sys))

@@ -74,6 +74,8 @@ type intr =
   | I_timer_read
   | I_cli
   | I_sti
+  | I_lock_acquire
+  | I_lock_release
   | I_heap_base
   | I_heap_size
   | I_user_base

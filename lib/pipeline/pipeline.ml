@@ -103,6 +103,7 @@ type built = {
   bl_checkopt : Checkopt.summary option;
   bl_lint : Sva_lint.Lint.result option;
   bl_ranges : Interval.result option;
+  bl_races : Lockset.result option;
 }
 
 (* ---------- module loading ---------- *)
@@ -131,7 +132,7 @@ let load_file path =
 let build_module ?(conf = Sva_safe) ?(aconfig = Pointsto.default_config)
     ?(options = Checkinsert.default_options) ?(typecheck = true)
     ?(clone = false) ?(devirt = false) ?(checkopt = false) ?(lint = false)
-    ?lint_config ?(ranges = false) ~name m =
+    ?lint_config ?(ranges = false) ?(races = false) ~name m =
   match conf with
   | Native | Sva_gcc | Sva_llvm ->
       {
@@ -148,6 +149,7 @@ let build_module ?(conf = Sva_safe) ?(aconfig = Pointsto.default_config)
         bl_checkopt = None;
         bl_lint = None;
         bl_ranges = None;
+        bl_races = None;
       }
   | Sva_safe ->
       let cloned = if clone then Clone.run m else 0 in
@@ -236,6 +238,29 @@ let build_module ?(conf = Sva_safe) ?(aconfig = Pointsto.default_config)
                 ("range certificate checking failed:\n"
                 ^ String.concat "\n"
                     (List.map Sva_tyck.Rangecert.string_of_error errs))));
+      (* Concurrency-safety pass (untrusted): the interprocedural lockset
+         analysis classifies interrupt/syscall-shared state and certifies
+         every protected access; the trusted atomicity checker must accept
+         the whole certificate bundle or the build is rejected.  Runs on
+         the instrumented module — the inserted check intrinsics are
+         identity for the protection lattice. *)
+      let races_res =
+        if not races then None
+        else begin
+          let rr = Lockset.run m pa in
+          (match
+             Sva_tyck.Atomcert.check ~entries:(Lockset.entry_config rr) m
+               (Lockset.bundle rr)
+           with
+          | [] -> ()
+          | errs ->
+              failwith
+                ("atomicity certificate checking failed:\n"
+                ^ String.concat "\n"
+                    (List.map Sva_tyck.Atomcert.string_of_error errs)));
+          Some rr
+        end
+      in
       {
         bl_name = name;
         bl_conf = conf;
@@ -250,10 +275,11 @@ let build_module ?(conf = Sva_safe) ?(aconfig = Pointsto.default_config)
         bl_checkopt = co;
         bl_lint = lint_res;
         bl_ranges = rres;
+        bl_races = races_res;
       }
 
 let build ?conf ?aconfig ?options ?typecheck ?clone ?devirt ?checkopt ?lint
-    ?lint_config ?ranges ~name sources =
+    ?lint_config ?ranges ?races ~name sources =
   let pipeline =
     match conf with
     | Some Native | Some Sva_gcc -> Passes.Gcc_like
@@ -261,7 +287,7 @@ let build ?conf ?aconfig ?options ?typecheck ?clone ?devirt ?checkopt ?lint
   in
   let m = compile ~pipeline ~name sources in
   build_module ?conf ?aconfig ?options ?typecheck ?clone ?devirt ?checkopt
-    ?lint ?lint_config ?ranges ~name m
+    ?lint ?lint_config ?ranges ?races ~name m
 
 let instantiate ?sys ?(engine = default_engine) built =
   let mode =

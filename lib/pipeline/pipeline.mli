@@ -104,6 +104,10 @@ type built = {
       (** the value-range analysis result, when [~ranges:true]; its
           certificate bundle has been verified by the trusted checker
           ([Sva_tyck.Rangecert]) against the instrumented module *)
+  bl_races : Lockset.result option;
+      (** the concurrency-safety analysis result, when [~races:true]; its
+          atomicity certificate bundle has been verified by the trusted
+          checker ([Sva_tyck.Atomcert]) against the instrumented module *)
 }
 
 val compile : ?pipeline:Passes.pipeline -> name:string -> string list -> Irmod.t
@@ -134,6 +138,7 @@ val build :
   ?lint:bool ->
   ?lint_config:Sva_lint.Lint.config ->
   ?ranges:bool ->
+  ?races:bool ->
   name:string ->
   string list ->
   built
@@ -154,8 +159,17 @@ val build :
     certified geps, and after instrumentation the trusted checker
     re-verifies every materialized certificate — the build fails if any
     is rejected (Section 5 discipline).
+
+    [~races:true] additionally runs the interprocedural lockset +
+    interrupt-atomicity analysis ({!Sva_analysis.Lockset}) on the
+    instrumented module: shared state reachable from both interrupt and
+    syscall context is classified, unsynchronized access pairs are
+    reported as findings, and every access the analysis certifies as
+    protected carries an atomicity certificate re-verified by the
+    trusted checker ({!Sva_tyck.Atomcert}) — the build fails if any
+    certificate is rejected.
     @raise Failure if the type checker rejects the annotations or the
-    range-certificate checker rejects a certificate (a
+    range- or atomicity-certificate checker rejects a certificate (a
     safety-checking-compiler bug). *)
 
 val build_module :
@@ -169,6 +183,7 @@ val build_module :
   ?lint:bool ->
   ?lint_config:Sva_lint.Lint.config ->
   ?ranges:bool ->
+  ?races:bool ->
   name:string ->
   Irmod.t ->
   built

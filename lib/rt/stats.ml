@@ -221,11 +221,67 @@ let range_to_string s =
   Printf.sprintf "range-elided bounds=%d ls=%d facts=%d certs-verified=%d"
     s.range_bounds_elided s.range_ls_elided s.range_facts s.range_cert_checks
 
-(* Full reset across all three counter families.  The individual resets
+(* ---------- concurrency counters ----------
+
+   Dynamic accounting for the SVA-OS concurrency primitives: interrupt
+   masking ([sva_cli]/[sva_sti]) and the spinlock operations.  Kept out
+   of [snapshot] like the tier and range families: the differential
+   tests compare [read ()] across configurations, and a build that adds
+   explicit critical sections changes these counts by design while the
+   check counts must stay comparable. *)
+
+type conc_snapshot = {
+  cli_count : int;
+  sti_count : int;
+  lock_acquires : int;
+  lock_releases : int;
+}
+
+let conc_zero =
+  { cli_count = 0; sti_count = 0; lock_acquires = 0; lock_releases = 0 }
+
+let c_cli = ref 0
+let c_sti = ref 0
+let c_lacq = ref 0
+let c_lrel = ref 0
+
+let bump_cli () = incr c_cli
+let bump_sti () = incr c_sti
+let bump_lock_acquire () = incr c_lacq
+let bump_lock_release () = incr c_lrel
+
+let read_conc () =
+  {
+    cli_count = !c_cli;
+    sti_count = !c_sti;
+    lock_acquires = !c_lacq;
+    lock_releases = !c_lrel;
+  }
+
+let reset_conc () =
+  c_cli := 0;
+  c_sti := 0;
+  c_lacq := 0;
+  c_lrel := 0
+
+let diff_conc a b =
+  {
+    cli_count = a.cli_count - b.cli_count;
+    sti_count = a.sti_count - b.sti_count;
+    lock_acquires = a.lock_acquires - b.lock_acquires;
+    lock_releases = a.lock_releases - b.lock_releases;
+  }
+
+let conc_to_string s =
+  Printf.sprintf "cli=%d sti=%d lock-acquire=%d lock-release=%d" s.cli_count
+    s.sti_count s.lock_acquires s.lock_releases
+
+(* Full reset across all four counter families.  The individual resets
    stay available for the measurements that deliberately reset one family
    (e.g. the tiered bench resets check counters per run but accumulates
    tier counters across warm-up and measurement). *)
 let reset_all () =
   reset ();
   reset_tier ();
-  reset_range ()
+  reset_range ();
+  reset_conc ()

@@ -123,9 +123,35 @@ val reset_range : unit -> unit
 val diff_range : range_snapshot -> range_snapshot -> range_snapshot
 val range_to_string : range_snapshot -> string
 
+(** {1 Concurrency counters}
+
+    Dynamic accounting for the SVA-OS concurrency primitives: interrupt
+    masking and the spinlock operations.  Before this family existed,
+    [sva_cli]/[sva_sti] were the only SVA-OS operations invisible to the
+    profiler.  A separate snapshot for the usual reason: builds that add
+    explicit critical sections change these counts by design while
+    {!snapshot} must stay comparable across configurations. *)
+
+type conc_snapshot = {
+  cli_count : int;  (** [sva_cli] executions *)
+  sti_count : int;  (** [sva_sti] executions *)
+  lock_acquires : int;  (** [sva_lock_acquire] executions *)
+  lock_releases : int;  (** [sva_lock_release] executions *)
+}
+
+val conc_zero : conc_snapshot
+val bump_cli : unit -> unit
+val bump_sti : unit -> unit
+val bump_lock_acquire : unit -> unit
+val bump_lock_release : unit -> unit
+val read_conc : unit -> conc_snapshot
+val reset_conc : unit -> unit
+val diff_conc : conc_snapshot -> conc_snapshot -> conc_snapshot
+val conc_to_string : conc_snapshot -> string
+
 val reset_all : unit -> unit
-(** {!reset} + {!reset_tier} + {!reset_range}: clear every counter
-    family.  This is what "reset the statistics" should almost always
-    mean at a measurement boundary; forgetting a companion reset (the
-    original [ukern_boot] bug) leaves stale tier/range counts in the
-    report. *)
+(** {!reset} + {!reset_tier} + {!reset_range} + {!reset_conc}: clear
+    every counter family.  This is what "reset the statistics" should
+    almost always mean at a measurement boundary; forgetting a companion
+    reset (the original [ukern_boot] bug) leaves stale tier/range counts
+    in the report. *)

@@ -13,6 +13,7 @@ type t = {
   spaces : (int, Mmu.space) Hashtbl.t;
   mutable icontexts : int list;
   mutable ops_count : int;
+  locks : (int, unit) Hashtbl.t;
 }
 
 let create ?(mode = Sva_mediated) () =
@@ -27,6 +28,7 @@ let create ?(mode = Sva_mediated) () =
     spaces = Hashtbl.create 16;
     icontexts = [];
     ops_count = 0;
+    locks = Hashtbl.create 8;
   }
 
 let set_mode t m = t.mode <- m
@@ -265,11 +267,37 @@ let timer_read t =
 
 let cli t =
   op t;
+  Sva_rt.Stats.bump_cli ();
   t.cpu.Cpu.interrupts_enabled <- false
 
 let sti t =
   op t;
+  Sva_rt.Stats.bump_sti ();
   t.cpu.Cpu.interrupts_enabled <- true
+
+(* ---------- spinlocks ----------
+
+   The lock word is identified by its kernel address.  The model is a
+   single CPU, so a contended acquire could never succeed: acquiring a
+   lock that is already held is reported as a deadlock rather than
+   spinning forever, and releasing a lock that is not held is a bug in
+   the caller's critical-section bracketing. *)
+
+let lock_acquire t ~lock =
+  op t;
+  Sva_rt.Stats.bump_lock_acquire ();
+  if Hashtbl.mem t.locks lock then
+    failwith "SVA-OS: deadlock: lock already held";
+  Hashtbl.replace t.locks lock ()
+
+let lock_release t ~lock =
+  op t;
+  Sva_rt.Stats.bump_lock_release ();
+  if not (Hashtbl.mem t.locks lock) then
+    failwith "SVA-OS: releasing a lock that is not held";
+  Hashtbl.remove t.locks lock
+
+let lock_held t ~lock = Hashtbl.mem t.locks lock
 
 let heap_base _ = Machine.heap_base
 let heap_size _ = Machine.heap_size

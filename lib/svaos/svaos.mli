@@ -31,6 +31,7 @@ type t = {
   spaces : (int, Mmu.space) Hashtbl.t;  (** space id -> MMU space *)
   mutable icontexts : int list;  (** stack of live interrupt context addrs *)
   mutable ops_count : int;  (** SVA-OS operations executed *)
+  locks : (int, unit) Hashtbl.t;  (** held spinlocks, keyed by lock address *)
 }
 
 val create : ?mode:mode -> unit -> t
@@ -109,6 +110,18 @@ val timer_read : t -> int64
 
 val cli : t -> unit
 val sti : t -> unit
+
+(** {2 Spinlocks}
+
+    Locks are identified by the kernel address of the lock word.  On the
+    single modeled CPU a contended acquire can never succeed, so
+    acquiring a held lock fails as a deadlock and releasing an unheld
+    lock fails as a bracketing bug — both are kernel defects the static
+    lockset analysis is meant to rule out before execution. *)
+
+val lock_acquire : t -> lock:int -> unit
+val lock_release : t -> lock:int -> unit
+val lock_held : t -> lock:int -> bool
 
 (** {2 Constants exposed to the kernel} *)
 

@@ -28,12 +28,14 @@ val boot :
   ?variant:Kbuild.variant ->
   ?engine:Sva_pipeline.Pipeline.engine_config ->
   ?ranges:bool ->
+  ?races:bool ->
   unit ->
   t
 (** Build, load and boot the kernel.  [engine] selects the SVM execution
     tier (interpreter by default); [~ranges:true] builds with the
-    certificate-verified value-range check elision.  @raise Boot_failure
-    if [kmain] fails. *)
+    certificate-verified value-range check elision; [~races:true] runs
+    the certificate-verified concurrency-safety pass during the build.
+    @raise Boot_failure if [kmain] fails. *)
 
 val boot_built :
   ?engine:Sva_pipeline.Pipeline.engine_config ->

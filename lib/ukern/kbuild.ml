@@ -76,6 +76,7 @@ let aconfig v =
   }
 
 let fixture_sources v = sources v @ [ Ksrc_lintbugs.source ]
+let race_fixture_sources v = sources v @ [ Ksrc_racebugs.source ]
 
 (* The user-copy library dereferences user pointers by design: its raw
    copy loops are the only code allowed to touch userspace (Section 4.6),
@@ -86,8 +87,8 @@ let lint_config v =
     (aconfig v)
 
 let build ?(conf = Sva_pipeline.Pipeline.Sva_safe) ?(lint = false)
-    ?(ranges = false) v =
+    ?(ranges = false) ?(races = false) v =
   Sva_pipeline.Pipeline.build ~conf ~aconfig:(aconfig v) ~lint
-    ~lint_config:(lint_config v) ~ranges
+    ~lint_config:(lint_config v) ~ranges ~races
     ~name:("ukern-" ^ v.v_name)
     (sources v)

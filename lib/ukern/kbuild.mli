@@ -48,6 +48,10 @@ val fixture_sources : variant -> string list
 (** The kernel sources plus the seeded-bug lint fixture module
     ({!Ksrc_lintbugs}) — the [sva_lint --fixture] input. *)
 
+val race_fixture_sources : variant -> string list
+(** The kernel sources plus the seeded-bug concurrency fixture module
+    ({!Ksrc_racebugs}) — the [sva_lint --races --fixture] input. *)
+
 val lint_config : variant -> Sva_lint.Lint.config
 (** The lint configuration for a variant: the analysis configuration's
     user-copy functions plus the kernel's raw copy loops as trusted
@@ -57,9 +61,12 @@ val build :
   ?conf:Sva_pipeline.Pipeline.conf ->
   ?lint:bool ->
   ?ranges:bool ->
+  ?races:bool ->
   variant ->
   Sva_pipeline.Pipeline.built
 (** Compile the kernel under a pipeline configuration.  [~lint:true]
     enables the static lint stage (findings and safe-access proofs under
     {!lint_config}); [~ranges:true] enables the value-range analysis and
-    its certificate-verified check elision. *)
+    its certificate-verified check elision; [~races:true] enables the
+    concurrency-safety pass and its certificate-verified atomicity
+    audit. *)

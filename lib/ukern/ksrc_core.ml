@@ -149,13 +149,37 @@ long kernel_syscall_entry(long icp, long num, long a0, long a1, long a2, long a3
 long jiffies = 0;
 long spurious_interrupts = 0;
 
+/* Ticks until the alarm signal fires: written by sys_alarm (syscall
+   side, under cli) and decremented by the timer tick (interrupt side,
+   masked by the dispatcher) — the canonical shared counter of the
+   concurrency port. */
+long alarm_ticks = 0;                                        /* SVA-RACE */
+
 /* The timer tick: entered through the same interrupt-context mechanism
-   as system calls (Section 3.3). */
+   as system calls (Section 3.3).  The pre-SMP kernel also parked its
+   interrupt context in the shared [current_icp]; the concurrency port
+   removed that store — the tick never dispatches signals itself, and
+   the write raced the syscall path's own (SVA-RACE). */
 long timer_interrupt(long icp, long vec, long a2, long a3) {
-  current_icp = (char*)icp;                                   /* SVA-PORT */
   jiffies = jiffies + 1;
   if (current_task) current_task->utime = current_task->utime + 1;
+  if (alarm_ticks > 0) {                                     /* SVA-RACE */
+    alarm_ticks = alarm_ticks - 1;
+    if (alarm_ticks == 0 && current_task) current_task->pending_sig = 14;
+  }
   return 0;
+}
+
+/* Arm (or cancel) the tick-driven alarm; returns the previous value.
+   The read-modify-write must be atomic against the decrement in
+   [timer_interrupt]. */
+long sys_alarm(long ticks, long a1, long a2, long a3) {
+  if (ticks < 0) return -22;
+  sva_cli();                                                 /* SVA-RACE */
+  long old = alarm_ticks;
+  alarm_ticks = ticks;
+  sva_sti();                                                 /* SVA-RACE */
+  return old;
 }
 
 long spurious_interrupt(long icp, long vec, long a2, long a3) {
@@ -287,7 +311,10 @@ void context_switch(struct task *to) {
   llva_load_integer(to->state_buf);                            /* SVA-PORT */
   llva_load_fp(to->fp_buf);                                    /* SVA-PORT */
   if (to->space != 0) sva_mmu_activate(to->space);             /* SVA-PORT */
+  /* the timer tick reads current_task; the switch must be atomic */
+  sva_cli();                                                   /* SVA-RACE */
   current_task = to;
+  sva_sti();                                                   /* SVA-RACE */
 }
 
 long sys_yield(long a0, long a1, long a2, long a3) {

@@ -42,6 +42,8 @@ extern long sva_io_nic_recv(char *buf, long maxlen);         /* SVA-PORT */
 extern long sva_timer_read(void);                            /* SVA-PORT */
 extern void sva_cli(void);                                   /* SVA-PORT */
 extern void sva_sti(void);                                   /* SVA-PORT */
+extern void sva_lock_acquire(long *lk);                      /* SVA-PORT */
+extern void sva_lock_release(long *lk);                      /* SVA-PORT */
 extern void sva_panic(long code);                            /* SVA-PORT */
 
 /* ==== SVA-OS: memory layout constants ==== */              /* SVA-PORT */

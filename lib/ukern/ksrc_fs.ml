@@ -40,6 +40,7 @@ struct file {
 
 struct kmem_cache *file_cache = 0;
 struct inode itable[64];
+long itable_lock = 0;                                        /* SVA-RACE */
 long files_opened = 0;
 
 void file_ref(struct file *f) {
@@ -80,22 +81,33 @@ struct inode *ramfs_lookup(char *name) {
   return (struct inode*)0;
 }
 
+/* Directory-cache insertion is a real critical section: slot claim and
+   name fill must be atomic against concurrent creates.  The sleeping
+   allocation happens between the two lock regions (SVA-RACE: the static
+   atomic-sleep checker rejects vmalloc under a spinlock), so the slot
+   is claimed first and the data pointer is published afterwards. */
 struct inode *ramfs_create(char *name) {
-  for (int i = 0; i < 64; i++) {
-    if (!itable[i].used) {
-      struct inode *ino = &itable[i];
-      ino->used = 1;
-      long n = strlen(name);
-      if (n > 27) n = 27;
-      kcopy(ino->name, name, n);
-      ino->name[n] = 0;
-      ino->size = 0;
-      ino->cap = 8192;
-      ino->data = vmalloc(ino->cap);
-      return ino;
+  long n = strlen(name);
+  if (n > 27) n = 27;
+  long slot = -1;
+  sva_lock_acquire(&itable_lock);                            /* SVA-RACE */
+  for (long i = 0; i < 64; i++) {
+    if (slot < 0 && !itable[i].used) {
+      slot = i;
+      itable[i].used = 1;
+      kcopy(itable[i].name, name, n);
+      itable[i].name[n] = 0;
+      itable[i].size = 0;
+      itable[i].cap = 8192;
     }
   }
-  return (struct inode*)0;
+  sva_lock_release(&itable_lock);                            /* SVA-RACE */
+  if (slot < 0) return (struct inode*)0;
+  char *data = vmalloc(itable[slot].cap);
+  sva_lock_acquire(&itable_lock);                            /* SVA-RACE */
+  itable[slot].data = data;
+  sva_lock_release(&itable_lock);                            /* SVA-RACE */
+  return &itable[slot];
 }
 
 long sys_open(long upath, long flags, long a2, long a3) {

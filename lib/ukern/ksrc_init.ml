@@ -13,7 +13,9 @@ let source =
    6 read    7 write      8 pipe          9 fork  10 execve
   11 sbrk   12 sigaction 13 kill         14 socket 15 bind
   16 sendto 17 recvfrom  18 setsockopt   19 exit   20 lseek
-  21 ioctl  22 netpoll   23 yield        24 coredump 25 sockclose */
+  21 ioctl  22 netpoll   23 yield        24 coredump 25 sockclose
+  26 stat   27 unlink    28 mount        29 sync   30 bsave
+  31 bload  32 alarm */
 
 long boot_ticks = 0;
 int kernel_booted = 0;
@@ -89,6 +91,7 @@ __kernel_entry int kmain(void) {
   sva_register_syscall(29, sys_sync);                         /* SVA-PORT */
   sva_register_syscall(30, sys_bsave);                        /* SVA-PORT */
   sva_register_syscall(31, sys_bload);                        /* SVA-PORT */
+  sva_register_syscall(32, sys_alarm);                        /* SVA-PORT */
 
   /* mirror the registrations in the kernel's own dispatch table */
   register_syscall_handler(1, (long)sys_getpid);
@@ -122,9 +125,11 @@ __kernel_entry int kmain(void) {
   register_syscall_handler(29, (long)sys_sync);
   register_syscall_handler(30, (long)sys_bsave);
   register_syscall_handler(31, (long)sys_bload);
+  register_syscall_handler(32, (long)sys_alarm);
 
-  /* interrupt handlers: vector 0 = timer, 7 = spurious */
+  /* interrupt handlers: vector 0 = timer, 2 = NIC rx, 7 = spurious */
   sva_register_interrupt(0, timer_interrupt);                 /* SVA-PORT */
+  sva_register_interrupt(2, nic_rx_interrupt);                /* SVA-PORT */
   sva_register_interrupt(7, spurious_interrupt);              /* SVA-PORT */
 
   if (kernel_selftest() < 0) sva_panic(301);

@@ -34,14 +34,24 @@ struct socket {
 };
 
 struct socket sock_table[16];
+long socktab_lock = 0;                                       /* SVA-RACE */
 struct kmem_cache *pkt_cache = 0;
 long net_rx_frames = 0;
 long net_tx_frames = 0;
 long net_rx_dropped = 0;
 
+/* Frames the NIC has signalled but the stack has not polled yet: shared
+   between the rx interrupt top half and the syscall-side poll loop. */
+long net_rx_pending = 0;                                     /* SVA-RACE */
+
+/* Socket allocation claims a table slot under the lock; no early return
+   may leave the critical section (SVA-RACE: the lock-imbalance checker
+   rejects paths that exit with the lock held). */
 long sys_socket(long proto, long a1, long a2, long a3) {
+  long sd = -24;
+  sva_lock_acquire(&socktab_lock);                           /* SVA-RACE */
   for (int i = 0; i < 16; i++) {
-    if (!sock_table[i].used) {
+    if (sd < 0 && !sock_table[i].used) {
       sock_table[i].used = 1;
       sock_table[i].proto = (int)proto;
       sock_table[i].bound_port = 0;
@@ -50,10 +60,11 @@ long sys_socket(long proto, long a1, long a2, long a3) {
       sock_table[i].rx_queued = 0;
       sock_table[i].filter_count = 0;
       sock_table[i].filter = (int*)0;
-      return i;
+      sd = i;
     }
   }
-  return -24;
+  sva_lock_release(&socktab_lock);                           /* SVA-RACE */
+  return sd;
 }
 
 struct socket *sock_lookup(long sd) {
@@ -112,15 +123,19 @@ long sys_recvfrom(long sd, long ubuf, long n, long a3) {
   return len;
 }
 
+/* Queue append runs under the socket-table lock; the sleeping cache
+   allocation is hoisted in front of it (SVA-RACE). */
 void udp_deliver(int port, char *payload, long len) {
   if (len > 1400) len = 1400;
+  struct pkt *p = (struct pkt*)kmem_cache_alloc(pkt_cache);
+  p->next = (struct pkt*)0;
+  p->len = len;
+  p->src_port = port;
+  kcopy(p->data, payload, len);
+  long delivered = 0;
+  sva_lock_acquire(&socktab_lock);                           /* SVA-RACE */
   for (int i = 0; i < 16; i++) {
-    if (sock_table[i].used && sock_table[i].bound_port == port) {
-      struct pkt *p = (struct pkt*)kmem_cache_alloc(pkt_cache);
-      p->next = (struct pkt*)0;
-      p->len = len;
-      p->src_port = port;
-      kcopy(p->data, payload, len);
+    if (!delivered && sock_table[i].used && sock_table[i].bound_port == port) {
       if (sock_table[i].rx_tail) {
         sock_table[i].rx_tail->next = p;
       } else {
@@ -128,10 +143,14 @@ void udp_deliver(int port, char *payload, long len) {
       }
       sock_table[i].rx_tail = p;
       sock_table[i].rx_queued = sock_table[i].rx_queued + 1;
-      return;
+      delivered = 1;
     }
   }
-  net_rx_dropped = net_rx_dropped + 1;
+  sva_lock_release(&socktab_lock);                           /* SVA-RACE */
+  if (!delivered) {
+    kmem_cache_free(pkt_cache, (char*)p);
+    net_rx_dropped = net_rx_dropped + 1;
+  }
 }
 
 /* ================= MCAST_MSFILTER (BID 10179) ================= */
@@ -244,9 +263,22 @@ long fib_ctl(char *data, long len) {
 
 /* ================= receive path ================= */
 
+/* The rx interrupt top half: note the arrival and return.  All real
+   work happens in the syscall-side poll loop — the handler touches
+   nothing but the pending counter, so it can never sleep and needs no
+   lock (it runs with interrupts masked by the SVM dispatcher). */
+long nic_rx_interrupt(long icp, long vec, long a2, long a3) {
+  net_rx_pending = net_rx_pending + 1;                       /* SVA-RACE */
+  return 0;
+}
+
 long net_poll(void) {
   char frame[1500];
   long processed = 0;
+  /* consume the interrupt-side pending count atomically */
+  sva_cli();                                                 /* SVA-RACE */
+  if (net_rx_pending > 0) net_rx_pending = 0;                /* SVA-RACE */
+  sva_sti();                                                 /* SVA-RACE */
   while (1) {
     long r = sva_io_nic_recv(frame, 1500);                    /* SVA-PORT */
     if (r < 0) break;

@@ -1,0 +1,132 @@
+(** Seeded-bug fixture for the static concurrency-safety pass.
+
+    A "vendor module" appended to the kernel sources in the
+    [sva_lint --races --fixture] build: every [sys_rb_*] function below
+    contains exactly one deliberate concurrency defect from the classes
+    the lockset analysis covers — plus two {e clean} siblings
+    ([sys_rb_masked], [sys_rb_locked]) that exercise the same shared
+    state correctly and must stay unflagged.  The fixture code is
+    registered but never invoked at run time, so it perturbs no
+    benchmark; {!expected} is the ground truth the race self-test and
+    the regression suite compare against. *)
+
+let source =
+  {|
+/* ============ race fixture: intentionally buggy module ============ */
+
+long rb_shared = 0;     /* shared with rb_tick_interrupt */
+long rb_table[8];       /* lock-disciplined via rb_lock_a */
+long rb_btable[8];      /* lock-disciplined via rb_lock_b */
+long rb_lock_a = 0;
+long rb_lock_b = 0;
+
+/* The interrupt side of the shared counter; runs masked by the SVM
+   dispatcher. */
+long rb_tick_interrupt(long icp, long vec, long a2, long a3) {
+  rb_shared = rb_shared + 1;
+  return 0;
+}
+
+/* CLEAN: consumes the shared counter under cli. */
+long sys_rb_masked(long a0, long a1, long a2, long a3) {
+  sva_cli();
+  long v = rb_shared;
+  rb_shared = 0;
+  sva_sti();
+  return v;
+}
+
+/* BUG R1: touches interrupt-shared state with no protection at all. */
+long sys_rb_race(long a0, long a1, long a2, long a3) {
+  rb_shared = rb_shared + 1;               /* race: vs rb_tick_interrupt */
+  return rb_shared;
+}
+
+/* CLEAN: lock-disciplined table update. */
+long sys_rb_locked(long idx, long a1, long a2, long a3) {
+  if (idx < 0 || idx >= 8) return -22;
+  sva_lock_acquire(&rb_lock_a);
+  rb_table[idx] = rb_table[idx] + 1;
+  sva_lock_release(&rb_lock_a);
+  return 0;
+}
+
+/* BUG R2: writes the disciplined table without holding its lock. */
+long sys_rb_unlocked(long idx, long a1, long a2, long a3) {
+  if (idx < 0 || idx >= 8) return -22;
+  rb_table[idx] = 7;                       /* race: lock-disciplined */
+  return 0;
+}
+
+/* BUG R3a/R3b: the two halves of a lock-order cycle (AB vs BA). */
+long sys_rb_ab(long a0, long a1, long a2, long a3) {
+  sva_lock_acquire(&rb_lock_a);
+  sva_lock_acquire(&rb_lock_b);            /* deadlock: A -> B */
+  sva_lock_release(&rb_lock_b);
+  sva_lock_release(&rb_lock_a);
+  return 0;
+}
+
+long sys_rb_ba(long a0, long a1, long a2, long a3) {
+  sva_lock_acquire(&rb_lock_b);
+  sva_lock_acquire(&rb_lock_a);            /* deadlock: B -> A */
+  sva_lock_release(&rb_lock_a);
+  sva_lock_release(&rb_lock_b);
+  return 0;
+}
+
+/* BUG R4: masks interrupts and returns without restoring them. */
+long sys_rb_forgot_sti(long a0, long a1, long a2, long a3) {
+  sva_cli();
+  long v = rb_shared;
+  return v;                                /* cli-imbalance */
+}
+
+/* BUG R5: returns while still holding rb_lock_b. */
+long sys_rb_leak_lock(long idx, long a1, long a2, long a3) {
+  if (idx < 0 || idx >= 8) return -22;
+  sva_lock_acquire(&rb_lock_b);
+  rb_btable[idx] = idx;
+  return idx;                              /* lock-imbalance */
+}
+
+/* BUG R6: calls a sleeping allocator with interrupts masked. */
+long sys_rb_alloc_masked(long n, long a1, long a2, long a3) {
+  if (n < 8) n = 8;
+  if (n > 256) n = 256;
+  sva_cli();
+  char *b = kmalloc(n);                    /* atomic-sleep */
+  sva_sti();
+  if (!b) return -12;
+  kfree(b);
+  return 0;
+}
+
+/* Registration makes the bugs reachable for the analysis (the syscall
+   table seeds the universe; the interrupt registration roots the
+   interrupt side).  Never called at run time. */
+void race_fixture_init(void) {
+  sva_register_syscall(92, sys_rb_masked);                    /* SVA-PORT */
+  sva_register_syscall(93, sys_rb_race);                      /* SVA-PORT */
+  sva_register_syscall(94, sys_rb_locked);                    /* SVA-PORT */
+  sva_register_syscall(95, sys_rb_unlocked);                  /* SVA-PORT */
+  sva_register_syscall(96, sys_rb_ab);                        /* SVA-PORT */
+  sva_register_syscall(97, sys_rb_ba);                        /* SVA-PORT */
+  sva_register_syscall(98, sys_rb_forgot_sti);                /* SVA-PORT */
+  sva_register_syscall(99, sys_rb_leak_lock);                 /* SVA-PORT */
+  sva_register_syscall(100, sys_rb_alloc_masked);             /* SVA-PORT */
+  sva_register_interrupt(10, rb_tick_interrupt);              /* SVA-PORT */
+}
+|}
+
+(* Ground truth: (checker, function) of every seeded defect. *)
+let expected =
+  [
+    ("atomic-sleep", "sys_rb_alloc_masked");
+    ("cli-imbalance", "sys_rb_forgot_sti");
+    ("deadlock", "sys_rb_ab");
+    ("deadlock", "sys_rb_ba");
+    ("lock-imbalance", "sys_rb_leak_lock");
+    ("race", "sys_rb_race");
+    ("race", "sys_rb_unlocked");
+  ]

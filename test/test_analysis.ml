@@ -404,6 +404,143 @@ let test_interval_certificates_validate () =
   let b = Interval.bundle res in
   Alcotest.(check bool) "cert emitted" true (List.length b.Interval.cb_certs = 1)
 
+(* ---------- concurrency-safety pass: lattice laws + detector ---------- *)
+
+module Lockset = Sva_analysis.Lockset
+module Pipeline = Sva_pipeline.Pipeline
+module Kbuild = Ukern.Kbuild
+
+let prot_gen =
+  QCheck2.Gen.(
+    map2
+      (fun m ls ->
+        { Lockset.p_masked = m; Lockset.p_locks = Lockset.SS.of_list ls })
+      bool
+      (list_size (int_range 0 4) (oneofl [ "a"; "b"; "c"; "d" ])))
+
+let prop_join_comm =
+  QCheck2.Test.make ~name:"prot_join commutes" ~count:200
+    QCheck2.Gen.(pair prot_gen prot_gen)
+    (fun (a, b) ->
+      Lockset.prot_equal (Lockset.prot_join a b) (Lockset.prot_join b a))
+
+let prop_join_idem =
+  QCheck2.Test.make ~name:"prot_join idempotent" ~count:200 prot_gen
+    (fun a -> Lockset.prot_equal (Lockset.prot_join a a) a)
+
+let prop_join_assoc =
+  QCheck2.Test.make ~name:"prot_join associates" ~count:200
+    QCheck2.Gen.(triple prot_gen prot_gen prot_gen)
+    (fun (a, b, c) ->
+      Lockset.prot_equal
+        (Lockset.prot_join a (Lockset.prot_join b c))
+        (Lockset.prot_join (Lockset.prot_join a b) c))
+
+let prop_join_lower_bound =
+  QCheck2.Test.make ~name:"prot_join is a lower bound" ~count:200
+    QCheck2.Gen.(pair prot_gen prot_gen)
+    (fun (a, b) ->
+      let j = Lockset.prot_join a b in
+      Lockset.prot_leq j a && Lockset.prot_leq j b)
+
+let prop_leq_antisym =
+  QCheck2.Test.make ~name:"prot_leq antisymmetric" ~count:200
+    QCheck2.Gen.(pair prot_gen prot_gen)
+    (fun (a, b) ->
+      (not (Lockset.prot_leq a b && Lockset.prot_leq b a))
+      || Lockset.prot_equal a b)
+
+let prop_leq_monotone =
+  QCheck2.Test.make ~name:"prot_join monotone w.r.t. prot_leq" ~count:200
+    QCheck2.Gen.(triple prot_gen prot_gen prot_gen)
+    (fun (a, b, c) ->
+      (not (Lockset.prot_leq a b))
+      || Lockset.prot_leq (Lockset.prot_join a c) (Lockset.prot_join b c))
+
+let prop_fact_unreached_identity =
+  QCheck2.Test.make ~name:"Unreached is the fact_join identity" ~count:200
+    prot_gen
+    (fun a ->
+      Lockset.fact_equal
+        (Lockset.fact_join Lockset.Unreached (Lockset.Known a))
+        (Lockset.Known a)
+      && Lockset.fact_equal
+           (Lockset.fact_join (Lockset.Known a) Lockset.Unreached)
+           (Lockset.Known a))
+
+(* A two-sided module: an interrupt handler and a syscall both touch
+   [counter].  With the cli/sti window the access pair is atomic; with
+   the window removed the detector must report the race. *)
+let race_module ~guarded =
+  let guard_on = if guarded then "sva_cli();" else ""
+  and guard_off = if guarded then "sva_sti();" else "" in
+  Printf.sprintf
+    "extern void sva_cli(void);\n\
+     extern void sva_sti(void);\n\
+     extern void sva_register_syscall(long num, void *fn);\n\
+     extern void sva_register_interrupt(long vec, void *fn);\n\
+     long counter = 0;\n\
+     long tick(long icp, long vec, long a2, long a3) {\n\
+    \  counter = counter + 1;\n\
+    \  return 0;\n\
+     }\n\
+     long sys_get(long a0, long a1, long a2, long a3) {\n\
+    \  %s\n\
+    \  long v = counter;\n\
+    \  counter = 0;\n\
+    \  %s\n\
+    \  return v;\n\
+     }\n\
+     void init(void) {\n\
+    \  sva_register_syscall(1, sys_get);\n\
+    \  sva_register_interrupt(0, tick);\n\
+     }\n"
+    guard_on guard_off
+
+let run_lockset srcs =
+  let m, pa = compile srcs in
+  (m, Lockset.run m pa)
+
+let test_lockset_masked_window_clean () =
+  let _, r = run_lockset [ race_module ~guarded:true ] in
+  Alcotest.(check int) "no findings" 0 (List.length (Lockset.findings r));
+  Alcotest.(check bool) "counter is shared" true (Lockset.shared_count r > 0);
+  Alcotest.(check bool) "accesses certified" true (Lockset.cert_count r > 0)
+
+let test_lockset_unmasked_window_races () =
+  let _, r = run_lockset [ race_module ~guarded:false ] in
+  Alcotest.(check bool) "race reported" true
+    (Lockset.count_findings r "race" > 0);
+  Alcotest.(check bool) "race is in sys_get or tick" true
+    (List.for_all
+       (fun (f : Lockset.finding) ->
+         f.Lockset.lf_func = "sys_get" || f.Lockset.lf_func = "tick")
+       (Lockset.findings r))
+
+let test_lockset_deterministic () =
+  let _, r1 = run_lockset [ race_module ~guarded:false ] in
+  let _, r2 = run_lockset [ race_module ~guarded:false ] in
+  Alcotest.(check bool) "findings stable across runs" true
+    (List.map Lockset.render_finding (Lockset.findings r1)
+    = List.map Lockset.render_finding (Lockset.findings r2))
+
+(* The shipped kernel is the zero-false-positive regression: every
+   checker must stay silent, while the analysis still classifies shared
+   state and certifies accesses (silence must not mean blindness). *)
+let test_kernel_audits_clean () =
+  let v = Kbuild.as_tested in
+  let m = Pipeline.compile ~name:"ukern-conc-test" (Kbuild.sources v) in
+  let pa = Pointsto.run ~config:(Kbuild.aconfig v) m in
+  let r = Lockset.run m pa in
+  List.iter
+    (fun c ->
+      Alcotest.(check int) ("clean kernel: " ^ c) 0 (Lockset.count_findings r c))
+    [ "race"; "deadlock"; "cli-imbalance"; "lock-imbalance"; "atomic-sleep" ];
+  Alcotest.(check bool) "shared classes found" true (Lockset.shared_count r > 0);
+  Alcotest.(check bool) "accesses certified" true (Lockset.cert_count r > 0);
+  Alcotest.(check bool) "entry protections known" true
+    (Lockset.entry_config r "kernel_syscall_entry" <> None)
+
 let () =
   Alcotest.run "sva_analysis"
     [
@@ -454,5 +591,25 @@ let () =
           Alcotest.test_case "construction" `Quick test_callgraph;
           Alcotest.test_case "callsig assert narrows" `Quick
             test_callsig_assert_narrows;
+        ] );
+      ( "lockset-lattice",
+        [
+          QCheck_alcotest.to_alcotest prop_join_comm;
+          QCheck_alcotest.to_alcotest prop_join_idem;
+          QCheck_alcotest.to_alcotest prop_join_assoc;
+          QCheck_alcotest.to_alcotest prop_join_lower_bound;
+          QCheck_alcotest.to_alcotest prop_leq_antisym;
+          QCheck_alcotest.to_alcotest prop_leq_monotone;
+          QCheck_alcotest.to_alcotest prop_fact_unreached_identity;
+        ] );
+      ( "lockset",
+        [
+          Alcotest.test_case "masked window is atomic" `Quick
+            test_lockset_masked_window_clean;
+          Alcotest.test_case "unmasked window races" `Quick
+            test_lockset_unmasked_window_races;
+          Alcotest.test_case "deterministic" `Quick test_lockset_deterministic;
+          Alcotest.test_case "kernel audits clean" `Quick
+            test_kernel_audits_clean;
         ] );
     ]

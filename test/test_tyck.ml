@@ -220,6 +220,74 @@ let test_rangecert_copy_is_deep () =
   Alcotest.(check bool) "original bundle untouched" true
     (Rangecert.check_ok ~entries m b)
 
+(* ---------- atomicity certificates (concurrency pass) ---------- *)
+
+module Lockset = Sva_analysis.Lockset
+module Atomcert = Sva_tyck.Atomcert
+module Kbuild = Ukern.Kbuild
+
+(* The producer side is the kernel plus the seeded race fixture — the
+   same module pair sva_verify --atomcert gates on; built once and
+   shared across the atomcert cases. *)
+let atom_parts_cache = ref None
+
+let atom_parts () =
+  match !atom_parts_cache with
+  | Some p -> p
+  | None ->
+      let v = Kbuild.as_tested in
+      let m =
+        Sva_pipeline.Pipeline.compile ~name:"tyck-atomcert"
+          (Kbuild.race_fixture_sources v)
+      in
+      let pa = Pointsto.run ~config:(Kbuild.aconfig v) m in
+      let res = Lockset.run m pa in
+      let p = (m, res, Lockset.bundle res, Lockset.entry_config res) in
+      atom_parts_cache := Some p;
+      p
+
+let test_racebugs_exact_match () =
+  let _, res, _, _ = atom_parts () in
+  let got =
+    List.sort_uniq compare
+      (List.map
+         (fun (f : Lockset.finding) -> (f.Lockset.lf_checker, f.Lockset.lf_func))
+         (Lockset.findings res))
+  in
+  let want = List.sort_uniq compare Ukern.Ksrc_racebugs.expected in
+  Alcotest.(check (list (pair string string))) "fixture findings" want got
+
+let test_atomcert_accepts_producer () =
+  let m, _, b, entries = atom_parts () in
+  Alcotest.(check (list string))
+    "producer bundle passes the trusted checker" []
+    (List.map Atomcert.string_of_error (Atomcert.check ~entries m b));
+  Alcotest.(check bool) "has access certificates" true
+    (b.Lockset.cb_acerts <> []);
+  Alcotest.(check bool) "has function claims" true (b.Lockset.cb_fcerts <> [])
+
+let test_atomcert_rejects_injections () =
+  let m, _, b, entries = atom_parts () in
+  let results = Atomcert.experiment ~entries m b ~instances:3 in
+  List.iter
+    (fun bug ->
+      if not (List.exists (fun (k, _, _) -> k = bug) results) then
+        Alcotest.failf "no injection site for %s" (Atomcert.bug_name bug))
+    Atomcert.all_bugs;
+  List.iter
+    (fun (bug, desc, caught) ->
+      if not caught then
+        Alcotest.failf "missed %s: %s" (Atomcert.bug_name bug) desc)
+    results
+
+let test_atomcert_copy_is_deep () =
+  let m, _, b, entries = atom_parts () in
+  List.iter
+    (fun bug -> ignore (Atomcert.inject m b bug ~seed:0))
+    Atomcert.all_bugs;
+  Alcotest.(check bool) "original bundle untouched" true
+    (Atomcert.check_ok ~entries m b)
+
 let () =
   Alcotest.run "sva_tyck"
     [
@@ -247,5 +315,16 @@ let () =
             test_rangecert_rejects_injections;
           Alcotest.test_case "injection copies bundle" `Quick
             test_rangecert_copy_is_deep;
+        ] );
+      ( "atomcert",
+        [
+          Alcotest.test_case "race fixture matches ground truth" `Quick
+            test_racebugs_exact_match;
+          Alcotest.test_case "producer certificates accepted" `Quick
+            test_atomcert_accepts_producer;
+          Alcotest.test_case "injected certificate bugs rejected" `Quick
+            test_atomcert_rejects_injections;
+          Alcotest.test_case "injection copies bundle" `Quick
+            test_atomcert_copy_is_deep;
         ] );
     ]
