@@ -1,6 +1,12 @@
 (* Consumes the bench --json output back through the harness JSON parser
-   and checks the lint section's shape — the regression gate that keeps
-   the machine-readable results file well-formed. *)
+   and checks each section's shape — the regression gate that keeps the
+   machine-readable results file well-formed.
+
+     json_check FILE [SECTION]...
+
+   Every section present in FILE is validated; the SECTION arguments
+   additionally require those sections to be present (a json run that
+   silently dropped a section must not pass the gate). *)
 
 module J = Harness.Jsonout
 
@@ -10,13 +16,11 @@ let get name = function
   | Some v -> v
   | None -> fail "missing field %s" name
 
-let () =
-  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else fail "usage: json_check FILE" in
-  let text = In_channel.with_open_bin path In_channel.input_all in
-  let doc = try J.parse text with J.Parse_error m -> fail "%s: %s" path m in
-  (* round-trip: emitting and re-parsing must reproduce the document *)
-  if J.parse (J.emit doc) <> doc then fail "%s: emit/parse round-trip drifted" path;
-  let lint = get "lint" (J.member "lint" doc) in
+(* one summary fragment per validated section, printed at the end *)
+let summaries : string list ref = ref []
+let note fmt = Printf.ksprintf (fun s -> summaries := s :: !summaries) fmt
+
+let check_lint path lint =
   let findings = get "lint.findings" (J.member "findings" lint) in
   (match findings with
   | J.Obj fields ->
@@ -33,9 +37,11 @@ let () =
   let off = field "lint-off" and on = field "lint-on" and proved = field "proved-static" in
   if off - on <> proved then
     fail "%s: check reduction %d-%d does not match proved-static %d" path off on proved;
-  (* tiered section: the second tier must be semantically invisible (the
-     modeled numbers agree bit-for-bit across engines) and faster. *)
-  let tiered = get "tiered" (J.member "tiered" doc) in
+  note "%d accesses proved, %d checks elided" proofs proved
+
+(* the second tier must be semantically invisible (the modeled numbers
+   agree bit-for-bit across engines) and faster *)
+let check_tiered path tiered =
   let pair section =
     let o = get ("tiered." ^ section) (J.member section tiered) in
     ( get (section ^ ".interp") (J.member "interp" o),
@@ -53,10 +59,52 @@ let () =
   if speedup <= 0.0 then fail "%s: tiered host-speedup %f not positive" path speedup;
   let promos = J.to_int (get "tiered.promotions" (J.member "promotions" tiered)) in
   if promos <= 0 then fail "%s: tiered engine promoted no functions" path;
-  (* ranges section: certified elision must only ever remove checks, the
-     bounds drop must equal the certified-gep count, and the build-time
-     certificate gate must have re-verified the bundle. *)
-  let ranges = get "ranges" (J.member "ranges" doc) in
+  note "tiered %.2fx" speedup
+
+(* whole-kernel AOT against a warm persistent store: bit-identical to
+   the interpreter, every translation reused from disk, none redone *)
+let check_aot path aot =
+  let triple section =
+    let o = get ("aot." ^ section) (J.member section aot) in
+    ( get (section ^ ".interp") (J.member "interp" o),
+      get (section ^ ".aot") (J.member "aot" o) )
+  in
+  let ci, ca = triple "cycles-per-op" in
+  if J.to_float ci <> J.to_float ca then
+    fail "%s: aot engine changed modeled cycles (%f vs %f)" path
+      (J.to_float ci) (J.to_float ca);
+  let si, sa = triple "steps-per-op" in
+  if J.to_float si <> J.to_float sa then
+    fail "%s: aot engine changed step counts (%f vs %f)" path
+      (J.to_float si) (J.to_float sa);
+  let ki, ka = triple "checks-per-op" in
+  if J.to_int ki <> J.to_int ka then
+    fail "%s: aot engine changed check counts (%d vs %d)" path
+      (J.to_int ki) (J.to_int ka);
+  let speedup = J.to_float (get "aot.host-speedup" (J.member "host-speedup" aot)) in
+  if speedup <= 0.0 then fail "%s: aot host-speedup %f not positive" path speedup;
+  let compiled =
+    J.to_int (get "aot.functions-compiled" (J.member "functions-compiled" aot))
+  in
+  if compiled <= 0 then fail "%s: aot engine compiled no functions" path;
+  let disk = get "aot.disk-cache" (J.member "disk-cache" aot) in
+  let dint k = J.to_int (get ("aot.disk-cache." ^ k) (J.member k disk)) in
+  if dint "writes-cold" <= 0 then
+    fail "%s: cold aot boot persisted no translations" path;
+  let hits = dint "hits-warm" in
+  if hits < 1 then fail "%s: warm aot boot reused no translations" path;
+  let misses = dint "misses-warm" in
+  if misses <> 0 then
+    fail "%s: warm aot boot re-translated %d functions" path misses;
+  let supers = J.to_int (get "aot.superblocks" (J.member "superblocks" aot)) in
+  if supers <= 0 then fail "%s: aot translator formed no superblocks" path;
+  note "aot %.2fx (%d fns, %d disk hits, %d superblocks)" speedup compiled
+    hits supers
+
+(* certified elision must only ever remove checks, the bounds drop must
+   equal the certified-gep count, and the build-time certificate gate
+   must have re-verified the bundle *)
+let check_ranges path ranges =
   let rint sec k =
     let o = get ("ranges." ^ sec) (J.member sec ranges) in
     J.to_int (get ("ranges." ^ sec ^ "." ^ k) (J.member k o))
@@ -78,12 +126,14 @@ let () =
   | _ -> fail "%s: range certificates not marked verified" path);
   if rint "certificates" "bounds" + rint "certificates" "lscheck" <= 0 then
     fail "%s: range analysis emitted no certificates" path;
-  (* race section: the shipped kernel must audit clean, every atomicity
-     certificate must have re-verified, the seeded-bug fixture must match
-     its ground truth exactly, the certificate-injection experiment must
-     catch every corruption, and the workload must have exercised the
-     spinlock ops (balanced with their releases). *)
-  let race = get "race" (J.member "race" doc) in
+  note "range ls %d->%d bounds %d->%d" ls_off ls_on b_off b_on
+
+(* the shipped kernel must audit clean, every atomicity certificate must
+   have re-verified, the seeded-bug fixture must match its ground truth
+   exactly, the certificate-injection experiment must catch every
+   corruption, and the workload must have exercised the spinlock ops
+   (balanced with their releases) *)
+let check_race path race =
   (match get "race.findings" (J.member "findings" race) with
   | J.Obj fields ->
       List.iter
@@ -121,12 +171,13 @@ let () =
   if acq <= 0 then fail "%s: workload executed no sva_lock_acquire" path;
   if acq <> cint "lock-releases" || cint "cli" <> cint "sti" then
     fail "%s: workload conc ops are unbalanced" path;
-  (* trace section: the observability layer must be semantically
-     invisible (obs-on and obs-off agree bit-for-bit), must actually
-     record events, must attribute >= 95%% of modeled cycles to syscall
-     scopes, and its Chrome export must be well-formed trace-event
-     JSON. *)
-  let trace = get "trace" (J.member "trace" doc) in
+  note "race %d certs %d/%d injections" n_acerts inj_caught injected
+
+(* the observability layer must be semantically invisible (obs-on and
+   obs-off agree bit-for-bit), must actually record events, must
+   attribute >= 95% of modeled cycles to syscall scopes, and its Chrome
+   export must be well-formed trace-event JSON *)
+let check_trace path trace =
   let inv = get "trace.invariance" (J.member "invariance" trace) in
   let inv_pair k =
     let o = get ("trace.invariance." ^ k) (J.member k inv) in
@@ -183,9 +234,51 @@ let () =
      is possible only under drop; with no drops the spans must pair. *)
   if dropped = 0 && !balance <> 0 then
     fail "%s: %d unmatched B trace-events" path !balance;
-  Printf.printf
-    "%s: OK (%d accesses proved, %d checks elided, tiered %.2fx, range ls \
-     %d->%d bounds %d->%d, race %d certs %d/%d injections, trace %d events \
-     %.1f%% attributed)\n"
-    path proofs proved speedup ls_off ls_on b_off b_on n_acerts inj_caught
-    injected emitted attr
+  note "trace %d events %.1f%% attributed" emitted attr
+
+let checkers =
+  [
+    ("lint", check_lint);
+    ("tiered", check_tiered);
+    ("aot", check_aot);
+    ("ranges", check_ranges);
+    ("race", check_race);
+    ("trace", check_trace);
+  ]
+
+let () =
+  if Array.length Sys.argv < 2 then fail "usage: json_check FILE [SECTION]...";
+  let path = Sys.argv.(1) in
+  let required =
+    Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2))
+  in
+  List.iter
+    (fun s ->
+      if not (List.mem_assoc s checkers) then
+        fail "json_check: no validator for section '%s' (known: %s)" s
+          (String.concat " " (List.map fst checkers)))
+    required;
+  let text = In_channel.with_open_bin path In_channel.input_all in
+  let doc = try J.parse text with J.Parse_error m -> fail "%s: %s" path m in
+  (* round-trip: emitting and re-parsing must reproduce the document *)
+  if J.parse (J.emit doc) <> doc then fail "%s: emit/parse round-trip drifted" path;
+  List.iter
+    (fun s ->
+      match J.member s doc with
+      | Some _ -> ()
+      | None -> fail "%s: required section '%s' missing" path s)
+    required;
+  let checked =
+    List.filter_map
+      (fun (name, check) ->
+        match J.member name doc with
+        | Some section ->
+            check path section;
+            Some name
+        | None -> None)
+      checkers
+  in
+  if checked = [] then fail "%s: no recognized sections to validate" path;
+  Printf.printf "%s: OK [%s] (%s)\n" path
+    (String.concat " " checked)
+    (String.concat ", " (List.rev !summaries))

@@ -10,9 +10,9 @@
      dune exec bench/main.exe -- --json out.json
                                          -- also write machine-readable
                                             numbers for the data-bearing
-                                            sections (fastpath, table7,
-                                            lint, ranges, race, trace)
-                                            that were run
+                                            sections (fastpath, tiered,
+                                            aot, table7, lint, ranges,
+                                            race, trace) that were run
 
    Unknown flags and unknown section names are errors (exit 2): a typo
    must not silently select nothing and report success.  A section that
@@ -34,7 +34,7 @@ let known_sections =
   [
     "table4"; "figure2"; "checks"; "lint"; "ranges"; "race"; "table7";
     "table8"; "table5"; "table6"; "table9"; "ablation"; "fastpath"; "tiered";
-    "trace"; "exploits"; "verifier"; "bechamel";
+    "aot"; "trace"; "exploits"; "verifier"; "bechamel";
   ]
 
 let usage () =
@@ -79,6 +79,12 @@ let failed_sections : string list ref = ref []
 let section name f =
   if wanted name then begin
     Printf.printf "\n";
+    (* Measurement boundary: the closure-compiler's translation cache and
+       tier counters are process globals, so a section that warmed the
+       second tier must not hand the next section pre-promoted functions
+       or inflated counters. *)
+    Sva_interp.Closcomp.clear_cache ();
+    Sva_rt.Stats.reset_tier ();
     (try print_string (f ())
      with e ->
        Printf.printf "!! %s failed: %s\n" name (Printexc.to_string e);
@@ -189,7 +195,7 @@ let bechamel_crosscheck () =
     let b = Ukern.Kbuild.build ~conf:Pipeline.Sva_safe Ukern.Kbuild.as_tested in
     let t =
       Boot.boot_built
-        ~engine:{ Pipeline.eng_kind = Pipeline.Tiered; eng_threshold = 2 }
+        ~engine:{ Pipeline.default_engine with Pipeline.eng_kind = Pipeline.Tiered; eng_threshold = 2 }
         b ~variant:Ukern.Kbuild.as_tested
     in
     let ctx = Harness.Workloads.prepare t in
@@ -226,6 +232,7 @@ let () =
   section "fastpath" (fun () ->
       Tables.fastpath ~quick:!quick ~strict:!strict ());
   section "tiered" (fun () -> Tables.tiered ~quick:!quick ~strict:!strict ());
+  section "aot" (fun () -> Tables.aot ~quick:!quick ~strict:!strict ());
   section "trace" (fun () -> Tables.trace ~quick:!quick ~strict:!strict ());
   section "exploits" (fun () -> Tables.exploits_table ());
   section "verifier" (fun () -> Tables.verifier_experiment ());
@@ -252,6 +259,7 @@ let () =
           [
             ("fastpath", fun () -> Tables.fastpath_json ~quick:!quick ());
             ("tiered", fun () -> Tables.tiered_json ~quick:!quick ());
+            ("aot", fun () -> Tables.aot_json ~quick:!quick ());
             ("table7", fun () -> Tables.table7_json ~quick:!quick ());
             ("lint", fun () -> Tables.lint_json ());
             ("ranges", fun () -> Tables.ranges_json ());

@@ -5,7 +5,8 @@
    to avoid inserting a second set of checks.
 
      sva_run FILE [-f FUNC] [-a INT]... [--conf native|gcc|llvm|safe]
-             [--engine interp|tiered] [--jit-threshold N] [--ranges]
+             [--engine interp|tiered|aot] [--jit-threshold N]
+             [--tcache-dir DIR] [--ranges]
              [--trace[=N]] [--trace-out FILE] [--profile]
              [--dump-ir] [--emit-bytecode OUT]
 
@@ -27,16 +28,18 @@ let conf_of_string = function
 let engine_of_string = function
   | "interp" -> Pipeline.Interp
   | "tiered" -> Pipeline.Tiered
+  | "aot" -> Pipeline.Aot
   | s -> failwith ("unknown engine " ^ s)
 
-let run file func args conf_name engine_name jit_threshold ranges trace
-    trace_out profile dump_ir emit_bytecode =
+let run file func args conf_name engine_name jit_threshold tcache_dir ranges
+    trace trace_out profile dump_ir emit_bytecode =
   let source = In_channel.with_open_bin file In_channel.input_all in
   let conf = conf_of_string conf_name in
   let engine =
     {
       Pipeline.eng_kind = engine_of_string engine_name;
       eng_threshold = jit_threshold;
+      eng_tcache_dir = tcache_dir;
     }
   in
   let obs =
@@ -78,7 +81,7 @@ let run file func args conf_name engine_name jit_threshold ranges trace
       | None -> ());
       let vm = Pipeline.instantiate ~engine built in
       let report_tier () =
-        if engine.Pipeline.eng_kind = Pipeline.Tiered then
+        if engine.Pipeline.eng_kind <> Pipeline.Interp then
           Printf.printf "tiered:   %s\n"
             (Sva_rt.Stats.tier_to_string (Sva_rt.Stats.read_tier ()));
         if ranges then
@@ -138,14 +141,23 @@ let conf =
 
 let engine =
   Arg.(value & opt string "interp" & info [ "engine" ] ~docv:"ENGINE"
-         ~doc:"Execution engine: interp (pre-decoded interpreter) or \
+         ~doc:"Execution engine: interp (pre-decoded interpreter), \
                tiered (closure-compiled hot functions with a signed \
-               translation cache).")
+               translation cache) or aot (whole-kernel closure \
+               compilation at instantiate time, no warmup).")
 
 let jit_threshold =
   Arg.(value & opt int Pipeline.default_jit_threshold
        & info [ "jit-threshold" ] ~docv:"N"
            ~doc:"Calls before the tiered engine promotes a function.")
+
+let tcache_dir =
+  Arg.(value & opt (some string) None
+       & info [ "tcache-dir" ] ~docv:"DIR"
+           ~doc:"Persist signed translations in $(docv): entries are \
+                 re-verified against the SVM key on load, so a second \
+                 process starts with a hot translation cache while \
+                 tampered or stale files merely re-translate.")
 
 let ranges =
   Arg.(value & flag & info [ "ranges" ]
@@ -184,7 +196,10 @@ let cmd =
     (Cmd.info "sva_run"
        ~doc:"Compile MiniC through the SVA safety pipeline and execute it")
     Term.(
-      const run $ file $ func $ args $ conf $ engine $ jit_threshold $ ranges
-      $ trace $ trace_out $ profile $ dump_ir $ emit_bytecode)
+      const run $ file $ func $ args $ conf $ engine $ jit_threshold
+      $ tcache_dir $ ranges $ trace $ trace_out $ profile $ dump_ir
+      $ emit_bytecode)
 
-let () = exit (Cmd.eval cmd)
+(* Unknown or malformed flags print usage and exit 2, like the other
+   SVA binaries. *)
+let () = exit (Cmd.eval ~term_err:2 cmd)

@@ -123,11 +123,21 @@ let atomcert () =
     results;
   if caught <> List.length results then exit 1
 
+let usage () =
+  prerr_endline
+    "usage: sva_verify FILE | sva_verify --rangecert FILE | sva_verify \
+     --range-selftest | sva_verify --atomcert";
+  exit 2
+
 let () =
   match Sys.argv with
   | [| _; "--range-selftest" |] -> range_selftest ()
   | [| _; "--rangecert"; path |] -> rangecert path
   | [| _; "--atomcert" |] -> atomcert ()
+  (* A flag we don't know is an error, not a file name. *)
+  | [| _; flag |] when String.length flag > 0 && flag.[0] = '-' ->
+      Printf.eprintf "sva_verify: unknown flag '%s'\n" flag;
+      usage ()
   | [| _; path |] -> (
       let m, data = load path in
       match m with
@@ -150,8 +160,4 @@ let () =
                   Printf.eprintf "  %s\n" (Sva_ir.Verify.string_of_error e))
                 errs;
               exit 1))
-  | _ ->
-      prerr_endline
-        "usage: sva_verify FILE | sva_verify --rangecert FILE | sva_verify \
-         --range-selftest | sva_verify --atomcert";
-      exit 2
+  | _ -> usage ()

@@ -1,12 +1,13 @@
 (* ukern-boot: boot the MiniC kernel on the SVM and run a smoke workload.
 
-     ukern_boot [native|gcc|llvm|safe] [--engine=interp|tiered]
-                [--jit-threshold=N] [--ranges] [--races] [--trace[=N]]
-                [--trace-out=FILE] [--profile]   (default: safe, interp)
+     ukern_boot [native|gcc|llvm|safe] [--engine=interp|tiered|aot]
+                [--jit-threshold=N] [--tcache-dir=DIR] [--ranges]
+                [--races] [--trace[=N]] [--trace-out=FILE] [--profile]
+                (default: safe, interp)
 
    Prints the boot transcript, runs a small syscall workload, and reports
    instruction/cycle counts plus run-time check statistics (and the tier
-   counters when the tiered engine is selected).  With --trace/--profile
+   counters when a compiling engine is selected).  With --trace/--profile
    the event-trace summary, per-metapool metrics and hot-function/syscall
    attribution are appended; --trace-out exports the trace as Chrome
    trace-event JSON. *)
@@ -14,11 +15,24 @@
 module Boot = Ukern.Boot
 module Pipeline = Sva_pipeline.Pipeline
 
+let usage = "usage: ukern_boot [native|gcc|llvm|safe] \
+             [--engine=interp|tiered|aot] [--jit-threshold=N] \
+             [--tcache-dir=DIR] [--ranges] [--races] [--trace[=N]] \
+             [--trace-out=FILE] [--profile]"
+
 let conf_of_string = function
-  | "native" -> Pipeline.Native
-  | "gcc" -> Pipeline.Sva_gcc
-  | "llvm" -> Pipeline.Sva_llvm
-  | _ -> Pipeline.Sva_safe
+  | "native" -> Some Pipeline.Native
+  | "gcc" -> Some Pipeline.Sva_gcc
+  | "llvm" -> Some Pipeline.Sva_llvm
+  | "safe" -> Some Pipeline.Sva_safe
+  | _ -> None
+
+(* An argument that is neither a configuration name nor a recognized
+   flag is an error, not silently the default configuration. *)
+let reject msg =
+  prerr_endline msg;
+  prerr_endline usage;
+  exit 2
 
 let () =
   let conf = ref Pipeline.Sva_safe in
@@ -32,12 +46,26 @@ let () =
         if arg = "--ranges" then ranges := true
         else if arg = "--races" then races := true
         else
-          match Pipeline.engine_flag !engine arg with
-          | Some cfg -> engine := cfg
-          | None -> (
-              match Pipeline.obs_flag !obs arg with
-              | Some o -> obs := o
-              | None -> conf := conf_of_string arg))
+          match
+            match Pipeline.engine_flag !engine arg with
+            | Some cfg ->
+                engine := cfg;
+                true
+            | None -> (
+                match Pipeline.obs_flag !obs arg with
+                | Some o ->
+                    obs := o;
+                    true
+                | None -> (
+                    match conf_of_string arg with
+                    | Some c ->
+                        conf := c;
+                        true
+                    | None -> false))
+          with
+          | true -> ()
+          | false -> reject ("ukern_boot: unknown argument '" ^ arg ^ "'")
+          | exception Invalid_argument msg -> reject ("ukern_boot: " ^ msg))
     Sys.argv;
   let conf = !conf and engine = !engine and obs = !obs in
   let ranges = !ranges and races = !races in
@@ -56,8 +84,12 @@ let () =
   (* Range counters are build-time facts — snapshot them before the
      measurement boundary, which resets every counter family at once.
      (A check-only Stats.reset here used to leave boot-time promotions
-     in the workload tier report.) *)
+     in the workload tier report.)  The tier counters are snapshotted
+     too and merged back into the final report: under AOT the whole
+     translation story (disk hits included) happens at instantiate,
+     before this boundary. *)
   let range_stats = Sva_rt.Stats.read_range () in
+  let tier_boot = Sva_rt.Stats.read_tier () in
   Sva_rt.Stats.reset_all ();
   Boot.reset_cycles t;
   (* smoke workload: files, pipes, fork, sockets *)
@@ -82,9 +114,26 @@ let () =
     (Boot.read_user t 4096 (Int64.to_int n));
   Printf.printf "workload: %d cycles\n" (Boot.cycles t);
   Printf.printf "checks:   %s\n" (Sva_rt.Stats.to_string (Sva_rt.Stats.read ()));
-  if engine.Pipeline.eng_kind = Pipeline.Tiered then
-    Printf.printf "tiered:   %s\n"
-      (Sva_rt.Stats.tier_to_string (Sva_rt.Stats.read_tier ()));
+  if engine.Pipeline.eng_kind <> Pipeline.Interp then begin
+    let b = tier_boot and w = Sva_rt.Stats.read_tier () in
+    let tier =
+      {
+        Sva_rt.Stats.promotions = b.Sva_rt.Stats.promotions + w.Sva_rt.Stats.promotions;
+        tcache_hits = b.Sva_rt.Stats.tcache_hits + w.Sva_rt.Stats.tcache_hits;
+        tcache_misses = b.Sva_rt.Stats.tcache_misses + w.Sva_rt.Stats.tcache_misses;
+        sig_verifications =
+          b.Sva_rt.Stats.sig_verifications + w.Sva_rt.Stats.sig_verifications;
+        tcache_disk_hits =
+          b.Sva_rt.Stats.tcache_disk_hits + w.Sva_rt.Stats.tcache_disk_hits;
+        tcache_disk_stale =
+          b.Sva_rt.Stats.tcache_disk_stale + w.Sva_rt.Stats.tcache_disk_stale;
+        tcache_disk_writes =
+          b.Sva_rt.Stats.tcache_disk_writes + w.Sva_rt.Stats.tcache_disk_writes;
+        superblocks = b.Sva_rt.Stats.superblocks + w.Sva_rt.Stats.superblocks;
+      }
+    in
+    Printf.printf "tiered:   %s\n" (Sva_rt.Stats.tier_to_string tier)
+  end;
   if ranges then
     Printf.printf "ranges:   %s\n" (Sva_rt.Stats.range_to_string range_stats);
   if races then begin

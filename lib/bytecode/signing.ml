@@ -108,3 +108,52 @@ let tamper_fentry_native e =
 
 let tamper_fentry_bytecode e =
   { e with fe_bytecode = flip_byte e.fe_bytecode (String.length e.fe_bytecode / 2) }
+
+(* ---------- on-disk fentry serialization ----------
+
+   The persistent translation cache stores one signed [fentry] per file,
+   content-addressed by [fe_hash].  The format is deliberately dumb —
+   magic, then five length-prefixed fields — because nothing in it is
+   trusted: a decoded entry still has to pass [verify_function] before
+   the SVM reuses the translation, so a corrupted file can at worst cost
+   a re-translation, never safety. *)
+
+let fentry_magic = "SVAFENT1"
+
+let encode_fentry e =
+  let buf = Buffer.create (256 + String.length e.fe_bytecode) in
+  Buffer.add_string buf fentry_magic;
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (Printf.sprintf "%08x" (String.length s));
+      Buffer.add_string buf s)
+    [ e.fe_name; e.fe_hash; e.fe_bytecode; e.fe_native; e.fe_signature ];
+  Buffer.contents buf
+
+let decode_fentry data =
+  let err msg = raise (Codec.Decode_error ("fentry: " ^ msg)) in
+  let mlen = String.length fentry_magic in
+  if String.length data < mlen || String.sub data 0 mlen <> fentry_magic then
+    err "bad magic";
+  let pos = ref mlen in
+  let field what =
+    if !pos + 8 > String.length data then err ("truncated length of " ^ what);
+    let n =
+      match int_of_string ("0x" ^ String.sub data !pos 8) with
+      | n when n >= 0 -> n
+      | _ -> err ("negative length of " ^ what)
+      | exception _ -> err ("malformed length of " ^ what)
+    in
+    pos := !pos + 8;
+    if !pos + n > String.length data then err ("truncated " ^ what);
+    let s = String.sub data !pos n in
+    pos := !pos + n;
+    s
+  in
+  let fe_name = field "name" in
+  let fe_hash = field "hash" in
+  let fe_bytecode = field "bytecode" in
+  let fe_native = field "native" in
+  let fe_signature = field "signature" in
+  if !pos <> String.length data then err "trailing bytes";
+  { fe_name; fe_hash; fe_bytecode; fe_native; fe_signature }

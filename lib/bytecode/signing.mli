@@ -68,3 +68,17 @@ val tamper_fentry_signature : fentry -> fentry
 val tamper_fentry_native : fentry -> fentry
 val tamper_fentry_bytecode : fentry -> fentry
 (** Byte-flipping helpers for tests and demos. *)
+
+(** {1 On-disk serialization}
+
+    Wire format for the persistent translation cache
+    ({!Sva_interp.Tcache_disk}): a magic string followed by the five
+    fields, each length-prefixed.  Decoding performs only structural
+    checks — a decoded entry is untrusted until it passes
+    {!verify_function}, so the store sits outside the TCB. *)
+
+val encode_fentry : fentry -> string
+
+val decode_fentry : string -> fentry
+(** @raise Codec.Decode_error on bad magic, truncation, malformed
+    length fields or trailing bytes. *)

@@ -119,9 +119,42 @@ type tiered_data = {
   td_tcache_hits : int;
   td_tcache_misses : int;
   td_sig_verifications : int;
+  td_disk_hits : int;
+  td_disk_stale : int;
+  td_disk_writes : int;
+  td_superblocks : int;
 }
 
 val tiered_data : ?quick:bool -> unit -> tiered_data
+
+type aot_data = {
+  ad_cycles_aot : float;
+  ad_steps_aot : float;
+  ad_checks_aot : int;
+  ad_ns_aot : float;
+  ad_speedup : float;  (** host speedup over the interpreter *)
+  ad_boot_cold_ns : float;  (** instantiate + compile_all, empty store *)
+  ad_boot_warm_ns : float;  (** same, against the populated store *)
+  ad_promotions : int;  (** functions AOT-compiled per boot *)
+  ad_disk_writes_cold : int;
+  ad_disk_hits_warm : int;
+  ad_disk_stale_warm : int;
+  ad_misses_warm : int;  (** re-translations in the warm boot (want 0) *)
+  ad_superblocks : int;  (** trace superblocks formed per boot *)
+}
+
+val aot_data : ?quick:bool -> unit -> aot_data
+(** Boot the AOT kernel twice through one persistent translation store
+    (cold then warm, with the in-memory cache cleared between boots to
+    simulate a second process), then measure the Table 7 mix on the warm
+    VM.  Cached per [quick]. *)
+
+val aot : ?quick:bool -> ?strict:bool -> unit -> string
+(** The AOT-engine section: interpreter vs tiered vs whole-kernel AOT
+    against a warm persistent cache.  Modeled cycle/step/check identity
+    with the interpreter and warm-boot disk-cache behavior (>= 1 disk
+    hit, zero re-translations) are hard gates; the warm-cache host
+    speedup floor is enforced only under [strict]. *)
 
 type trace_data = {
   tr_reps : int;
@@ -222,6 +255,7 @@ val race_table : ?strict:bool -> unit -> string
 
 val fastpath_json : ?quick:bool -> unit -> Jsonout.t
 val tiered_json : ?quick:bool -> unit -> Jsonout.t
+val aot_json : ?quick:bool -> unit -> Jsonout.t
 val trace_json : ?quick:bool -> unit -> Jsonout.t
 val table7_json : ?quick:bool -> unit -> Jsonout.t
 val lint_json : unit -> Jsonout.t

@@ -21,6 +21,9 @@ let event_name (e : Trace.event) =
   | Trace.Ev_tier_promote -> "promote:" ^ e.Trace.ev_name
   | Trace.Ev_tcache_hit -> "tcache-hit:" ^ e.Trace.ev_name
   | Trace.Ev_tcache_miss -> "tcache-miss:" ^ e.Trace.ev_name
+  | Trace.Ev_tcache_disk_hit -> "tcache-disk-hit:" ^ e.Trace.ev_name
+  | Trace.Ev_tcache_disk_stale -> "tcache-disk-stale:" ^ e.Trace.ev_name
+  | Trace.Ev_tcache_disk_write -> "tcache-disk-write:" ^ e.Trace.ev_name
   | Trace.Ev_range_elide -> "range-elide:" ^ e.Trace.ev_name
 
 let event_phase (e : Trace.event) =
@@ -86,6 +89,9 @@ let all_kinds =
     Trace.Ev_tier_promote;
     Trace.Ev_tcache_hit;
     Trace.Ev_tcache_miss;
+    Trace.Ev_tcache_disk_hit;
+    Trace.Ev_tcache_disk_stale;
+    Trace.Ev_tcache_disk_write;
     Trace.Ev_range_elide;
   ]
 

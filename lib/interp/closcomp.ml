@@ -701,6 +701,95 @@ let cblock t fname (labels : string array) bi (pb : I.pblock) : cblock =
       | None -> cterm t fname bi pb.I.pb_term);
   }
 
+(* ---------- trace superblocks ----------
+
+   Per-block fused chains already kill the interpreter's per-instruction
+   dispatch; superblocks kill the per-BLOCK dispatch on hot paths.  At
+   translation time we pick trace heads (the entry block plus every
+   back-edge target, i.e. loop headers) and grow each into a linear
+   trace of likely successors — by the dynamic edge profile the
+   interpreter recorded while the function was still cold
+   ([pf_edges]), falling back to a static heuristic (prefer back
+   edges, then the first-listed target) when no profile exists, as in
+   AOT mode.  At run time a trace executes its blocks back-to-back,
+   looping in place when control returns to the head; any other
+   successor is a side exit back to the generic dispatch loop.
+
+   Crucially a superblock reuses the SAME compiled phi/body/term
+   closures a standalone block uses — only the dispatch between blocks
+   changes — so cycles, steps, checks, traps and results are
+   bit-identical with superblocks on or off. *)
+
+let max_trace_len = 16
+
+let static_succs (term : I.pterm) =
+  match term with
+  | I.P_ret _ | I.P_unreachable -> []
+  | I.P_jmp ix -> [ ix ]
+  | I.P_br (_, th, el) -> [ th; el ]
+  | I.P_switch (_, cases, default) ->
+      Array.to_list (Array.map snd cases) @ [ default ]
+
+(* Linear trace of block indices starting at [head]; [ixs.(0) = head]. *)
+type strace = { st_blocks : int array }
+
+let form_traces (pf : I.prepared_func) : strace option array =
+  let blocks = pf.I.pf_blocks in
+  let nblocks = Array.length blocks in
+  let succs bi = static_succs blocks.(bi).I.pb_term in
+  let edge_count bi s =
+    match pf.I.pf_edges with
+    | None -> 0
+    | Some tbl -> (
+        match Hashtbl.find_opt tbl ((bi * nblocks) + s) with
+        | Some r -> !r
+        | None -> 0)
+  in
+  let preferred bi =
+    match succs bi with
+    | [] -> None
+    | [ s ] -> Some s
+    | s0 :: _ as ss ->
+        let scored = List.map (fun s -> (s, edge_count bi s)) ss in
+        let maxc = List.fold_left (fun a (_, c) -> max a c) 0 scored in
+        if maxc > 0 then
+          (* hottest edge; ties resolve to the first-listed target *)
+          Some (fst (List.find (fun (_, c) -> c = maxc) scored))
+        else begin
+          (* no profile: prefer a back edge (loop continuation), then
+             the first-listed (then-) target *)
+          match List.find_opt (fun (s, _) -> s <= bi) scored with
+          | Some (s, _) -> Some s
+          | None -> Some s0
+        end
+  in
+  let is_head = Array.make nblocks false in
+  if nblocks > 0 then is_head.(0) <- true;
+  for bi = 0 to nblocks - 1 do
+    List.iter (fun s -> if s <= bi then is_head.(s) <- true) (succs bi)
+  done;
+  let grow head =
+    let in_trace = Array.make nblocks false in
+    in_trace.(head) <- true;
+    let rec go acc last len =
+      if len >= max_trace_len then List.rev acc
+      else
+        match preferred last with
+        | None -> List.rev acc
+        | Some s when in_trace.(s) -> List.rev acc
+        | Some s ->
+            in_trace.(s) <- true;
+            go (s :: acc) s (len + 1)
+    in
+    go [ head ] head 1
+  in
+  Array.init nblocks (fun bi ->
+      if not is_head.(bi) then None
+      else
+        match grow bi with
+        | _ :: _ :: _ as ixs -> Some { st_blocks = Array.of_list ixs }
+        | _ -> None)
+
 (* ---------- function compilation ---------- *)
 
 let build (t : I.t) (pf : I.prepared_func) : int64 list -> int64 option =
@@ -710,6 +799,40 @@ let build (t : I.t) (pf : I.prepared_func) : int64 list -> int64 option =
   let nscratch = max 1 pf.I.pf_max_phis in
   let labels = Array.map (fun b -> b.I.pb_label) pf.I.pf_blocks in
   let blocks = Array.mapi (cblock t fname labels) pf.I.pf_blocks in
+  let traces = form_traces pf in
+  Stats.add_superblocks
+    (Array.fold_left
+       (fun acc tr -> match tr with Some _ -> acc + 1 | None -> acc)
+       0 traces);
+  let run_block (cb : cblock) fr =
+    (match cb.cb_phis with Some p -> p fr | None -> ());
+    let body = cb.cb_body in
+    for k = 0 to Array.length body - 1 do
+      body.(k) fr
+    done;
+    cb.cb_term fr
+  in
+  (* Execute a trace from its head: stay on the trace while control
+     follows it (or re-enters the head — a loop), side-exit with the
+     actual successor otherwise.  Returns the next block index, -1 for
+     return. *)
+  let run_trace (tr : strace) fr =
+    let ixs = tr.st_blocks in
+    let n = Array.length ixs in
+    let k = ref 0 in
+    let out = ref min_int in
+    while !out = min_int do
+      let nxt = run_block blocks.(ixs.(!k)) fr in
+      if nxt < 0 then out := -1
+      else begin
+        let k' = !k + 1 in
+        if k' < n && nxt = ixs.(k') then k := k'
+        else if nxt = ixs.(0) then k := 0
+        else out := nxt
+      end
+    done;
+    !out
+  in
   fun args ->
     let fr =
       {
@@ -724,13 +847,11 @@ let build (t : I.t) (pf : I.prepared_func) : int64 list -> int64 option =
     let cur = ref 0 in
     let running = ref true in
     while !running do
-      let cb = blocks.(!cur) in
-      (match cb.cb_phis with Some p -> p fr | None -> ());
-      let body = cb.cb_body in
-      for k = 0 to Array.length body - 1 do
-        body.(k) fr
-      done;
-      let nxt = cb.cb_term fr in
+      let nxt =
+        match traces.(!cur) with
+        | Some tr -> run_trace tr fr
+        | None -> run_block blocks.(!cur) fr
+      in
       if nxt < 0 then running := false else cur := nxt
     done;
     (* Restored only on normal return, like the interpreter: a trap
@@ -778,10 +899,42 @@ let translate (t : I.t) (pf : I.prepared_func) : int64 list -> int64 option =
   let bytecode = Codec.encode_func pf.I.pf in
   let key = Sha256.hex bytecode in
   let native = native_artifact ~bytecode in
-  let fresh () =
+  (* Section 3.4: a miss (or a cached translation whose signature does
+     not verify) re-translates from re-verified bytecode, re-signs the
+     result, and persists it for the next process. *)
+  let fresh ~disk_stale =
+    Stats.bump_tcache_miss ();
+    if !Sva_rt.Trace.active then Sva_rt.Trace.emit_tcache_miss fname;
+    if disk_stale then begin
+      Stats.bump_tcache_disk_stale ();
+      if !Sva_rt.Trace.active then Sva_rt.Trace.emit_tcache_disk_stale fname
+    end;
     reverify fname bytecode;
-    Hashtbl.replace cache key
-      (Signing.sign_function ~name:fname ~bytecode ~native)
+    let e = Signing.sign_function ~name:fname ~bytecode ~native in
+    Hashtbl.replace cache key e;
+    if Tcache_disk.store e then begin
+      Stats.bump_tcache_disk_write ();
+      if !Sva_rt.Trace.active then Sva_rt.Trace.emit_tcache_disk_write fname
+    end
+  in
+  (* In-memory miss: probe the persistent store.  A decodable on-disk
+     entry gets the same signature verification an in-memory one does;
+     anything structurally broken, tampered or stale falls back to a
+     fresh translation (which overwrites the bad file). *)
+  let from_disk () =
+    match Tcache_disk.probe ~key with
+    | Tcache_disk.Absent -> fresh ~disk_stale:false
+    | Tcache_disk.Corrupt _ -> fresh ~disk_stale:true
+    | Tcache_disk.Entry e -> (
+        Stats.bump_sig_verification ();
+        match Signing.verify_function e ~bytecode ~native with
+        | () ->
+            Stats.bump_tcache_hit ();
+            Stats.bump_tcache_disk_hit ();
+            if !Sva_rt.Trace.active then
+              Sva_rt.Trace.emit_tcache_disk_hit fname;
+            Hashtbl.replace cache key e
+        | exception Signing.Tampered _ -> fresh ~disk_stale:true)
   in
   (match Hashtbl.find_opt cache key with
   | Some e -> (
@@ -790,17 +943,8 @@ let translate (t : I.t) (pf : I.prepared_func) : int64 list -> int64 option =
       | () ->
           Stats.bump_tcache_hit ();
           if !Sva_rt.Trace.active then Sva_rt.Trace.emit_tcache_hit fname
-      | exception Signing.Tampered _ ->
-          (* Section 3.4: a cached translation whose signature does not
-             verify is discarded; the SVM falls back to re-translating
-             from (re-verified) bytecode and re-signs the result. *)
-          Stats.bump_tcache_miss ();
-          if !Sva_rt.Trace.active then Sva_rt.Trace.emit_tcache_miss fname;
-          fresh ())
-  | None ->
-      Stats.bump_tcache_miss ();
-      if !Sva_rt.Trace.active then Sva_rt.Trace.emit_tcache_miss fname;
-      fresh ());
+      | exception Signing.Tampered _ -> from_disk ())
+  | None -> from_disk ());
   build t pf
 
 let enable ?(threshold = 16) (t : I.t) =
@@ -808,3 +952,21 @@ let enable ?(threshold = 16) (t : I.t) =
     (Some { I.jit_threshold = max 1 threshold; I.jit_translate = translate })
 
 let disable (t : I.t) = I.set_jit t None
+
+(* Whole-kernel ahead-of-time mode: translate every loaded function at
+   instantiate time (deterministic name order), so the first call of
+   every function already runs compiled and a populated persistent store
+   makes a second process boot hot.  Translation is host work — modeled
+   cycles, steps and check counters are untouched, so AOT output is
+   bit-identical to the other engines'. *)
+let compile_all (t : I.t) =
+  let names = Hashtbl.fold (fun name _ acc -> name :: acc) t.I.funcs [] in
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt t.I.funcs name with
+      | Some pf -> (
+          match pf.I.pf_entry with
+          | Some _ -> ()
+          | None -> pf.I.pf_entry <- Some (translate t pf))
+      | None -> ())
+    (List.sort String.compare names)

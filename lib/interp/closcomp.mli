@@ -23,16 +23,27 @@ val enable : ?threshold:int -> Interp.t -> unit
 
 val disable : Interp.t -> unit
 
+val compile_all : Interp.t -> unit
+(** Whole-kernel AOT: translate every loaded function now (in
+    deterministic name order), through the same signed cache — against a
+    populated {!Tcache_disk} store this is all verified disk hits and
+    zero re-translations.  Host work only; execution stays bit-identical
+    to the other engines. *)
+
 val build : Interp.t -> Interp.prepared_func -> int64 list -> int64 option
 (** Compile a prepared function to its closure-tree entry point,
-    bypassing the translation cache (exposed for tests). *)
+    bypassing the translation cache (exposed for tests).  Block dispatch
+    uses trace superblocks: linear multi-block traces grown from loop
+    headers along profiled (or statically likely) edges, with side exits
+    back to generic dispatch — semantics and counters unchanged. *)
 
 val translate :
   Interp.t -> Interp.prepared_func -> int64 list -> int64 option
-(** The installed [jit_translate]: consult the signed translation cache
-    (verifying the entry's signature), re-verify and re-sign on a miss
-    or a tampered entry, then compile.  Bumps the {!Sva_rt.Stats} tier
-    counters. *)
+(** The installed [jit_translate]: consult the signed in-memory
+    translation cache, then the persistent {!Tcache_disk} store
+    (verifying the entry's signature in either case); re-verify,
+    re-sign and persist on a miss or a tampered/stale entry, then
+    compile.  Bumps the {!Sva_rt.Stats} tier counters. *)
 
 (** {1 Translation cache introspection (tests and demos)} *)
 

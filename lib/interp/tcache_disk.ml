@@ -1,0 +1,66 @@
+(* Persistent signed translation cache (Section 3.4).
+
+   A directory of signed [Signing.fentry] records, one file per entry,
+   content-addressed by the entry's bytecode hash: <dir>/<fe_hash>.fent.
+   The store is plumbing, not policy — it hands back whatever bytes are
+   on disk, and [Closcomp.translate] re-runs the full signature
+   verification before reusing anything, so the directory (like the disk
+   cache in the paper) sits entirely outside the TCB.  A corrupted,
+   truncated or stale file costs a re-translation, never safety.
+
+   Writes go through a temp file + rename so a concurrent reader never
+   observes a half-written entry. *)
+
+module Signing = Sva_bytecode.Signing
+module Codec = Sva_bytecode.Codec
+
+(* The active store directory; [None] disables persistence entirely
+   (the default — only --tcache-dir / eng_tcache_dir turns it on). *)
+let dir : string option ref = ref None
+
+let set_dir d =
+  (match d with
+  | Some path when not (Sys.file_exists path) ->
+      (try Sys.mkdir path 0o755 with Sys_error _ -> ())
+  | _ -> ());
+  dir := d
+
+let active () = !dir <> None
+
+let path_of ~key d = Filename.concat d (key ^ ".fent")
+
+type probe = Absent | Corrupt of string | Entry of Signing.fentry
+
+let probe ~key =
+  match !dir with
+  | None -> Absent
+  | Some d ->
+      let path = path_of ~key d in
+      if not (Sys.file_exists path) then Absent
+      else begin
+        match In_channel.with_open_bin path In_channel.input_all with
+        | exception Sys_error msg -> Corrupt msg
+        | data -> (
+            match Signing.decode_fentry data with
+            | e -> Entry e
+            | exception Codec.Decode_error msg -> Corrupt msg)
+      end
+
+(* Persist a (just-signed) entry.  Returns whether the write happened;
+   I/O failures are swallowed — the store is an accelerator, losing a
+   write only means the next process re-translates. *)
+let store (e : Signing.fentry) =
+  match !dir with
+  | None -> false
+  | Some d -> (
+      let path = path_of ~key:e.Signing.fe_hash d in
+      let tmp = path ^ ".tmp" in
+      match
+        Out_channel.with_open_bin tmp (fun oc ->
+            Out_channel.output_string oc (Signing.encode_fentry e));
+        Sys.rename tmp path
+      with
+      | () -> true
+      | exception Sys_error _ ->
+          (try Sys.remove tmp with Sys_error _ -> ());
+          false)

@@ -1,0 +1,27 @@
+(** Persistent signed translation cache (Section 3.4).
+
+    A directory of signed {!Sva_bytecode.Signing.fentry} records, one
+    file per entry, content-addressed by bytecode hash
+    ([<dir>/<fe_hash>.fent]).  The store only moves bytes: every entry it
+    returns is re-verified by {!Closcomp} before reuse, so the directory
+    lives outside the TCB — corruption costs a re-translation, never
+    safety.  Disabled unless a directory is installed. *)
+
+val set_dir : string option -> unit
+(** Install (or clear) the store directory.  [Some d] creates [d] if
+    missing (best effort) and enables persistence; [None] disables it. *)
+
+val active : unit -> bool
+
+type probe =
+  | Absent  (** no entry on disk for this key (or store disabled) *)
+  | Corrupt of string  (** an entry exists but failed structural decode *)
+  | Entry of Sva_bytecode.Signing.fentry
+      (** decoded — still untrusted until signature verification *)
+
+val probe : key:string -> probe
+
+val store : Sva_bytecode.Signing.fentry -> bool
+(** Persist an entry under its own [fe_hash] (temp file + atomic
+    rename).  Returns [false] — silently — when the store is disabled or
+    the write failed; persistence is an accelerator, not a guarantee. *)

@@ -14,35 +14,53 @@ let all_confs = [ Native; Sva_gcc; Sva_llvm; Sva_safe ]
 
 (* ---------- execution engine selection ---------- *)
 
-type engine = Interp | Tiered
+type engine = Interp | Tiered | Aot
 
-type engine_config = { eng_kind : engine; eng_threshold : int }
+type engine_config = {
+  eng_kind : engine;
+  eng_threshold : int;
+  eng_tcache_dir : string option;
+}
 
 let default_jit_threshold = 16
-let default_engine = { eng_kind = Interp; eng_threshold = default_jit_threshold }
-let tiered_engine = { eng_kind = Tiered; eng_threshold = default_jit_threshold }
 
-let engine_name = function Interp -> "interp" | Tiered -> "tiered"
+let default_engine =
+  { eng_kind = Interp; eng_threshold = default_jit_threshold;
+    eng_tcache_dir = None }
+
+let tiered_engine = { default_engine with eng_kind = Tiered }
+let aot_engine = { default_engine with eng_kind = Aot }
+
+let engine_name = function
+  | Interp -> "interp"
+  | Tiered -> "tiered"
+  | Aot -> "aot"
 
 let engine_of_string = function
   | "interp" -> Some Interp
   | "tiered" -> Some Tiered
+  | "aot" -> Some Aot
   | _ -> None
 
 (* Shared argv-style flag parsing, so every binary accepts the same
-   --engine=interp|tiered and --jit-threshold=N spellings. *)
+   --engine=interp|tiered|aot, --jit-threshold=N and --tcache-dir=DIR
+   spellings. *)
 let engine_flag cfg arg =
   match String.index_opt arg '=' with
   | Some i when String.sub arg 0 i = "--engine" -> (
       let v = String.sub arg (i + 1) (String.length arg - i - 1) in
       match engine_of_string v with
       | Some k -> Some { cfg with eng_kind = k }
-      | None -> invalid_arg ("unknown engine '" ^ v ^ "' (interp|tiered)"))
+      | None -> invalid_arg ("unknown engine '" ^ v ^ "' (interp|tiered|aot)"))
   | Some i when String.sub arg 0 i = "--jit-threshold" -> (
       let v = String.sub arg (i + 1) (String.length arg - i - 1) in
       match int_of_string_opt v with
       | Some n when n >= 1 -> Some { cfg with eng_threshold = n }
       | _ -> invalid_arg ("bad --jit-threshold '" ^ v ^ "' (positive integer)"))
+  | Some i when String.sub arg 0 i = "--tcache-dir" ->
+      let v = String.sub arg (i + 1) (String.length arg - i - 1) in
+      if v = "" then invalid_arg "bad --tcache-dir: empty path"
+      else Some { cfg with eng_tcache_dir = Some v }
   | _ -> None
 
 (* ---------- observability selection ---------- *)
@@ -311,11 +329,23 @@ let instantiate ?sys ?(engine = default_engine) built =
     | None -> []
   in
   let t = Sva_interp.Interp.load ~sys ~metapools built.bl_mod in
+  (* Persistent translation store: installed only when the caller asked
+     for one, so a test-installed directory survives instantiations that
+     don't mention it. *)
+  (match engine.eng_tcache_dir with
+  | Some _ as d -> Sva_interp.Tcache_disk.set_dir d
+  | None -> ());
   (* Second execution tier, if selected: installed before any code runs
-     so even the boot-time registration pass is profiled. *)
+     so even the boot-time registration pass is profiled.  AOT closure-
+     compiles the whole kernel right now (threshold 1 catches stragglers
+     linked later) — against a populated persistent store this is pure
+     verified reuse, so a second process boots hot. *)
   (match engine.eng_kind with
   | Interp -> ()
-  | Tiered -> Sva_interp.Closcomp.enable ~threshold:engine.eng_threshold t);
+  | Tiered -> Sva_interp.Closcomp.enable ~threshold:engine.eng_threshold t
+  | Aot ->
+      Sva_interp.Closcomp.enable ~threshold:1 t;
+      Sva_interp.Closcomp.compile_all t);
   (* SVM boot step: register every global object in its metapool before
      control first enters the program. *)
   if Irmod.find_func built.bl_mod "__sva_register_globals" <> None then

@@ -24,18 +24,25 @@ val all_confs : conf list
 
 (** {1 Execution engine selection}
 
-    The SVM runs bytecode on one of two tiers (Section 3.4): the
-    pre-decoded interpreter, or the tiered engine that promotes hot
+    The SVM runs bytecode on one of three engines (Section 3.4): the
+    pre-decoded interpreter; the tiered engine that promotes hot
     functions to closure-compiled code cached in a signed translation
-    cache ({!Sva_interp.Closcomp}).  The tiers are semantically
-    identical — same results, traps, check statistics and modeled
-    cycles; only host wall-clock time differs. *)
+    cache ({!Sva_interp.Closcomp}); or whole-kernel AOT, which
+    closure-compiles every function at instantiate time through the
+    same cache, so a populated persistent store
+    ({!Sva_interp.Tcache_disk}) lets a second process boot hot with
+    zero re-translations.  The engines are semantically identical —
+    same results, traps, check statistics and modeled cycles; only
+    host wall-clock time differs. *)
 
-type engine = Interp | Tiered
+type engine = Interp | Tiered | Aot
 
 type engine_config = {
   eng_kind : engine;
   eng_threshold : int;  (** calls before a function is promoted *)
+  eng_tcache_dir : string option;
+      (** persistent signed translation store directory; [None] keeps
+          the cache in-memory only *)
 }
 
 val default_jit_threshold : int
@@ -44,12 +51,16 @@ val default_engine : engine_config  (** [Interp] *)
 val tiered_engine : engine_config
 (** [Tiered] at {!default_jit_threshold}. *)
 
+val aot_engine : engine_config
+(** [Aot]: whole-kernel compile at instantiate, no warmup. *)
+
 val engine_name : engine -> string
 val engine_of_string : string -> engine option
 
 val engine_flag : engine_config -> string -> engine_config option
-(** Parse one [--engine=interp|tiered] or [--jit-threshold=N] argument
-    into an updated config; [None] if the argument is neither flag.
+(** Parse one [--engine=interp|tiered|aot], [--jit-threshold=N] or
+    [--tcache-dir=DIR] argument into an updated config; [None] if the
+    argument is none of these flags.
     @raise Invalid_argument on a malformed value.  Shared by the CLI
     binaries so the flags are spelled identically everywhere. *)
 

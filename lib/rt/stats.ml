@@ -118,20 +118,41 @@ type tier_snapshot = {
   tcache_hits : int;
   tcache_misses : int;
   sig_verifications : int;
+  tcache_disk_hits : int;
+  tcache_disk_stale : int;
+  tcache_disk_writes : int;
+  superblocks : int;
 }
 
 let tier_zero =
-  { promotions = 0; tcache_hits = 0; tcache_misses = 0; sig_verifications = 0 }
+  {
+    promotions = 0;
+    tcache_hits = 0;
+    tcache_misses = 0;
+    sig_verifications = 0;
+    tcache_disk_hits = 0;
+    tcache_disk_stale = 0;
+    tcache_disk_writes = 0;
+    superblocks = 0;
+  }
 
 let promo = ref 0
 let tc_hits = ref 0
 let tc_misses = ref 0
 let sig_verifies = ref 0
+let tcd_hits = ref 0
+let tcd_stale = ref 0
+let tcd_writes = ref 0
+let sblocks = ref 0
 
 let bump_promotion () = incr promo
 let bump_tcache_hit () = incr tc_hits
 let bump_tcache_miss () = incr tc_misses
 let bump_sig_verification () = incr sig_verifies
+let bump_tcache_disk_hit () = incr tcd_hits
+let bump_tcache_disk_stale () = incr tcd_stale
+let bump_tcache_disk_write () = incr tcd_writes
+let add_superblocks n = sblocks := !sblocks + n
 
 let read_tier () =
   {
@@ -139,13 +160,21 @@ let read_tier () =
     tcache_hits = !tc_hits;
     tcache_misses = !tc_misses;
     sig_verifications = !sig_verifies;
+    tcache_disk_hits = !tcd_hits;
+    tcache_disk_stale = !tcd_stale;
+    tcache_disk_writes = !tcd_writes;
+    superblocks = !sblocks;
   }
 
 let reset_tier () =
   promo := 0;
   tc_hits := 0;
   tc_misses := 0;
-  sig_verifies := 0
+  sig_verifies := 0;
+  tcd_hits := 0;
+  tcd_stale := 0;
+  tcd_writes := 0;
+  sblocks := 0
 
 let diff_tier a b =
   {
@@ -153,13 +182,19 @@ let diff_tier a b =
     tcache_hits = a.tcache_hits - b.tcache_hits;
     tcache_misses = a.tcache_misses - b.tcache_misses;
     sig_verifications = a.sig_verifications - b.sig_verifications;
+    tcache_disk_hits = a.tcache_disk_hits - b.tcache_disk_hits;
+    tcache_disk_stale = a.tcache_disk_stale - b.tcache_disk_stale;
+    tcache_disk_writes = a.tcache_disk_writes - b.tcache_disk_writes;
+    superblocks = a.superblocks - b.superblocks;
   }
 
 let tier_to_string s =
-  Printf.sprintf "promotions=%d tcache=%d/%d sigverify=%d" s.promotions
-    s.tcache_hits
+  Printf.sprintf
+    "promotions=%d tcache=%d/%d disk=%d/%d/%d sigverify=%d superblocks=%d"
+    s.promotions s.tcache_hits
     (s.tcache_hits + s.tcache_misses)
-    s.sig_verifications
+    s.tcache_disk_hits s.tcache_disk_stale s.tcache_disk_writes
+    s.sig_verifications s.superblocks
 
 (* ---------- range-elision counters ----------
 

@@ -77,6 +77,13 @@ type tier_snapshot = {
       (** fresh translations (cold cache or rejected signature) *)
   sig_verifications : int;
       (** signature re-verifications performed on cache probes *)
+  tcache_disk_hits : int;
+      (** translations reused from the persistent on-disk store *)
+  tcache_disk_stale : int;
+      (** on-disk entries rejected (tampered, truncated or stale) *)
+  tcache_disk_writes : int;
+      (** fresh signed entries persisted to the on-disk store *)
+  superblocks : int;  (** cross-branch trace superblocks formed *)
 }
 
 val tier_zero : tier_snapshot
@@ -84,6 +91,10 @@ val bump_promotion : unit -> unit
 val bump_tcache_hit : unit -> unit
 val bump_tcache_miss : unit -> unit
 val bump_sig_verification : unit -> unit
+val bump_tcache_disk_hit : unit -> unit
+val bump_tcache_disk_stale : unit -> unit
+val bump_tcache_disk_write : unit -> unit
+val add_superblocks : int -> unit
 val read_tier : unit -> tier_snapshot
 
 val reset_tier : unit -> unit

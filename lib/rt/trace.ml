@@ -24,6 +24,9 @@ type ekind =
   | Ev_tier_promote
   | Ev_tcache_hit
   | Ev_tcache_miss
+  | Ev_tcache_disk_hit
+  | Ev_tcache_disk_stale
+  | Ev_tcache_disk_write
   | Ev_range_elide
 
 let ekind_name = function
@@ -37,6 +40,9 @@ let ekind_name = function
   | Ev_tier_promote -> "tier-promote"
   | Ev_tcache_hit -> "tcache-hit"
   | Ev_tcache_miss -> "tcache-miss"
+  | Ev_tcache_disk_hit -> "tcache-disk-hit"
+  | Ev_tcache_disk_stale -> "tcache-disk-stale"
+  | Ev_tcache_disk_write -> "tcache-disk-write"
   | Ev_range_elide -> "range-elide"
 
 type event = {
@@ -117,6 +123,15 @@ let emit_svaos name = emit Ev_svaos ~name ~pool:"" ~a:0 ~b:0
 let emit_tier_promote name = emit Ev_tier_promote ~name ~pool:"" ~a:0 ~b:0
 let emit_tcache_hit name = emit Ev_tcache_hit ~name ~pool:"" ~a:0 ~b:0
 let emit_tcache_miss name = emit Ev_tcache_miss ~name ~pool:"" ~a:0 ~b:0
+
+let emit_tcache_disk_hit name =
+  emit Ev_tcache_disk_hit ~name ~pool:"" ~a:0 ~b:0
+
+let emit_tcache_disk_stale name =
+  emit Ev_tcache_disk_stale ~name ~pool:"" ~a:0 ~b:0
+
+let emit_tcache_disk_write name =
+  emit Ev_tcache_disk_write ~name ~pool:"" ~a:0 ~b:0
 
 let emit_range_elide ~what ~count =
   emit Ev_range_elide ~name:what ~pool:"" ~a:count ~b:0

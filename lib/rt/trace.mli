@@ -29,6 +29,10 @@ type ekind =
   | Ev_tier_promote  (** a function promoted to the compiled tier *)
   | Ev_tcache_hit  (** signed translation cache: verified reuse *)
   | Ev_tcache_miss  (** fresh translation *)
+  | Ev_tcache_disk_hit  (** persistent store: verified on-disk reuse *)
+  | Ev_tcache_disk_stale
+      (** persistent store: entry rejected (tampered/truncated/stale) *)
+  | Ev_tcache_disk_write  (** persistent store: fresh entry persisted *)
   | Ev_range_elide  (** build-time certified check elision ([ev_a]: count) *)
 
 val ekind_name : ekind -> string
@@ -91,6 +95,9 @@ val emit_svaos : string -> unit
 val emit_tier_promote : string -> unit
 val emit_tcache_hit : string -> unit
 val emit_tcache_miss : string -> unit
+val emit_tcache_disk_hit : string -> unit
+val emit_tcache_disk_stale : string -> unit
+val emit_tcache_disk_write : string -> unit
 val emit_range_elide : what:string -> count:int -> unit
 
 (** {1 Profiler}

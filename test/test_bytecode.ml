@@ -257,6 +257,37 @@ let test_fentry_tampered_rejected () =
   expect_tampered "stale native artifact" (fun () ->
       Signing.verify_function fe ~bytecode ~native:(native ^ "x"))
 
+(* on-disk serialization: structural codec for the persistent store *)
+let test_fentry_codec_roundtrip () =
+  let fe, _, _ = fentry_fixture () in
+  let fe' = Signing.decode_fentry (Signing.encode_fentry fe) in
+  Alcotest.(check bool) "roundtrip preserves every field" true (fe = fe');
+  (* a decoded entry still verifies — serialization is signature-safe *)
+  Signing.verify_function fe' ~bytecode:fe'.Signing.fe_bytecode
+    ~native:fe'.Signing.fe_native
+
+let expect_decode_error what s =
+  match Signing.decode_fentry s with
+  | _ -> Alcotest.failf "%s accepted by decode_fentry" what
+  | exception Codec.Decode_error _ -> ()
+
+let test_fentry_codec_rejects_garbage () =
+  let fe, _, _ = fentry_fixture () in
+  let enc = Signing.encode_fentry fe in
+  expect_decode_error "empty input" "";
+  expect_decode_error "bad magic" ("XXXXXXXX" ^ String.sub enc 8 (String.length enc - 8));
+  (* every truncation point must be rejected, not mis-parsed *)
+  for i = 0 to String.length enc - 1 do
+    expect_decode_error
+      (Printf.sprintf "truncation at byte %d" i)
+      (String.sub enc 0 i)
+  done;
+  expect_decode_error "trailing junk" (enc ^ "\000");
+  expect_decode_error "corrupt length field"
+    (let b = Bytes.of_string enc in
+     Bytes.set b 8 'z';
+     Bytes.to_string b)
+
 let test_fentry_wrong_key_rejected () =
   let fe, bytecode, native = fentry_fixture () in
   let saved = !Signing.svm_key in
@@ -307,5 +338,9 @@ let () =
             test_fentry_tampered_rejected;
           Alcotest.test_case "fentry wrong key" `Quick
             test_fentry_wrong_key_rejected;
+          Alcotest.test_case "fentry codec roundtrip" `Quick
+            test_fentry_codec_roundtrip;
+          Alcotest.test_case "fentry codec rejects garbage" `Quick
+            test_fentry_codec_rejects_garbage;
         ] );
     ]

@@ -8,12 +8,16 @@
 module Pipeline = Sva_pipeline.Pipeline
 module Interp = Sva_interp.Interp
 module Closcomp = Sva_interp.Closcomp
+module Tcache_disk = Sva_interp.Tcache_disk
 module Signing = Sva_bytecode.Signing
 module Stats = Sva_rt.Stats
 module Boot = Ukern.Boot
 
 let tiered_engine ?(threshold = 1) () =
-  { Pipeline.eng_kind = Pipeline.Tiered; eng_threshold = threshold }
+  { Pipeline.default_engine with Pipeline.eng_kind = Pipeline.Tiered; eng_threshold = threshold }
+
+let aot_engine ?dir () =
+  { Pipeline.default_engine with Pipeline.eng_kind = Pipeline.Aot; eng_tcache_dir = dir }
 
 (* ---------- differential property: random programs ---------- *)
 
@@ -76,7 +80,7 @@ let prop_engines_agree =
   let gen =
     QCheck2.Gen.(tup3 (int_range 0 5000) small_signed_int small_signed_int)
   in
-  QCheck2.Test.make ~name:"tiered engine agrees with the interpreter"
+  QCheck2.Test.make ~name:"tiered and aot engines agree with the interpreter"
     ~count:30 gen (fun (seed, a, b) ->
       let src = gen_program seed in
       let built =
@@ -86,7 +90,9 @@ let prop_engines_agree =
       let ri = run_built built None args in
       Closcomp.clear_cache ();
       let rt = run_built built (Some (tiered_engine ())) args in
-      ri = rt)
+      Closcomp.clear_cache ();
+      let ra = run_built built (Some (aot_engine ())) args in
+      ri = rt && ri = ra)
 
 (* Same property with the certified range elision on: the elided-check
    module must behave identically on both engines too. *)
@@ -190,6 +196,23 @@ let test_syscall_mix_identical () =
   Alcotest.(check bool) "functions were promoted" true
     (tier.Stats.promotions > 0)
 
+(* Same gate for the whole-kernel AOT engine: compiling everything at
+   instantiate time (superblocks included) must not move a single
+   modeled number. *)
+let test_syscall_mix_identical_aot () =
+  let ci, si, ki = measure_mix None in
+  Closcomp.clear_cache ();
+  Stats.reset_tier ();
+  let ca, sa, ka = measure_mix (Some (aot_engine ())) in
+  let tier = Stats.read_tier () in
+  Alcotest.(check int) "modeled cycles" ci ca;
+  Alcotest.(check int) "steps" si sa;
+  Alcotest.(check string) "check stats" ki ka;
+  Alcotest.(check bool) "whole kernel was compiled" true
+    (tier.Stats.promotions > 0);
+  Alcotest.(check bool) "superblocks were formed" true
+    (tier.Stats.superblocks > 0)
+
 (* ---------- signed translation cache ---------- *)
 
 let sum_src =
@@ -271,6 +294,111 @@ let test_tampered_native_falls_back () =
   Alcotest.(check bool) "tamper counted as a miss" true
     ((Stats.read_tier ()).Stats.tcache_misses > 0)
 
+(* ---------- persistent translation store ---------- *)
+
+let with_store f =
+  let dir = Filename.temp_dir "sva-tc-test" "" in
+  Fun.protect
+    ~finally:(fun () ->
+      Tcache_disk.set_dir None;
+      Closcomp.clear_cache ();
+      Array.iter
+        (fun name -> try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () -> f dir)
+
+let disk_engine dir =
+  { (tiered_engine ()) with Pipeline.eng_tcache_dir = Some dir }
+
+(* A fresh process has an empty in-memory cache but the same store: the
+   second instantiation must reload every translation from disk,
+   re-verify it, and translate nothing. *)
+let test_disk_cold_then_warm () =
+  let built = build_sum () in
+  with_store (fun dir ->
+      Closcomp.clear_cache ();
+      Stats.reset_tier ();
+      let t1 = Pipeline.instantiate ~engine:(disk_engine dir) built in
+      let r1 = Interp.call t1 "f" [ 5L; 7L ] in
+      let cold = Stats.read_tier () in
+      Alcotest.(check bool) "cold run translated" true
+        (cold.Stats.tcache_misses > 0);
+      Alcotest.(check bool) "cold run persisted entries" true
+        (cold.Stats.tcache_disk_writes > 0);
+      Closcomp.clear_cache ();
+      Stats.reset_tier ();
+      let t2 = Pipeline.instantiate ~engine:(disk_engine dir) built in
+      let r2 = Interp.call t2 "f" [ 5L; 7L ] in
+      let warm = Stats.read_tier () in
+      Alcotest.(check bool) "same result" true (r1 = r2);
+      Alcotest.(check bool) "warm run hits the store" true
+        (warm.Stats.tcache_disk_hits >= 1);
+      Alcotest.(check int) "warm run re-translates nothing" 0
+        warm.Stats.tcache_misses;
+      Alcotest.(check bool) "disk entries were re-verified" true
+        (warm.Stats.sig_verifications > 0))
+
+(* Corrupt the on-disk entry for [f] in a given way; the warm run must
+   detect it (disk-stale), quietly re-translate, produce the identical
+   result, and repair the store. *)
+let test_disk_corruption mutate () =
+  let built = build_sum () in
+  with_store (fun dir ->
+      Closcomp.clear_cache ();
+      Stats.reset_tier ();
+      let t1 = Pipeline.instantiate ~engine:(disk_engine dir) built in
+      let expected = Interp.call t1 "f" [ 5L; 7L ] in
+      let key = key_of built "f" in
+      let path = Filename.concat dir (key ^ ".fent") in
+      Alcotest.(check bool) "entry for f is on disk" true (Sys.file_exists path);
+      let data = In_channel.with_open_bin path In_channel.input_all in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (mutate data));
+      Closcomp.clear_cache ();
+      Stats.reset_tier ();
+      let t2 = Pipeline.instantiate ~engine:(disk_engine dir) built in
+      let r = Interp.call t2 "f" [ 5L; 7L ] in
+      let tier = Stats.read_tier () in
+      Alcotest.(check bool) "identical result after fallback" true
+        (r = expected);
+      Alcotest.(check bool) "corruption detected as disk-stale" true
+        (tier.Stats.tcache_disk_stale > 0);
+      Alcotest.(check bool) "function re-translated" true
+        (tier.Stats.tcache_misses > 0);
+      Alcotest.(check bool) "store repaired" true
+        (tier.Stats.tcache_disk_writes > 0);
+      (* the repaired entry decodes and verifies again *)
+      let repaired =
+        Signing.decode_fentry (In_channel.with_open_bin path In_channel.input_all)
+      in
+      Signing.verify_function repaired
+        ~bytecode:repaired.Signing.fe_bytecode
+        ~native:repaired.Signing.fe_native)
+
+let truncate_entry data = String.sub data 0 (String.length data / 2)
+
+let flip_signature data =
+  Signing.encode_fentry
+    (Signing.tamper_fentry_signature (Signing.decode_fentry data))
+
+let stale_bytecode data =
+  Signing.encode_fentry
+    (Signing.tamper_fentry_bytecode (Signing.decode_fentry data))
+
+(* structurally valid and internally consistent, but signed by a key
+   that is not the SVM's *)
+let wrong_key data =
+  let e = Signing.decode_fentry data in
+  let saved = !Signing.svm_key in
+  Signing.svm_key := "not-the-svm-key";
+  let e' =
+    Signing.sign_function ~name:e.Signing.fe_name
+      ~bytecode:e.Signing.fe_bytecode ~native:e.Signing.fe_native
+  in
+  Signing.svm_key := saved;
+  Signing.encode_fentry e'
+
 let () =
   Alcotest.run "sva_tiered"
     [
@@ -282,6 +410,8 @@ let () =
             test_exploit_verdicts_agree;
           Alcotest.test_case "syscall mix bit-identical" `Quick
             test_syscall_mix_identical;
+          Alcotest.test_case "syscall mix bit-identical (aot)" `Quick
+            test_syscall_mix_identical_aot;
         ] );
       ( "translation-cache",
         [
@@ -291,5 +421,18 @@ let () =
             test_tampered_entry_falls_back;
           Alcotest.test_case "tampered native artifact falls back" `Quick
             test_tampered_native_falls_back;
+        ] );
+      ( "persistent-store",
+        [
+          Alcotest.test_case "cold boot persists, warm process reloads" `Quick
+            test_disk_cold_then_warm;
+          Alcotest.test_case "truncated entry falls back" `Quick
+            (test_disk_corruption truncate_entry);
+          Alcotest.test_case "flipped signature byte falls back" `Quick
+            (test_disk_corruption flip_signature);
+          Alcotest.test_case "stale bytecode digest falls back" `Quick
+            (test_disk_corruption stale_bytecode);
+          Alcotest.test_case "wrong-key entry falls back" `Quick
+            (test_disk_corruption wrong_key);
         ] );
     ]

@@ -128,7 +128,7 @@ let gen_program seed =
     e1 e2 (mask land 31)
 
 let tiered_engine ?(threshold = 1) () =
-  { Pipeline.eng_kind = Pipeline.Tiered; eng_threshold = threshold }
+  { Pipeline.default_engine with Pipeline.eng_kind = Pipeline.Tiered; eng_threshold = threshold }
 
 let run_built built engine args =
   Stats.reset ();
@@ -169,7 +169,9 @@ let event_stream () =
   List.filter_map
     (fun (e : Trace.event) ->
       match e.Trace.ev_kind with
-      | Trace.Ev_tier_promote | Trace.Ev_tcache_hit | Trace.Ev_tcache_miss ->
+      | Trace.Ev_tier_promote | Trace.Ev_tcache_hit | Trace.Ev_tcache_miss
+      | Trace.Ev_tcache_disk_hit | Trace.Ev_tcache_disk_stale
+      | Trace.Ev_tcache_disk_write ->
           None
       | k ->
           Some
