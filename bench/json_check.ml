@@ -173,6 +173,56 @@ let check_race path race =
     fail "%s: workload conc ops are unbalanced" path;
   note "race %d certs %d/%d injections" n_acerts inj_caught injected
 
+(* pool-safety certification must be pure observation (summary, cycles
+   and check counters bit-identical with certification on), the trusted
+   checker must have verified the clean-kernel bundle, at least one TH
+   certificate and one elision must exist, and the certificate-injection
+   experiment must catch every corruption *)
+let check_poolcert path pc =
+  let certs = get "poolcert.certificates" (J.member "certificates" pc) in
+  (match J.member "verified" certs with
+  | Some (J.Bool true) -> ()
+  | _ -> fail "%s: pool-safety certificates not marked verified" path);
+  let cint k = J.to_int (get ("poolcert.certificates." ^ k) (J.member k certs)) in
+  if cint "errors" <> 0 then
+    fail "%s: trusted checker rejected %d-error pool bundle" path
+      (cint "errors");
+  if cint "th" <= 0 then fail "%s: no pool was certified TH" path;
+  let el = get "poolcert.elisions" (J.member "elisions" pc) in
+  let eint k = J.to_int (get ("poolcert.elisions." ^ k) (J.member k el)) in
+  let elided = eint "th" + eint "reduced" + eint "funccheck" in
+  if elided <= 0 then fail "%s: no check elision was recorded" path;
+  let bi = get "poolcert.bit-identity" (J.member "bit-identity" pc) in
+  (match J.member "summary-match" bi with
+  | Some (J.Bool true) -> ()
+  | _ -> fail "%s: instrumentation summary diverges under certification" path);
+  (match J.member "checks-match" bi with
+  | Some (J.Bool true) -> ()
+  | _ -> fail "%s: check counters diverge under certification" path);
+  let pair k =
+    let o = get ("poolcert.bit-identity." ^ k) (J.member k bi) in
+    ( J.to_int (get (k ^ ".off") (J.member "off" o)),
+      J.to_int (get (k ^ ".on") (J.member "on" o)) )
+  in
+  let b_off, b_on = pair "boot-cycles" in
+  if b_off <> b_on then
+    fail "%s: certification changed boot cycles (%d vs %d)" path b_off b_on;
+  let w_off, w_on = pair "workload-cycles" in
+  if w_off <> w_on then
+    fail "%s: certification changed workload cycles (%d vs %d)" path w_off
+      w_on;
+  let inj = get "poolcert.injection" (J.member "injection" pc) in
+  let injected =
+    J.to_int (get "poolcert.injection.injected" (J.member "injected" inj))
+  and inj_caught =
+    J.to_int (get "poolcert.injection.caught" (J.member "caught" inj))
+  in
+  if injected <= 0 || inj_caught <> injected then
+    fail "%s: pool-certificate injection caught %d/%d bugs" path inj_caught
+      injected;
+  note "poolcert %d TH certs %d elisions %d/%d injections" (cint "th") elided
+    inj_caught injected
+
 (* the observability layer must be semantically invisible (obs-on and
    obs-off agree bit-for-bit), must actually record events, must
    attribute >= 95% of modeled cycles to syscall scopes, and its Chrome
@@ -243,6 +293,7 @@ let checkers =
     ("aot", check_aot);
     ("ranges", check_ranges);
     ("race", check_race);
+    ("poolcert", check_poolcert);
     ("trace", check_trace);
   ]
 

@@ -12,7 +12,8 @@
                                             numbers for the data-bearing
                                             sections (fastpath, tiered,
                                             aot, table7, lint, ranges,
-                                            race, trace) that were run
+                                            race, poolcert, trace) that
+                                            were run
 
    Unknown flags and unknown section names are errors (exit 2): a typo
    must not silently select nothing and report success.  A section that
@@ -32,9 +33,9 @@ let only : string list ref = ref []
    against this list.  Must match the [section] calls below. *)
 let known_sections =
   [
-    "table4"; "figure2"; "checks"; "lint"; "ranges"; "race"; "table7";
-    "table8"; "table5"; "table6"; "table9"; "ablation"; "fastpath"; "tiered";
-    "aot"; "trace"; "exploits"; "verifier"; "bechamel";
+    "table4"; "figure2"; "checks"; "lint"; "ranges"; "race"; "poolcert";
+    "table7"; "table8"; "table5"; "table6"; "table9"; "ablation"; "fastpath";
+    "tiered"; "aot"; "trace"; "exploits"; "verifier"; "bechamel";
   ]
 
 let usage () =
@@ -223,6 +224,7 @@ let () =
   section "lint" (fun () -> Tables.lint_table ());
   section "ranges" (fun () -> Tables.ranges_table ());
   section "race" (fun () -> Tables.race_table ~strict:!strict ());
+  section "poolcert" (fun () -> Tables.poolcert_table ~strict:!strict ());
   section "table7" (fun () -> Tables.table7 ~quick:!quick ());
   section "table8" (fun () -> Tables.table8 ~quick:!quick ());
   section "table5" (fun () -> Tables.table5 ~quick:!quick ());
@@ -264,6 +266,7 @@ let () =
             ("lint", fun () -> Tables.lint_json ());
             ("ranges", fun () -> Tables.ranges_json ());
             ("race", fun () -> Tables.race_json ());
+            ("poolcert", fun () -> Tables.poolcert_json ());
             ("trace", fun () -> Tables.trace_json ~quick:!quick ());
           ]
       in

@@ -5,15 +5,19 @@
      pa_dump FILE [FUNC]
      pa_dump --ranges FILE [FUNC]
      pa_dump --races FILE [FUNC]
+     pa_dump --poolcert FILE [FUNC]
 
-   With FUNC, only that function's IR (or range/lockset facts) is
-   printed (the whole graph is always printed).  --ranges dumps the
-   value-range analysis instead: per-function interval fixpoints,
-   interprocedural summaries and the in-extent gep certificates,
-   re-verified by the trusted checker.  --races dumps the concurrency
-   pass: per-function entry protections, the lock-order graph, the
-   atomicity certificates (re-verified by the trusted checker) and any
-   findings. *)
+   With FUNC, only that function's IR (or range/lockset/certificate
+   facts) is printed (the whole graph is always printed).  --ranges
+   dumps the value-range analysis instead: per-function interval
+   fixpoints, interprocedural summaries and the in-extent gep
+   certificates, re-verified by the trusted checker.  --races dumps the
+   concurrency pass: per-function entry protections, the lock-order
+   graph, the atomicity certificates (re-verified by the trusted
+   checker) and any findings.  --poolcert dumps the pool-safety
+   evidence bundle: the TH, completeness and devirtualization
+   certificates plus every recorded check elision, and the trusted
+   checker's verdict over the whole bundle. *)
 
 module Pointsto = Sva_analysis.Pointsto
 module Interval = Sva_analysis.Interval
@@ -130,6 +134,78 @@ let dump_races m config func =
         errs;
       exit 1
 
+let dump_poolcert m config func =
+  let module Poolev = Sva_safety.Poolev in
+  let pa = Pointsto.run ~config m in
+  let mps =
+    Sva_safety.Metapool.infer m pa config.Pointsto.allocators
+  in
+  let b = Poolev.create m pa mps in
+  ignore
+    (Sva_safety.Checkinsert.run ~poolcert:b m pa mps
+       config.Pointsto.allocators);
+  let wanted fn = match func with Some f -> f = fn | None -> true in
+  let site_str (s : Poolev.site) =
+    Printf.sprintf "@%s %%%d" s.Poolev.s_func s.Poolev.s_instr
+  in
+  print_endline "== type-homogeneity certificates ==";
+  List.iter
+    (fun (c : Poolev.th_cert) ->
+      Printf.printf "  MP%d : %s (%d member sites)\n" c.Poolev.tc_mp
+        (Sva_ir.Ty.to_string c.Poolev.tc_ty)
+        (List.length c.Poolev.tc_members))
+    b.Poolev.pb_th;
+  print_endline "\n== completeness certificates ==";
+  List.iter
+    (fun (c : Poolev.comp_cert) ->
+      Printf.printf "  MP%d : %s%s\n" c.Poolev.cc_mp
+        (if c.Poolev.cc_complete then "complete" else "incomplete")
+        (match c.Poolev.cc_frontier with
+        | [] -> ""
+        | fr ->
+            " ["
+            ^ String.concat "; " (List.map site_str fr)
+            ^ "]"))
+    b.Poolev.pb_comp;
+  print_endline "\n== devirtualization certificates ==";
+  List.iter
+    (fun (c : Poolev.dv_cert) ->
+      if wanted c.Poolev.dc_func then
+        Printf.printf "  @%s %%%d MP%d -> {%s}\n" c.Poolev.dc_func
+          c.Poolev.dc_instr c.Poolev.dc_mp
+          (String.concat ", " c.Poolev.dc_targets))
+    b.Poolev.pb_dv;
+  print_endline "\n== recorded elisions ==";
+  List.iter
+    (fun (e : Poolev.elision) ->
+      match e with
+      | Poolev.El_th (s, mp) when wanted s.Poolev.s_func ->
+          Printf.printf "  %s : lscheck elided (MP%d type-homogeneous)\n"
+            (site_str s) mp
+      | Poolev.El_reduced (s, mp) when wanted s.Poolev.s_func ->
+          Printf.printf "  %s : lscheck reduced (MP%d incomplete)\n"
+            (site_str s) mp
+      | Poolev.El_func (s, mp, j) when wanted s.Poolev.s_func ->
+          Printf.printf "  %s : funccheck elided (MP%d %s)\n" (site_str s)
+            mp
+            (match j with
+            | Poolev.Fc_th -> "type-homogeneous"
+            | Poolev.Fc_incomplete -> "incomplete")
+      | _ -> ())
+    b.Poolev.pb_elisions;
+  match Sva_tyck.Poolcert.check ~config m b with
+  | [] ->
+      Printf.printf
+        "\npool-safety evidence: %d certificates, %d recorded elisions, \
+         all re-verified by the trusted checker\n"
+        (Poolev.cert_count b) (Poolev.elision_count b)
+  | errs ->
+      Printf.printf "\npool-safety certificates REJECTED:\n";
+      List.iter
+        (fun e -> Printf.printf "  %s\n" (Sva_tyck.Poolcert.string_of_error e))
+        errs;
+      exit 1
+
 let () =
   let mode, file, func =
     match Sys.argv with
@@ -137,10 +213,13 @@ let () =
     | [| _; "--ranges"; f; fn |] -> (`Ranges, f, Some fn)
     | [| _; "--races"; f |] -> (`Races, f, None)
     | [| _; "--races"; f; fn |] -> (`Races, f, Some fn)
+    | [| _; "--poolcert"; f |] -> (`Poolcert, f, None)
+    | [| _; "--poolcert"; f; fn |] -> (`Poolcert, f, Some fn)
     | [| _; f |] -> (`Pa, f, None)
     | [| _; f; fn |] -> (`Pa, f, Some fn)
     | _ ->
-        prerr_endline "usage: pa_dump [--ranges | --races] FILE [FUNC]";
+        prerr_endline
+          "usage: pa_dump [--ranges | --races | --poolcert] FILE [FUNC]";
         exit 2
   in
   let m = Sva_pipeline.Pipeline.load_file file in
@@ -157,6 +236,9 @@ let () =
       exit 0
   | `Races ->
       dump_races m config func;
+      exit 0
+  | `Poolcert ->
+      dump_poolcert m config func;
       exit 0
   | `Pa -> ());
   let pa = Pointsto.run ~config m in

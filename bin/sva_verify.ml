@@ -4,6 +4,9 @@
      sva_verify --rangecert FILE
      sva_verify --range-selftest
      sva_verify --atomcert
+     sva_verify --poolcert [FILE]
+     sva_verify --poolcert-selftest
+     sva_verify --cert-selftest FILE
 
    Loads an SVA module (bytecode, or MiniC compiled on the fly), runs
    the IR well-formedness verifier, and reports module statistics.
@@ -20,12 +23,28 @@
    analysis runs over the embedded kernel plus the race fixture, the
    trusted atomicity checker re-verifies the certificate bundle, and the
    certificate-bug injection experiment corrupts it in every supported
-   way — each corruption must be rejected. *)
+   way — each corruption must be rejected.
+
+   --poolcert does the same for the points-to layer: the module (the
+   embedded kernel when no FILE is given) is built with pool-safety
+   certification, the trusted checker re-verifies the membership maps
+   and every TH/completeness/devirt certificate and elision record, and
+   the pool-certificate bug injection experiment corrupts the bundle in
+   every supported way — each corruption must be rejected.
+   --poolcert-selftest is --poolcert over the embedded kernel through
+   the full build pipeline (the shipped configuration).
+
+   --cert-selftest runs every certificate self-test — rangecert over
+   FILE, atomcert and poolcert over the embedded kernel — and prints one
+   pass/fail table. *)
 
 module Interval = Sva_analysis.Interval
 module Rangecert = Sva_tyck.Rangecert
 module Lockset = Sva_analysis.Lockset
 module Atomcert = Sva_tyck.Atomcert
+module Poolcert = Sva_tyck.Poolcert
+module Inject = Sva_tyck.Inject
+module Poolev = Sva_safety.Poolev
 
 let load path =
   let data = In_channel.with_open_bin path In_channel.input_all in
@@ -47,6 +66,9 @@ let range_selftest () =
   Printf.printf "interval kernel selftest: OK (%d checks against the \
                  constant folder)\n" n
 
+(* Each certificate self-test prints its own detail and returns
+   (caught, total) over the injection experiment; certificate rejection
+   on the clean build is a hard failure (exit 1) in every mode. *)
 let rangecert path =
   let m, _ = load path in
   let pa = Sva_analysis.Pointsto.run m in
@@ -85,7 +107,7 @@ let rangecert path =
       if not c then
         Printf.eprintf "  MISSED %s: %s\n" (Rangecert.bug_name bug) desc)
     results;
-  if caught <> List.length results then exit 1
+  (caught, List.length results)
 
 let atomcert () =
   let v = Ukern.Kbuild.as_tested in
@@ -121,19 +143,111 @@ let atomcert () =
       if not c then
         Printf.eprintf "  MISSED %s: %s\n" (Atomcert.bug_name bug) desc)
     results;
-  if caught <> List.length results then exit 1
+  (caught, List.length results)
+
+(* Shared poolcert reporting: verify a (module, bundle) pair the caller
+   built, then run the pool-certificate bug injection experiment. *)
+let poolcert_report label config m b =
+  (match Poolcert.check ~config m b with
+  | [] ->
+      Printf.printf
+        "%s: pool-safety certificates OK (%d TH + %d completeness + %d \
+         devirt certificates, %d recorded elisions)\n"
+        label
+        (List.length b.Poolev.pb_th)
+        (List.length b.Poolev.pb_comp)
+        (List.length b.Poolev.pb_dv)
+        (Poolev.elision_count b)
+  | errs ->
+      Printf.eprintf "%s: pool-safety certificates REJECTED (%d errors)\n"
+        label (List.length errs);
+      List.iter
+        (fun e -> Printf.eprintf "  %s\n" (Poolcert.string_of_error e))
+        errs;
+      exit 1);
+  let results = Inject.pool_experiment ~config m b ~instances:3 in
+  let caught = List.length (List.filter (fun (_, _, c) -> c) results) in
+  Printf.printf "  injected certificate bugs: %d/%d caught\n" caught
+    (List.length results);
+  List.iter
+    (fun (bug, desc, c) ->
+      if not c then
+        Printf.eprintf "  MISSED %s: %s\n" (Inject.pool_bug_name bug) desc)
+    results;
+  (caught, List.length results)
+
+(* --poolcert FILE: certify an arbitrary module under the default
+   porting configuration (points-to, metapools, check insertion with
+   evidence recording, then the trusted checker). *)
+let poolcert_file path =
+  let m, _ = load path in
+  let config = Sva_analysis.Pointsto.default_config in
+  let pa = Sva_analysis.Pointsto.run ~config m in
+  let mps =
+    Sva_safety.Metapool.infer m pa config.Sva_analysis.Pointsto.allocators
+  in
+  let b = Poolev.create m pa mps in
+  ignore
+    (Sva_safety.Checkinsert.run ~poolcert:b m pa mps
+       config.Sva_analysis.Pointsto.allocators);
+  poolcert_report path config m b
+
+(* --poolcert-selftest: the embedded kernel through the full shipped
+   pipeline with certification on — the pipeline gate already enforces
+   acceptance; the report re-checks and then injects bugs. *)
+let poolcert_selftest () =
+  let v = Ukern.Kbuild.as_tested in
+  let built = Ukern.Kbuild.build ~poolcert:true v in
+  let b =
+    match built.Sva_pipeline.Pipeline.bl_poolcert with
+    | Some b -> b
+    | None -> failwith "poolcert build carried no bundle"
+  in
+  poolcert_report "ukern" (Ukern.Kbuild.aconfig v)
+    built.Sva_pipeline.Pipeline.bl_mod b
+
+(* --cert-selftest FILE: all three certificate pipelines, one table. *)
+let cert_selftest path =
+  let rows =
+    [
+      ("rangecert", rangecert path);
+      ("atomcert", atomcert ());
+      ("poolcert", poolcert_selftest ());
+    ]
+  in
+  print_newline ();
+  Printf.printf "certificate self-test summary:\n";
+  Printf.printf "  %-12s %-12s %s\n" "checker" "injections" "result";
+  let ok =
+    List.fold_left
+      (fun ok (name, (caught, total)) ->
+        let pass = caught = total in
+        Printf.printf "  %-12s %2d/%-2d        %s\n" name caught total
+          (if pass then "PASS" else "FAIL");
+        ok && pass)
+      true rows
+  in
+  if not ok then exit 1
 
 let usage () =
   prerr_endline
     "usage: sva_verify FILE | sva_verify --rangecert FILE | sva_verify \
-     --range-selftest | sva_verify --atomcert";
+     --range-selftest | sva_verify --atomcert | sva_verify --poolcert \
+     [FILE] | sva_verify --poolcert-selftest | sva_verify --cert-selftest \
+     FILE";
   exit 2
+
+let exit_if_missed (caught, total) = if caught <> total then exit 1
 
 let () =
   match Sys.argv with
   | [| _; "--range-selftest" |] -> range_selftest ()
-  | [| _; "--rangecert"; path |] -> rangecert path
-  | [| _; "--atomcert" |] -> atomcert ()
+  | [| _; "--rangecert"; path |] -> exit_if_missed (rangecert path)
+  | [| _; "--atomcert" |] -> exit_if_missed (atomcert ())
+  | [| _; "--poolcert" |] | [| _; "--poolcert-selftest" |] ->
+      exit_if_missed (poolcert_selftest ())
+  | [| _; "--poolcert"; path |] -> exit_if_missed (poolcert_file path)
+  | [| _; "--cert-selftest"; path |] -> cert_selftest path
   (* A flag we don't know is an error, not a file name. *)
   | [| _; flag |] when String.length flag > 0 && flag.[0] = '-' ->
       Printf.eprintf "sva_verify: unknown flag '%s'\n" flag;

@@ -2,7 +2,8 @@
 
      ukern_boot [native|gcc|llvm|safe] [--engine=interp|tiered|aot]
                 [--jit-threshold=N] [--tcache-dir=DIR] [--ranges]
-                [--races] [--trace[=N]] [--trace-out=FILE] [--profile]
+                [--races] [--poolcert] [--trace[=N]] [--trace-out=FILE]
+                [--profile]
                 (default: safe, interp)
 
    Prints the boot transcript, runs a small syscall workload, and reports
@@ -17,8 +18,8 @@ module Pipeline = Sva_pipeline.Pipeline
 
 let usage = "usage: ukern_boot [native|gcc|llvm|safe] \
              [--engine=interp|tiered|aot] [--jit-threshold=N] \
-             [--tcache-dir=DIR] [--ranges] [--races] [--trace[=N]] \
-             [--trace-out=FILE] [--profile]"
+             [--tcache-dir=DIR] [--ranges] [--races] [--poolcert] \
+             [--trace[=N]] [--trace-out=FILE] [--profile]"
 
 let conf_of_string = function
   | "native" -> Some Pipeline.Native
@@ -40,11 +41,13 @@ let () =
   let obs = ref Pipeline.default_obs in
   let ranges = ref false in
   let races = ref false in
+  let poolcert = ref false in
   Array.iteri
     (fun i arg ->
       if i > 0 then
         if arg = "--ranges" then ranges := true
         else if arg = "--races" then races := true
+        else if arg = "--poolcert" then poolcert := true
         else
           match
             match Pipeline.engine_flag !engine arg with
@@ -68,16 +71,17 @@ let () =
           | exception Invalid_argument msg -> reject ("ukern_boot: " ^ msg))
     Sys.argv;
   let conf = !conf and engine = !engine and obs = !obs in
-  let ranges = !ranges and races = !races in
+  let ranges = !ranges and races = !races and poolcert = !poolcert in
   (* Observability goes live before the build so build-time events
      (range-certified elisions) and boot are captured too. *)
   Pipeline.install_obs obs;
-  Printf.printf "building %s kernel (%s engine%s%s)...\n%!"
+  Printf.printf "building %s kernel (%s engine%s%s%s)...\n%!"
     (Pipeline.conf_name conf)
     (Pipeline.engine_name engine.Pipeline.eng_kind)
     (if ranges then ", range elision" else "")
-    (if races then ", concurrency audit" else "");
-  let t = Boot.boot ~conf ~engine ~ranges ~races () in
+    (if races then ", concurrency audit" else "")
+    (if poolcert then ", pool certification" else "");
+  let t = Boot.boot ~conf ~engine ~ranges ~races ~poolcert () in
   Printf.printf "booted: kernel_booted=%Ld (%d instructions)\n"
     (Boot.kernel_global t "kernel_booted")
     (Boot.steps t);
@@ -89,6 +93,10 @@ let () =
      translation story (disk hits included) happens at instantiate,
      before this boundary. *)
   let range_stats = Sva_rt.Stats.read_range () in
+  (* Same boundary rule for the pool-certification audit: the counts are
+     build-time facts, and reset_all below would zero them before the
+     report prints. *)
+  let pool_stats = Sva_rt.Stats.read_pool () in
   let tier_boot = Sva_rt.Stats.read_tier () in
   Sva_rt.Stats.reset_all ();
   Boot.reset_cycles t;
@@ -136,6 +144,18 @@ let () =
   end;
   if ranges then
     Printf.printf "ranges:   %s\n" (Sva_rt.Stats.range_to_string range_stats);
+  if poolcert then begin
+    Printf.printf "poolcert: %s\n" (Sva_rt.Stats.pool_to_string pool_stats);
+    match t.Boot.built.Pipeline.bl_poolcert with
+    | Some b ->
+        Printf.printf
+          "          %d TH + %d completeness + %d devirt certificates, \
+           all re-verified by the trusted checker\n"
+          (List.length b.Sva_safety.Poolev.pb_th)
+          (List.length b.Sva_safety.Poolev.pb_comp)
+          (List.length b.Sva_safety.Poolev.pb_dv)
+    | None -> ()
+  end;
   if races then begin
     Printf.printf "conc:     %s\n"
       (Sva_rt.Stats.conc_to_string (Sva_rt.Stats.read_conc ()));

@@ -43,6 +43,13 @@ type alloc_site = {
   al_size_class : int option;
 }
 
+type escape_site = {
+  es_func : string;
+  es_instr : int;
+  es_reason : string;
+  es_node : node;
+}
+
 type config = {
   allocators : Allocdecl.t list;
   copy_functions : string list;
@@ -99,6 +106,12 @@ type result = {
   interior : (string * int, unit) Hashtbl.t;
       (* registers holding mid-object (field) pointers: their loads/stores
          do not contribute to the node's homogeneous type *)
+  escapes : (string * int * int, string * node) Hashtbl.t;
+      (* escape-frontier evidence, keyed (function, instr, operand slot;
+         -1 = result).  Recorded on every pass (keyed replacement is
+         idempotent) so the last fixpoint sweep leaves records that match
+         the final partitions — integer operands may only join a pointer
+         partition after the first pass. *)
 }
 
 (* ---------- union-find ---------- *)
@@ -246,9 +259,10 @@ let deref st n =
       n.succ <- Some s;
       s
 
-let mark_extern_exposed n =
+let mark_extern_exposed st ~fname ~instr ~slot ~reason n =
   let n = find n in
-  n.extern_seed <- true
+  n.extern_seed <- true;
+  Hashtbl.replace st.escapes (fname, instr, slot) (reason, n)
 
 let is_interior st fname (v : Value.t) =
   match v with
@@ -328,19 +342,22 @@ let handle_user_copy st ~fname dst src =
   | Some n, None | None, Some n -> collapse n
   | None, None -> ()
 
-let handle_extern_call st ~fname args result_node =
-  List.iter
-    (fun arg ->
+let handle_extern_call st ~fname ~instr ~callee args result_node =
+  let reason = "escapes to unanalyzed '" ^ callee ^ "'" in
+  List.iteri
+    (fun slot arg ->
       match node_of_int st ~fname arg with
       | Some n ->
-          mark_extern_exposed n;
+          mark_extern_exposed st ~fname ~instr ~slot ~reason n;
           set_flag n Unknown
       | None -> ())
     args;
   match result_node with
   | Some n ->
       set_flag n Unknown;
-      mark_extern_exposed n
+      mark_extern_exposed st ~fname ~instr ~slot:(-1)
+        ~reason:("result of unanalyzed '" ^ callee ^ "'")
+        n
   | None -> ()
 
 let is_defined_analyzed st name =
@@ -453,8 +470,12 @@ let handle_call st ~fname (i : Instr.t) callee args =
                 | Value.Imm (_, num) :: rest -> (
                     match Hashtbl.find_opt st.syscalls (Int64.to_int num) with
                     | Some h -> unify_call st ~fname h rest result_key
-                    | None -> handle_extern_call st ~fname rest result_node)
-                | _ -> handle_extern_call st ~fname args result_node)
+                    | None ->
+                        handle_extern_call st ~fname ~instr:i.Instr.id
+                          ~callee:name rest result_node)
+                | _ ->
+                    handle_extern_call st ~fname ~instr:i.Instr.id ~callee:name
+                      args result_node)
               else if List.mem name st.cfg.known_externs then ()
               else if is_sva_name name then
                 (* SVA-OS operations are implemented by the (trusted) SVM
@@ -462,7 +483,9 @@ let handle_call st ~fname (i : Instr.t) callee args =
                 ()
               else if is_defined_analyzed st name then
                 unify_call st ~fname name args result_key
-              else handle_extern_call st ~fname args result_node))
+              else
+                handle_extern_call st ~fname ~instr:i.Instr.id ~callee:name
+                  args result_node))
   | callee_v -> (
       match node_of st ~fname callee_v with
       | Some cn ->
@@ -613,7 +636,8 @@ let transfer st ~fname (i : Instr.t) =
               match result_node () with
               | Some n ->
                   set_flag n Unknown;
-                  mark_extern_exposed n
+                  mark_extern_exposed st ~fname ~instr:i.Instr.id ~slot:(-1)
+                    ~reason:"manufactured address (constant inttoptr)" n
               | None -> ())
           | _ -> (
               (* A non-constant integer cast to a pointer: the integer is
@@ -623,7 +647,8 @@ let transfer st ~fname (i : Instr.t) =
               | Some rn, Some xn -> unify rn xn
               | Some rn, None ->
                   set_flag rn Unknown;
-                  mark_extern_exposed rn
+                  mark_extern_exposed st ~fname ~instr:i.Instr.id ~slot:(-1)
+                    ~reason:"inttoptr of an untracked integer" rn
               | None, _ -> ()))
       | Instr.Trunc | Instr.Zext | Instr.Sext -> (
           match (result_node (), node_of_int x) with
@@ -789,6 +814,7 @@ let run ?(config = default_config) (m : Irmod.t) =
       indirects = [];
       syscalls = Hashtbl.create 16;
       interior = Hashtbl.create 256;
+      escapes = Hashtbl.create 64;
     }
   in
   (* Global initializers holding symbol addresses create points-to edges
@@ -923,6 +949,15 @@ let ret_node st fname =
 let accesses st = List.rev st.accs
 let alloc_sites st = List.rev st.allocs
 let free_sites st = List.rev st.frees
+
+let escape_sites st =
+  Hashtbl.fold
+    (fun (f, instr, slot) (reason, n) acc ->
+      ((f, instr, slot), { es_func = f; es_instr = instr; es_reason = reason; es_node = n })
+      :: acc)
+    st.escapes []
+  |> List.sort (fun (ka, _) (kb, _) -> compare ka kb)
+  |> List.map snd
 
 let callsite_targets st ~fname instr =
   match

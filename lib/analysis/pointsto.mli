@@ -55,6 +55,18 @@ type alloc_site = {
   al_size_class : int option;  (** exposed size class (ordinary allocs) *)
 }
 
+type escape_site = {
+  es_func : string;
+  es_instr : int;
+  es_reason : string;  (** human-readable escape cause *)
+  es_node : node;  (** partition exposed at this site *)
+}
+(** One point where a partition leaks to code the analysis cannot see: an
+    argument to (or result of) an unanalyzed external call, a constant
+    int-to-pointer cast, or an untracked-integer cast.  These are the raw
+    material of the pool-safety completeness certificates: the escape
+    frontier the trusted checker re-derives and compares against. *)
+
 (** Analysis configuration — the porting inputs of Sections 4.3/4.4 plus
     the analysis-improvement toggles of Section 4.8. *)
 type config = {
@@ -140,6 +152,17 @@ val alloc_sites : result -> alloc_site list
 
 val free_sites : result -> (string * int * node) list
 (** Deallocation call sites: (function, instr id, node freed from). *)
+
+val escape_sites : result -> escape_site list
+(** Every recorded escape-frontier site, in deterministic (function,
+    instr) order.  One instruction may expose several partitions (one per
+    escaping operand). *)
+
+val is_sva_name : string -> bool
+(** Is this the name of an SVA-OS operation or check intrinsic
+    ([llva_]/[sva_]/[pchk_] prefix)?  Calls to these are implemented by
+    the trusted SVM and are not escape sites; exported so the trusted
+    certificate checker classifies call sites by the same rule. *)
 
 val callsite_targets : result -> fname:string -> int -> string list
 (** Possible callees of an indirect call instruction, per the points-to

@@ -1793,6 +1793,177 @@ let race_table ?(strict = false) () =
       if strict then failwith ("race check FAILED: " ^ msg)
       else table ^ "  race check: FAIL - " ^ msg ^ "\n"
 
+(* ---------- pool-safety certification (poolcert) ---------- *)
+
+module Poolev = Sva_safety.Poolev
+module Poolcert = Sva_tyck.Poolcert
+
+type poolcert_data = {
+  pc_th : int;  (** TH certificates, shipped kernel *)
+  pc_comp : int;  (** completeness certificates (one per pool) *)
+  pc_complete : int;  (** pools certified complete *)
+  pc_dv : int;  (** devirtualization certificates *)
+  pc_el_th : int;  (** lscheck elisions on TH pools *)
+  pc_el_reduced : int;  (** lscheck reductions on incomplete pools *)
+  pc_el_func : int;  (** funccheck elisions *)
+  pc_cert_errors : int;  (** trusted-checker rejections, clean kernel *)
+  pc_summary_match : bool;  (** Checkinsert summary identical on vs off *)
+  pc_boot_cycles_off : int;
+  pc_boot_cycles_on : int;
+  pc_cycles_off : int;  (** workload cycles, certification off *)
+  pc_cycles_on : int;
+  pc_checks_match : bool;  (** full check snapshot identical on vs off *)
+  pc_checks : int;  (** workload checks (either build; they match) *)
+  pc_injected : int;  (** certificate-bug injection experiment *)
+  pc_caught : int;
+}
+
+let pc_cache : poolcert_data option ref = ref None
+
+(* The pipeline gate already failed the build if the trusted checker
+   rejected anything, so a cached certified image implies acceptance;
+   the explicit re-check below records the error count for the report. *)
+let poolcert_data () =
+  match !pc_cache with
+  | Some d -> d
+  | None ->
+      let v = Kbuild.as_tested in
+      let off = Kbuild.build ~conf:Pipeline.Sva_safe v in
+      let on = Kbuild.build ~conf:Pipeline.Sva_safe ~poolcert:true v in
+      let b = Option.get on.Pipeline.bl_poolcert in
+      let clean_errs =
+        Poolcert.check ~config:(Kbuild.aconfig v) on.Pipeline.bl_mod b
+      in
+      let el_th, el_red, el_fn =
+        List.fold_left
+          (fun (t, r, f) -> function
+            | Poolev.El_th _ -> (t + 1, r, f)
+            | Poolev.El_reduced _ -> (t, r + 1, f)
+            | Poolev.El_func _ -> (t, r, f + 1))
+          (0, 0, 0) b.Poolev.pb_elisions
+      in
+      (* Bit-identity: boot each image and run the identical workload;
+         certification must not move a single cycle or check. *)
+      let measure built =
+        let t = Boot.boot_built built ~variant:v in
+        let boot_cycles = Boot.cycles t in
+        let ctx = Workloads.prepare t in
+        Boot.reset_cycles t;
+        Sva_rt.Stats.reset ();
+        ablation_workload ctx;
+        (boot_cycles, Boot.cycles t, Sva_rt.Stats.read ())
+      in
+      let boot_off, cyc_off, s_off = measure off in
+      let boot_on, cyc_on, s_on = measure on in
+      let results =
+        Sva_tyck.Inject.pool_experiment ~config:(Kbuild.aconfig v)
+          on.Pipeline.bl_mod b ~instances:3
+      in
+      let caught = List.length (List.filter (fun (_, _, c) -> c) results) in
+      let d =
+        {
+          pc_th = List.length b.Poolev.pb_th;
+          pc_comp = List.length b.Poolev.pb_comp;
+          pc_complete =
+            List.length
+              (List.filter (fun c -> c.Poolev.cc_complete) b.Poolev.pb_comp);
+          pc_dv = List.length b.Poolev.pb_dv;
+          pc_el_th = el_th;
+          pc_el_reduced = el_red;
+          pc_el_func = el_fn;
+          pc_cert_errors = List.length clean_errs;
+          pc_summary_match =
+            Option.get off.Pipeline.bl_summary
+            = Option.get on.Pipeline.bl_summary;
+          pc_boot_cycles_off = boot_off;
+          pc_boot_cycles_on = boot_on;
+          pc_cycles_off = cyc_off;
+          pc_cycles_on = cyc_on;
+          pc_checks_match = s_off = s_on;
+          pc_checks = Sva_rt.Stats.total_checks s_on;
+          pc_injected = List.length results;
+          pc_caught = caught;
+        }
+      in
+      pc_cache := Some d;
+      d
+
+let poolcert_table ?(strict = false) () =
+  let d = poolcert_data () in
+  let rows =
+    [
+      [ "TH certificates (type-homogeneous pools)"; string_of_int d.pc_th ];
+      [ "completeness certificates (one per pool)"; string_of_int d.pc_comp ];
+      [ "pools certified complete"; string_of_int d.pc_complete ];
+      [ "devirtualization certificates"; string_of_int d.pc_dv ];
+      [ "lscheck elisions on TH pools"; string_of_int d.pc_el_th ];
+      [ "lscheck reductions on incomplete pools";
+        string_of_int d.pc_el_reduced ];
+      [ "funccheck elisions"; string_of_int d.pc_el_func ];
+      [ "certificate errors (clean kernel)"; string_of_int d.pc_cert_errors ];
+      [ "instrumentation summary on vs off";
+        (if d.pc_summary_match then "identical" else "DIVERGES") ];
+      [ "boot cycles off / on";
+        Printf.sprintf "%d / %d" d.pc_boot_cycles_off d.pc_boot_cycles_on ];
+      [ "workload cycles off / on";
+        Printf.sprintf "%d / %d" d.pc_cycles_off d.pc_cycles_on ];
+      [ "workload check counters on vs off";
+        (if d.pc_checks_match then
+           Printf.sprintf "identical (%d checks)" d.pc_checks
+         else "DIVERGE") ];
+      [ "injected certificate bugs caught";
+        Printf.sprintf "%d/%d" d.pc_caught d.pc_injected ];
+    ]
+  in
+  let table =
+    T.render
+      ~title:
+        "Pool-safety certification: points-to evidence re-verified by the \
+         trusted checker"
+      ~note:
+        "Every check elision taken on the points-to analysis's word - \
+         lschecks skipped on type-homogeneous pools, reduced checks on \
+         incomplete pools, devirtualized funcchecks - is backed by a \
+         certificate Sva_tyck.Poolcert re-verified against an independent \
+         scan of the instrumented kernel, so Pointsto and Devirt stay \
+         outside the TCB (Section 5).  Certification is pure observation: \
+         boot/workload cycles and every check counter must be \
+         bit-identical with it on or off."
+      [ T.L; T.R ]
+      [ "Metric"; "Count" ]
+      rows
+  in
+  let failures =
+    List.concat
+      [
+        (if d.pc_cert_errors = 0 then []
+         else
+           [ Printf.sprintf "trusted checker rejected %d-error bundle"
+               d.pc_cert_errors ]);
+        (if d.pc_th > 0 then [] else [ "no pool was certified TH" ]);
+        (if d.pc_el_th + d.pc_el_reduced + d.pc_el_func > 0 then []
+         else [ "no elision was recorded" ]);
+        (if d.pc_summary_match then []
+         else [ "instrumentation summary diverges with certification on" ]);
+        (if d.pc_boot_cycles_off = d.pc_boot_cycles_on then []
+         else [ "boot cycles diverge with certification on" ]);
+        (if d.pc_cycles_off = d.pc_cycles_on then []
+         else [ "workload cycles diverge with certification on" ]);
+        (if d.pc_checks_match then []
+         else [ "check counters diverge with certification on" ]);
+        (if d.pc_caught = d.pc_injected && d.pc_injected > 0 then []
+         else
+           [ Printf.sprintf "injection experiment caught %d/%d bugs"
+               d.pc_caught d.pc_injected ]);
+      ]
+  in
+  match failures with
+  | [] -> table ^ "  poolcert check: PASS\n"
+  | fs ->
+      let msg = String.concat "; " fs in
+      if strict then failwith ("poolcert check FAILED: " ^ msg)
+      else table ^ "  poolcert check: FAIL - " ^ msg ^ "\n"
+
 (* ---------- machine-readable results (--json) ---------- *)
 
 module J = Jsonout
@@ -2033,5 +2204,47 @@ let race_json () =
            ("sti", J.Int d.rc_conc.Sva_rt.Stats.sti_count);
            ("lock-acquires", J.Int d.rc_conc.Sva_rt.Stats.lock_acquires);
            ("lock-releases", J.Int d.rc_conc.Sva_rt.Stats.lock_releases);
+         ]);
+    ]
+
+let poolcert_json () =
+  let d = poolcert_data () in
+  J.Obj
+    [
+      ("certificates",
+       J.Obj
+         [
+           ("th", J.Int d.pc_th);
+           ("completeness", J.Int d.pc_comp);
+           ("complete-pools", J.Int d.pc_complete);
+           ("devirt", J.Int d.pc_dv);
+           ("errors", J.Int d.pc_cert_errors);
+           ("verified", J.Bool (d.pc_cert_errors = 0));
+         ]);
+      ("elisions",
+       J.Obj
+         [
+           ("th", J.Int d.pc_el_th);
+           ("reduced", J.Int d.pc_el_reduced);
+           ("funccheck", J.Int d.pc_el_func);
+         ]);
+      ("bit-identity",
+       J.Obj
+         [
+           ("summary-match", J.Bool d.pc_summary_match);
+           ("boot-cycles",
+            J.Obj [ ("off", J.Int d.pc_boot_cycles_off);
+                    ("on", J.Int d.pc_boot_cycles_on) ]);
+           ("workload-cycles",
+            J.Obj [ ("off", J.Int d.pc_cycles_off);
+                    ("on", J.Int d.pc_cycles_on) ]);
+           ("checks-match", J.Bool d.pc_checks_match);
+           ("workload-checks", J.Int d.pc_checks);
+         ]);
+      ("injection",
+       J.Obj
+         [
+           ("injected", J.Int d.pc_injected);
+           ("caught", J.Int d.pc_caught);
          ]);
     ]

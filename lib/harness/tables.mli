@@ -253,6 +253,40 @@ val race_table : ?strict:bool -> unit -> string
     injection coverage and the runtime conc counters.  Ends in a
     PASS/FAIL verdict line; with [~strict:true] any failure raises. *)
 
+type poolcert_data = {
+  pc_th : int;
+  pc_comp : int;
+  pc_complete : int;
+  pc_dv : int;
+  pc_el_th : int;
+  pc_el_reduced : int;
+  pc_el_func : int;
+  pc_cert_errors : int;
+  pc_summary_match : bool;
+  pc_boot_cycles_off : int;
+  pc_boot_cycles_on : int;
+  pc_cycles_off : int;
+  pc_cycles_on : int;
+  pc_checks_match : bool;
+  pc_checks : int;
+  pc_injected : int;
+  pc_caught : int;
+}
+
+val poolcert_data : unit -> poolcert_data
+(** Run the pool-safety certification experiment (cached): build the
+    shipped kernel with and without [~poolcert:true] (the gated build
+    fails outright on any trusted-checker rejection), compare the
+    instrumentation summaries, boot both images and run an identical
+    workload to confirm cycle/check bit-identity, and run the
+    pool-certificate bug-injection experiment. *)
+
+val poolcert_table : ?strict:bool -> unit -> string
+(** The pool-safety certification section: certificate and elision
+    counts, the clean-kernel checker verdict, the on/off bit-identity
+    comparison and injection coverage.  Ends in a PASS/FAIL verdict
+    line; with [~strict:true] any failure raises. *)
+
 val fastpath_json : ?quick:bool -> unit -> Jsonout.t
 val tiered_json : ?quick:bool -> unit -> Jsonout.t
 val aot_json : ?quick:bool -> unit -> Jsonout.t
@@ -261,3 +295,4 @@ val table7_json : ?quick:bool -> unit -> Jsonout.t
 val lint_json : unit -> Jsonout.t
 val ranges_json : unit -> Jsonout.t
 val race_json : unit -> Jsonout.t
+val poolcert_json : unit -> Jsonout.t

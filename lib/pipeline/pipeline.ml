@@ -122,6 +122,7 @@ type built = {
   bl_lint : Sva_lint.Lint.result option;
   bl_ranges : Interval.result option;
   bl_races : Lockset.result option;
+  bl_poolcert : Poolev.bundle option;
 }
 
 (* ---------- module loading ---------- *)
@@ -150,7 +151,8 @@ let load_file path =
 let build_module ?(conf = Sva_safe) ?(aconfig = Pointsto.default_config)
     ?(options = Checkinsert.default_options) ?(typecheck = true)
     ?(clone = false) ?(devirt = false) ?(checkopt = false) ?(lint = false)
-    ?lint_config ?(ranges = false) ?(races = false) ~name m =
+    ?lint_config ?(ranges = false) ?(races = false) ?(poolcert = false)
+    ~name m =
   match conf with
   | Native | Sva_gcc | Sva_llvm ->
       {
@@ -168,6 +170,7 @@ let build_module ?(conf = Sva_safe) ?(aconfig = Pointsto.default_config)
         bl_lint = None;
         bl_ranges = None;
         bl_races = None;
+        bl_poolcert = None;
       }
   | Sva_safe ->
       let cloned = if clone then Clone.run m else 0 in
@@ -191,7 +194,18 @@ let build_module ?(conf = Sva_safe) ?(aconfig = Pointsto.default_config)
         end
         else None
       in
-      let devirted = if devirt then Devirt.run m pa else 0 in
+      (* Pool-safety evidence (Section 5 applied to the points-to layer):
+         distill the analysis into an explicit certificate bundle before
+         anything consumes it, so devirtualization and check insertion
+         can append their dv-cert / elision records as they go.  Bundle
+         construction and recording are pure observation — the built
+         module is bit-identical with and without certification. *)
+      let pbundle =
+        if poolcert then Some (Poolev.create m pa mps) else None
+      in
+      let devirted =
+        if devirt then Devirt.run ?poolcert:pbundle m pa else 0
+      in
       (* Value-range abstract interpretation (untrusted): runs on the
          final pre-instrumentation IR; every elision it grants below is
          recorded as a certificate and re-verified by the trusted
@@ -221,7 +235,7 @@ let build_module ?(conf = Sva_safe) ?(aconfig = Pointsto.default_config)
       in
       let summary =
         Checkinsert.run ~options ~proofs
-          ~ranges:(range_oracle Interval.Cbounds) m pa mps
+          ~ranges:(range_oracle Interval.Cbounds) ?poolcert:pbundle m pa mps
           aconfig.Pointsto.allocators
       in
       let co = if checkopt then Some (Checkopt.run m) else None in
@@ -256,6 +270,24 @@ let build_module ?(conf = Sva_safe) ?(aconfig = Pointsto.default_config)
                 ("range certificate checking failed:\n"
                 ^ String.concat "\n"
                     (List.map Sva_tyck.Rangecert.string_of_error errs))));
+      (* Section 5 gate for the pool-safety pipeline: the trusted checker
+         re-verifies every membership fact, TH/completeness/devirt
+         certificate and elision record against the instrumented module,
+         or the build is rejected as a compiler bug. *)
+      (match pbundle with
+      | None -> ()
+      | Some b -> (
+          let certs = Poolev.cert_count b in
+          Sva_rt.Stats.add_pool_certs_emitted certs;
+          Sva_rt.Stats.add_pool_elisions (Poolev.elision_count b);
+          match Sva_tyck.Poolcert.check ~config:aconfig m b with
+          | [] -> Sva_rt.Stats.add_pool_certs_verified certs
+          | errs ->
+              Sva_rt.Stats.add_pool_certs_rejected certs;
+              failwith
+                ("pool-safety certificate checking failed:\n"
+                ^ String.concat "\n"
+                    (List.map Sva_tyck.Poolcert.string_of_error errs))));
       (* Concurrency-safety pass (untrusted): the interprocedural lockset
          analysis classifies interrupt/syscall-shared state and certifies
          every protected access; the trusted atomicity checker must accept
@@ -294,10 +326,11 @@ let build_module ?(conf = Sva_safe) ?(aconfig = Pointsto.default_config)
         bl_lint = lint_res;
         bl_ranges = rres;
         bl_races = races_res;
+        bl_poolcert = pbundle;
       }
 
 let build ?conf ?aconfig ?options ?typecheck ?clone ?devirt ?checkopt ?lint
-    ?lint_config ?ranges ?races ~name sources =
+    ?lint_config ?ranges ?races ?poolcert ~name sources =
   let pipeline =
     match conf with
     | Some Native | Some Sva_gcc -> Passes.Gcc_like
@@ -305,7 +338,7 @@ let build ?conf ?aconfig ?options ?typecheck ?clone ?devirt ?checkopt ?lint
   in
   let m = compile ~pipeline ~name sources in
   build_module ?conf ?aconfig ?options ?typecheck ?clone ?devirt ?checkopt
-    ?lint ?lint_config ?ranges ?races ~name m
+    ?lint ?lint_config ?ranges ?races ?poolcert ~name m
 
 let instantiate ?sys ?(engine = default_engine) built =
   let mode =

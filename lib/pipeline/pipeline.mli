@@ -119,6 +119,11 @@ type built = {
       (** the concurrency-safety analysis result, when [~races:true]; its
           atomicity certificate bundle has been verified by the trusted
           checker ([Sva_tyck.Atomcert]) against the instrumented module *)
+  bl_poolcert : Poolev.bundle option;
+      (** the pool-safety evidence bundle, when [~poolcert:true]; every
+          membership fact, TH/completeness/devirt certificate and
+          check-elision record in it has been verified by the trusted
+          checker ([Sva_tyck.Poolcert]) against the instrumented module *)
 }
 
 val compile : ?pipeline:Passes.pipeline -> name:string -> string list -> Irmod.t
@@ -150,6 +155,7 @@ val build :
   ?lint_config:Sva_lint.Lint.config ->
   ?ranges:bool ->
   ?races:bool ->
+  ?poolcert:bool ->
   name:string ->
   string list ->
   built
@@ -179,9 +185,21 @@ val build :
     protected carries an atomicity certificate re-verified by the
     trusted checker ({!Sva_tyck.Atomcert}) — the build fails if any
     certificate is rejected.
+
+    [~poolcert:true] additionally evicts the points-to layer from the
+    TCB: before devirtualization and check insertion run, the analysis
+    results are distilled into a {!Sva_safety.Poolev.bundle} of
+    membership tables and TH/completeness certificates; devirtualization
+    appends a certificate per rewritten call and check insertion appends
+    a record per points-to-justified elision; after instrumentation the
+    trusted checker ({!Sva_tyck.Poolcert}) re-verifies the whole bundle
+    against an independent scan of the instrumented module — the build
+    fails if anything is rejected.  Certification is pure observation:
+    the built module, summary, verdicts and modeled cycles are
+    bit-identical with and without it.
     @raise Failure if the type checker rejects the annotations or the
-    range- or atomicity-certificate checker rejects a certificate (a
-    safety-checking-compiler bug). *)
+    range-, atomicity- or pool-certificate checker rejects a certificate
+    (a safety-checking-compiler bug). *)
 
 val build_module :
   ?conf:conf ->
@@ -195,6 +213,7 @@ val build_module :
   ?lint_config:Sva_lint.Lint.config ->
   ?ranges:bool ->
   ?races:bool ->
+  ?poolcert:bool ->
   name:string ->
   Irmod.t ->
   built

@@ -256,6 +256,69 @@ let range_to_string s =
   Printf.sprintf "range-elided bounds=%d ls=%d facts=%d certs-verified=%d"
     s.range_bounds_elided s.range_ls_elided s.range_facts s.range_cert_checks
 
+(* ---------- pool-safety certificate counters ----------
+
+   Static accounting for the pool-safety (points-to) certificate
+   pipeline: how many TH/completeness/devirt certificates the untrusted
+   layer emitted at build time and how many the trusted checker verified
+   or rejected, plus the check elisions they justify.  Kept out of
+   [snapshot] like the range family: certification on/off builds must
+   stay bit-identical in the dynamic counters while these differ by
+   design. *)
+
+type pool_snapshot = {
+  pool_certs_emitted : int;
+  pool_certs_verified : int;
+  pool_certs_rejected : int;
+  pool_elisions : int;
+}
+
+let pool_zero =
+  {
+    pool_certs_emitted = 0;
+    pool_certs_verified = 0;
+    pool_certs_rejected = 0;
+    pool_elisions = 0;
+  }
+
+let p_emitted = ref 0
+let p_verified = ref 0
+let p_rejected = ref 0
+let p_elisions = ref 0
+
+let add_pool_certs_emitted n = p_emitted := !p_emitted + n
+let add_pool_certs_verified n = p_verified := !p_verified + n
+let add_pool_certs_rejected n = p_rejected := !p_rejected + n
+let add_pool_elisions n = p_elisions := !p_elisions + n
+
+let read_pool () =
+  {
+    pool_certs_emitted = !p_emitted;
+    pool_certs_verified = !p_verified;
+    pool_certs_rejected = !p_rejected;
+    pool_elisions = !p_elisions;
+  }
+
+let reset_pool () =
+  p_emitted := 0;
+  p_verified := 0;
+  p_rejected := 0;
+  p_elisions := 0
+
+let diff_pool a b =
+  {
+    pool_certs_emitted = a.pool_certs_emitted - b.pool_certs_emitted;
+    pool_certs_verified = a.pool_certs_verified - b.pool_certs_verified;
+    pool_certs_rejected = a.pool_certs_rejected - b.pool_certs_rejected;
+    pool_elisions = a.pool_elisions - b.pool_elisions;
+  }
+
+let pool_to_string s =
+  Printf.sprintf
+    "pool-certs emitted=%d verified=%d rejected=%d elisions=%d"
+    s.pool_certs_emitted s.pool_certs_verified s.pool_certs_rejected
+    s.pool_elisions
+
 (* ---------- concurrency counters ----------
 
    Dynamic accounting for the SVA-OS concurrency primitives: interrupt
@@ -311,12 +374,15 @@ let conc_to_string s =
   Printf.sprintf "cli=%d sti=%d lock-acquire=%d lock-release=%d" s.cli_count
     s.sti_count s.lock_acquires s.lock_releases
 
-(* Full reset across all four counter families.  The individual resets
+(* Full reset across all five counter families.  The individual resets
    stay available for the measurements that deliberately reset one family
    (e.g. the tiered bench resets check counters per run but accumulates
-   tier counters across warm-up and measurement). *)
+   tier counters across warm-up and measurement).  Callers that want to
+   report build-time certification numbers after a reset must snapshot
+   [read_range]/[read_pool] first — the kernel boot driver does. *)
 let reset_all () =
   reset ();
   reset_tier ();
   reset_range ();
+  reset_pool ();
   reset_conc ()

@@ -134,6 +134,38 @@ val reset_range : unit -> unit
 val diff_range : range_snapshot -> range_snapshot -> range_snapshot
 val range_to_string : range_snapshot -> string
 
+(** {1 Pool-safety certificate counters}
+
+    Static accounting for the pool-safety certificate pipeline
+    ({!Sva_analysis.Pointsto} / {!Sva_safety.Devirt} emitting evidence,
+    the trusted checker in [Sva_tyck] re-verifying it): certificates
+    emitted, verified and rejected at build time, plus the check
+    elisions they justify.  A separate snapshot for the usual reason:
+    certification-on and -off builds must keep {!snapshot} bit-identical
+    in the differential tests while these counters differ by design. *)
+
+type pool_snapshot = {
+  pool_certs_emitted : int;
+      (** TH + completeness + devirt certificates the untrusted layer
+          emitted *)
+  pool_certs_verified : int;
+      (** certificates accepted by the trusted checker *)
+  pool_certs_rejected : int;
+      (** certificates in a bundle the trusted checker rejected *)
+  pool_elisions : int;
+      (** check elisions justified by verified certificates *)
+}
+
+val pool_zero : pool_snapshot
+val add_pool_certs_emitted : int -> unit
+val add_pool_certs_verified : int -> unit
+val add_pool_certs_rejected : int -> unit
+val add_pool_elisions : int -> unit
+val read_pool : unit -> pool_snapshot
+val reset_pool : unit -> unit
+val diff_pool : pool_snapshot -> pool_snapshot -> pool_snapshot
+val pool_to_string : pool_snapshot -> string
+
 (** {1 Concurrency counters}
 
     Dynamic accounting for the SVA-OS concurrency primitives: interrupt
@@ -161,8 +193,10 @@ val diff_conc : conc_snapshot -> conc_snapshot -> conc_snapshot
 val conc_to_string : conc_snapshot -> string
 
 val reset_all : unit -> unit
-(** {!reset} + {!reset_tier} + {!reset_range} + {!reset_conc}: clear
-    every counter family.  This is what "reset the statistics" should
-    almost always mean at a measurement boundary; forgetting a companion
-    reset (the original [ukern_boot] bug) leaves stale tier/range counts
-    in the report. *)
+(** {!reset} + {!reset_tier} + {!reset_range} + {!reset_pool} +
+    {!reset_conc}: clear every counter family.  This is what "reset the
+    statistics" should almost always mean at a measurement boundary;
+    forgetting a companion reset (the original [ukern_boot] bug) leaves
+    stale tier/range counts in the report.  Callers that want to report
+    build-time certification numbers after the reset must snapshot
+    {!read_range}/{!read_pool} first — the kernel boot driver does. *)

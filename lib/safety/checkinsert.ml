@@ -169,8 +169,17 @@ type ctx = {
   opts : options;
   proofs : fname:string -> int -> bool;
   ranges : fname:string -> Instr.t -> bool;
+  poolcert : Poolev.bundle option;
+      (* when present, every points-to-justified elision appends its
+         record here — "every elision materializes a certificate or is
+         not taken" *)
   mutable s : summary;
 }
+
+let note_elision c e =
+  match c.poolcert with
+  | Some b -> Poolev.record_elision b e
+  | None -> ()
 
 let decl_of c ~fname v = Metapool.of_value c.mps c.pa ~fname v
 
@@ -184,10 +193,20 @@ let instrument_func c (f : Func.t) =
     match decl_of c ~fname ptr with
     | None -> ()
     | Some d ->
-        if not d.Metapool.mp_complete then
-          c.s <- { c.s with ls_reduced_incomplete = c.s.ls_reduced_incomplete + 1 }
-        else if c.opts.th_elides_lscheck && d.Metapool.mp_th then
-          c.s <- { c.s with ls_elided_th = c.s.ls_elided_th + 1 }
+        if not d.Metapool.mp_complete then begin
+          c.s <- { c.s with ls_reduced_incomplete = c.s.ls_reduced_incomplete + 1 };
+          note_elision c
+            (Poolev.El_reduced
+               ( { Poolev.s_func = fname; s_instr = at.Instr.id },
+                 d.Metapool.mp_id ))
+        end
+        else if c.opts.th_elides_lscheck && d.Metapool.mp_th then begin
+          c.s <- { c.s with ls_elided_th = c.s.ls_elided_th + 1 };
+          note_elision c
+            (Poolev.El_th
+               ( { Poolev.s_func = fname; s_instr = at.Instr.id },
+                 d.Metapool.mp_id ))
+        end
         else if c.proofs ~fname at.Instr.id then
           (* The lint layer proved this access in bounds of a live
              object: the check would otherwise have been inserted. *)
@@ -344,7 +363,18 @@ let instrument_func c (f : Func.t) =
                   when Pointsto.is_type_homog node
                        || not (Pointsto.is_complete node) ->
                     c.s <-
-                      { c.s with funcchecks_elided = c.s.funcchecks_elided + 1 }
+                      { c.s with funcchecks_elided = c.s.funcchecks_elided + 1 };
+                    let mpi =
+                      match Metapool.of_node c.mps node with
+                      | Some d -> d.Metapool.mp_id
+                      | None -> -1
+                    in
+                    note_elision c
+                      (Poolev.El_func
+                         ( { Poolev.s_func = fname; s_instr = i.Instr.id },
+                           mpi,
+                           if Pointsto.is_type_homog node then Poolev.Fc_th
+                           else Poolev.Fc_incomplete ))
                 | Some _ | None ->
                     let targets =
                       Pointsto.callsite_targets c.pa ~fname i.Instr.id
@@ -435,9 +465,19 @@ let add_global_registration c =
   end
 
 let run ?(options = default_options) ?(proofs = fun ~fname:_ _ -> false)
-    ?(ranges = fun ~fname:_ _ -> false) m pa mps adecls =
+    ?(ranges = fun ~fname:_ _ -> false) ?poolcert m pa mps adecls =
   let c =
-    { m; pa; mps; adecls; opts = options; proofs; ranges; s = zero_summary }
+    {
+      m;
+      pa;
+      mps;
+      adecls;
+      opts = options;
+      proofs;
+      ranges;
+      poolcert;
+      s = zero_summary;
+    }
   in
   List.iter
     (fun (f : Func.t) ->

@@ -76,6 +76,7 @@ val run :
   ?options:options ->
   ?proofs:(fname:string -> int -> bool) ->
   ?ranges:(fname:string -> Instr.t -> bool) ->
+  ?poolcert:Poolev.bundle ->
   Irmod.t ->
   Pointsto.result ->
   Metapool.t ->
@@ -97,7 +98,15 @@ val run :
     [true] for a variable-index gep, the [pchk_bounds] that would have
     been inserted is elided and counted in [bounds_static_range].  The
     oracle is expected to materialize a certificate for each elision it
-    grants, so the trusted checker can re-verify every one. *)
+    grants, so the trusted checker can re-verify every one.
+
+    [poolcert] is the pool-safety evidence bundle: when present, every
+    TH/incompleteness [lscheck] elision and every [funccheck] elision
+    appends an {!Poolev.elision} record naming its site and metapool, so
+    the trusted checker ([Sva_tyck.Poolcert]) can tie each skipped check
+    to a verified certificate.  Recording is pure observation — the
+    instrumentation decisions and the summary are bit-identical with and
+    without it. *)
 
 val runtime_pools :
   ?user_range:int * int -> Metapool.t -> (int * Sva_rt.Metapool_rt.t) list

@@ -109,9 +109,22 @@ let rewrite_site (m : Irmod.t) (f : Func.t) (b : Func.block)
     @ [ trap_blk; join_blk ];
   ignore m
 
-let run ?(max_targets = 4) ?(require_assert = true) (m : Irmod.t)
+let run ?(max_targets = 4) ?(require_assert = true) ?poolcert (m : Irmod.t)
     (pa : Pointsto.result) =
   let count = ref 0 in
+  let note_dv fname (i : Instr.t) callee targets =
+    match poolcert with
+    | None -> ()
+    | Some b ->
+        Poolev.record_dv b
+          {
+            Poolev.dc_func = fname;
+            dc_instr = i.Instr.id;
+            dc_mp =
+              Option.value ~default:(-1) (Poolev.mp_of_value b fname callee);
+            dc_targets = targets;
+          }
+  in
   List.iter
     (fun (f : Func.t) ->
       if
@@ -154,6 +167,7 @@ let run ?(max_targets = 4) ?(require_assert = true) (m : Irmod.t)
           match site with
           | Some (b, i, callee, args, targets, fty) ->
               Hashtbl.replace done_ids i.Instr.id ();
+              note_dv f.Func.f_name i callee targets;
               rewrite_site m f b i callee args targets fty;
               incr count;
               again := true

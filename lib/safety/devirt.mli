@@ -17,7 +17,16 @@ open Sva_ir
 open Sva_analysis
 
 val run :
-  ?max_targets:int -> ?require_assert:bool -> Irmod.t -> Pointsto.result -> int
+  ?max_targets:int ->
+  ?require_assert:bool ->
+  ?poolcert:Poolev.bundle ->
+  Irmod.t ->
+  Pointsto.result ->
+  int
 (** Rewrite eligible call sites; returns how many were devirtualized.
     [require_assert] (default true) restricts to [Callsig_assert]
-    functions.  Re-verifies the module. *)
+    functions.  Re-verifies the module.  When [poolcert] is given, each
+    rewritten site appends a {!Poolev.dv_cert} naming the callee's pool
+    and claimed target set for the trusted checker to re-verify against
+    the generated dispatch blocks and the module's address-taken
+    functions. *)

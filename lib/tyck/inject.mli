@@ -33,3 +33,49 @@ val experiment :
 (** Run the paper's experiment: for each bug kind, inject [instances]
     distinct bugs and report, per injection, whether the checker caught
     it.  All entries should be [true]. *)
+
+(** {1 Pool-safety certificate bugs}
+
+    The same experiment transposed to the {!Poolcert} bundle: each
+    injector perturbs a copy of the evidence the way a specific
+    points-to/devirt bug would, and the trusted checker must reject
+    every one. *)
+
+type pool_bug =
+  | Confuse_merge
+      (** two differently-typed TH pools merged by a buggy unification *)
+  | Drop_escape
+      (** an escape edge lost: a frontier site hidden, or an exposed
+          pool claimed complete *)
+  | Stale_find
+      (** a gep result left in a stale partition (missed find) *)
+  | Wrong_tau  (** a TH certificate claims the wrong homogeneous type *)
+  | Drop_member  (** a membership witness misses a real access site *)
+  | Bogus_devirt
+      (** an undefined function smuggled into (or a certificate forged
+          for) a devirtualization target set *)
+
+val pool_bug_name : pool_bug -> string
+val all_pool_bugs : pool_bug list
+
+val copy_pool_bundle : Sva_safety.Poolev.bundle -> Sva_safety.Poolev.bundle
+(** Deep copy (injection never mutates the original bundle). *)
+
+val pool_inject :
+  Irmod.t ->
+  Sva_safety.Poolev.bundle ->
+  pool_bug ->
+  seed:int ->
+  (Sva_safety.Poolev.bundle * string) option
+(** Produce a buggy bundle copy and a description, or [None] when no
+    suitable site exists for this seed. *)
+
+val pool_experiment :
+  ?config:Sva_analysis.Pointsto.config ->
+  Irmod.t ->
+  Sva_safety.Poolev.bundle ->
+  instances:int ->
+  (pool_bug * string * bool) list
+(** For each bug kind, inject up to [instances] distinct bugs and
+    report, per injection, whether {!Poolcert.check} caught it.  All
+    entries should be [true]. *)

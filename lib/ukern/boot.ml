@@ -27,8 +27,10 @@ let boot_built ?engine built ~variant =
   { built; vm; sys; variant; signal_fired = [] }
 
 let boot ?(conf = Pipeline.Sva_safe) ?(variant = Kbuild.as_tested) ?engine
-    ?(ranges = false) ?(races = false) () =
-  boot_built ?engine (Kbuild.build ~conf ~ranges ~races variant) ~variant
+    ?(ranges = false) ?(races = false) ?(poolcert = false) () =
+  boot_built ?engine
+    (Kbuild.build ~conf ~ranges ~races ~poolcert variant)
+    ~variant
 
 (* Trap entry + exit cost in the cycle model: the SVM's interrupt-context
    creation/teardown (Table 2).  Mediated mode spills and validates the

@@ -29,12 +29,15 @@ val boot :
   ?engine:Sva_pipeline.Pipeline.engine_config ->
   ?ranges:bool ->
   ?races:bool ->
+  ?poolcert:bool ->
   unit ->
   t
 (** Build, load and boot the kernel.  [engine] selects the SVM execution
     tier (interpreter by default); [~ranges:true] builds with the
     certificate-verified value-range check elision; [~races:true] runs
-    the certificate-verified concurrency-safety pass during the build.
+    the certificate-verified concurrency-safety pass during the build;
+    [~poolcert:true] certifies the points-to layer's check elisions
+    (trusted-checker audit, no behaviour change).
     @raise Boot_failure if [kmain] fails. *)
 
 val boot_built :

@@ -87,8 +87,8 @@ let lint_config v =
     (aconfig v)
 
 let build ?(conf = Sva_pipeline.Pipeline.Sva_safe) ?(lint = false)
-    ?(ranges = false) ?(races = false) v =
+    ?(ranges = false) ?(races = false) ?(poolcert = false) v =
   Sva_pipeline.Pipeline.build ~conf ~aconfig:(aconfig v) ~lint
-    ~lint_config:(lint_config v) ~ranges ~races
+    ~lint_config:(lint_config v) ~ranges ~races ~poolcert
     ~name:("ukern-" ^ v.v_name)
     (sources v)

@@ -62,6 +62,7 @@ val build :
   ?lint:bool ->
   ?ranges:bool ->
   ?races:bool ->
+  ?poolcert:bool ->
   variant ->
   Sva_pipeline.Pipeline.built
 (** Compile the kernel under a pipeline configuration.  [~lint:true]
@@ -69,4 +70,5 @@ val build :
     {!lint_config}); [~ranges:true] enables the value-range analysis and
     its certificate-verified check elision; [~races:true] enables the
     concurrency-safety pass and its certificate-verified atomicity
-    audit. *)
+    audit; [~poolcert:true] enables pool-safety certification (the
+    points-to evidence bundle re-verified by the trusted checker). *)

@@ -225,6 +225,98 @@ let test_user_copy_heuristic_no_merge () =
   let n = Option.get (Pointsto.global_node pa "g_msg") in
   Alcotest.(check bool) "complete" true (Pointsto.is_complete n)
 
+(* ---------- porting-configuration toggles (differential) ----------
+
+   Each documented analysis toggle may move classification only in its
+   documented direction, observed through the check-insertion summary:
+   removing an incompleteness source can only convert reduced checks
+   into full checks, adding one can only do the reverse.  Every toggled
+   build runs with [~poolcert:true], so the trusted pool-safety checker
+   gates each configuration — a toggle that broke certificate emission
+   would fail the build outright. *)
+
+let toggle_summary config srcs =
+  let b =
+    Sva_pipeline.Pipeline.build ~conf:Sva_pipeline.Pipeline.Sva_safe
+      ~aconfig:config ~poolcert:true ~name:"toggle" srcs
+  in
+  Option.get b.Sva_pipeline.Pipeline.bl_summary
+
+let check_direction name (off : Sva_safety.Checkinsert.summary)
+    (on : Sva_safety.Checkinsert.summary) =
+  (* "on" is the configuration with fewer incompleteness sources *)
+  Alcotest.(check bool)
+    (name ^ ": reduced checks shrink")
+    true
+    (on.Sva_safety.Checkinsert.ls_reduced_incomplete
+    <= off.Sva_safety.Checkinsert.ls_reduced_incomplete);
+  Alcotest.(check bool)
+    (name ^ ": full checks grow")
+    true
+    (on.Sva_safety.Checkinsert.ls_inserted
+    >= off.Sva_safety.Checkinsert.ls_inserted);
+  Alcotest.(check bool)
+    (name ^ ": toggle actually moved classification")
+    true
+    (on.Sva_safety.Checkinsert.ls_reduced_incomplete
+     < off.Sva_safety.Checkinsert.ls_reduced_incomplete
+    || on.Sva_safety.Checkinsert.ls_inserted
+       > off.Sva_safety.Checkinsert.ls_inserted)
+
+let test_toggle_userspace_valid () =
+  (* syscall-handler pointer arguments: an incompleteness source "as
+     tested", a valid registered object in "entire kernel" mode *)
+  let src =
+    "extern void sva_register_syscall(long num, ...);\n\
+     long sys_write(long fd, char *buf, long n) { return buf[0] + n; }\n\
+     void init(void) { sva_register_syscall(4, sys_write); }"
+  in
+  let off = toggle_summary syscall_config [ src ] in
+  let on =
+    toggle_summary
+      { syscall_config with Pointsto.userspace_valid = true }
+      [ src ]
+  in
+  check_direction "userspace_valid" off on
+
+let test_toggle_null_small_int_casts () =
+  (* (T* )-22 error-encoding casts: manufactured (unknown) pointers when
+     the heuristic is off, null when on *)
+  let src =
+    "struct s { long v; };\n\
+     struct s g;\n\
+     struct s *lookup(int c) { if (c) return &g; return (struct s*)-22; }\n\
+     long use(int c) {\n\
+    \  struct s *p = lookup(c);\n\
+    \  if (p) return p->v;\n\
+    \  return 0;\n\
+     }"
+  in
+  let off =
+    toggle_summary
+      { Pointsto.default_config with Pointsto.null_small_int_casts = false }
+      [ src ]
+  in
+  let on = toggle_summary Pointsto.default_config [ src ] in
+  check_direction "null_small_int_casts" off on
+
+let test_toggle_track_int_ptrs () =
+  (* a pointer round-tripped through a pointer-sized integer stays in
+     its partition when tracking is on; with tracking off the cast back
+     manufactures an unknown pointer *)
+  let src =
+    "char gbuf[16];\n\
+     long enc(void) { return (long)(char*)gbuf; }\n\
+     int dec(void) { char *p = (char*)enc(); return p[3]; }"
+  in
+  let off =
+    toggle_summary
+      { Pointsto.default_config with Pointsto.track_int_ptrs = false }
+      [ src ]
+  in
+  let on = toggle_summary Pointsto.default_config [ src ] in
+  check_direction "track_int_ptrs" off on
+
 (* ---------- allocators ---------- *)
 
 let km_src =
@@ -570,6 +662,15 @@ let () =
             test_syscall_pointer_params_marked_userspace;
           Alcotest.test_case "user-copy heuristic" `Quick
             test_user_copy_heuristic_no_merge;
+        ] );
+      ( "config-toggles",
+        [
+          Alcotest.test_case "userspace_valid differential" `Quick
+            test_toggle_userspace_valid;
+          Alcotest.test_case "null_small_int_casts differential" `Quick
+            test_toggle_null_small_int_casts;
+          Alcotest.test_case "track_int_ptrs differential" `Quick
+            test_toggle_track_int_ptrs;
         ] );
       ( "allocators",
         [

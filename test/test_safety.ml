@@ -314,6 +314,56 @@ let prop_range_elision_invisible =
       let rn, cn, kn = run_f on args in
       ro = rn && cn <= co && kn <= ko)
 
+(* Pool certification must be pure observation: the same program built
+   with and without [~poolcert:true] gives bit-identical results,
+   modeled cycles and executed-check totals (the gated build fails
+   outright if the trusted checker rejects anything), and every elision
+   the verifier recorded is backed by exactly one certificate of the
+   matching kind. *)
+module Poolev = Sva_safety.Poolev
+
+let prop_poolcert_invisible =
+  let gen =
+    QCheck2.Gen.(tup3 (int_range 0 5000) small_signed_int small_signed_int)
+  in
+  QCheck2.Test.make
+    ~name:
+      "pool certification: bit-identical results/cycles/checks; every \
+       elision backed by exactly one certificate"
+    ~count:25 gen
+    (fun (seed, a, b) ->
+      let src = gen_arr_program seed in
+      let off = Pipeline.build ~conf:Pipeline.Sva_safe ~name:"pcoff" [ src ] in
+      let on =
+        Pipeline.build ~conf:Pipeline.Sva_safe ~poolcert:true ~name:"pcon"
+          [ src ]
+      in
+      let args = [ Int64.of_int a; Int64.of_int b ] in
+      let ro, co, ko = run_f off args in
+      let rn, cn, kn = run_f on args in
+      let bundle = Option.get on.Pipeline.bl_poolcert in
+      let th_certs mp =
+        List.length
+          (List.filter (fun tc -> tc.Poolev.tc_mp = mp) bundle.Poolev.pb_th)
+      in
+      let incomplete_certs mp =
+        List.length
+          (List.filter
+             (fun cc -> cc.Poolev.cc_mp = mp && not cc.Poolev.cc_complete)
+             bundle.Poolev.pb_comp)
+      in
+      let backed =
+        List.for_all
+          (function
+            | Poolev.El_th (_, mp) -> th_certs mp = 1
+            | Poolev.El_reduced (_, mp) -> incomplete_certs mp = 1
+            | Poolev.El_func (_, mp, Poolev.Fc_th) -> th_certs mp = 1
+            | Poolev.El_func (_, mp, Poolev.Fc_incomplete) ->
+                incomplete_certs mp = 1)
+          bundle.Poolev.pb_elisions
+      in
+      ro = rn && co = cn && ko = kn && backed)
+
 let test_ranges_kernel_static () =
   (* the Table 9 ablation row: on the entire-kernel build (lint on) the
      certified elision must push the static ls-check count below the
@@ -402,4 +452,6 @@ let () =
           Alcotest.test_case "exploit verdicts identical" `Slow
             test_ranges_exploit_verdicts;
         ] );
+      ( "pool-certification",
+        [ QCheck_alcotest.to_alcotest prop_poolcert_invisible ] );
     ]
