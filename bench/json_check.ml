@@ -101,6 +101,44 @@ let check_aot path aot =
   note "aot %.2fx (%d fns, %d disk hits, %d superblocks)" speedup compiled
     hits supers
 
+(* the SMP schedule must be deterministic and semantically invisible:
+   1 CPU bit-identical to the sequential run, aggregate check counts
+   identical at every CPU count, the same-seed rerun reproduced, and
+   the 4-CPU makespan clearing the scaling floor *)
+let check_smp path smp =
+  let seq = get "smp.sequential" (J.member "sequential" smp) in
+  let seq_checks =
+    J.to_int (get "smp.sequential.checks" (J.member "checks" seq))
+  in
+  let points = J.to_list (get "smp.points" (J.member "points" smp)) in
+  if points = [] then fail "%s: smp.points is empty" path;
+  let speedup4 = ref 0.0 in
+  List.iter
+    (fun p ->
+      let pint k = J.to_int (get ("smp.points[]." ^ k) (J.member k p)) in
+      let cpus = pint "cpus" in
+      if pint "checks" <> seq_checks then
+        fail "%s: check count diverged at %d CPUs (%d vs %d)" path cpus
+          (pint "checks") seq_checks;
+      if pint "makespan-cycles" <= 0 then
+        fail "%s: non-positive makespan at %d CPUs" path cpus;
+      let sp =
+        J.to_float (get "smp.points[].speedup" (J.member "speedup" p))
+      in
+      if cpus = 4 then speedup4 := sp)
+    points;
+  if !speedup4 < 3.0 then
+    fail "%s: 4-CPU speedup %.2fx below the 3x floor" path !speedup4;
+  let gate name =
+    match get ("smp." ^ name) (J.member name smp) with
+    | J.Bool true -> ()
+    | J.Bool false -> fail "%s: smp gate %s failed" path name
+    | _ -> fail "%s: smp.%s is not a bool" path name
+  in
+  gate "single-cpu-identical";
+  gate "rerun-identical";
+  note "smp %.2fx @ 4 cpus" !speedup4
+
 (* certified elision must only ever remove checks, the bounds drop must
    equal the certified-gep count, and the build-time certificate gate
    must have re-verified the bundle *)
@@ -289,6 +327,7 @@ let check_trace path trace =
 let checkers =
   [
     ("lint", check_lint);
+    ("smp", check_smp);
     ("tiered", check_tiered);
     ("aot", check_aot);
     ("ranges", check_ranges);

@@ -10,10 +10,10 @@
      dune exec bench/main.exe -- --json out.json
                                          -- also write machine-readable
                                             numbers for the data-bearing
-                                            sections (fastpath, tiered,
-                                            aot, table7, lint, ranges,
-                                            race, poolcert, trace) that
-                                            were run
+                                            sections (fastpath, smp,
+                                            tiered, aot, table7, lint,
+                                            ranges, race, poolcert,
+                                            trace) that were run
 
    Unknown flags and unknown section names are errors (exit 2): a typo
    must not silently select nothing and report success.  A section that
@@ -35,7 +35,7 @@ let known_sections =
   [
     "table4"; "figure2"; "checks"; "lint"; "ranges"; "race"; "poolcert";
     "table7"; "table8"; "table5"; "table6"; "table9"; "ablation"; "fastpath";
-    "tiered"; "aot"; "trace"; "exploits"; "verifier"; "bechamel";
+    "smp"; "tiered"; "aot"; "trace"; "exploits"; "verifier"; "bechamel";
   ]
 
 let usage () =
@@ -156,8 +156,13 @@ let bechamel_crosscheck () =
     (fun test ->
       let results = Benchmark.all cfg instances test in
       let ols = Analyze.all analyze Toolkit.Instance.monotonic_clock results in
-      Hashtbl.iter
-        (fun name o ->
+      (* Hashtbl iteration order is unspecified — sort by test name so
+         the report (and any diff against it) is deterministic. *)
+      let rows =
+        List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) ols [])
+      in
+      List.iter
+        (fun (name, o) ->
           match Analyze.OLS.estimates o with
           | Some (est :: _) ->
               Buffer.add_string buf
@@ -165,7 +170,7 @@ let bechamel_crosscheck () =
           | _ ->
               Buffer.add_string buf
                 (Printf.sprintf "  %-32s (no estimate)\n" name))
-        ols)
+        rows)
     tests;
   (* independent median-of-batches measurement of the same headline pair *)
   let med name f =
@@ -181,9 +186,16 @@ let bechamel_crosscheck () =
      layers; this isolates the cache's real elapsed-time effect (the
      pre-decoded dispatch is always on). *)
   let with_cache on f =
-    let saved = !Sva_rt.Objcache.enabled in
-    Sva_rt.Objcache.enabled := on;
-    Fun.protect ~finally:(fun () -> Sva_rt.Objcache.enabled := saved) f
+    (* Caching is per-pool state (no process-global switch): flip the
+       checked kernel's own pools and restore them afterwards. *)
+    let pools =
+      Sva_interp.Interp.metapools (Harness.Workloads.kernel safe).Boot.vm
+    in
+    let set b =
+      List.iter (fun (_, mp) -> Sva_rt.Metapool_rt.set_cached mp b) pools
+    in
+    set on;
+    Fun.protect ~finally:(fun () -> set true) f
   in
   med "open-close/sva-safe/cache-off" (fun () ->
       with_cache false (fun () -> Harness.Workloads.op_open_close safe));
@@ -233,6 +245,7 @@ let () =
   section "ablation" (fun () -> Tables.ablation ~quick:!quick ());
   section "fastpath" (fun () ->
       Tables.fastpath ~quick:!quick ~strict:!strict ());
+  section "smp" (fun () -> Tables.smp ~quick:!quick ~strict:!strict ());
   section "tiered" (fun () -> Tables.tiered ~quick:!quick ~strict:!strict ());
   section "aot" (fun () -> Tables.aot ~quick:!quick ~strict:!strict ());
   section "trace" (fun () -> Tables.trace ~quick:!quick ~strict:!strict ());
@@ -260,6 +273,7 @@ let () =
             else None)
           [
             ("fastpath", fun () -> Tables.fastpath_json ~quick:!quick ());
+            ("smp", fun () -> Tables.smp_json ~quick:!quick ());
             ("tiered", fun () -> Tables.tiered_json ~quick:!quick ());
             ("aot", fun () -> Tables.aot_json ~quick:!quick ());
             ("table7", fun () -> Tables.table7_json ~quick:!quick ());

@@ -1,25 +1,29 @@
 (* ukern-boot: boot the MiniC kernel on the SVM and run a smoke workload.
 
      ukern_boot [native|gcc|llvm|safe] [--engine=interp|tiered|aot]
-                [--jit-threshold=N] [--tcache-dir=DIR] [--ranges]
-                [--races] [--poolcert] [--trace[=N]] [--trace-out=FILE]
-                [--profile]
-                (default: safe, interp)
+                [--jit-threshold=N] [--tcache-dir=DIR] [--cpus=N]
+                [--smp-seed=S] [--ranges] [--races] [--poolcert]
+                [--trace[=N]] [--trace-out=FILE] [--profile]
+                (default: safe, interp, 1 cpu)
 
    Prints the boot transcript, runs a small syscall workload, and reports
    instruction/cycle counts plus run-time check statistics (and the tier
-   counters when a compiling engine is selected).  With --trace/--profile
-   the event-trace summary, per-metapool metrics and hot-function/syscall
-   attribution are appended; --trace-out exports the trace as Chrome
-   trace-event JSON. *)
+   counters when a compiling engine is selected).  With --cpus=N > 1 the
+   smoke workload is followed by a parallel section: the same syscall
+   burst scheduled over the modeled CPUs by the seeded work-stealing
+   scheduler, reporting per-CPU clocks, steals and IPIs.  With
+   --trace/--profile the event-trace summary, per-metapool metrics and
+   hot-function/syscall attribution are appended; --trace-out exports
+   the trace as Chrome trace-event JSON. *)
 
 module Boot = Ukern.Boot
 module Pipeline = Sva_pipeline.Pipeline
 
 let usage = "usage: ukern_boot [native|gcc|llvm|safe] \
              [--engine=interp|tiered|aot] [--jit-threshold=N] \
-             [--tcache-dir=DIR] [--ranges] [--races] [--poolcert] \
-             [--trace[=N]] [--trace-out=FILE] [--profile]"
+             [--tcache-dir=DIR] [--cpus=N] [--smp-seed=S] [--ranges] \
+             [--races] [--poolcert] [--trace[=N]] [--trace-out=FILE] \
+             [--profile]"
 
 let conf_of_string = function
   | "native" -> Some Pipeline.Native
@@ -39,6 +43,7 @@ let () =
   let conf = ref Pipeline.Sva_safe in
   let engine = ref Pipeline.default_engine in
   let obs = ref Pipeline.default_obs in
+  let smp = ref Pipeline.default_smp in
   let ranges = ref false in
   let races = ref false in
   let poolcert = ref false in
@@ -60,17 +65,22 @@ let () =
                     obs := o;
                     true
                 | None -> (
-                    match conf_of_string arg with
-                    | Some c ->
-                        conf := c;
+                    match Pipeline.smp_flag !smp arg with
+                    | Some s ->
+                        smp := s;
                         true
-                    | None -> false))
+                    | None -> (
+                        match conf_of_string arg with
+                        | Some c ->
+                            conf := c;
+                            true
+                        | None -> false)))
           with
           | true -> ()
           | false -> reject ("ukern_boot: unknown argument '" ^ arg ^ "'")
           | exception Invalid_argument msg -> reject ("ukern_boot: " ^ msg))
     Sys.argv;
-  let conf = !conf and engine = !engine and obs = !obs in
+  let conf = !conf and engine = !engine and obs = !obs and smp = !smp in
   let ranges = !ranges and races = !races and poolcert = !poolcert in
   (* Observability goes live before the build so build-time events
      (range-certified elisions) and boot are captured too. *)
@@ -81,7 +91,7 @@ let () =
     (if ranges then ", range elision" else "")
     (if races then ", concurrency audit" else "")
     (if poolcert then ", pool certification" else "");
-  let t = Boot.boot ~conf ~engine ~ranges ~races ~poolcert () in
+  let t = Boot.boot ~conf ~engine ~smp ~ranges ~races ~poolcert () in
   Printf.printf "booted: kernel_booted=%Ld (%d instructions)\n"
     (Boot.kernel_global t "kernel_booted")
     (Boot.steps t);
@@ -122,6 +132,31 @@ let () =
     (Boot.read_user t 4096 (Int64.to_int n));
   Printf.printf "workload: %d cycles\n" (Boot.cycles t);
   Printf.printf "checks:   %s\n" (Sva_rt.Stats.to_string (Sva_rt.Stats.read ()));
+  if smp.Pipeline.smp_cpus > 1 then begin
+    (* Parallel section: one syscall burst per job, scheduled over the
+       modeled CPUs by the seeded work-stealing scheduler. *)
+    let cpus = smp.Pipeline.smp_cpus in
+    let jobs =
+      List.init (4 * cpus) (fun _ () ->
+          ignore (Boot.syscall t 1 []);
+          ignore (Boot.syscall t 11 [ 0L ]))
+    in
+    let st = Boot.run_smp t ~cpus ~seed:smp.Pipeline.smp_seed jobs in
+    Printf.printf
+      "smp:      %d cpus, %d jobs (seed %d): makespan %dcy, parallel \
+       efficiency %.2fx, %d steals, ipi=%d/%d\n"
+      st.Boot.ss_cpus st.Boot.ss_jobs smp.Pipeline.smp_seed
+      st.Boot.ss_makespan
+      (if st.Boot.ss_makespan > 0 then
+         float_of_int st.Boot.ss_total /. float_of_int st.Boot.ss_makespan
+       else 0.0)
+      st.Boot.ss_steals st.Boot.ss_ipis_delivered st.Boot.ss_ipis_sent;
+    Array.iteri
+      (fun i c ->
+        Printf.printf "          cpu%d: %dcy, %d jobs\n" i c
+          st.Boot.ss_jobs_per.(i))
+      st.Boot.ss_cycles
+  end;
   if engine.Pipeline.eng_kind <> Pipeline.Interp then begin
     let b = tier_boot and w = Sva_rt.Stats.read_tier () in
     let tier =

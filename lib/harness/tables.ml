@@ -758,26 +758,26 @@ let check_summary () =
    cycle model; the cache changes how many splay comparisons each check
    performs, not what any check decides. *)
 let fastpath_measure ~reps ~cache =
-  let saved = !Sva_rt.Objcache.enabled in
-  Sva_rt.Objcache.enabled := cache;
-  Fun.protect
-    ~finally:(fun () -> Sva_rt.Objcache.enabled := saved)
-    (fun () ->
-      let t = fresh_kernel Pipeline.Sva_safe in
-      let ctx = Workloads.prepare t in
-      ablation_workload ctx;
-      Boot.reset_cycles t;
-      Sva_rt.Stats.reset ();
-      let cmp0 = Sva_rt.Splay.comparisons () in
-      for _ = 1 to reps do
-        ablation_workload ctx
-      done;
-      let cmp = Sva_rt.Splay.comparisons () - cmp0 in
-      let s = Sva_rt.Stats.read () in
-      ( float_of_int cmp /. float_of_int reps,
-        float_of_int (Boot.cycles t) /. float_of_int reps,
-        Sva_rt.Stats.total_checks s / reps,
-        Sva_rt.Stats.hit_rate s ))
+  let t = fresh_kernel Pipeline.Sva_safe in
+  (* Caching is per-pool state now (no process-global kill switch), so
+     configure this instance's pools and leave every other SVM alone. *)
+  List.iter
+    (fun (_, mp) -> Sva_rt.Metapool_rt.set_cached mp cache)
+    (Sva_interp.Interp.metapools t.Boot.vm);
+  let ctx = Workloads.prepare t in
+  ablation_workload ctx;
+  Boot.reset_cycles t;
+  Sva_rt.Stats.reset ();
+  let cmp0 = Sva_rt.Splay.comparisons () in
+  for _ = 1 to reps do
+    ablation_workload ctx
+  done;
+  let cmp = Sva_rt.Splay.comparisons () - cmp0 in
+  let s = Sva_rt.Stats.read () in
+  ( float_of_int cmp /. float_of_int reps,
+    float_of_int (Boot.cycles t) /. float_of_int reps,
+    Sva_rt.Stats.total_checks s / reps,
+    Sva_rt.Stats.hit_rate s )
 
 type fastpath_data = {
   fp_cmp_off : float;  (** splay comparisons per op, cache off *)
@@ -878,6 +878,202 @@ let fastpath ?(quick = false) ?(strict = false) () =
       let msg = String.concat "; " fs in
       if strict then failwith ("fastpath check FAILED: " ^ msg)
       else table ^ "  fastpath check: FAIL - " ^ msg ^ "\n"
+
+(* ---------- simulated-SMP scaling ---------- *)
+
+(* The embarrassingly parallel syscall-mix jobs scheduled over 1, 2 and
+   4 modeled CPUs with the deterministic work-stealing scheduler
+   (Boot.run_smp).  The aggregate check counts must be identical at
+   every CPU count — the per-CPU cache shards and stats banks are
+   semantically invisible — and the modeled makespan must scale. *)
+
+type smp_point = {
+  sp_cpus : int;
+  sp_makespan : int;  (** modeled wall time: max per-CPU clock *)
+  sp_total : int;  (** total modeled work: sum of per-CPU clocks *)
+  sp_speedup : float;  (** makespan(1) / makespan(N) *)
+  sp_steals : int;
+  sp_ipis_sent : int;
+  sp_ipis_delivered : int;
+  sp_checks : int;  (** aggregate run-time checks over the whole run *)
+}
+
+type smp_data = {
+  sd_seed : int;
+  sd_jobs : int;
+  sd_points : smp_point list;  (** cpus = 1, 2, 4 *)
+  sd_seq_cycles : int;  (** the jobs called in sequence, no scheduler *)
+  sd_seq_checks : int;
+  sd_seq_identical : bool;
+      (** run_smp at cpus=1 is bit-identical to the sequential calls *)
+  sd_rerun_identical : bool;
+      (** a second fresh boot at cpus=4, same seed, reproduced the
+          schedule exactly (makespan, steals, IPIs, checks) *)
+}
+
+let smp_speedup_floor = 3.0
+let smp_cpu_counts = [ 1; 2; 4 ]
+
+(* Fresh boot per measurement: every point starts from the same
+   deterministic kernel state, so differences are the scheduler's. *)
+let smp_measure ~cpus ~seed ~njobs =
+  let t =
+    Boot.boot_built
+      ~smp:{ Pipeline.smp_cpus = cpus; Pipeline.smp_seed = seed }
+      (image Pipeline.Sva_safe) ~variant:Kbuild.as_tested
+  in
+  let ctx = Workloads.prepare t in
+  List.iter (fun j -> j ()) (Workloads.smp_jobs ctx 1);
+  Sva_rt.Stats.reset ();
+  Boot.reset_cycles t;
+  let st = Boot.run_smp t ~cpus ~seed (Workloads.smp_jobs ctx njobs) in
+  (st, Sva_rt.Stats.total_checks (Sva_rt.Stats.read ()))
+
+let smp_seq_measure ~njobs =
+  let t = fresh_kernel Pipeline.Sva_safe in
+  let ctx = Workloads.prepare t in
+  List.iter (fun j -> j ()) (Workloads.smp_jobs ctx 1);
+  Sva_rt.Stats.reset ();
+  Boot.reset_cycles t;
+  List.iter (fun j -> j ()) (Workloads.smp_jobs ctx njobs);
+  (Boot.cycles t, Sva_rt.Stats.total_checks (Sva_rt.Stats.read ()))
+
+let sd_cache : (bool, smp_data) Hashtbl.t = Hashtbl.create 2
+
+let smp_data ?(quick = false) () =
+  match Hashtbl.find_opt sd_cache quick with
+  | Some d -> d
+  | None ->
+      let njobs = if quick then 16 else 32 in
+      let seed = 1 in
+      let seq_cycles, seq_checks = smp_seq_measure ~njobs in
+      let runs =
+        List.map
+          (fun cpus -> smp_measure ~cpus ~seed ~njobs)
+          smp_cpu_counts
+      in
+      let base =
+        match runs with
+        | (st, _) :: _ -> st.Boot.ss_makespan
+        | [] -> 0
+      in
+      let points =
+        List.map
+          (fun ((st : Boot.smp_stats), checks) ->
+            {
+              sp_cpus = st.Boot.ss_cpus;
+              sp_makespan = st.Boot.ss_makespan;
+              sp_total = st.Boot.ss_total;
+              sp_speedup =
+                (if st.Boot.ss_makespan > 0 then
+                   float_of_int base /. float_of_int st.Boot.ss_makespan
+                 else infinity);
+              sp_steals = st.Boot.ss_steals;
+              sp_ipis_sent = st.Boot.ss_ipis_sent;
+              sp_ipis_delivered = st.Boot.ss_ipis_delivered;
+              sp_checks = checks;
+            })
+          runs
+      in
+      let seq_identical =
+        match runs with
+        | (st, checks) :: _ ->
+            st.Boot.ss_makespan = seq_cycles && checks = seq_checks
+            && st.Boot.ss_steals = 0 && st.Boot.ss_ipis_sent = 0
+        | [] -> false
+      in
+      let rerun_identical =
+        let st1, c1 = smp_measure ~cpus:4 ~seed ~njobs in
+        match List.rev runs with
+        | (st0, c0) :: _ ->
+            st0.Boot.ss_makespan = st1.Boot.ss_makespan
+            && st0.Boot.ss_total = st1.Boot.ss_total
+            && st0.Boot.ss_steals = st1.Boot.ss_steals
+            && st0.Boot.ss_ipis_sent = st1.Boot.ss_ipis_sent
+            && st0.Boot.ss_ipis_delivered = st1.Boot.ss_ipis_delivered
+            && st0.Boot.ss_cycles = st1.Boot.ss_cycles
+            && c0 = c1
+        | [] -> false
+      in
+      let d =
+        {
+          sd_seed = seed;
+          sd_jobs = njobs;
+          sd_points = points;
+          sd_seq_cycles = seq_cycles;
+          sd_seq_checks = seq_checks;
+          sd_seq_identical = seq_identical;
+          sd_rerun_identical = rerun_identical;
+        }
+      in
+      Hashtbl.replace sd_cache quick d;
+      d
+
+let smp ?(quick = false) ?(strict = false) () =
+  let d = smp_data ~quick () in
+  let table =
+    T.render
+      ~title:
+        "Simulated SMP: parallel syscall mix over modeled CPUs (SVA-Safe)"
+      ~note:
+        (Printf.sprintf
+           "%d identical jobs (getpid + getrusage + gettimeofday + sbrk + \
+            sigaction + write + pipe round-trip each), distributed \
+            round-robin and balanced by the seeded work-stealing scheduler \
+            (seed %d).  Makespan is the max per-CPU modeled clock; speedup \
+            is makespan(1)/makespan(N) (>= %.1fx at 4 CPUs required).  \
+            Aggregate checks are identical at every CPU count by \
+            construction - per-CPU cache shards and stats banks are \
+            semantically invisible."
+           d.sd_jobs d.sd_seed smp_speedup_floor)
+      [ T.R; T.R; T.R; T.R; T.R; T.R ]
+      [ "CPUs"; "Makespan"; "Speedup"; "Steals"; "IPIs d/s"; "Checks" ]
+      (List.map
+         (fun p ->
+           [
+             string_of_int p.sp_cpus;
+             Printf.sprintf "%dcy" p.sp_makespan;
+             Printf.sprintf "%.2fx" p.sp_speedup;
+             string_of_int p.sp_steals;
+             Printf.sprintf "%d/%d" p.sp_ipis_delivered p.sp_ipis_sent;
+             string_of_int p.sp_checks;
+           ])
+         d.sd_points)
+  in
+  let p4 =
+    List.find_opt (fun p -> p.sp_cpus = 4) d.sd_points
+  in
+  let failures =
+    List.concat
+      [
+        (match p4 with
+        | Some p when p.sp_speedup < smp_speedup_floor ->
+            [ Printf.sprintf
+                "4-CPU speedup %.2fx is below the required %.1fx"
+                p.sp_speedup smp_speedup_floor ]
+        | _ -> []);
+        List.concat_map
+          (fun p ->
+            if p.sp_checks = d.sd_seq_checks then []
+            else
+              [ Printf.sprintf
+                  "check count diverged at %d CPUs (%d vs sequential %d)"
+                  p.sp_cpus p.sp_checks d.sd_seq_checks ])
+          d.sd_points;
+        (if d.sd_seq_identical then []
+         else
+           [ "run_smp at 1 CPU is not bit-identical to the sequential run"
+           ]);
+        (if d.sd_rerun_identical then []
+         else [ "same-seed rerun did not reproduce the 4-CPU schedule" ]);
+      ]
+  in
+  match failures with
+  | [] -> table ^ "  smp check: PASS\n"
+  | fs ->
+      let msg = String.concat "; " fs in
+      if strict then failwith ("smp check FAILED: " ^ msg)
+      else table ^ "  smp check: FAIL - " ^ msg ^ "\n"
 
 (* ---------- tiered execution engine ---------- *)
 
@@ -1983,6 +2179,35 @@ let fastpath_json ?(quick = false) () =
                ("cache-on", J.Int d.fp_checks_on) ]);
       ("hit-rate-pct", J.Float d.fp_hit_rate);
       ("comparison-reduction", J.Float d.fp_reduction);
+    ]
+
+let smp_json ?(quick = false) () =
+  let d = smp_data ~quick () in
+  J.Obj
+    [
+      ("seed", J.Int d.sd_seed);
+      ("jobs", J.Int d.sd_jobs);
+      ("sequential",
+       J.Obj [ ("cycles", J.Int d.sd_seq_cycles);
+               ("checks", J.Int d.sd_seq_checks) ]);
+      ("points",
+       J.List
+         (List.map
+            (fun p ->
+              J.Obj
+                [
+                  ("cpus", J.Int p.sp_cpus);
+                  ("makespan-cycles", J.Int p.sp_makespan);
+                  ("total-cycles", J.Int p.sp_total);
+                  ("speedup", J.Float p.sp_speedup);
+                  ("steals", J.Int p.sp_steals);
+                  ("ipis-sent", J.Int p.sp_ipis_sent);
+                  ("ipis-delivered", J.Int p.sp_ipis_delivered);
+                  ("checks", J.Int p.sp_checks);
+                ])
+            d.sd_points));
+      ("single-cpu-identical", J.Bool d.sd_seq_identical);
+      ("rerun-identical", J.Bool d.sd_rerun_identical);
     ]
 
 let table7_json ?(quick = false) () =

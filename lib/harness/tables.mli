@@ -56,6 +56,17 @@ val fastpath : ?quick:bool -> ?strict:bool -> unit -> string
     criterion raises instead of being reported in the output (the
     [@bench-smoke] regression gate). *)
 
+val smp : ?quick:bool -> ?strict:bool -> unit -> string
+(** The simulated-SMP scaling experiment: identical parallel syscall-mix
+    jobs scheduled over 1, 2 and 4 modeled CPUs by the deterministic
+    work-stealing scheduler ({!Ukern.Boot.run_smp}).  Verifies that the
+    1-CPU schedule is bit-identical to calling the jobs in sequence,
+    that aggregate check counts are identical at every CPU count, that a
+    same-seed rerun reproduces the 4-CPU schedule exactly, and that the
+    modeled 4-CPU speedup clears the scaling floor (3x); with [strict] a
+    failed criterion raises instead of being reported in the output (the
+    [@bench-smoke] regression gate). *)
+
 val tiered : ?quick:bool -> ?strict:bool -> unit -> string
 (** The tiered-engine experiment: the Table 7 syscall mix under SVA-Safe
     on the pre-decoded interpreter and on the tiered engine
@@ -104,6 +115,29 @@ type fastpath_data = {
 }
 
 val fastpath_data : ?quick:bool -> unit -> fastpath_data
+
+type smp_point = {
+  sp_cpus : int;
+  sp_makespan : int;
+  sp_total : int;
+  sp_speedup : float;
+  sp_steals : int;
+  sp_ipis_sent : int;
+  sp_ipis_delivered : int;
+  sp_checks : int;
+}
+
+type smp_data = {
+  sd_seed : int;
+  sd_jobs : int;
+  sd_points : smp_point list;
+  sd_seq_cycles : int;
+  sd_seq_checks : int;
+  sd_seq_identical : bool;
+  sd_rerun_identical : bool;
+}
+
+val smp_data : ?quick:bool -> unit -> smp_data
 
 type tiered_data = {
   td_cycles_interp : float;
@@ -288,6 +322,7 @@ val poolcert_table : ?strict:bool -> unit -> string
     line; with [~strict:true] any failure raises. *)
 
 val fastpath_json : ?quick:bool -> unit -> Jsonout.t
+val smp_json : ?quick:bool -> unit -> Jsonout.t
 val tiered_json : ?quick:bool -> unit -> Jsonout.t
 val aot_json : ?quick:bool -> unit -> Jsonout.t
 val trace_json : ?quick:bool -> unit -> Jsonout.t

@@ -40,7 +40,8 @@ let event_json (e : Trace.event) =
       ("ph", J.Str (event_phase e));
       ("ts", J.Int e.Trace.ev_ts);
       ("pid", J.Int 1);
-      ("tid", J.Int 1);
+      (* One Chrome "thread" lane per modeled CPU (1-based for display) *)
+      ("tid", J.Int (e.Trace.ev_cpu + 1));
     ]
   in
   let scope =

@@ -192,6 +192,25 @@ let bandwidth_ops =
     ("pipe (128k)", [| 12.5; 17.4; 51.4 |], (fun c -> op_pipe_stream c 131072), 131072, 4);
   ]
 
+(* ---------- simulated-SMP parallel job mix ---------- *)
+
+(* One job = one pass over an embarrassingly parallel syscall mix.  Every
+   job performs exactly the same work, so per-job modeled cost is
+   constant and the scheduler's makespan is governed by load balance
+   alone — the scaling gate then measures the scheduler, not workload
+   skew.  fork/exec and open/close are excluded: they mutate kernel
+   tables and would give later jobs different costs. *)
+let smp_job_mix c =
+  op_getpid c;
+  op_getrusage c;
+  op_gettimeofday c;
+  op_sbrk c;
+  op_sigaction c;
+  op_write c;
+  op_pipe_latency c
+
+let smp_jobs c n = List.init n (fun _ () -> smp_job_mix c)
+
 (* ---------- thttpd-style server ---------- *)
 
 let http_port = 80

@@ -44,6 +44,15 @@ val op_pipe_stream : ctx -> int -> unit
 val bandwidth_ops : (string * float array * (ctx -> unit) * int * int) list
 (** [(name, paper reductions, op, bytes-per-op, reps)] — Table 8 rows. *)
 
+(** {2 Simulated-SMP parallel job mix} *)
+
+val smp_jobs : ctx -> int -> (unit -> unit) list
+(** [smp_jobs ctx n] — [n] identical jobs for {!Ukern.Boot.run_smp},
+    each one pass over an embarrassingly parallel syscall mix (getpid,
+    getrusage, gettimeofday, sbrk, sigaction, write, one-byte pipe round
+    trip).  Constant per-job cost, so N-CPU makespan measures the
+    scheduler's load balance rather than workload skew. *)
+
 (** {2 Server and application models (Tables 5 and 6)} *)
 
 val serve_http_request : ctx -> file:string -> cgi:bool -> int

@@ -15,6 +15,20 @@ let stack_size = 16 * 1024 * 1024
 let user_base = 0x40000000
 let user_size = 32 * 1024 * 1024
 
+(* Simulated-SMP limits.  Each modeled CPU gets a private 8KB trap
+   scratch area carved from the top of the kernel-stack region for its
+   interrupt contexts; CPU 0's area starts exactly where the single-CPU
+   scratch always lived, so 1-CPU layouts are unchanged. *)
+let max_cpus = 8
+let percpu_trap_size = 8192
+
+let percpu_trap_base ~cpu =
+  if cpu < 0 || cpu >= max_cpus then
+    invalid_arg
+      (Printf.sprintf "Machine.percpu_trap_base: cpu %d out of range [0,%d)"
+         cpu max_cpus);
+  stack_base + stack_size - 4096 - (cpu * percpu_trap_size)
+
 type region = { r_name : string; r_base : int; r_size : int; r_bytes : Bytes.t }
 
 type t = { regions : region list; mutable svm : bool }

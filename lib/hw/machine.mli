@@ -34,6 +34,19 @@ val user_size : int
 val page_size : int
 (** 4096 bytes. *)
 
+val max_cpus : int
+(** Most CPUs a simulated-SMP machine may model (8). *)
+
+val percpu_trap_size : int
+(** Bytes of private trap-scratch memory per modeled CPU (8 KB). *)
+
+val percpu_trap_base : cpu:int -> int
+(** Base of the given CPU's trap scratch area, carved downward from the
+    top of the kernel-stack region.  CPU 0's area is exactly the old
+    single-CPU interrupt-context scratch address, so 1-CPU memory layouts
+    (and hence cycle counts) are unchanged.
+    @raise Invalid_argument outside [0, max_cpus). *)
+
 type t
 
 val create : unit -> t

@@ -46,6 +46,19 @@ let probe ~key =
             | exception Codec.Decode_error msg -> Corrupt msg)
       end
 
+(* Unique temp-file suffix per writer: pid + in-process counter.  A
+   fixed [path ^ ".tmp"] let two concurrent writers of the same function
+   interleave their writes and then rename a torn file — silently, since
+   signature verification on read would just call the entry stale.  With
+   a per-writer name each writer renames only bytes it wrote alone, and
+   the rename itself is atomic, preserving the module's concurrent-reader
+   claim. *)
+let tmp_seq = ref 0
+
+let tmp_name path =
+  incr tmp_seq;
+  Printf.sprintf "%s.%d.%d.tmp" path (Unix.getpid ()) !tmp_seq
+
 (* Persist a (just-signed) entry.  Returns whether the write happened;
    I/O failures are swallowed — the store is an accelerator, losing a
    write only means the next process re-translates. *)
@@ -54,7 +67,7 @@ let store (e : Signing.fentry) =
   | None -> false
   | Some d -> (
       let path = path_of ~key:e.Signing.fe_hash d in
-      let tmp = path ^ ".tmp" in
+      let tmp = tmp_name path in
       match
         Out_channel.with_open_bin tmp (fun oc ->
             Out_channel.output_string oc (Signing.encode_fentry e));

@@ -107,6 +107,35 @@ let install_obs cfg =
   | None -> ());
   if cfg.obs_profile then Sva_rt.Trace.enable_profile ()
 
+(* ---------- simulated-SMP selection ---------- *)
+
+type smp_config = {
+  smp_cpus : int;  (* modeled CPUs, 1..Machine.max_cpus *)
+  smp_seed : int;  (* scheduler interleaving seed *)
+}
+
+let default_smp = { smp_cpus = 1; smp_seed = 1 }
+
+(* Same contract as [engine_flag]/[obs_flag]: every binary accepts the
+   same --cpus=N and --smp-seed=S spellings, and a recognized-but-
+   malformed flag is an error rather than silently ignored. *)
+let smp_flag cfg arg =
+  match String.index_opt arg '=' with
+  | Some i when String.sub arg 0 i = "--cpus" -> (
+      let v = String.sub arg (i + 1) (String.length arg - i - 1) in
+      match int_of_string_opt v with
+      | Some n when n >= 1 && n <= Sva_hw.Machine.max_cpus ->
+          Some { cfg with smp_cpus = n }
+      | _ ->
+          invalid_arg
+            (Printf.sprintf "bad --cpus '%s' (1..%d)" v Sva_hw.Machine.max_cpus))
+  | Some i when String.sub arg 0 i = "--smp-seed" -> (
+      let v = String.sub arg (i + 1) (String.length arg - i - 1) in
+      match int_of_string_opt v with
+      | Some n when n >= 0 -> Some { cfg with smp_seed = n }
+      | _ -> invalid_arg ("bad --smp-seed '" ^ v ^ "' (non-negative integer)"))
+  | _ -> None
+
 type built = {
   bl_name : string;
   bl_conf : conf;
@@ -340,7 +369,7 @@ let build ?conf ?aconfig ?options ?typecheck ?clone ?devirt ?checkopt ?lint
   build_module ?conf ?aconfig ?options ?typecheck ?clone ?devirt ?checkopt
     ?lint ?lint_config ?ranges ?races ?poolcert ~name m
 
-let instantiate ?sys ?(engine = default_engine) built =
+let instantiate ?sys ?(engine = default_engine) ?(smp = default_smp) built =
   let mode =
     match built.bl_conf with
     | Native -> Sva_os.Svaos.Native_inline
@@ -351,12 +380,14 @@ let instantiate ?sys ?(engine = default_engine) built =
     | Some s ->
         Sva_os.Svaos.set_mode s mode;
         s
-    | None -> Sva_os.Svaos.create ~mode ()
+    | None -> Sva_os.Svaos.create ~mode ~ncpus:smp.smp_cpus ()
   in
   let metapools =
     match built.bl_mps with
     | Some mps ->
-        Checkinsert.runtime_pools
+        (* The pools' cache shards follow this instance's CPU context, so
+           a check on CPU k consults CPU k's shard. *)
+        Checkinsert.runtime_pools ~smp:(Sva_os.Svaos.smpctx sys)
           ~user_range:(Sva_hw.Machine.user_base, Sva_hw.Machine.user_size)
           mps
     | None -> []

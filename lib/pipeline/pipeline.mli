@@ -94,6 +94,21 @@ val install_obs : obs_config -> unit
     ring and/or the profiler).  Does not write any file — the caller
     exports after the workload runs. *)
 
+(** {2 Simulated-SMP selection} *)
+
+type smp_config = {
+  smp_cpus : int;  (** modeled CPUs, 1..[Sva_hw.Machine.max_cpus] *)
+  smp_seed : int;  (** deterministic scheduler-interleaving seed *)
+}
+
+val default_smp : smp_config
+(** One CPU, seed 1 — bit-identical to the pre-SMP pipeline. *)
+
+val smp_flag : smp_config -> string -> smp_config option
+(** Parse one [--cpus=N] or [--smp-seed=S] argument into an updated
+    config; [None] if the argument is neither.
+    @raise Invalid_argument on a malformed or out-of-range value. *)
+
 type built = {
   bl_name : string;
   bl_conf : conf;
@@ -222,11 +237,15 @@ val build_module :
     are assumed to have run. *)
 
 val instantiate :
-  ?sys:Sva_os.Svaos.t -> ?engine:engine_config -> built -> Sva_interp.Interp.t
+  ?sys:Sva_os.Svaos.t -> ?engine:engine_config -> ?smp:smp_config -> built ->
+  Sva_interp.Interp.t
 (** Load a built image into an SVM instance.  The SVA-OS mode follows the
     configuration (Native_inline for [Native], mediated otherwise); the
-    run-time metapools are created and userspace is pre-registered in
+    run-time metapools are created — their lookup-cache shards threaded
+    onto the instance's CPU context — and userspace is pre-registered in
     pools reachable from syscall arguments.  [engine] (default
     {!default_engine}) selects the execution tier; [Tiered] installs the
     closure compiler before any code — including the global-registration
-    boot pass — runs. *)
+    boot pass — runs.  [smp] (default {!default_smp}) sizes the modeled
+    CPU array when the instance is created here; it does not re-size a
+    caller-supplied [sys]. *)

@@ -8,8 +8,10 @@ type t = {
   mutable mp_complete : bool;
   mutable mp_elem_size : int;
   mp_objects : obj Splay.t;
-  mp_cache : obj Objcache.t;
-  mp_cached : bool;
+  mp_smp : Smp.t;
+  mp_caches : obj Objcache.t array;
+  mutable mp_cached : bool;
+  mutable mp_epoch : int;
   (* Per-pool observability counters (always on: plain int bumps, no
      effect on verdicts or the cycle model). *)
   mutable mp_peak : int;
@@ -17,35 +19,72 @@ type t = {
   mutable mp_drops : int;
   mutable mp_lookups : int;
   mutable mp_hits : int;
+  mutable mp_flushes : int;
 }
 
-let create ?(type_homog = false) ?(complete = true) ?(elem_size = 0)
+let create ?smp ?(type_homog = false) ?(complete = true) ?(elem_size = 0)
     ?(cached = true) name =
+  let smp = match smp with Some s -> s | None -> Smp.create () in
   {
     mp_name = name;
     mp_type_homog = type_homog;
     mp_complete = complete;
     mp_elem_size = elem_size;
     mp_objects = Splay.create ();
-    mp_cache = Objcache.create ();
+    mp_smp = smp;
+    mp_caches = Array.init (Smp.ncpus smp) (fun _ -> Objcache.create ());
     mp_cached = cached;
+    mp_epoch = 0;
     mp_peak = 0;
     mp_regs = 0;
     mp_drops = 0;
     mp_lookups = 0;
     mp_hits = 0;
+    mp_flushes = 0;
   }
 
-(* Every containment query goes through here: cache first, splay on miss.
-   Cached entries are always live — every removal path invalidates — and
-   insertion cannot make one stale (ranges are disjoint), so registration
-   needs no invalidation.  The per-pool hit counter is derived from the
-   global one's delta so the two can never disagree. *)
+let set_cached mp b = mp.mp_cached <- b
+
+(* Ownership/epoch coherence over the per-CPU cache shards: the pool
+   epoch counts object removals, and a shard is usable only at the
+   current epoch.  The CPU that performs a drop repairs its own shard
+   precisely (targeted invalidation, then adopt the new epoch) — so a
+   single-CPU pool never wholesale-flushes and stays bit-identical to
+   the unsharded cache — while any other CPU discovers the stale epoch
+   on its next access and clears its whole shard.  Registrations never
+   bump the epoch: registered ranges are disjoint, so an insert cannot
+   make any cached entry stale.  Lookups on a current shard remain plain
+   1-cycle hits with zero cross-CPU traffic, which is the point. *)
+let shard mp =
+  let c = mp.mp_caches.(Smp.cur mp.mp_smp) in
+  if Objcache.epoch c <> mp.mp_epoch then begin
+    Objcache.clear c;
+    Objcache.set_epoch c mp.mp_epoch;
+    mp.mp_flushes <- mp.mp_flushes + 1
+  end;
+  c
+
+(* Removal path: sync this CPU's shard first (a lagging shard may hold
+   entries staled by other CPUs' drops), then bump the epoch, repair the
+   shard for this one removal, and adopt the new epoch. *)
+let invalidate mp start =
+  let c = shard mp in
+  mp.mp_epoch <- mp.mp_epoch + 1;
+  Objcache.invalidate_start c start;
+  Objcache.set_epoch c mp.mp_epoch
+
+(* Every containment query goes through here: this CPU's cache shard
+   first, splay on miss.  Current-epoch shard entries are always live —
+   every removal path bumps the epoch — and insertion cannot make one
+   stale (ranges are disjoint), so registration needs no invalidation.
+   The per-pool hit counter is derived from the global one's delta so
+   the two can never disagree. *)
 let find mp addr =
   mp.mp_lookups <- mp.mp_lookups + 1;
   if mp.mp_cached then begin
+    let c = shard mp in
     let h0 = Stats.cache_hits () in
-    let r = Objcache.find mp.mp_cache mp.mp_objects addr in
+    let r = Objcache.find c mp.mp_objects addr in
     if Stats.cache_hits () > h0 then mp.mp_hits <- mp.mp_hits + 1;
     r
   end
@@ -70,7 +109,7 @@ let drop mp ~start =
   mp.mp_drops <- mp.mp_drops + 1;
   if !Trace.active then Trace.emit_drop ~pool:mp.mp_name ~start;
   match Splay.remove mp.mp_objects ~start with
-  | Some _ -> Objcache.invalidate_start mp.mp_cache start
+  | Some _ -> invalidate mp start
   | None ->
       Stats.bump_violation ();
       (* Distinguish a pointer into the middle of a live object (illegal
@@ -88,7 +127,7 @@ let drop_if_present mp ~start =
   | Some _ ->
       mp.mp_drops <- mp.mp_drops + 1;
       if !Trace.active then Trace.emit_drop ~pool:mp.mp_name ~start;
-      Objcache.invalidate_start mp.mp_cache start;
+      invalidate mp start;
       true
   | None -> false
 
@@ -215,6 +254,7 @@ type metrics = {
   m_depth : int;
   m_lookups : int;
   m_cache_hits : int;
+  m_flushes : int;
 }
 
 let metrics mp =
@@ -227,6 +267,7 @@ let metrics mp =
     m_depth = Splay.depth mp.mp_objects;
     m_lookups = mp.mp_lookups;
     m_cache_hits = mp.mp_hits;
+    m_flushes = mp.mp_flushes;
   }
 
 let metrics_hit_rate m =
@@ -238,8 +279,13 @@ let reset_metrics mp =
   mp.mp_regs <- 0;
   mp.mp_drops <- 0;
   mp.mp_lookups <- 0;
-  mp.mp_hits <- 0
+  mp.mp_hits <- 0;
+  mp.mp_flushes <- 0
 
 let reset mp =
   Splay.clear mp.mp_objects;
-  Objcache.clear mp.mp_cache
+  Array.iter
+    (fun c ->
+      Objcache.clear c;
+      Objcache.set_epoch c mp.mp_epoch)
+    mp.mp_caches

@@ -37,24 +37,43 @@ type t = {
   mutable mp_elem_size : int;
       (** inferred element size for TH pools (alignment contract, §4.4) *)
   mp_objects : obj Splay.t;
-  mp_cache : obj Objcache.t;
-      (** direct-mapped lookup cache consulted before the splay tree *)
-  mp_cached : bool;  (** whether this pool uses its cache at all *)
+  mp_smp : Smp.t;  (** the owning SVM instance's CPU context *)
+  mp_caches : obj Objcache.t array;
+      (** per-CPU direct-mapped lookup cache shards consulted before the
+          splay tree (one per modeled CPU of [mp_smp]) *)
+  mutable mp_cached : bool;  (** whether this pool uses its caches at all *)
+  mutable mp_epoch : int;
+      (** coherence epoch: bumped on every object removal; a shard whose
+          {!Objcache.epoch} lags is wholesale-flushed before use *)
   mutable mp_peak : int;  (** high-water mark of live objects *)
   mutable mp_regs : int;  (** registrations performed on this pool *)
   mutable mp_drops : int;  (** deregistrations performed on this pool *)
   mutable mp_lookups : int;  (** containment queries (checks + getbounds) *)
   mutable mp_hits : int;  (** lookups answered by this pool's cache *)
+  mutable mp_flushes : int;  (** stale shards wholesale-cleared on access *)
 }
 
 val create :
-  ?type_homog:bool -> ?complete:bool -> ?elem_size:int -> ?cached:bool ->
-  string -> t
-(** [cached] (default true) wires the per-pool object-lookup cache in
-    front of the splay tree.  The cache is semantically invisible — an
-    uncached pool gives byte-identical verdicts and bounds — and exists
+  ?smp:Smp.t -> ?type_homog:bool -> ?complete:bool -> ?elem_size:int ->
+  ?cached:bool -> string -> t
+(** [cached] (default true) wires the per-pool object-lookup cache shards
+    in front of the splay tree.  The caches are semantically invisible —
+    an uncached pool gives byte-identical verdicts and bounds — and exist
     purely to short-circuit the splay lookup on repeated hits (the cheaper
-    lookups Section 7.1.3 proposes). *)
+    lookups Section 7.1.3 proposes).
+
+    [smp] (default a fresh 1-CPU context) selects which shard a lookup
+    consults and sizes the shard array.  Coherence is the ownership/epoch
+    protocol (DESIGN.md §16): drops bump [mp_epoch], the dropping CPU
+    repairs its own shard precisely (so a 1-CPU pool never
+    wholesale-flushes and is bit-identical to the unsharded cache), and
+    other CPUs lazily clear a lagging shard on next access. *)
+
+val set_cached : t -> bool -> unit
+(** Toggle cache use for this pool only (A/B measurement).  Replaces the
+    old process-global [Objcache.enabled] switch, which silently coupled
+    every SVM instance in the process.  Deterministic: only redirects
+    lookups; an uncached pool bumps neither cache counter. *)
 
 val register : t -> cls:memclass -> start:int -> len:int -> unit
 (** [pchk.reg.obj]: record a live object.  Registering a range that
@@ -117,6 +136,9 @@ type metrics = {
   m_depth : int;  (** current splay-tree height *)
   m_lookups : int;  (** containment queries issued *)
   m_cache_hits : int;  (** queries answered by this pool's cache *)
+  m_flushes : int;
+      (** stale cache shards wholesale-cleared on access (epoch lag);
+          always 0 on a 1-CPU pool *)
 }
 
 val metrics : t -> metrics

@@ -2,33 +2,38 @@
    A large object touched at several offsets occupies several slots, which
    is what makes streaming accesses (memcpy over a buffer) hit. *)
 
-type 'a t = { slots : 'a Splay.node option array }
+type 'a t = {
+  slots : 'a Splay.node option array;
+  (* Coherence tag for per-CPU sharding: the owning metapool bumps its
+     pool epoch on every removal, and a shard whose epoch lags is flushed
+     wholesale before use (Metapool_rt).  The cache itself never reads
+     it — whether to cache at all is the caller's decision too. *)
+  mutable oc_epoch : int;
+}
 
 let slot_count = 64
 let bucket_shift = 4 (* 16-byte buckets: adjacent word accesses share a slot *)
 
-let create () = { slots = Array.make slot_count None }
-
-let enabled = ref true
+let create () = { slots = Array.make slot_count None; oc_epoch = 0 }
+let epoch c = c.oc_epoch
+let set_epoch c e = c.oc_epoch <- e
 
 let slot_of addr = (addr lsr bucket_shift) land (slot_count - 1)
 
 let find c tree addr =
-  if not !enabled then Splay.find_containing tree addr
-  else
-    let i = slot_of addr in
-    match c.slots.(i) with
-    | Some n when addr >= n.Splay.n_start && addr < n.Splay.n_start + n.Splay.n_len
-      ->
-        Stats.bump_cache_hit ();
-        Some n
-    | _ -> (
-        Stats.bump_cache_miss ();
-        match Splay.find_containing tree addr with
-        | Some n as r ->
-            c.slots.(i) <- Some n;
-            r
-        | None -> None)
+  let i = slot_of addr in
+  match c.slots.(i) with
+  | Some n when addr >= n.Splay.n_start && addr < n.Splay.n_start + n.Splay.n_len
+    ->
+      Stats.bump_cache_hit ();
+      Some n
+  | _ -> (
+      Stats.bump_cache_miss ();
+      match Splay.find_containing tree addr with
+      | Some n as r ->
+          c.slots.(i) <- Some n;
+          r
+      | None -> None)
 
 let invalidate_start c start =
   for i = 0 to slot_count - 1 do

@@ -22,11 +22,21 @@ val slot_count : int
 (** Number of direct-mapped slots (a power of two). *)
 
 val create : unit -> 'a t
+(** A fresh empty cache at epoch 0.
 
-val enabled : bool ref
-(** Global kill switch for A/B measurement ([bench/main.exe fastpath]).
-    When false every lookup falls through to the splay tree and neither
-    counter moves.  Deterministic: the flag only redirects lookups. *)
+    There is deliberately {e no} global kill switch: whether to consult a
+    cache at all is per-metapool state ([Metapool_rt.set_cached]), so
+    toggling one SVM instance (or one A/B measurement) can never change
+    the behaviour of another instance in the same process. *)
+
+val epoch : 'a t -> int
+(** Coherence tag for per-CPU cache shards.  The owning metapool bumps
+    its pool epoch on every object removal; a shard whose stored epoch
+    lags the pool's is wholesale-cleared before use ({!clear}) and then
+    re-tagged with {!set_epoch}.  The cache itself never interprets the
+    value. *)
+
+val set_epoch : 'a t -> int -> unit
 
 val find : 'a t -> 'a Splay.t -> int -> 'a Splay.node option
 (** [find cache tree addr] answers "which registered range contains

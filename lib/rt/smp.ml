@@ -1,0 +1,20 @@
+(* Shared simulated-SMP context: how many CPUs this SVM instance models
+   and which one is currently executing.  One value is created per SVM
+   instance (by Svaos.create) and threaded into every per-CPU-sharded
+   runtime structure, so two instances in one process never share CPU
+   state — the whole point of evicting the old process-global toggles. *)
+
+type t = { sc_ncpus : int; mutable sc_cur : int }
+
+let create ?(ncpus = 1) () =
+  if ncpus < 1 then invalid_arg "Smp.create: ncpus must be >= 1";
+  { sc_ncpus = ncpus; sc_cur = 0 }
+
+let ncpus t = t.sc_ncpus
+let cur t = t.sc_cur
+
+let set_cur t i =
+  if i < 0 || i >= t.sc_ncpus then
+    invalid_arg
+      (Printf.sprintf "Smp.set_cur: cpu %d out of range [0,%d)" i t.sc_ncpus);
+  t.sc_cur <- i

@@ -1,0 +1,25 @@
+(** Simulated-SMP context: CPU count and current CPU of one SVM instance.
+
+    The SVM interleaves N modeled CPUs on one host thread (the scheduler
+    in [Ukern.Boot.run_smp] switches between them at syscall granularity),
+    so "which CPU is running" is a plain mutable field, not thread-local
+    state.  Each SVM instance owns one context — created by
+    [Sva_os.Svaos.create] and threaded into the per-CPU shards of the
+    check runtime ({!Metapool_rt}) — so concurrent instances in one
+    process never observe each other's CPU switches.
+
+    The default context is a single CPU, under which every consumer
+    behaves bit-identically to the pre-SMP runtime. *)
+
+type t
+
+val create : ?ncpus:int -> unit -> t
+(** [create ~ncpus ()] — a context of [ncpus] modeled CPUs (default 1),
+    currently executing CPU 0.  @raise Invalid_argument if [ncpus < 1]. *)
+
+val ncpus : t -> int
+val cur : t -> int
+(** The CPU currently executing (0-based). *)
+
+val set_cur : t -> int -> unit
+(** Switch the current CPU.  @raise Invalid_argument if out of range. *)

@@ -25,57 +25,122 @@ let zero =
     cache_misses = 0;
   }
 
-let bounds = ref 0
-let gb = ref 0
-let ls = ref 0
-let fc = ref 0
-let regs = ref 0
-let drps = ref 0
-let reduced = ref 0
-let viols = ref 0
-let chits = ref 0
-let cmisses = ref 0
+(* The dynamic-event counters (this snapshot family and the concurrency
+   family below) live in per-CPU banks: every bump lands in the bank of
+   the CPU the SMP scheduler last selected with [set_cpu], and the read
+   accessors sum across banks.  Totals are therefore invariant under bank
+   switching — an N-CPU run that executes the same work observes the same
+   [read ()] as a 1-CPU run by construction, which is what the bench's
+   check-count-identity gate leans on.  Bank 0 is the default, so code
+   that never calls [set_cpu] behaves exactly as the old flat refs did.
+   Tier/range/pool counters stay global: they are build-time or
+   whole-process facts with no per-CPU attribution. *)
 
-let bump_bounds () = incr bounds
-let bump_getbounds () = incr gb
-let bump_ls () = incr ls
-let bump_funccheck () = incr fc
-let bump_reg () = incr regs
-let bump_drop () = incr drps
-let bump_reduced () = incr reduced
-let bump_violation () = incr viols
-let bump_cache_hit () = incr chits
-let bump_cache_miss () = incr cmisses
+type bank = {
+  mutable b_bounds : int;
+  mutable b_gb : int;
+  mutable b_ls : int;
+  mutable b_fc : int;
+  mutable b_regs : int;
+  mutable b_drops : int;
+  mutable b_reduced : int;
+  mutable b_viols : int;
+  mutable b_chits : int;
+  mutable b_cmisses : int;
+  (* concurrency family (read out further below) *)
+  mutable b_cli : int;
+  mutable b_sti : int;
+  mutable b_lacq : int;
+  mutable b_lrel : int;
+  mutable b_ipis_sent : int;
+  mutable b_ipis_delivered : int;
+}
 
-let cache_hits () = !chits
-let cache_misses () = !cmisses
-let checks_now () = !bounds + !ls + !fc
+let make_bank () =
+  {
+    b_bounds = 0; b_gb = 0; b_ls = 0; b_fc = 0; b_regs = 0; b_drops = 0;
+    b_reduced = 0; b_viols = 0; b_chits = 0; b_cmisses = 0; b_cli = 0;
+    b_sti = 0; b_lacq = 0; b_lrel = 0; b_ipis_sent = 0; b_ipis_delivered = 0;
+  }
+
+let banks = ref [| make_bank () |]
+let cur = ref !banks.(0)
+let cur_cpu_ = ref 0
+
+let set_cpu i =
+  if i < 0 then invalid_arg "Stats.set_cpu: negative cpu";
+  if i >= Array.length !banks then
+    banks :=
+      Array.init (i + 1) (fun j ->
+          if j < Array.length !banks then !banks.(j) else make_bank ());
+  cur_cpu_ := i;
+  cur := !banks.(i)
+
+let current_cpu () = !cur_cpu_
+let cpu_banks () = Array.length !banks
+let sum f = Array.fold_left (fun acc b -> acc + f b) 0 !banks
+
+let bump_bounds () = let b = !cur in b.b_bounds <- b.b_bounds + 1
+let bump_getbounds () = let b = !cur in b.b_gb <- b.b_gb + 1
+let bump_ls () = let b = !cur in b.b_ls <- b.b_ls + 1
+let bump_funccheck () = let b = !cur in b.b_fc <- b.b_fc + 1
+let bump_reg () = let b = !cur in b.b_regs <- b.b_regs + 1
+let bump_drop () = let b = !cur in b.b_drops <- b.b_drops + 1
+let bump_reduced () = let b = !cur in b.b_reduced <- b.b_reduced + 1
+let bump_violation () = let b = !cur in b.b_viols <- b.b_viols + 1
+let bump_cache_hit () = let b = !cur in b.b_chits <- b.b_chits + 1
+let bump_cache_miss () = let b = !cur in b.b_cmisses <- b.b_cmisses + 1
+
+let cache_hits () = sum (fun b -> b.b_chits)
+let cache_misses () = sum (fun b -> b.b_cmisses)
+let checks_now () = sum (fun b -> b.b_bounds + b.b_ls + b.b_fc)
+
+let snapshot_of_bank b =
+  {
+    bounds_checks = b.b_bounds;
+    getbounds = b.b_gb;
+    ls_checks = b.b_ls;
+    funcchecks = b.b_fc;
+    registrations = b.b_regs;
+    drops = b.b_drops;
+    reduced_checks = b.b_reduced;
+    violations = b.b_viols;
+    cache_hits = b.b_chits;
+    cache_misses = b.b_cmisses;
+  }
 
 let read () =
   {
-    bounds_checks = !bounds;
-    getbounds = !gb;
-    ls_checks = !ls;
-    funcchecks = !fc;
-    registrations = !regs;
-    drops = !drps;
-    reduced_checks = !reduced;
-    violations = !viols;
-    cache_hits = !chits;
-    cache_misses = !cmisses;
+    bounds_checks = sum (fun b -> b.b_bounds);
+    getbounds = sum (fun b -> b.b_gb);
+    ls_checks = sum (fun b -> b.b_ls);
+    funcchecks = sum (fun b -> b.b_fc);
+    registrations = sum (fun b -> b.b_regs);
+    drops = sum (fun b -> b.b_drops);
+    reduced_checks = sum (fun b -> b.b_reduced);
+    violations = sum (fun b -> b.b_viols);
+    cache_hits = sum (fun b -> b.b_chits);
+    cache_misses = sum (fun b -> b.b_cmisses);
   }
 
+let read_cpu i =
+  if i < 0 || i >= Array.length !banks then zero
+  else snapshot_of_bank !banks.(i)
+
 let reset () =
-  bounds := 0;
-  gb := 0;
-  ls := 0;
-  fc := 0;
-  regs := 0;
-  drps := 0;
-  reduced := 0;
-  viols := 0;
-  chits := 0;
-  cmisses := 0
+  Array.iter
+    (fun b ->
+      b.b_bounds <- 0;
+      b.b_gb <- 0;
+      b.b_ls <- 0;
+      b.b_fc <- 0;
+      b.b_regs <- 0;
+      b.b_drops <- 0;
+      b.b_reduced <- 0;
+      b.b_viols <- 0;
+      b.b_chits <- 0;
+      b.b_cmisses <- 0)
+    !banks
 
 let diff a b =
   {
@@ -333,34 +398,52 @@ type conc_snapshot = {
   sti_count : int;
   lock_acquires : int;
   lock_releases : int;
+  ipis_sent : int;
+  ipis_delivered : int;
 }
 
 let conc_zero =
-  { cli_count = 0; sti_count = 0; lock_acquires = 0; lock_releases = 0 }
+  {
+    cli_count = 0;
+    sti_count = 0;
+    lock_acquires = 0;
+    lock_releases = 0;
+    ipis_sent = 0;
+    ipis_delivered = 0;
+  }
 
-let c_cli = ref 0
-let c_sti = ref 0
-let c_lacq = ref 0
-let c_lrel = ref 0
+(* Same per-CPU banks as the check counters above: these are dynamic
+   events attributable to the executing CPU. *)
+let bump_cli () = let b = !cur in b.b_cli <- b.b_cli + 1
+let bump_sti () = let b = !cur in b.b_sti <- b.b_sti + 1
+let bump_lock_acquire () = let b = !cur in b.b_lacq <- b.b_lacq + 1
+let bump_lock_release () = let b = !cur in b.b_lrel <- b.b_lrel + 1
+let bump_ipi_sent () = let b = !cur in b.b_ipis_sent <- b.b_ipis_sent + 1
 
-let bump_cli () = incr c_cli
-let bump_sti () = incr c_sti
-let bump_lock_acquire () = incr c_lacq
-let bump_lock_release () = incr c_lrel
+let bump_ipi_delivered () =
+  let b = !cur in
+  b.b_ipis_delivered <- b.b_ipis_delivered + 1
 
 let read_conc () =
   {
-    cli_count = !c_cli;
-    sti_count = !c_sti;
-    lock_acquires = !c_lacq;
-    lock_releases = !c_lrel;
+    cli_count = sum (fun b -> b.b_cli);
+    sti_count = sum (fun b -> b.b_sti);
+    lock_acquires = sum (fun b -> b.b_lacq);
+    lock_releases = sum (fun b -> b.b_lrel);
+    ipis_sent = sum (fun b -> b.b_ipis_sent);
+    ipis_delivered = sum (fun b -> b.b_ipis_delivered);
   }
 
 let reset_conc () =
-  c_cli := 0;
-  c_sti := 0;
-  c_lacq := 0;
-  c_lrel := 0
+  Array.iter
+    (fun b ->
+      b.b_cli <- 0;
+      b.b_sti <- 0;
+      b.b_lacq <- 0;
+      b.b_lrel <- 0;
+      b.b_ipis_sent <- 0;
+      b.b_ipis_delivered <- 0)
+    !banks
 
 let diff_conc a b =
   {
@@ -368,11 +451,14 @@ let diff_conc a b =
     sti_count = a.sti_count - b.sti_count;
     lock_acquires = a.lock_acquires - b.lock_acquires;
     lock_releases = a.lock_releases - b.lock_releases;
+    ipis_sent = a.ipis_sent - b.ipis_sent;
+    ipis_delivered = a.ipis_delivered - b.ipis_delivered;
   }
 
 let conc_to_string s =
-  Printf.sprintf "cli=%d sti=%d lock-acquire=%d lock-release=%d" s.cli_count
-    s.sti_count s.lock_acquires s.lock_releases
+  Printf.sprintf "cli=%d sti=%d lock-acquire=%d lock-release=%d ipi=%d/%d"
+    s.cli_count s.sti_count s.lock_acquires s.lock_releases s.ipis_delivered
+    s.ipis_sent
 
 (* Full reset across all five counter families.  The individual resets
    stay available for the measurements that deliberately reset one family

@@ -22,6 +22,33 @@ type snapshot = {
 
 val zero : snapshot
 
+(** {1 Per-CPU banks}
+
+    The dynamic-event families ({!snapshot} and {!conc_snapshot}) are
+    kept in per-CPU counter banks: each bump lands in the bank selected
+    by {!set_cpu} (the simulated-SMP scheduler switches it at CPU-switch
+    points), and the summing accessors ({!read}, {!cache_hits},
+    {!checks_now}, {!read_conc}) report totals across all banks.  Totals
+    are therefore invariant under bank switching, so an N-CPU schedule of
+    the same work keeps every aggregate counter identical to the 1-CPU
+    run.  Bank 0 is the default — code that never calls [set_cpu] is
+    bit-compatible with the pre-SMP flat counters.  Build-time families
+    (tier, range, pool) are not banked. *)
+
+val set_cpu : int -> unit
+(** Direct subsequent bumps at CPU [i]'s bank (grown on demand).
+    @raise Invalid_argument on a negative index. *)
+
+val current_cpu : unit -> int
+(** The bank index currently receiving bumps (0 by default). *)
+
+val cpu_banks : unit -> int
+(** Number of banks allocated so far (>= 1). *)
+
+val read_cpu : int -> snapshot
+(** One CPU's bank alone ({!zero} for a never-selected index); {!read}
+    is the sum of these over all banks. *)
+
 val bump_bounds : unit -> unit
 val bump_getbounds : unit -> unit
 val bump_ls : unit -> unit
@@ -180,6 +207,8 @@ type conc_snapshot = {
   sti_count : int;  (** [sva_sti] executions *)
   lock_acquires : int;  (** [sva_lock_acquire] executions *)
   lock_releases : int;  (** [sva_lock_release] executions *)
+  ipis_sent : int;  (** [sva_ipi_send] executions *)
+  ipis_delivered : int;  (** IPI vectors delivered on a target CPU *)
 }
 
 val conc_zero : conc_snapshot
@@ -187,6 +216,8 @@ val bump_cli : unit -> unit
 val bump_sti : unit -> unit
 val bump_lock_acquire : unit -> unit
 val bump_lock_release : unit -> unit
+val bump_ipi_sent : unit -> unit
+val bump_ipi_delivered : unit -> unit
 val read_conc : unit -> conc_snapshot
 val reset_conc : unit -> unit
 val diff_conc : conc_snapshot -> conc_snapshot -> conc_snapshot

@@ -48,12 +48,20 @@ let ekind_name = function
 type event = {
   ev_seq : int;  (* global emission index, 0-based *)
   ev_ts : int;  (* modeled cycles at emission (the trace clock) *)
+  ev_cpu : int;  (* modeled CPU executing at emission (0 off-SMP) *)
   ev_kind : ekind;
   ev_name : string;
   ev_pool : string;
   ev_a : int;
   ev_b : int;
 }
+
+(* Which modeled CPU subsequent events are attributed to.  The SMP
+   scheduler flips it at CPU-switch points; everything else (including
+   build-time emission) stays on CPU 0, preserving pre-SMP traces. *)
+let cur_cpu = ref 0
+let set_cpu i = cur_cpu := i
+let current_cpu () = !cur_cpu
 
 (* The timestamp source.  The SVM installs its modeled-cycle counter at
    load time; events emitted outside any VM (build-time range elisions)
@@ -68,8 +76,8 @@ let active = ref false
 let default_capacity = 4096
 
 let dummy =
-  { ev_seq = 0; ev_ts = 0; ev_kind = Ev_check; ev_name = ""; ev_pool = "";
-    ev_a = 0; ev_b = 0 }
+  { ev_seq = 0; ev_ts = 0; ev_cpu = 0; ev_kind = Ev_check; ev_name = "";
+    ev_pool = ""; ev_a = 0; ev_b = 0 }
 
 let ring : event array ref = ref [||]
 let cap = ref 0
@@ -102,8 +110,8 @@ let disable () =
 let emit kind ~name ~pool ~a ~b =
   if !active then begin
     let ev =
-      { ev_seq = !total; ev_ts = !clock (); ev_kind = kind; ev_name = name;
-        ev_pool = pool; ev_a = a; ev_b = b }
+      { ev_seq = !total; ev_ts = !clock (); ev_cpu = !cur_cpu; ev_kind = kind;
+        ev_name = name; ev_pool = pool; ev_a = a; ev_b = b }
     in
     !ring.(!total mod !cap) <- ev;
     incr total

@@ -40,12 +40,21 @@ val ekind_name : ekind -> string
 type event = {
   ev_seq : int;  (** emission index since [enable]/[clear], 0-based *)
   ev_ts : int;  (** modeled cycles at emission (see {!clock}) *)
+  ev_cpu : int;  (** modeled CPU executing at emission (see {!set_cpu}) *)
   ev_kind : ekind;
   ev_name : string;
   ev_pool : string;  (** metapool name, when the event concerns one *)
   ev_a : int;  (** address / syscall number / count, by kind *)
   ev_b : int;  (** access length / object length, by kind *)
 }
+
+val set_cpu : int -> unit
+(** Attribute subsequent events to this modeled CPU.  The SMP scheduler
+    calls it at CPU-switch points; outside SMP runs everything stays on
+    CPU 0, so pre-SMP traces are unchanged.  The Chrome export maps it to
+    the thread id. *)
+
+val current_cpu : unit -> int
 
 val clock : (unit -> int) ref
 (** Timestamp source, read at each emission.  {!Sva_interp.Interp.load}

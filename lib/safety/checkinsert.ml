@@ -493,11 +493,11 @@ let run ?(options = default_options) ?(proofs = fun ~fname:_ _ -> false)
   Verify.check m;
   c.s
 
-let runtime_pools ?user_range (mps : Metapool.t) =
+let runtime_pools ?smp ?user_range (mps : Metapool.t) =
   List.map
     (fun (d : Metapool.decl) ->
       let mp =
-        Sva_rt.Metapool_rt.create ~type_homog:d.Metapool.mp_th
+        Sva_rt.Metapool_rt.create ?smp ~type_homog:d.Metapool.mp_th
           ~complete:d.Metapool.mp_complete ~elem_size:d.Metapool.mp_elem_size
           d.Metapool.mp_name
       in

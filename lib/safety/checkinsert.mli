@@ -109,8 +109,11 @@ val run :
     without it. *)
 
 val runtime_pools :
-  ?user_range:int * int -> Metapool.t -> (int * Sva_rt.Metapool_rt.t) list
+  ?smp:Sva_rt.Smp.t -> ?user_range:int * int -> Metapool.t ->
+  (int * Sva_rt.Metapool_rt.t) list
 (** Build the run-time pools for the inferred metapools, keyed by metapool
-    id for the interpreter.  [user_range = (base, size)] registers all of
-    userspace as a single object in every pool reachable from syscall
-    arguments (Section 4.6). *)
+    id for the interpreter.  [smp] threads the owning SVM instance's CPU
+    context into each pool so its lookup-cache shards follow the executing
+    CPU (default: a private 1-CPU context per pool).  [user_range =
+    (base, size)] registers all of userspace as a single object in every
+    pool reachable from syscall arguments (Section 4.6). *)

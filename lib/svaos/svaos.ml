@@ -2,31 +2,48 @@ open Sva_hw
 
 type mode = Native_inline | Sva_mediated
 
+type percpu = {
+  pc_id : int;
+  pc_cpu : Cpu.t;
+  mutable pc_icontexts : int list;
+  mutable pc_ipis : int list;  (* pending IPI vectors, oldest first *)
+}
+
 type t = {
   machine : Machine.t;
-  cpu : Cpu.t;
+  cpu : Cpu.t;  (* alias of [cpus.(0).pc_cpu], kept for 1-CPU callers *)
+  cpus : percpu array;
+  smp : Sva_rt.Smp.t;
   mmu : Mmu.t;
   devices : Devices.t;
   mutable mode : mode;
   syscalls : (int, string) Hashtbl.t;
   interrupts : (int, string) Hashtbl.t;
   spaces : (int, Mmu.space) Hashtbl.t;
-  mutable icontexts : int list;
   mutable ops_count : int;
-  locks : (int, unit) Hashtbl.t;
+  locks : (int, int) Hashtbl.t;  (* lock address -> holder CPU *)
 }
 
-let create ?(mode = Sva_mediated) () =
+let create ?(mode = Sva_mediated) ?(ncpus = 1) () =
+  if ncpus < 1 || ncpus > Machine.max_cpus then
+    invalid_arg
+      (Printf.sprintf "Svaos.create: ncpus %d out of range [1,%d]" ncpus
+         Machine.max_cpus);
+  let cpus =
+    Array.init ncpus (fun i ->
+        { pc_id = i; pc_cpu = Cpu.create (); pc_icontexts = []; pc_ipis = [] })
+  in
   {
     machine = Machine.create ();
-    cpu = Cpu.create ();
+    cpu = cpus.(0).pc_cpu;
+    cpus;
+    smp = Sva_rt.Smp.create ~ncpus ();
     mmu = Mmu.create ();
     devices = Devices.create ();
     mode;
     syscalls = Hashtbl.create 64;
     interrupts = Hashtbl.create 16;
     spaces = Hashtbl.create 16;
-    icontexts = [];
     ops_count = 0;
     locks = Hashtbl.create 8;
   }
@@ -34,6 +51,52 @@ let create ?(mode = Sva_mediated) () =
 let set_mode t m = t.mode <- m
 
 let op t = t.ops_count <- t.ops_count + 1
+
+(* ---------- simulated SMP ----------
+
+   The SVM interleaves the modeled CPUs on one host thread, so "the
+   current CPU" is the one the scheduler last selected.  Switching also
+   redirects the per-CPU stats banks and the trace's CPU tag, so every
+   dynamic counter and event lands on the executing CPU. *)
+
+let smpctx t = t.smp
+let ncpus t = Array.length t.cpus
+let current_cpu t = Sva_rt.Smp.cur t.smp
+let curpc t = t.cpus.(Sva_rt.Smp.cur t.smp)
+let curcpu t = (curpc t).pc_cpu
+let cpu_state t ~cpu = t.cpus.(cpu).pc_cpu
+
+let switch_cpu t i =
+  Sva_rt.Smp.set_cur t.smp i;
+  Sva_rt.Stats.set_cpu i;
+  Sva_rt.Trace.set_cpu i
+
+(* Inter-processor interrupts: Table 2's missing multiprocessor piece.
+   Sending enqueues a vector on the target CPU; the vector is delivered
+   (trapped on) the next time the scheduler runs that CPU with
+   interrupts enabled.  Sending to yourself is allowed (the kernel's
+   reschedule path does it). *)
+
+let ipi_send t ~cpu ~vector =
+  op t;
+  if cpu < 0 || cpu >= Array.length t.cpus then
+    failwith (Printf.sprintf "SVA-OS: IPI to nonexistent CPU %d" cpu);
+  Sva_rt.Stats.bump_ipi_sent ();
+  let pc = t.cpus.(cpu) in
+  pc.pc_ipis <- pc.pc_ipis @ [ vector ]
+
+let ipi_pending t = (curpc t).pc_ipis <> []
+
+let take_ipi t =
+  let pc = curpc t in
+  match pc.pc_ipis with
+  | [] -> None
+  | v :: rest ->
+      pc.pc_ipis <- rest;
+      Sva_rt.Stats.bump_ipi_delivered ();
+      Some v
+
+let interrupts_enabled t = (curcpu t).Cpu.interrupts_enabled
 
 (* In mediated mode, validate that a state buffer lies in kernel memory:
    the SVM refuses to spill processor state where userspace could reach
@@ -52,23 +115,23 @@ let save_integer t ~buffer =
   op t;
   validate_buffer t ~addr:buffer ~len:Cpu.integer_state_size;
   Machine.with_svm_mode t.machine (fun () ->
-      Cpu.save_integer t.cpu t.machine ~addr:buffer)
+      Cpu.save_integer (curcpu t) t.machine ~addr:buffer)
 
 let load_integer t ~buffer =
   op t;
   validate_buffer t ~addr:buffer ~len:Cpu.integer_state_size;
-  Cpu.load_integer t.cpu t.machine ~addr:buffer
+  Cpu.load_integer (curcpu t) t.machine ~addr:buffer
 
 let save_fp t ~buffer ~always =
   op t;
   validate_buffer t ~addr:buffer ~len:Cpu.fp_state_size;
   Machine.with_svm_mode t.machine (fun () ->
-      Cpu.save_fp t.cpu t.machine ~addr:buffer ~always)
+      Cpu.save_fp (curcpu t) t.machine ~addr:buffer ~always)
 
 let load_fp t ~buffer =
   op t;
   validate_buffer t ~addr:buffer ~len:Cpu.fp_state_size;
-  Cpu.load_fp t.cpu t.machine ~addr:buffer
+  Cpu.load_fp (curcpu t) t.machine ~addr:buffer
 
 (* ---------- interrupt contexts ----------
 
@@ -98,14 +161,15 @@ let icontext_create t ~sp ~was_privileged =
          will clobber; in native mode this is a smaller spill.  We model
          the cost difference by the amount of state written. *)
       match t.mode with
-      | Sva_mediated -> Cpu.save_integer t.cpu t.machine ~addr:(icp + 32)
+      | Sva_mediated -> Cpu.save_integer (curcpu t) t.machine ~addr:(icp + 32)
       | Native_inline ->
           (* Native trap entry pushes a minimal frame. *)
           for i = 0 to 5 do
             Machine.write_int t.machine ~addr:(icp + 32 + (i * 8)) ~width:8
-              t.cpu.Cpu.gpr.(i)
+              (curcpu t).Cpu.gpr.(i)
           done);
-  t.icontexts <- icp :: t.icontexts;
+  let pc = curpc t in
+  pc.pc_icontexts <- icp :: pc.pc_icontexts;
   icp
 
 let check_ic t ~icp =
@@ -133,7 +197,7 @@ let icontext_commit t ~icp =
   check_ic t ~icp;
   (* Commit the full interrupted state (the lazy part) to memory. *)
   Machine.with_svm_mode t.machine (fun () ->
-      Cpu.save_integer t.cpu t.machine ~addr:(icp + 32))
+      Cpu.save_integer (curcpu t) t.machine ~addr:(icp + 32))
 
 let ipush_function t ~icp ~fn ~arg =
   op t;
@@ -164,12 +228,15 @@ let was_privileged t ~icp =
 
 let icontext_destroy t ~icp =
   check_ic t ~icp;
-  match t.icontexts with
+  let pc = curpc t in
+  match pc.pc_icontexts with
   | top :: rest when top = icp ->
       Machine.with_svm_mode t.machine (fun () ->
           Machine.write_int t.machine ~addr:icp ~width:8 0L);
-      t.icontexts <- rest
+      pc.pc_icontexts <- rest
   | _ -> failwith "SVA-OS: unbalanced interrupt context destroy"
+
+let icontext_depth t = List.length (curpc t).pc_icontexts
 
 (* ---------- registration ---------- *)
 
@@ -268,33 +335,46 @@ let timer_read t =
 let cli t =
   op t;
   Sva_rt.Stats.bump_cli ();
-  t.cpu.Cpu.interrupts_enabled <- false
+  (curcpu t).Cpu.interrupts_enabled <- false
 
 let sti t =
   op t;
   Sva_rt.Stats.bump_sti ();
-  t.cpu.Cpu.interrupts_enabled <- true
+  (curcpu t).Cpu.interrupts_enabled <- true
 
 (* ---------- spinlocks ----------
 
-   The lock word is identified by its kernel address.  The model is a
-   single CPU, so a contended acquire could never succeed: acquiring a
-   lock that is already held is reported as a deadlock rather than
-   spinning forever, and releasing a lock that is not held is a bug in
-   the caller's critical-section bracketing. *)
+   The lock word is identified by its kernel address and records its
+   holder CPU.  The scheduler interleaves CPUs at trap granularity, so a
+   contended acquire could never succeed: re-acquiring your own lock is
+   a self-deadlock, and acquiring another CPU's lock would spin forever
+   (the holder only runs again after this CPU yields, which a spinning
+   acquire never does).  Both are reported as failures, as is releasing
+   a lock this CPU does not hold — bugs the static lockset analysis is
+   meant to rule out before execution. *)
 
 let lock_acquire t ~lock =
   op t;
   Sva_rt.Stats.bump_lock_acquire ();
-  if Hashtbl.mem t.locks lock then
-    failwith "SVA-OS: deadlock: lock already held";
-  Hashtbl.replace t.locks lock ()
+  (match Hashtbl.find_opt t.locks lock with
+  | Some holder when holder = current_cpu t ->
+      failwith "SVA-OS: deadlock: lock already held"
+  | Some holder ->
+      failwith
+        (Printf.sprintf
+           "SVA-OS: deadlock: spinning on a lock held by CPU %d" holder)
+  | None -> ());
+  Hashtbl.replace t.locks lock (current_cpu t)
 
 let lock_release t ~lock =
   op t;
   Sva_rt.Stats.bump_lock_release ();
-  if not (Hashtbl.mem t.locks lock) then
-    failwith "SVA-OS: releasing a lock that is not held";
+  (match Hashtbl.find_opt t.locks lock with
+  | None -> failwith "SVA-OS: releasing a lock that is not held"
+  | Some holder when holder <> current_cpu t ->
+      failwith
+        (Printf.sprintf "SVA-OS: releasing a lock held by CPU %d" holder)
+  | Some _ -> ());
   Hashtbl.remove t.locks lock
 
 let lock_held t ~lock = Hashtbl.mem t.locks lock

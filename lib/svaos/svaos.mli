@@ -20,23 +20,80 @@ open Sva_hw
 
 type mode = Native_inline | Sva_mediated
 
+(** Per-CPU SVA-OS state: register file, interrupt-context stack and
+    pending-IPI queue of one modeled CPU. *)
+type percpu = {
+  pc_id : int;
+  pc_cpu : Cpu.t;
+  mutable pc_icontexts : int list;
+      (** stack of live interrupt context addrs on this CPU *)
+  mutable pc_ipis : int list;  (** pending IPI vectors, oldest first *)
+}
+
 type t = {
   machine : Machine.t;
   cpu : Cpu.t;
+      (** alias of CPU 0's register state ([cpus.(0).pc_cpu]) — the whole
+          state on a default 1-CPU instance, kept so single-CPU callers
+          need not know about SMP *)
+  cpus : percpu array;
+  smp : Sva_rt.Smp.t;  (** this instance's CPU context (never shared) *)
   mmu : Mmu.t;
   devices : Devices.t;
   mutable mode : mode;
   syscalls : (int, string) Hashtbl.t;  (** syscall number -> handler symbol *)
   interrupts : (int, string) Hashtbl.t;  (** vector -> handler symbol *)
   spaces : (int, Mmu.space) Hashtbl.t;  (** space id -> MMU space *)
-  mutable icontexts : int list;  (** stack of live interrupt context addrs *)
   mutable ops_count : int;  (** SVA-OS operations executed *)
-  locks : (int, unit) Hashtbl.t;  (** held spinlocks, keyed by lock address *)
+  locks : (int, int) Hashtbl.t;
+      (** held spinlocks: lock address -> holder CPU *)
 }
 
-val create : ?mode:mode -> unit -> t
+val create : ?mode:mode -> ?ncpus:int -> unit -> t
+(** [ncpus] (default 1) modeled CPUs, each with private register state,
+    interrupt-context stack, trap scratch and IPI queue; memory, MMU,
+    devices and handler tables are shared, as on real SMP hardware.
+    @raise Invalid_argument outside [1, Machine.max_cpus]. *)
 
 val set_mode : t -> mode -> unit
+
+(** {2 Simulated SMP}
+
+    The SVM interleaves the modeled CPUs on one host thread; the
+    scheduler ([Ukern.Boot.run_smp]) selects which CPU executes with
+    {!switch_cpu}, which also redirects the per-CPU {!Sva_rt.Stats}
+    banks and the {!Sva_rt.Trace} CPU tag so every dynamic counter and
+    event is attributed to the executing CPU. *)
+
+val smpctx : t -> Sva_rt.Smp.t
+(** This instance's CPU context — thread it into per-CPU-sharded runtime
+    structures ([Metapool_rt.create ~smp]). *)
+
+val ncpus : t -> int
+val current_cpu : t -> int
+val switch_cpu : t -> int -> unit
+val cpu_state : t -> cpu:int -> Cpu.t
+(** Register state of one CPU (not just the current one). *)
+
+val ipi_send : t -> cpu:int -> vector:int -> unit
+(** [sva_ipi_send]: enqueue interrupt [vector] on the target CPU.  The
+    vector is delivered the next time the scheduler runs that CPU with
+    interrupts enabled.  Self-IPIs are allowed.
+    @raise Failure on a nonexistent CPU. *)
+
+val ipi_pending : t -> bool
+(** Whether the current CPU has undelivered IPIs. *)
+
+val take_ipi : t -> int option
+(** Dequeue the oldest pending IPI vector on the current CPU (counted as
+    delivered); [None] if the queue is empty.  Scheduler-internal: the
+    caller is expected to trap on the returned vector. *)
+
+val interrupts_enabled : t -> bool
+(** Current CPU's interrupt flag (set by {!cli}/{!sti}). *)
+
+val icontext_depth : t -> int
+(** Live interrupt contexts on the current CPU. *)
 
 (** {2 Table 1: native processor state} *)
 
@@ -113,11 +170,14 @@ val sti : t -> unit
 
 (** {2 Spinlocks}
 
-    Locks are identified by the kernel address of the lock word.  On the
-    single modeled CPU a contended acquire can never succeed, so
-    acquiring a held lock fails as a deadlock and releasing an unheld
-    lock fails as a bracketing bug — both are kernel defects the static
-    lockset analysis is meant to rule out before execution. *)
+    Locks are identified by the kernel address of the lock word and
+    record their holder CPU.  CPUs are interleaved at trap granularity,
+    so a contended acquire can never succeed: re-acquiring your own lock
+    fails as a self-deadlock, spinning on another CPU's lock fails as a
+    cross-CPU deadlock (the holder cannot run while this CPU spins), and
+    releasing a lock this CPU does not hold fails as a bracketing bug —
+    all kernel defects the static lockset analysis is meant to rule out
+    before execution. *)
 
 val lock_acquire : t -> lock:int -> unit
 val lock_release : t -> lock:int -> unit

@@ -27,21 +27,25 @@ val boot :
   ?conf:Sva_pipeline.Pipeline.conf ->
   ?variant:Kbuild.variant ->
   ?engine:Sva_pipeline.Pipeline.engine_config ->
+  ?smp:Sva_pipeline.Pipeline.smp_config ->
   ?ranges:bool ->
   ?races:bool ->
   ?poolcert:bool ->
   unit ->
   t
 (** Build, load and boot the kernel.  [engine] selects the SVM execution
-    tier (interpreter by default); [~ranges:true] builds with the
-    certificate-verified value-range check elision; [~races:true] runs
-    the certificate-verified concurrency-safety pass during the build;
-    [~poolcert:true] certifies the points-to layer's check elisions
-    (trusted-checker audit, no behaviour change).
+    tier (interpreter by default); [smp] the modeled CPU count (1 by
+    default — an N-CPU instance gives each CPU private register state,
+    trap scratch and cache shards, see {!run_smp}); [~ranges:true] builds
+    with the certificate-verified value-range check elision;
+    [~races:true] runs the certificate-verified concurrency-safety pass
+    during the build; [~poolcert:true] certifies the points-to layer's
+    check elisions (trusted-checker audit, no behaviour change).
     @raise Boot_failure if [kmain] fails. *)
 
 val boot_built :
   ?engine:Sva_pipeline.Pipeline.engine_config ->
+  ?smp:Sva_pipeline.Pipeline.smp_config ->
   Sva_pipeline.Pipeline.built ->
   variant:Kbuild.variant ->
   t
@@ -90,3 +94,43 @@ val cycles : t -> int
     higher under SVA-OS mediation than for a native inline trap. *)
 
 val reset_cycles : t -> unit
+
+(** {2 Simulated-SMP scheduler}
+
+    Deterministic seeded interleaving of the instance's modeled CPUs on
+    the one host thread: jobs are distributed round-robin into per-CPU
+    run queues, the least-advanced CPU clock runs next (all CPUs run
+    concurrently in model time, ties broken by a seeded LCG), and a CPU
+    whose
+    queue drains steals half of the longest queue, IPI-ing the victim on
+    the dedicated {!reschedule_vector}.  Each job's modeled-cycle delta
+    is charged to the clock of the CPU that ran it; the makespan (max
+    per-CPU clock) is what an N-way machine would take under this
+    schedule, so parallel speedup is makespan(1)/makespan(N).
+
+    [cpus = 1] degenerates to running the jobs in submission order with
+    no steals or IPIs — bit-identical to calling them in sequence. *)
+
+val reschedule_vector : int
+(** Interrupt vector used for work-stealing reschedule IPIs.  The ukern
+    registers no handler on it, so delivery costs exactly the trap
+    entry/exit and runs zero checked kernel code. *)
+
+type smp_stats = {
+  ss_cpus : int;
+  ss_jobs : int;
+  ss_steals : int;  (** work-stealing events *)
+  ss_ipis_sent : int;
+  ss_ipis_delivered : int;
+  ss_cycles : int array;  (** per-CPU modeled cycle clock *)
+  ss_jobs_per : int array;  (** jobs executed per CPU *)
+  ss_makespan : int;  (** max of [ss_cycles] — the modeled wall time *)
+  ss_total : int;  (** sum of [ss_cycles] — total modeled work *)
+}
+
+val run_smp : t -> cpus:int -> seed:int -> (unit -> unit) list -> smp_stats
+(** Run the jobs to completion over [cpus] CPUs with the seeded
+    interleaving.  The same (jobs, cpus, seed) triple always produces
+    the same schedule, the same per-CPU clocks and the same counters.
+    Returns with CPU 0 selected and all IPI queues drained.
+    @raise Invalid_argument if [cpus] exceeds the instance's CPU count. *)

@@ -318,34 +318,29 @@ let prop_cache_coheres_with_splay_oracle =
         | Some n -> Some (n.Splay.n_start, n.Splay.n_len)
         | None -> None
       in
-      let saved = !Objcache.enabled in
-      Objcache.enabled := true;
-      Fun.protect
-        ~finally:(fun () -> Objcache.enabled := saved)
-        (fun () ->
-          List.for_all
-            (fun op ->
-              match op with
-              | `Ins (s, l) ->
-                  let a =
-                    match Splay.insert cached_tree ~start:s ~len:l () with
-                    | () -> true
-                    | exception _ -> false
-                  and b =
-                    match Splay.insert oracle ~start:s ~len:l () with
-                    | () -> true
-                    | exception _ -> false
-                  in
-                  a = b
-              | `Rem s ->
-                  let a = range (Splay.remove cached_tree ~start:s) in
-                  Objcache.invalidate_start cache s;
-                  let b = range (Splay.remove oracle ~start:s) in
-                  a = b
-              | `Find a ->
-                  range (Objcache.find cache cached_tree a)
-                  = range (Splay.find_containing oracle a))
-            ops))
+      List.for_all
+        (fun op ->
+          match op with
+          | `Ins (s, l) ->
+              let a =
+                match Splay.insert cached_tree ~start:s ~len:l () with
+                | () -> true
+                | exception _ -> false
+              and b =
+                match Splay.insert oracle ~start:s ~len:l () with
+                | () -> true
+                | exception _ -> false
+              in
+              a = b
+          | `Rem s ->
+              let a = range (Splay.remove cached_tree ~start:s) in
+              Objcache.invalidate_start cache s;
+              let b = range (Splay.remove oracle ~start:s) in
+              a = b
+          | `Find a ->
+              range (Objcache.find cache cached_tree a)
+              = range (Splay.find_containing oracle a))
+        ops)
 
 let test_cache_invalidated_on_drop () =
   Stats.reset ();
